@@ -1,0 +1,164 @@
+// Experiment T2 (Table 2): adapters and their target languages.
+//
+// "One of the main key components of the implementation of these adapters
+// is the converter responsible for translating the algebra expression to be
+// pushed to the system into the query language supported by that system."
+// For each adapter we optimize a query, locate the pushed-down subtree, and
+// regenerate the backend-language text: SQL dialects (JDBC), CQL
+// (Cassandra), SPL (Splunk), JSON find() (MongoDB), Java RDD (Spark).
+// Timings cover the full translate path.
+
+#include <benchmark/benchmark.h>
+
+#include "adapters/cassandra/cassandra_adapter.h"
+#include "adapters/mongo/mongo_adapter.h"
+#include "bench_common.h"
+#include "sql/rel_to_sql.h"
+
+namespace calcite {
+namespace {
+
+RelNodePtr FindConvention(RelNodePtr node, const Convention* convention) {
+  while (node != nullptr && node->convention() != convention) {
+    node = node->num_inputs() > 0 ? node->input(0) : nullptr;
+  }
+  return node;
+}
+
+void BM_Language_JdbcSqlDialects(benchmark::State& state) {
+  auto catalog = bench::MakeFederationCatalog(100, 200);
+  Connection conn{Connection::Config{catalog.root}};
+  auto logical = conn.ParseQuery(
+      "SELECT name FROM mysql.products WHERE productId < 10 ORDER BY name");
+  auto physical = conn.OptimizePlan(logical.value());
+  RelNodePtr jdbc = FindConvention(physical.value(),
+                                   catalog.jdbc->ScanConvention());
+  std::string text;
+  for (auto _ : state) {
+    auto mysql_sql = RelToSqlConverter(SqlDialect::MySql()).Convert(jdbc);
+    auto pg_sql = RelToSqlConverter(SqlDialect::PostgreSql()).Convert(jdbc);
+    auto ansi_sql = RelToSqlConverter(SqlDialect::Ansi()).Convert(jdbc);
+    benchmark::DoNotOptimize(mysql_sql);
+    text = "--- Table 2: JDBC -> SQL dialects ---\n  MySQL:      " +
+           mysql_sql.value() + "\n  PostgreSQL: " + pg_sql.value() +
+           "\n  ANSI:       " + ansi_sql.value() + "\n";
+  }
+  bench::PrintOnce(text);
+}
+BENCHMARK(BM_Language_JdbcSqlDialects);
+
+void BM_Language_SplunkSpl(benchmark::State& state) {
+  auto catalog = bench::MakeFederationCatalog(500, 50);
+  Connection conn{Connection::Config{catalog.root}};
+  auto logical = conn.ParseQuery(
+      "SELECT p.name, o.units FROM splunk.orders o "
+      "JOIN mysql.products p ON o.productId = p.productId "
+      "WHERE o.units > 40");
+  auto physical = conn.OptimizePlan(logical.value());
+  RelNodePtr splunk =
+      FindConvention(physical.value(), SplunkSchema::SplunkConvention());
+  std::string text;
+  for (auto _ : state) {
+    auto spl = SplunkGenerateSpl(splunk);
+    benchmark::DoNotOptimize(spl);
+    text = "--- Table 2: Splunk -> SPL ---\n  " + spl.value() + "\n";
+  }
+  bench::PrintOnce(text);
+}
+BENCHMARK(BM_Language_SplunkSpl);
+
+void BM_Language_CassandraCql(benchmark::State& state) {
+  auto& tf = bench::Tf();
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  std::vector<Row> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({Value::Int(i % 4), Value::Int(i)});
+  }
+  auto cass = std::make_shared<CassandraSchema>();
+  cass->AddTable("events",
+                 std::make_shared<CassandraTable>(
+                     tf.CreateStructType({"pk", "ck"}, {int_t, int_t}),
+                     std::move(data), std::vector<int>{0},
+                     RelCollation::Of({1})));
+  auto root = std::make_shared<Schema>();
+  root->AddSubSchema("cass", cass);
+  Connection conn{Connection::Config{root}};
+  auto logical =
+      conn.ParseQuery("SELECT * FROM cass.events WHERE pk = 2 ORDER BY ck");
+  auto physical = conn.OptimizePlan(logical.value());
+  RelNodePtr node = FindConvention(physical.value(),
+                                   CassandraSchema::CassandraConvention());
+  std::string text;
+  for (auto _ : state) {
+    auto cql = CassandraGenerateCql(node);
+    benchmark::DoNotOptimize(cql);
+    text = "--- Table 2: Cassandra -> CQL ---\n  " + cql.value() + "\n";
+  }
+  bench::PrintOnce(text);
+}
+BENCHMARK(BM_Language_CassandraCql);
+
+void BM_Language_MongoJson(benchmark::State& state) {
+  std::vector<JsonValue> docs;
+  for (int i = 0; i < 1000; ++i) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("city", JsonValue("city-" + std::to_string(i % 10)));
+    docs.push_back(std::move(doc));
+  }
+  auto mongo = std::make_shared<MongoSchema>();
+  mongo->AddTable("zips", std::make_shared<MongoTable>(std::move(docs)));
+  auto root = std::make_shared<Schema>();
+  root->AddSubSchema("mongo", mongo);
+  Connection conn{Connection::Config{root}};
+  auto logical = conn.ParseQuery(
+      "SELECT * FROM mongo.zips WHERE _MAP['city'] = 'city-3'");
+  auto physical = conn.OptimizePlan(logical.value());
+  RelNodePtr node =
+      FindConvention(physical.value(), MongoSchema::MongoConvention());
+  std::string text;
+  for (auto _ : state) {
+    auto find = MongoGenerateQuery(node);
+    benchmark::DoNotOptimize(find);
+    text = "--- Table 2: MongoDB -> JSON find() ---\n  " + find.value() +
+           "\n";
+  }
+  bench::PrintOnce(text);
+}
+BENCHMARK(BM_Language_MongoJson);
+
+void BM_Language_SparkRdd(benchmark::State& state) {
+  auto catalog = bench::MakeFederationCatalog(500, 50);
+  // Disable the lookup rule so the Spark plan wins the race.
+  auto splunk = std::make_shared<SplunkSchema>();
+  splunk->AddTable("orders",
+                   catalog.root->GetSubSchema("splunk")->GetTable("orders"));
+  auto root = std::make_shared<Schema>();
+  root->AddSubSchema("splunk", splunk);
+  root->AddSubSchema("mysql", catalog.jdbc);
+  Connection::Config config{root};
+  config.extra_rules = SparkAdapter::Rules(
+      {SplunkSchema::SplunkConvention(), catalog.jdbc->ScanConvention()});
+  Connection conn(config);
+  auto logical = conn.ParseQuery(
+      "SELECT p.name FROM splunk.orders o "
+      "JOIN mysql.products p ON o.productId = p.productId");
+  auto physical = conn.OptimizePlan(logical.value());
+  RelNodePtr node =
+      FindConvention(physical.value(), SparkAdapter::SparkConvention());
+  std::string text = "--- Table 2: Spark -> Java RDD ---\n  (plan did not "
+                     "choose Spark in this configuration)\n";
+  for (auto _ : state) {
+    if (node != nullptr) {
+      auto rdd = SparkGenerateRdd(node);
+      benchmark::DoNotOptimize(rdd);
+      if (rdd.ok()) {
+        text = "--- Table 2: Spark -> Java RDD ---\n  " + rdd.value() + "\n";
+      }
+    }
+  }
+  bench::PrintOnce(text);
+}
+BENCHMARK(BM_Language_SparkRdd);
+
+}  // namespace
+}  // namespace calcite

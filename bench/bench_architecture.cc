@@ -1,0 +1,106 @@
+// Experiment F1 (Figure 1): the architecture's end-to-end pipeline.
+// Measures each stage of the interaction Figure 1 depicts — SQL parse,
+// validate+convert to algebra, logical (rule) optimization, cost-based
+// physical planning, execution — plus the alternative entry point for
+// systems with their own parser (the expression builder).
+
+#include <benchmark/benchmark.h>
+
+#include "adapters/enumerable/enumerable_rules.h"
+#include "bench_common.h"
+#include "plan/hep_planner.h"
+#include "plan/volcano_planner.h"
+#include "rules/core_rules.h"
+#include "sql/parser.h"
+#include "sql/sql_to_rel.h"
+#include "tools/rel_builder.h"
+
+namespace calcite {
+namespace {
+
+const char* kQuery =
+    "SELECT products.name, COUNT(*) AS c "
+    "FROM sales JOIN products USING (productId) "
+    "WHERE sales.discount IS NOT NULL "
+    "GROUP BY products.name ORDER BY c DESC";
+
+void BM_Stage1_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ast = SqlParser::Parse(kQuery);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_Stage1_Parse);
+
+void BM_Stage2_ValidateAndConvert(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(1000, 50);
+  PlannerContext context;
+  auto ast = SqlParser::Parse(kQuery);
+  for (auto _ : state) {
+    SqlToRelConverter converter(schema, &context);
+    auto rel = converter.Convert(ast.value());
+    benchmark::DoNotOptimize(rel);
+  }
+}
+BENCHMARK(BM_Stage2_ValidateAndConvert);
+
+void BM_Stage3_LogicalRules(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(1000, 50);
+  Connection conn{Connection::Config{schema}};
+  auto logical = conn.ParseQuery(kQuery);
+  for (auto _ : state) {
+    PlannerContext context;
+    HepPlanner planner(StandardLogicalRules(), &context);
+    auto out = planner.Optimize(logical.value());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Stage3_LogicalRules);
+
+void BM_Stage4_CostBasedPlanning(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(1000, 50);
+  Connection conn{Connection::Config{schema}};
+  auto logical = conn.ParseQuery(kQuery);
+  PlannerContext hep_context;
+  HepPlanner hep(StandardLogicalRules(), &hep_context);
+  auto rewritten = hep.Optimize(logical.value());
+  for (auto _ : state) {
+    PlannerContext context;
+    std::vector<RelOptRulePtr> rules = EnumerableConverterRules();
+    VolcanoPlanner planner(rules, &context);
+    auto out = planner.Optimize(rewritten.value(),
+                                RelTraitSet(Convention::Enumerable()));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Stage4_CostBasedPlanning);
+
+void BM_Stage5_Execute(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(1000, 50);
+  Connection conn{Connection::Config{schema}};
+  auto logical = conn.ParseQuery(kQuery);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_Stage5_Execute);
+
+void BM_AltEntry_ExpressionBuilder(benchmark::State& state) {
+  // The "own parser" integration path (§3): algebra built directly.
+  SchemaPtr schema = bench::MakeSalesSchema(1000, 50);
+  for (auto _ : state) {
+    RelBuilder b(schema);
+    b.Scan("sales");
+    auto node = b.Aggregate(b.GroupKey({"productId"}),
+                            {b.Count(false, "c"),
+                             b.Sum(false, "s", b.Field("units"))})
+                    .Build();
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_AltEntry_ExpressionBuilder);
+
+}  // namespace
+}  // namespace calcite

@@ -1,0 +1,84 @@
+// Experiment E1 (§6 prose): the Cassandra sort push-down rule and its two
+// preconditions. Compares executing ORDER BY with the sort pushed into the
+// (simulated) store — retrieval in clustering order — against a client-side
+// EnumerableSort, and demonstrates that removing either precondition
+// disables the push-down.
+
+#include <benchmark/benchmark.h>
+
+#include "adapters/cassandra/cassandra_adapter.h"
+#include "bench_common.h"
+
+namespace calcite {
+namespace {
+
+SchemaPtr MakeCatalog(int rows) {
+  auto& tf = bench::Tf();
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  auto str_t = tf.CreateSqlType(SqlTypeName::kVarchar, 32);
+  std::vector<Row> data;
+  for (int i = 0; i < rows; ++i) {
+    data.push_back({Value::Int(i % 4 * 10 + 10), Value::Int((i * 37) % 100000),
+                    Value::String("e" + std::to_string(i))});
+  }
+  auto table = std::make_shared<CassandraTable>(
+      tf.CreateStructType({"deptno", "salary", "name"},
+                          {int_t, int_t, str_t}),
+      std::move(data), std::vector<int>{0}, RelCollation::Of({1}));
+  auto cass = std::make_shared<CassandraSchema>();
+  cass->AddTable("emps", table);
+  auto root = std::make_shared<Schema>();
+  root->AddSubSchema("cass", cass);
+  return root;
+}
+
+void BM_SortPushedIntoCassandra(benchmark::State& state) {
+  Connection conn{Connection::Config{MakeCatalog(static_cast<int>(state.range(0)))}};
+  const char* sql = "SELECT * FROM cass.emps WHERE deptno = 10 ORDER BY salary";
+  auto plan = conn.Explain(sql, true);
+  bench::PrintOnce(std::string("--- single-partition + clustering prefix ") +
+                   "(both preconditions hold) ---\n" + plan.value() + "\n");
+  auto logical = conn.ParseQuery(sql);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SortPushedIntoCassandra)->Arg(10000)->Arg(100000);
+
+void BM_SortClientSide_NoPartitionFilter(benchmark::State& state) {
+  Connection conn{Connection::Config{MakeCatalog(static_cast<int>(state.range(0)))}};
+  const char* sql = "SELECT * FROM cass.emps ORDER BY salary";
+  auto plan = conn.Explain(sql, true);
+  bench::PrintOnce(std::string("--- no partition filter ") +
+                   "(precondition 1 violated: EnumerableSort) ---\n" +
+                   plan.value() + "\n");
+  auto logical = conn.ParseQuery(sql);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SortClientSide_NoPartitionFilter)->Arg(10000)->Arg(100000);
+
+void BM_SortClientSide_WrongCollation(benchmark::State& state) {
+  Connection conn{Connection::Config{MakeCatalog(static_cast<int>(state.range(0)))}};
+  const char* sql =
+      "SELECT * FROM cass.emps WHERE deptno = 10 ORDER BY name";
+  auto plan = conn.Explain(sql, true);
+  bench::PrintOnce(std::string("--- sort on non-clustering column ") +
+                   "(precondition 2 violated: EnumerableSort) ---\n" +
+                   plan.value() + "\n");
+  auto logical = conn.ParseQuery(sql);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SortClientSide_WrongCollation)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace calcite

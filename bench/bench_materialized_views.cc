@@ -1,0 +1,95 @@
+// Experiment E4 (§6): materialized-view rewriting — substitution and
+// lattice tiles. Measures query latency against the base tables vs. the
+// same query rewritten onto a materialization / tile.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "materialize/materialized_views.h"
+
+namespace calcite {
+namespace {
+
+const char* kAggQuery =
+    "SELECT productId, COUNT(*) AS c, SUM(units) AS u FROM sales "
+    "GROUP BY productId";
+
+void BM_AggregateWithoutView(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(static_cast<int>(state.range(0)),
+                                            100);
+  Connection conn{Connection::Config{schema}};
+  auto logical = conn.ParseQuery(kAggQuery);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_AggregateWithoutView)->Arg(10000)->Arg(100000);
+
+void BM_AggregateWithExactView(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(static_cast<int>(state.range(0)),
+                                            100);
+  MaterializationCatalog catalog;
+  {
+    Connection loader{Connection::Config{schema}};
+    catalog.Register(&loader, "mv_agg", kAggQuery);
+  }
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+  auto logical = conn.ParseQuery(kAggQuery);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_AggregateWithExactView)->Arg(10000)->Arg(100000);
+
+void BM_StarQueryOverLatticeTile(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(static_cast<int>(state.range(0)),
+                                            100);
+  MaterializationCatalog catalog;
+  Lattice lattice(
+      "SELECT name, saleid, units FROM sales JOIN products USING (productId)",
+      {"name", "saleid"}, "units");
+  {
+    Connection loader{Connection::Config{schema}};
+    lattice.BuildTile(&loader, &catalog, {"name"});
+  }
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+  const char* sql =
+      "SELECT name, COUNT(*) AS cnt, SUM(units) AS sm FROM "
+      "(SELECT name, saleid, units FROM sales JOIN products "
+      "USING (productId)) AS fact GROUP BY name";
+  auto logical = conn.ParseQuery(sql);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_StarQueryOverLatticeTile)->Arg(10000)->Arg(100000);
+
+void BM_StarQueryWithoutTile(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(static_cast<int>(state.range(0)),
+                                            100);
+  Connection conn{Connection::Config{schema}};
+  const char* sql =
+      "SELECT name, COUNT(*) AS cnt, SUM(units) AS sm FROM "
+      "(SELECT name, saleid, units FROM sales JOIN products "
+      "USING (productId)) AS fact GROUP BY name";
+  auto logical = conn.ParseQuery(sql);
+  auto physical = conn.OptimizePlan(logical.value());
+  for (auto _ : state) {
+    auto rows = physical.value()->Execute();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_StarQueryWithoutTile)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace calcite

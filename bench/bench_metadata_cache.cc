@@ -1,0 +1,62 @@
+// Experiment E2: the metadata cache (§6).
+//
+// "Their implementation includes a cache for metadata results, which yields
+// significant performance improvements, e.g., when we need to compute
+// multiple types of metadata such as cardinality, average row size, and
+// selectivity for a given join, and all these computations rely on the
+// cardinality of their inputs." We plan an N-way join query with the cache
+// enabled and disabled and compare planning time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rules/core_rules.h"
+#include "adapters/enumerable/enumerable_rules.h"
+#include "plan/volcano_planner.h"
+#include "tools/rel_builder.h"
+
+namespace calcite {
+namespace {
+
+RelNodePtr BuildJoinChain(const SchemaPtr& schema, int joins) {
+  RelBuilder b(schema);
+  b.Scan("sales");
+  for (int i = 0; i < joins; ++i) {
+    b.Scan("products");
+    b.Join(JoinType::kInner,
+           b.Equals(b.Field(1, "productId"), b.Field(0, "productId")));
+  }
+  return b.Build().value();
+}
+
+void RunPlanner(benchmark::State& state, bool cache_enabled) {
+  SchemaPtr schema = bench::MakeSalesSchema(10000, 100);
+  RelNodePtr plan = BuildJoinChain(schema, static_cast<int>(state.range(0)));
+  std::vector<RelOptRulePtr> rules = StandardLogicalRules();
+  for (auto& r : EnumerableConverterRules()) rules.push_back(r);
+  int64_t computations = 0;
+  for (auto _ : state) {
+    PlannerContext context;
+    context.metadata()->SetCacheEnabled(cache_enabled);
+    VolcanoPlanner planner(rules, &context);
+    auto optimized =
+        planner.Optimize(plan, RelTraitSet(Convention::Enumerable()));
+    benchmark::DoNotOptimize(optimized);
+    computations = context.metadata()->computation_count();
+  }
+  state.counters["metadata_computations"] =
+      static_cast<double>(computations);
+}
+
+void BM_PlanningWithMetadataCache(benchmark::State& state) {
+  RunPlanner(state, true);
+}
+BENCHMARK(BM_PlanningWithMetadataCache)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_PlanningWithoutMetadataCache(benchmark::State& state) {
+  RunPlanner(state, false);
+}
+BENCHMARK(BM_PlanningWithoutMetadataCache)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace calcite

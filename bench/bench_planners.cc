@@ -1,0 +1,95 @@
+// Experiment E3: planner engines and fixpoint modes (§6).
+//
+// Compares (i) the exhaustive cost-based fixpoint, (ii) the δ-threshold
+// heuristic fixpoint ("stop the search when the plan cost has not improved
+// by more than a given threshold δ in the last planner iterations"), and
+// the rule-only heuristic (Hep) engine, on join-reordering workloads of
+// increasing size.
+
+#include <benchmark/benchmark.h>
+
+#include "adapters/enumerable/enumerable_rules.h"
+#include "bench_common.h"
+#include "plan/hep_planner.h"
+#include "plan/volcano_planner.h"
+#include "rules/core_rules.h"
+#include "tools/rel_builder.h"
+
+namespace calcite {
+namespace {
+
+RelNodePtr BuildJoinChain(const SchemaPtr& schema, int joins) {
+  RelBuilder b(schema);
+  b.Scan("sales");
+  for (int i = 0; i < joins; ++i) {
+    b.Scan("products");
+    b.Join(JoinType::kInner,
+           b.Equals(b.Field(1, "productId"), b.Field(0, "productId")));
+  }
+  return b.Build().value();
+}
+
+std::vector<RelOptRulePtr> ReorderRules() {
+  std::vector<RelOptRulePtr> rules = JoinReorderRules();
+  for (auto& r : EnumerableConverterRules()) rules.push_back(r);
+  return rules;
+}
+
+void BM_VolcanoExhaustive(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(10000, 100);
+  RelNodePtr plan = BuildJoinChain(schema, static_cast<int>(state.range(0)));
+  double cost = 0;
+  int fired = 0;
+  for (auto _ : state) {
+    PlannerContext context;
+    VolcanoPlanner::Options options;
+    options.exhaustive = true;
+    VolcanoPlanner planner(ReorderRules(), &context, options);
+    auto optimized =
+        planner.Optimize(plan, RelTraitSet(Convention::Enumerable()));
+    benchmark::DoNotOptimize(optimized);
+    cost = planner.best_cost().Magnitude();
+    fired = planner.rule_fire_count();
+  }
+  state.counters["plan_cost"] = cost;
+  state.counters["rule_firings"] = fired;
+}
+BENCHMARK(BM_VolcanoExhaustive)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_VolcanoDeltaThreshold(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(10000, 100);
+  RelNodePtr plan = BuildJoinChain(schema, static_cast<int>(state.range(0)));
+  double cost = 0;
+  int fired = 0;
+  for (auto _ : state) {
+    PlannerContext context;
+    VolcanoPlanner::Options options;
+    options.exhaustive = false;
+    options.cost_improvement_delta = 0.05;
+    options.delta_window = 20;
+    VolcanoPlanner planner(ReorderRules(), &context, options);
+    auto optimized =
+        planner.Optimize(plan, RelTraitSet(Convention::Enumerable()));
+    benchmark::DoNotOptimize(optimized);
+    cost = planner.best_cost().Magnitude();
+    fired = planner.rule_fire_count();
+  }
+  state.counters["plan_cost"] = cost;
+  state.counters["rule_firings"] = fired;
+}
+BENCHMARK(BM_VolcanoDeltaThreshold)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_HeuristicHepPlanner(benchmark::State& state) {
+  SchemaPtr schema = bench::MakeSalesSchema(10000, 100);
+  RelNodePtr plan = BuildJoinChain(schema, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    PlannerContext context;
+    HepPlanner planner(StandardLogicalRules(), &context);
+    auto optimized = planner.Optimize(plan);
+    benchmark::DoNotOptimize(optimized);
+  }
+}
+BENCHMARK(BM_HeuristicHepPlanner)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace calcite

@@ -1,0 +1,59 @@
+// Quickstart: embed the framework as a library (the Figure 1 loop).
+//
+// Builds an in-memory schema, then runs SQL through the full pipeline:
+// parse -> validate -> convert -> optimize (heuristic + cost-based phases)
+// -> execute on the enumerable engine.
+
+#include <cstdio>
+
+#include "schema/schema.h"
+#include "schema/table.h"
+#include "tools/frameworks.h"
+
+using namespace calcite;
+
+int main() {
+  TypeFactory tf;
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  auto str_t = tf.CreateSqlType(SqlTypeName::kVarchar, 32);
+  auto dbl_t = tf.CreateSqlType(SqlTypeName::kDouble);
+
+  auto schema = std::make_shared<Schema>();
+  schema->AddTable(
+      "emps",
+      std::make_shared<MemTable>(
+          tf.CreateStructType({"empid", "deptno", "name", "salary"},
+                              {int_t, int_t, str_t, dbl_t}),
+          std::vector<Row>{
+              {Value::Int(100), Value::Int(10), Value::String("Bill"),
+               Value::Double(10000)},
+              {Value::Int(110), Value::Int(10), Value::String("Theodore"),
+               Value::Double(11500)},
+              {Value::Int(150), Value::Int(20), Value::String("Sebastian"),
+               Value::Double(7000)},
+              {Value::Int(200), Value::Int(30), Value::String("Anna"),
+               Value::Double(9000)},
+          }));
+
+  Connection conn{Connection::Config{schema}};
+
+  const std::string sql =
+      "SELECT deptno, COUNT(*) AS c, AVG(salary) AS avg_sal "
+      "FROM emps WHERE salary > 7500 GROUP BY deptno ORDER BY deptno";
+
+  std::printf("Query:\n  %s\n\n", sql.c_str());
+
+  auto logical = conn.Explain(sql, /*optimized=*/false);
+  std::printf("Logical plan:\n%s\n", logical.value().c_str());
+
+  auto physical = conn.Explain(sql, /*optimized=*/true, true);
+  std::printf("Optimized plan (with traits):\n%s\n", physical.value().c_str());
+
+  auto result = conn.Query(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Result:\n%s\n", result.value().ToTable().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §7.2: streaming queries — the STREAM directive, tumbling-window
+// aggregation with TUMBLE/TUMBLE_END, and incremental (per-batch) emission
+// through the StreamExecutor.
+
+#include <cstdio>
+
+#include "stream/stream.h"
+#include "tools/frameworks.h"
+
+using namespace calcite;
+
+int main() {
+  TypeFactory tf;
+  auto ts_t = tf.CreateSqlType(SqlTypeName::kTimestamp);
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+
+  auto orders = std::make_shared<stream::StreamTable>(
+      tf.CreateStructType({"rowtime", "productId", "units"},
+                          {ts_t, int_t, int_t}),
+      /*rowtime_column=*/0);
+  auto schema = std::make_shared<Schema>();
+  schema->AddTable("Orders", orders);
+  Connection conn{Connection::Config{schema}};
+
+  constexpr int64_t kHour = 3600 * 1000;
+
+  // The paper's tumbling-window query.
+  const std::string sql =
+      "SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS rowtime, "
+      "productId, COUNT(*) AS c, SUM(units) AS units "
+      "FROM Orders "
+      "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId";
+  std::printf("Streaming query:\n  %s\n\n", sql.c_str());
+
+  // Synthesize four hours of events, two products.
+  std::vector<Row> events;
+  for (int i = 0; i < 24; ++i) {
+    events.push_back({Value::Int(i * (kHour / 6)), Value::Int(i % 2),
+                      Value::Int(5 + i % 3)});
+  }
+
+  stream::StreamExecutor executor(&conn, sql);
+  int batch = 0;
+  auto emitted = executor.Run(
+      orders.get(), events, /*batch_size=*/6,
+      [&](const std::vector<Row>& rows) {
+        std::printf("batch %d emitted %zu window row(s):\n", ++batch,
+                    rows.size());
+        for (const Row& row : rows) {
+          std::printf("  window_end=%lld product=%lld count=%lld units=%lld\n",
+                      static_cast<long long>(row[0].AsInt()),
+                      static_cast<long long>(row[1].AsInt()),
+                      static_cast<long long>(row[2].AsInt()),
+                      static_cast<long long>(row[3].AsInt()));
+        }
+      });
+  if (!emitted.ok()) {
+    std::printf("error: %s\n", emitted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTotal window rows emitted: %zu\n", emitted.value().size());
+
+  // A query on the same stream *without* STREAM reads existing history.
+  auto history =
+      conn.Query("SELECT COUNT(*) AS events_so_far FROM Orders");
+  std::printf("Without STREAM (existing records): %s rows -> %s\n",
+              "1", history.value().rows[0][0].ToString().c_str());
+  return 0;
+}

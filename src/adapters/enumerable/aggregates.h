@@ -1,0 +1,46 @@
+#ifndef CALCITE_ADAPTERS_ENUMERABLE_AGGREGATES_H_
+#define CALCITE_ADAPTERS_ENUMERABLE_AGGREGATES_H_
+
+#include <set>
+#include <vector>
+
+#include "rel/rel_node.h"
+#include "type/value.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Runtime accumulator for one aggregate call (COUNT/SUM/MIN/MAX/AVG/...),
+/// including DISTINCT handling. Shared by the enumerable hash aggregate, the
+/// window operator, and the streaming executor.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(const AggregateCall& call) : call_(&call) {}
+
+  /// Feeds one input row.
+  Status Add(const Row& row);
+
+  /// Produces the aggregate result. For empty input: COUNT-like functions
+  /// return 0, the others NULL (SQL semantics).
+  Value Finish() const;
+
+ private:
+  const AggregateCall* call_;
+  int64_t count_ = 0;
+  double sum_double_ = 0;
+  int64_t sum_int_ = 0;
+  bool sum_is_double_ = false;
+  Value min_;
+  Value max_;
+  Value single_;
+  bool has_value_ = false;
+  std::set<Value> distinct_values_;
+};
+
+/// Evaluates a full group: runs all `calls` over `rows` and appends results.
+Status ComputeAggregates(const std::vector<AggregateCall>& calls,
+                         const std::vector<Row>& rows, Row* out);
+
+}  // namespace calcite
+
+#endif  // CALCITE_ADAPTERS_ENUMERABLE_AGGREGATES_H_

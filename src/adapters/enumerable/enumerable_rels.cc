@@ -1,0 +1,681 @@
+#include "adapters/enumerable/enumerable_rels.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "adapters/enumerable/aggregates.h"
+#include "metadata/metadata.h"
+#include "rex/rex_interpreter.h"
+#include "rex/rex_util.h"
+
+namespace calcite {
+
+namespace {
+
+RelTraitSet EnumerableTraits() {
+  return RelTraitSet(Convention::Enumerable());
+}
+
+/// Three-way lexicographic row comparison under a collation.
+int CompareRows(const Row& a, const Row& b, const RelCollation& collation) {
+  for (const FieldCollation& fc : collation.fields()) {
+    int c = a[static_cast<size_t>(fc.field)].Compare(
+        b[static_cast<size_t>(fc.field)]);
+    if (fc.direction == Direction::kDescending) c = -c;
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+/// Full-row lexicographic order (for set operations).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Row PadNullRight(const Row& left, size_t right_width) {
+  Row out = left;
+  out.resize(left.size() + right_width);
+  return out;
+}
+
+Row PadNullLeft(size_t left_width, const Row& right) {
+  Row out(left_width);
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+// ------------------------------- TableScan --------------------------------
+
+RelNodePtr EnumerableTableScan::Create(const TableScan& scan) {
+  return RelNodePtr(new EnumerableTableScan(
+      EnumerableTraits(), scan.row_type(), scan.table(),
+      scan.qualified_name(), scan.table_convention()));
+}
+
+RelNodePtr EnumerableTableScan::Copy(RelTraitSet traits,
+                                     std::vector<RelNodePtr> inputs) const {
+  (void)inputs;
+  return RelNodePtr(new EnumerableTableScan(std::move(traits), row_type(),
+                                            table_, qualified_name_,
+                                            table_convention_));
+}
+
+Result<std::vector<Row>> EnumerableTableScan::Execute() const {
+  return table_->Scan();
+}
+
+// --------------------------------- Filter ---------------------------------
+
+RelNodePtr EnumerableFilter::Create(RelNodePtr input, RexNodePtr condition) {
+  RelDataTypePtr row_type = input->row_type();
+  return RelNodePtr(new EnumerableFilter(EnumerableTraits(),
+                                         std::move(row_type),
+                                         std::move(input),
+                                         std::move(condition)));
+}
+
+RelNodePtr EnumerableFilter::Copy(RelTraitSet traits,
+                                  std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableFilter(std::move(traits), row_type(),
+                                         std::move(inputs[0]), condition_));
+}
+
+Result<std::vector<Row>> EnumerableFilter::Execute() const {
+  auto rows = input(0)->Execute();
+  if (!rows.ok()) return rows;
+  std::vector<Row> out;
+  for (Row& row : rows.value()) {
+    auto pass = RexInterpreter::EvalPredicate(condition_, row);
+    if (!pass.ok()) return pass.status();
+    if (pass.value()) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// --------------------------------- Project --------------------------------
+
+RelNodePtr EnumerableProject::Create(RelNodePtr input,
+                                     std::vector<RexNodePtr> exprs,
+                                     RelDataTypePtr row_type) {
+  return RelNodePtr(new EnumerableProject(EnumerableTraits(),
+                                          std::move(row_type),
+                                          std::move(input), std::move(exprs)));
+}
+
+RelNodePtr EnumerableProject::Copy(RelTraitSet traits,
+                                   std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableProject(std::move(traits), row_type(),
+                                          std::move(inputs[0]), exprs_));
+}
+
+Result<std::vector<Row>> EnumerableProject::Execute() const {
+  auto rows = input(0)->Execute();
+  if (!rows.ok()) return rows;
+  std::vector<Row> out;
+  out.reserve(rows.value().size());
+  for (const Row& row : rows.value()) {
+    Row projected;
+    projected.reserve(exprs_.size());
+    for (const RexNodePtr& expr : exprs_) {
+      auto v = RexInterpreter::Eval(expr, row);
+      if (!v.ok()) return v.status();
+      projected.push_back(std::move(v).value());
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+// -------------------------------- HashJoin --------------------------------
+
+RelNodePtr EnumerableHashJoin::Create(RelNodePtr left, RelNodePtr right,
+                                      RexNodePtr condition, JoinType join_type,
+                                      RelDataTypePtr row_type) {
+  return RelNodePtr(new EnumerableHashJoin(
+      EnumerableTraits(), std::move(row_type), std::move(left),
+      std::move(right), std::move(condition), join_type));
+}
+
+RelNodePtr EnumerableHashJoin::Copy(RelTraitSet traits,
+                                    std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableHashJoin(std::move(traits), row_type(),
+                                           std::move(inputs[0]),
+                                           std::move(inputs[1]), condition_,
+                                           join_type_));
+}
+
+Result<std::vector<Row>> EnumerableHashJoin::Execute() const {
+  auto left_rows = input(0)->Execute();
+  if (!left_rows.ok()) return left_rows;
+  auto right_rows = input(1)->Execute();
+  if (!right_rows.ok()) return right_rows;
+
+  std::vector<std::pair<int, int>> keys;
+  std::vector<RexNodePtr> remaining;
+  if (!AnalyzeEquiKeys(&keys, &remaining)) {
+    return Status::PlanError(
+        "EnumerableHashJoin requires at least one equi-join key");
+  }
+
+  size_t left_width = input(0)->row_type()->fields().size();
+  size_t right_width = input(1)->row_type()->fields().size();
+
+  // Build phase: hash the right side on its key columns.
+  std::unordered_map<Row, std::vector<size_t>, RowHash> table;
+  const std::vector<Row>& right_data = right_rows.value();
+  for (size_t i = 0; i < right_data.size(); ++i) {
+    Row key;
+    bool has_null = false;
+    key.reserve(keys.size());
+    for (const auto& [l, r] : keys) {
+      const Value& v = right_data[i][static_cast<size_t>(r)];
+      if (v.IsNull()) has_null = true;
+      key.push_back(v);
+    }
+    if (has_null) continue;  // NULL keys never match.
+    table[std::move(key)].push_back(i);
+  }
+
+  std::vector<bool> right_matched(right_data.size(), false);
+  std::vector<Row> out;
+
+  auto residual_passes = [&](const Row& combined) -> Result<bool> {
+    for (const RexNodePtr& pred : remaining) {
+      auto pass = RexInterpreter::EvalPredicate(pred, combined);
+      if (!pass.ok()) return pass;
+      if (!pass.value()) return false;
+    }
+    return true;
+  };
+
+  for (const Row& lrow : left_rows.value()) {
+    Row key;
+    bool has_null = false;
+    key.reserve(keys.size());
+    for (const auto& [l, r] : keys) {
+      const Value& v = lrow[static_cast<size_t>(l)];
+      if (v.IsNull()) has_null = true;
+      key.push_back(v);
+    }
+    bool matched = false;
+    if (!has_null) {
+      auto it = table.find(key);
+      if (it != table.end()) {
+        for (size_t ri : it->second) {
+          Row combined = ConcatRows(lrow, right_data[ri]);
+          auto pass = residual_passes(combined);
+          if (!pass.ok()) return pass.status();
+          if (!pass.value()) continue;
+          matched = true;
+          right_matched[ri] = true;
+          switch (join_type_) {
+            case JoinType::kInner:
+            case JoinType::kLeft:
+            case JoinType::kRight:
+            case JoinType::kFull:
+              out.push_back(std::move(combined));
+              break;
+            case JoinType::kSemi:
+            case JoinType::kAnti:
+              break;  // Row-level emission decided after the loop.
+          }
+          if (join_type_ == JoinType::kSemi) break;
+        }
+      }
+    }
+    switch (join_type_) {
+      case JoinType::kLeft:
+      case JoinType::kFull:
+        if (!matched) out.push_back(PadNullRight(lrow, right_width));
+        break;
+      case JoinType::kSemi:
+        if (matched) out.push_back(lrow);
+        break;
+      case JoinType::kAnti:
+        if (!matched) out.push_back(lrow);
+        break;
+      default:
+        break;
+    }
+  }
+  if (join_type_ == JoinType::kRight || join_type_ == JoinType::kFull) {
+    for (size_t i = 0; i < right_data.size(); ++i) {
+      if (!right_matched[i]) {
+        out.push_back(PadNullLeft(left_width, right_data[i]));
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------ NestedLoopJoin ----------------------------
+
+RelNodePtr EnumerableNestedLoopJoin::Create(RelNodePtr left, RelNodePtr right,
+                                            RexNodePtr condition,
+                                            JoinType join_type,
+                                            RelDataTypePtr row_type) {
+  return RelNodePtr(new EnumerableNestedLoopJoin(
+      EnumerableTraits(), std::move(row_type), std::move(left),
+      std::move(right), std::move(condition), join_type));
+}
+
+RelNodePtr EnumerableNestedLoopJoin::Copy(RelTraitSet traits,
+                                          std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableNestedLoopJoin(
+      std::move(traits), row_type(), std::move(inputs[0]),
+      std::move(inputs[1]), condition_, join_type_));
+}
+
+std::optional<RelOptCost> EnumerableNestedLoopJoin::SelfCost(
+    MetadataQuery* mq) const {
+  double left = mq->RowCount(input(0));
+  double right = mq->RowCount(input(1));
+  return RelOptCost(left * right, left * right, 0) *
+         convention()->cost_factor();
+}
+
+Result<std::vector<Row>> EnumerableNestedLoopJoin::Execute() const {
+  auto left_rows = input(0)->Execute();
+  if (!left_rows.ok()) return left_rows;
+  auto right_rows = input(1)->Execute();
+  if (!right_rows.ok()) return right_rows;
+
+  size_t left_width = input(0)->row_type()->fields().size();
+  size_t right_width = input(1)->row_type()->fields().size();
+  const std::vector<Row>& right_data = right_rows.value();
+  std::vector<bool> right_matched(right_data.size(), false);
+  std::vector<Row> out;
+
+  for (const Row& lrow : left_rows.value()) {
+    bool matched = false;
+    for (size_t ri = 0; ri < right_data.size(); ++ri) {
+      Row combined = ConcatRows(lrow, right_data[ri]);
+      auto pass = RexInterpreter::EvalPredicate(condition_, combined);
+      if (!pass.ok()) return pass.status();
+      if (!pass.value()) continue;
+      matched = true;
+      right_matched[ri] = true;
+      switch (join_type_) {
+        case JoinType::kInner:
+        case JoinType::kLeft:
+        case JoinType::kRight:
+        case JoinType::kFull:
+          out.push_back(std::move(combined));
+          break;
+        case JoinType::kSemi:
+        case JoinType::kAnti:
+          break;
+      }
+      if (join_type_ == JoinType::kSemi) break;
+    }
+    switch (join_type_) {
+      case JoinType::kLeft:
+      case JoinType::kFull:
+        if (!matched) out.push_back(PadNullRight(lrow, right_width));
+        break;
+      case JoinType::kSemi:
+        if (matched) out.push_back(lrow);
+        break;
+      case JoinType::kAnti:
+        if (!matched) out.push_back(lrow);
+        break;
+      default:
+        break;
+    }
+  }
+  if (join_type_ == JoinType::kRight || join_type_ == JoinType::kFull) {
+    for (size_t i = 0; i < right_data.size(); ++i) {
+      if (!right_matched[i]) {
+        out.push_back(PadNullLeft(left_width, right_data[i]));
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------- Aggregate -------------------------------
+
+RelNodePtr EnumerableAggregate::Create(RelNodePtr input,
+                                       std::vector<int> group_keys,
+                                       std::vector<AggregateCall> agg_calls,
+                                       RelDataTypePtr row_type) {
+  return RelNodePtr(new EnumerableAggregate(
+      EnumerableTraits(), std::move(row_type), std::move(input),
+      std::move(group_keys), std::move(agg_calls)));
+}
+
+RelNodePtr EnumerableAggregate::Copy(RelTraitSet traits,
+                                     std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableAggregate(std::move(traits), row_type(),
+                                            std::move(inputs[0]), group_keys_,
+                                            agg_calls_));
+}
+
+Result<std::vector<Row>> EnumerableAggregate::Execute() const {
+  auto rows = input(0)->Execute();
+  if (!rows.ok()) return rows;
+
+  // Group rows, preserving first-seen key order for deterministic output.
+  std::unordered_map<Row, size_t, RowHash> group_index;
+  std::vector<Row> group_keys_rows;
+  std::vector<std::vector<Row>> group_rows;
+  for (Row& row : rows.value()) {
+    Row key;
+    key.reserve(group_keys_.size());
+    for (int k : group_keys_) {
+      key.push_back(row[static_cast<size_t>(k)]);
+    }
+    auto [it, inserted] = group_index.try_emplace(key, group_rows.size());
+    if (inserted) {
+      group_keys_rows.push_back(std::move(key));
+      group_rows.emplace_back();
+    }
+    group_rows[it->second].push_back(std::move(row));
+  }
+  // Global aggregate over empty input still produces one row.
+  if (group_keys_.empty() && group_rows.empty()) {
+    group_keys_rows.emplace_back();
+    group_rows.emplace_back();
+  }
+
+  std::vector<Row> out;
+  out.reserve(group_rows.size());
+  for (size_t g = 0; g < group_rows.size(); ++g) {
+    Row result = group_keys_rows[g];
+    CALCITE_RETURN_IF_ERROR(
+        ComputeAggregates(agg_calls_, group_rows[g], &result));
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+// ---------------------------------- Sort -----------------------------------
+
+RelNodePtr EnumerableSort::Create(RelNodePtr input, RelCollation collation,
+                                  int64_t offset, int64_t fetch) {
+  RelDataTypePtr row_type = input->row_type();
+  RelTraitSet traits(Convention::Enumerable(), collation);
+  return RelNodePtr(new EnumerableSort(std::move(traits), std::move(row_type),
+                                       std::move(input), std::move(collation),
+                                       offset, fetch));
+}
+
+RelNodePtr EnumerableSort::Copy(RelTraitSet traits,
+                                std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableSort(std::move(traits), row_type(),
+                                       std::move(inputs[0]), collation_,
+                                       offset_, fetch_));
+}
+
+Result<std::vector<Row>> EnumerableSort::Execute() const {
+  auto rows = input(0)->Execute();
+  if (!rows.ok()) return rows;
+  std::vector<Row> data = std::move(rows).value();
+  if (!collation_.empty()) {
+    std::stable_sort(data.begin(), data.end(),
+                     [this](const Row& a, const Row& b) {
+                       return CompareRows(a, b, collation_) < 0;
+                     });
+  }
+  size_t begin = std::min(data.size(), static_cast<size_t>(
+                                           std::max<int64_t>(0, offset_)));
+  size_t end = data.size();
+  if (fetch_ >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(fetch_));
+  }
+  return std::vector<Row>(data.begin() + static_cast<ptrdiff_t>(begin),
+                          data.begin() + static_cast<ptrdiff_t>(end));
+}
+
+// --------------------------------- SetOp ----------------------------------
+
+std::string EnumerableSetOp::op_name() const {
+  switch (set_kind()) {
+    case Kind::kUnion:
+      return "EnumerableUnion";
+    case Kind::kIntersect:
+      return "EnumerableIntersect";
+    case Kind::kMinus:
+      return "EnumerableMinus";
+  }
+  return "EnumerableSetOp";
+}
+
+RelNodePtr EnumerableSetOp::Create(std::vector<RelNodePtr> inputs, Kind kind,
+                                   bool all, RelDataTypePtr row_type) {
+  return RelNodePtr(new EnumerableSetOp(EnumerableTraits(),
+                                        std::move(row_type), std::move(inputs),
+                                        kind, all));
+}
+
+RelNodePtr EnumerableSetOp::Copy(RelTraitSet traits,
+                                 std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableSetOp(std::move(traits), row_type(),
+                                        std::move(inputs), set_kind_, all_));
+}
+
+Result<std::vector<Row>> EnumerableSetOp::Execute() const {
+  std::vector<std::vector<Row>> input_rows;
+  input_rows.reserve(inputs().size());
+  for (const RelNodePtr& in : inputs()) {
+    auto rows = in->Execute();
+    if (!rows.ok()) return rows;
+    input_rows.push_back(std::move(rows).value());
+  }
+  std::vector<Row> out;
+  switch (set_kind_) {
+    case Kind::kUnion: {
+      for (std::vector<Row>& rows : input_rows) {
+        out.insert(out.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+      }
+      if (!all_) {
+        std::map<Row, bool, RowLess> seen;
+        std::vector<Row> dedup;
+        for (Row& row : out) {
+          if (seen.emplace(row, true).second) dedup.push_back(std::move(row));
+        }
+        out = std::move(dedup);
+      }
+      return out;
+    }
+    case Kind::kIntersect: {
+      // Bag intersect: multiplicity = min across inputs (1 for DISTINCT).
+      std::map<Row, size_t, RowLess> counts;
+      for (const Row& row : input_rows[0]) ++counts[row];
+      for (size_t i = 1; i < input_rows.size(); ++i) {
+        std::map<Row, size_t, RowLess> other;
+        for (const Row& row : input_rows[i]) ++other[row];
+        for (auto& [row, count] : counts) {
+          auto it = other.find(row);
+          count = std::min(count, it == other.end() ? 0 : it->second);
+        }
+      }
+      for (const Row& row : input_rows[0]) {
+        auto it = counts.find(row);
+        if (it != counts.end() && it->second > 0) {
+          out.push_back(row);
+          if (all_) {
+            --it->second;
+          } else {
+            it->second = 0;
+          }
+        }
+      }
+      return out;
+    }
+    case Kind::kMinus: {
+      std::map<Row, size_t, RowLess> subtract;
+      for (size_t i = 1; i < input_rows.size(); ++i) {
+        for (const Row& row : input_rows[i]) ++subtract[row];
+      }
+      std::map<Row, bool, RowLess> emitted;
+      for (const Row& row : input_rows[0]) {
+        auto it = subtract.find(row);
+        if (it != subtract.end() && it->second > 0) {
+          if (all_) --it->second;
+          continue;
+        }
+        if (!all_ && !emitted.emplace(row, true).second) continue;
+        out.push_back(row);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+// --------------------------------- Values ---------------------------------
+
+RelNodePtr EnumerableValues::Create(RelDataTypePtr row_type,
+                                    std::vector<Row> tuples) {
+  return RelNodePtr(new EnumerableValues(EnumerableTraits(),
+                                         std::move(row_type),
+                                         std::move(tuples)));
+}
+
+RelNodePtr EnumerableValues::Copy(RelTraitSet traits,
+                                  std::vector<RelNodePtr> inputs) const {
+  (void)inputs;
+  return RelNodePtr(
+      new EnumerableValues(std::move(traits), row_type(), tuples_));
+}
+
+Result<std::vector<Row>> EnumerableValues::Execute() const { return tuples_; }
+
+// --------------------------------- Window ---------------------------------
+
+RelNodePtr EnumerableWindow::Create(RelNodePtr input,
+                                    std::vector<WindowGroup> groups,
+                                    RelDataTypePtr row_type) {
+  return RelNodePtr(new EnumerableWindow(EnumerableTraits(),
+                                         std::move(row_type), std::move(input),
+                                         std::move(groups)));
+}
+
+RelNodePtr EnumerableWindow::Copy(RelTraitSet traits,
+                                  std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableWindow(std::move(traits), row_type(),
+                                         std::move(inputs[0]), groups_));
+}
+
+Result<std::vector<Row>> EnumerableWindow::Execute() const {
+  auto rows_result = input(0)->Execute();
+  if (!rows_result.ok()) return rows_result;
+  std::vector<Row> data = std::move(rows_result).value();
+
+  // Output rows start as copies of the input; window columns are appended.
+  std::vector<Row> out = data;
+
+  for (const WindowGroup& group : groups_) {
+    // Partition the row indexes.
+    std::map<Row, std::vector<size_t>, RowLess> partitions;
+    for (size_t i = 0; i < data.size(); ++i) {
+      Row key;
+      key.reserve(group.partition_keys.size());
+      for (int k : group.partition_keys) {
+        key.push_back(data[i][static_cast<size_t>(k)]);
+      }
+      partitions[std::move(key)].push_back(i);
+    }
+    for (auto& [key, indexes] : partitions) {
+      // Order rows within the partition.
+      std::stable_sort(indexes.begin(), indexes.end(),
+                       [&](size_t a, size_t b) {
+                         return CompareRows(data[a], data[b], group.order) < 0;
+                       });
+      for (size_t pos = 0; pos < indexes.size(); ++pos) {
+        // Determine the frame [lo, hi] for the row at `pos`.
+        size_t lo = 0;
+        size_t hi = pos;
+        if (group.is_rows) {
+          if (group.preceding >= 0) {
+            lo = pos >= static_cast<size_t>(group.preceding)
+                     ? pos - static_cast<size_t>(group.preceding)
+                     : 0;
+          }
+          hi = std::min(indexes.size() - 1,
+                        pos + static_cast<size_t>(
+                                  std::max<int64_t>(0, group.following)));
+        } else if (group.order.fields().empty()) {
+          // No ordering: every partition row is a peer of every other, so
+          // the default RANGE frame spans the whole partition.
+          lo = 0;
+          hi = indexes.size() - 1;
+        } else {
+          // RANGE frame on the first ordering key (numeric).
+          int order_field = group.order.fields()[0].field;
+          const Value& current =
+              data[indexes[pos]][static_cast<size_t>(order_field)];
+          if (group.preceding >= 0 && current.is_numeric()) {
+            double low_bound =
+                current.AsDouble() - static_cast<double>(group.preceding);
+            while (lo < pos) {
+              const Value& v =
+                  data[indexes[lo]][static_cast<size_t>(order_field)];
+              if (!v.IsNull() && v.AsDouble() >= low_bound) break;
+              ++lo;
+            }
+          }
+          // CURRENT ROW in RANGE mode includes peers of the current value.
+          while (hi + 1 < indexes.size()) {
+            const Value& v =
+                data[indexes[hi + 1]][static_cast<size_t>(order_field)];
+            if (v.Compare(current) != 0) break;
+            ++hi;
+          }
+        }
+        std::vector<Row> frame;
+        frame.reserve(hi - lo + 1);
+        for (size_t f = lo; f <= hi; ++f) frame.push_back(data[indexes[f]]);
+        Row agg_values;
+        CALCITE_RETURN_IF_ERROR(
+            ComputeAggregates(group.agg_calls, frame, &agg_values));
+        Row& target = out[indexes[pos]];
+        for (Value& v : agg_values) target.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------- Interpreter -------------------------------
+
+RelNodePtr EnumerableInterpreter::Create(RelNodePtr input) {
+  RelDataTypePtr row_type = input->row_type();
+  // The interpreter streams rows through unchanged, so the input's ordering
+  // survives the convention crossing — e.g. a CassandraSort's clustering
+  // order still counts toward an ORDER BY required at the root.
+  RelTraitSet traits(Convention::Enumerable(), input->traits().collation());
+  return RelNodePtr(new EnumerableInterpreter(
+      std::move(traits), std::move(row_type), std::move(input)));
+}
+
+RelNodePtr EnumerableInterpreter::Copy(RelTraitSet traits,
+                                       std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new EnumerableInterpreter(std::move(traits), row_type(),
+                                              std::move(inputs[0])));
+}
+
+Result<std::vector<Row>> EnumerableInterpreter::Execute() const {
+  return input(0)->Execute();
+}
+
+}  // namespace calcite

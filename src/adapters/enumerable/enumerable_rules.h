@@ -1,0 +1,22 @@
+#ifndef CALCITE_ADAPTERS_ENUMERABLE_ENUMERABLE_RULES_H_
+#define CALCITE_ADAPTERS_ENUMERABLE_ENUMERABLE_RULES_H_
+
+#include <vector>
+
+#include "plan/rule.h"
+
+namespace calcite {
+
+/// The converter rules that implement every logical operator in the
+/// enumerable calling convention. Registering these with the cost-based
+/// planner is what makes a logical plan executable client-side (§5).
+std::vector<RelOptRulePtr> EnumerableConverterRules();
+
+/// A rule that bridges expressions of `foreign` convention into the
+/// enumerable convention through an EnumerableInterpreter node. One instance
+/// is registered per adapter convention in use.
+RelOptRulePtr MakeEnumerableInterpreterRule(const Convention* foreign);
+
+}  // namespace calcite
+
+#endif  // CALCITE_ADAPTERS_ENUMERABLE_ENUMERABLE_RULES_H_

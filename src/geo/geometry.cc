@@ -1,0 +1,366 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace calcite::geo {
+
+std::shared_ptr<const Geometry> Geometry::MakePoint(double x, double y) {
+  return std::shared_ptr<const Geometry>(
+      new Geometry(Kind::kPoint, {Point{x, y}}));
+}
+
+std::shared_ptr<const Geometry> Geometry::MakeLineString(
+    std::vector<Point> points) {
+  return std::shared_ptr<const Geometry>(
+      new Geometry(Kind::kLineString, std::move(points)));
+}
+
+std::shared_ptr<const Geometry> Geometry::MakePolygon(
+    std::vector<Point> ring) {
+  if (!ring.empty() && !(ring.front() == ring.back())) {
+    ring.push_back(ring.front());
+  }
+  return std::shared_ptr<const Geometry>(
+      new Geometry(Kind::kPolygon, std::move(ring)));
+}
+
+namespace {
+
+void AppendCoords(const std::vector<Point>& points, std::string* out) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out->append(", ");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g %g", points[i].x, points[i].y);
+    out->append(buf);
+  }
+}
+
+}  // namespace
+
+std::string Geometry::ToWkt() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kPoint:
+      out = "POINT (";
+      AppendCoords(points_, &out);
+      out += ")";
+      break;
+    case Kind::kLineString:
+      out = "LINESTRING (";
+      AppendCoords(points_, &out);
+      out += ")";
+      break;
+    case Kind::kPolygon:
+      out = "POLYGON ((";
+      AppendCoords(points_, &out);
+      out += "))";
+      break;
+  }
+  return out;
+}
+
+double Geometry::Area() const {
+  if (kind_ != Kind::kPolygon || points_.size() < 4) return 0;
+  double sum = 0;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    sum += points_[i].x * points_[i + 1].y - points_[i + 1].x * points_[i].y;
+  }
+  return std::abs(sum) / 2;
+}
+
+bool Geometry::Equals(const Geometry& other) const {
+  return kind_ == other.kind_ && points_ == other.points_;
+}
+
+namespace {
+
+class WktParser {
+ public:
+  explicit WktParser(std::string_view text) : text_(text) {}
+
+  Result<GeometryPtr> Parse() {
+    SkipSpace();
+    std::string keyword = ParseKeyword();
+    if (keyword == "POINT") {
+      SkipSpace();
+      if (!Consume('(')) return Error("expected '('");
+      auto pts = ParseCoordList();
+      if (!pts.ok()) return pts.status();
+      if (!Consume(')')) return Error("expected ')'");
+      if (pts.value().size() != 1) return Error("POINT requires 1 coordinate");
+      return Geometry::MakePoint(pts.value()[0].x, pts.value()[0].y);
+    }
+    if (keyword == "LINESTRING") {
+      SkipSpace();
+      if (!Consume('(')) return Error("expected '('");
+      auto pts = ParseCoordList();
+      if (!pts.ok()) return pts.status();
+      if (!Consume(')')) return Error("expected ')'");
+      if (pts.value().size() < 2) {
+        return Error("LINESTRING requires >= 2 coordinates");
+      }
+      return Geometry::MakeLineString(std::move(pts).value());
+    }
+    if (keyword == "POLYGON") {
+      SkipSpace();
+      if (!Consume('(')) return Error("expected '('");
+      SkipSpace();
+      if (!Consume('(')) return Error("expected '(('");
+      auto pts = ParseCoordList();
+      if (!pts.ok()) return pts.status();
+      if (!Consume(')')) return Error("expected ')'");
+      SkipSpace();
+      if (!Consume(')')) return Error("expected '))'");
+      if (pts.value().size() < 3) {
+        return Error("POLYGON requires >= 3 coordinates");
+      }
+      return Geometry::MakePolygon(std::move(pts).value());
+    }
+    return Error("unknown geometry type '" + keyword + "'");
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::ParseError("WKT: " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseKeyword() {
+    std::string result;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      result.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(text_[pos_]))));
+      ++pos_;
+    }
+    return result;
+  }
+
+  Result<std::vector<Point>> ParseCoordList() {
+    std::vector<Point> points;
+    while (true) {
+      auto x = ParseNumber();
+      if (!x.ok()) return x.status();
+      auto y = ParseNumber();
+      if (!y.ok()) return y.status();
+      points.push_back(Point{x.value(), y.value()});
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return points;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Cross product of (b-a) x (c-a); sign gives orientation.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Point& p, const Point& a, const Point& b) {
+  if (std::abs(Cross(a, b, p)) > 1e-12) return false;
+  return p.x >= std::min(a.x, b.x) - 1e-12 &&
+         p.x <= std::max(a.x, b.x) + 1e-12 &&
+         p.y >= std::min(a.y, b.y) - 1e-12 && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+/// Ray-casting point-in-polygon test. Boundary points count as inside.
+bool PointInPolygon(const Point& p, const std::vector<Point>& ring) {
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    if (OnSegment(p, ring[i], ring[i + 1])) return true;
+  }
+  bool inside = false;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[i + 1];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double t = (p.y - a.y) / (b.y - a.y);
+      double x = a.x + t * (b.x - a.x);
+      if (x > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  double d1 = Cross(c, d, a);
+  double d2 = Cross(c, d, b);
+  double d3 = Cross(a, b, c);
+  double d4 = Cross(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  return OnSegment(a, c, d) || OnSegment(b, c, d) || OnSegment(c, a, b) ||
+         OnSegment(d, a, b);
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double len2 = dx * dx + dy * dy;
+  double t = 0;
+  if (len2 > 0) {
+    t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  double px = a.x + t * dx - p.x;
+  double py = a.y + t * dy - p.y;
+  return std::sqrt(px * px + py * py);
+}
+
+}  // namespace
+
+Result<GeometryPtr> GeomFromText(std::string_view wkt) {
+  return WktParser(wkt).Parse();
+}
+
+bool Contains(const Geometry& outer, const Geometry& inner) {
+  if (outer.kind() != Geometry::Kind::kPolygon) {
+    return outer.Equals(inner);
+  }
+  // Every vertex of `inner` must be inside, and no edge of `inner` may cross
+  // the outer boundary (sufficient for convex-ish rings; matches the simple
+  // feature semantics needed for the paper's examples).
+  for (const Point& p : inner.points()) {
+    if (!PointInPolygon(p, outer.points())) return false;
+  }
+  if (inner.kind() != Geometry::Kind::kPoint) {
+    const auto& ring = outer.points();
+    const auto& pts = inner.points();
+    for (size_t i = 0; i + 1 < pts.size(); ++i) {
+      for (size_t j = 0; j + 1 < ring.size(); ++j) {
+        double d1 = Cross(ring[j], ring[j + 1], pts[i]);
+        double d2 = Cross(ring[j], ring[j + 1], pts[i + 1]);
+        if ((d1 > 1e-12 && d2 < -1e-12) || (d1 < -1e-12 && d2 > 1e-12)) {
+          double d3 = Cross(pts[i], pts[i + 1], ring[j]);
+          double d4 = Cross(pts[i], pts[i + 1], ring[j + 1]);
+          if ((d3 > 1e-12 && d4 < -1e-12) || (d3 < -1e-12 && d4 > 1e-12)) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool Within(const Geometry& inner, const Geometry& outer) {
+  return Contains(outer, inner);
+}
+
+double Distance(const Geometry& a, const Geometry& b) {
+  // Intersecting geometries are at distance 0.
+  if (Intersects(a, b)) return 0;
+  double best = std::numeric_limits<double>::infinity();
+  auto edge_count = [](const Geometry& g) {
+    return g.points().size() < 2 ? size_t{0} : g.points().size() - 1;
+  };
+  // Vertex-to-edge distances in both directions.
+  for (const Point& p : a.points()) {
+    if (edge_count(b) == 0) {
+      for (const Point& q : b.points()) {
+        best = std::min(best, std::hypot(p.x - q.x, p.y - q.y));
+      }
+    }
+    for (size_t j = 0; j + 1 < b.points().size(); ++j) {
+      best = std::min(best,
+                      PointSegmentDistance(p, b.points()[j], b.points()[j + 1]));
+    }
+  }
+  for (const Point& p : b.points()) {
+    if (edge_count(a) == 0) {
+      for (const Point& q : a.points()) {
+        best = std::min(best, std::hypot(p.x - q.x, p.y - q.y));
+      }
+    }
+    for (size_t j = 0; j + 1 < a.points().size(); ++j) {
+      best = std::min(best,
+                      PointSegmentDistance(p, a.points()[j], a.points()[j + 1]));
+    }
+  }
+  return best;
+}
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  // Polygon containment covers the "fully inside" case.
+  if (a.kind() == Geometry::Kind::kPolygon) {
+    for (const Point& p : b.points()) {
+      if (PointInPolygon(p, a.points())) return true;
+    }
+  }
+  if (b.kind() == Geometry::Kind::kPolygon) {
+    for (const Point& p : a.points()) {
+      if (PointInPolygon(p, b.points())) return true;
+    }
+  }
+  if (a.kind() == Geometry::Kind::kPoint && b.kind() == Geometry::Kind::kPoint) {
+    return a.points()[0] == b.points()[0];
+  }
+  // Edge-to-edge intersection.
+  for (size_t i = 0; i + 1 < a.points().size(); ++i) {
+    for (size_t j = 0; j + 1 < b.points().size(); ++j) {
+      if (SegmentsIntersect(a.points()[i], a.points()[i + 1], b.points()[j],
+                            b.points()[j + 1])) {
+        return true;
+      }
+    }
+  }
+  // Point-on-segment cases.
+  if (a.kind() == Geometry::Kind::kPoint && b.points().size() >= 2) {
+    for (size_t j = 0; j + 1 < b.points().size(); ++j) {
+      if (OnSegment(a.points()[0], b.points()[j], b.points()[j + 1])) {
+        return true;
+      }
+    }
+  }
+  if (b.kind() == Geometry::Kind::kPoint && a.points().size() >= 2) {
+    for (size_t j = 0; j + 1 < a.points().size(); ++j) {
+      if (OnSegment(b.points()[0], a.points()[j], a.points()[j + 1])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace calcite::geo

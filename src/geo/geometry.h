@@ -1,0 +1,88 @@
+#ifndef CALCITE_GEO_GEOMETRY_H_
+#define CALCITE_GEO_GEOMETRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace calcite::geo {
+
+/// A 2-D coordinate.
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// A simple-feature geometry per the OpenGIS Simple Feature Access subset
+/// that the paper's §7.3 exercises: POINT, LINESTRING, and POLYGON (single
+/// outer ring). Geometries are immutable once constructed.
+class Geometry {
+ public:
+  enum class Kind { kPoint, kLineString, kPolygon };
+
+  /// Creates a POINT geometry.
+  static std::shared_ptr<const Geometry> MakePoint(double x, double y);
+
+  /// Creates a LINESTRING geometry from at least two points.
+  static std::shared_ptr<const Geometry> MakeLineString(
+      std::vector<Point> points);
+
+  /// Creates a POLYGON from an outer ring. The ring should be closed
+  /// (first == last point); if not, it is closed automatically.
+  static std::shared_ptr<const Geometry> MakePolygon(std::vector<Point> ring);
+
+  Kind kind() const { return kind_; }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Well-Known Text representation, e.g. "POINT (4.9 52.37)".
+  std::string ToWkt() const;
+
+  /// Area of a polygon (shoelace formula); 0 for points and linestrings.
+  double Area() const;
+
+  /// X coordinate of a point geometry.
+  double X() const { return points_.empty() ? 0 : points_[0].x; }
+  /// Y coordinate of a point geometry.
+  double Y() const { return points_.empty() ? 0 : points_[0].y; }
+
+  bool Equals(const Geometry& other) const;
+
+ private:
+  Geometry(Kind kind, std::vector<Point> points)
+      : kind_(kind), points_(std::move(points)) {}
+
+  Kind kind_;
+  std::vector<Point> points_;
+};
+
+using GeometryPtr = std::shared_ptr<const Geometry>;
+
+/// Parses a WKT string ("POINT (1 2)", "LINESTRING (...)",
+/// "POLYGON ((...))"). Implements ST_GeomFromText.
+Result<GeometryPtr> GeomFromText(std::string_view wkt);
+
+/// True if `outer` spatially contains `inner` (ST_Contains). Points and
+/// polygon vertices on the boundary count as contained.
+bool Contains(const Geometry& outer, const Geometry& inner);
+
+/// True if `inner` is within `outer` (ST_Within); the converse of Contains.
+bool Within(const Geometry& inner, const Geometry& outer);
+
+/// Euclidean distance between two geometries (ST_Distance). Exact for
+/// point/point, point/linestring and point/polygon-boundary; for other
+/// combinations returns the minimum vertex-to-edge distance.
+double Distance(const Geometry& a, const Geometry& b);
+
+/// True if the two geometries intersect (ST_Intersects).
+bool Intersects(const Geometry& a, const Geometry& b);
+
+}  // namespace calcite::geo
+
+#endif  // CALCITE_GEO_GEOMETRY_H_

@@ -1,0 +1,270 @@
+#ifndef CALCITE_LINQ_ENUMERABLE_H_
+#define CALCITE_LINQ_ENUMERABLE_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace calcite::linq {
+
+/// Language-Integrated Query for C++ — the analogue of Calcite's LINQ4J
+/// (§7.4): a lazily-evaluated, composable query pipeline over arbitrary
+/// element types, letting the programmer "write all of her code using a
+/// single language". Pipelines are built from combinators (Where, Select,
+/// OrderBy, GroupBy, Join, ...) and pulled through a generator-of-pull-
+/// functions model: nothing executes until a terminal operation
+/// (ToVector/Count/Any/First) runs.
+///
+/// The enumerable calling convention's operators (§5) follow the same
+/// iterator discipline; this template is the user-facing embodiment.
+template <typename T>
+class Enumerable {
+ public:
+  /// A pull function: returns the next element, or nullopt at end.
+  using Puller = std::function<std::optional<T>()>;
+  /// A factory creating a fresh pull function per enumeration.
+  using Generator = std::function<Puller()>;
+
+  explicit Enumerable(Generator gen) : gen_(std::move(gen)) {}
+
+  /// An enumerable over a materialized vector (shared, not copied per
+  /// enumeration).
+  static Enumerable FromVector(std::vector<T> values) {
+    auto data = std::make_shared<std::vector<T>>(std::move(values));
+    return Enumerable([data]() {
+      size_t i = 0;
+      return [data, i]() mutable -> std::optional<T> {
+        if (i >= data->size()) return std::nullopt;
+        return (*data)[i++];
+      };
+    });
+  }
+
+  /// The empty enumerable.
+  static Enumerable Empty() { return FromVector({}); }
+
+  /// Integer range [start, start+count) mapped through `f`.
+  static Enumerable Range(int64_t start, int64_t count,
+                          std::function<T(int64_t)> f) {
+    return Enumerable([start, count, f]() {
+      int64_t i = 0;
+      return [start, count, f, i]() mutable -> std::optional<T> {
+        if (i >= count) return std::nullopt;
+        return f(start + i++);
+      };
+    });
+  }
+
+  /// Filters elements by a predicate (SQL WHERE).
+  Enumerable Where(std::function<bool(const T&)> predicate) const {
+    Generator gen = gen_;
+    return Enumerable([gen, predicate]() {
+      Puller pull = gen();
+      return [pull, predicate]() mutable -> std::optional<T> {
+        while (auto v = pull()) {
+          if (predicate(*v)) return v;
+        }
+        return std::nullopt;
+      };
+    });
+  }
+
+  /// Maps elements through a projection (SQL SELECT).
+  template <typename U>
+  Enumerable<U> Select(std::function<U(const T&)> projection) const {
+    Generator gen = gen_;
+    return Enumerable<U>([gen, projection]() {
+      Puller pull = gen();
+      return [pull, projection]() mutable -> std::optional<U> {
+        if (auto v = pull()) return projection(*v);
+        return std::nullopt;
+      };
+    });
+  }
+
+  /// Stable sort by a three-way comparator (SQL ORDER BY).
+  Enumerable OrderBy(std::function<int(const T&, const T&)> cmp) const {
+    Generator gen = gen_;
+    return Enumerable([gen, cmp]() {
+      auto sorted = std::make_shared<std::vector<T>>();
+      Puller pull = gen();
+      while (auto v = pull()) sorted->push_back(*v);
+      std::stable_sort(sorted->begin(), sorted->end(),
+                       [cmp](const T& a, const T& b) { return cmp(a, b) < 0; });
+      size_t i = 0;
+      return [sorted, i]() mutable -> std::optional<T> {
+        if (i >= sorted->size()) return std::nullopt;
+        return (*sorted)[i++];
+      };
+    });
+  }
+
+  /// Skips the first `n` elements (SQL OFFSET).
+  Enumerable Skip(size_t n) const {
+    Generator gen = gen_;
+    return Enumerable([gen, n]() {
+      Puller pull = gen();
+      size_t skipped = 0;
+      return [pull, n, skipped]() mutable -> std::optional<T> {
+        while (skipped < n) {
+          if (!pull()) return std::nullopt;
+          ++skipped;
+        }
+        return pull();
+      };
+    });
+  }
+
+  /// Takes at most `n` elements (SQL FETCH/LIMIT).
+  Enumerable Take(size_t n) const {
+    Generator gen = gen_;
+    return Enumerable([gen, n]() {
+      Puller pull = gen();
+      size_t taken = 0;
+      return [pull, n, taken]() mutable -> std::optional<T> {
+        if (taken >= n) return std::nullopt;
+        ++taken;
+        return pull();
+      };
+    });
+  }
+
+  /// Concatenates two enumerables (SQL UNION ALL).
+  Enumerable Concat(const Enumerable& other) const {
+    Generator gen = gen_;
+    Generator other_gen = other.gen_;
+    return Enumerable([gen, other_gen]() {
+      Puller pull = gen();
+      Puller other_pull = other_gen();
+      bool first_done = false;
+      return [pull, other_pull, first_done]() mutable -> std::optional<T> {
+        if (!first_done) {
+          if (auto v = pull()) return v;
+          first_done = true;
+        }
+        return other_pull();
+      };
+    });
+  }
+
+  /// Removes duplicates under an ordering comparator (SQL DISTINCT).
+  Enumerable Distinct(std::function<int(const T&, const T&)> cmp) const {
+    Generator gen = gen_;
+    return Enumerable([gen, cmp]() {
+      auto seen = std::make_shared<std::vector<T>>();
+      Puller pull = gen();
+      while (auto v = pull()) seen->push_back(*v);
+      std::stable_sort(seen->begin(), seen->end(),
+                       [cmp](const T& a, const T& b) { return cmp(a, b) < 0; });
+      seen->erase(std::unique(seen->begin(), seen->end(),
+                              [cmp](const T& a, const T& b) {
+                                return cmp(a, b) == 0;
+                              }),
+                  seen->end());
+      size_t i = 0;
+      return [seen, i]() mutable -> std::optional<T> {
+        if (i >= seen->size()) return std::nullopt;
+        return (*seen)[i++];
+      };
+    });
+  }
+
+  /// Groups by key, reducing each group to a result (SQL GROUP BY). The key
+  /// type must be std::map-ordered.
+  template <typename K, typename R>
+  Enumerable<R> GroupBy(std::function<K(const T&)> key_fn,
+                        std::function<R(const K&, const std::vector<T>&)>
+                            result_fn) const {
+    Generator gen = gen_;
+    return Enumerable<R>([gen, key_fn, result_fn]() {
+      std::map<K, std::vector<T>> groups;
+      Puller pull = gen();
+      while (auto v = pull()) groups[key_fn(*v)].push_back(*v);
+      auto results = std::make_shared<std::vector<R>>();
+      for (const auto& [key, values] : groups) {
+        results->push_back(result_fn(key, values));
+      }
+      size_t i = 0;
+      return [results, i]() mutable -> std::optional<R> {
+        if (i >= results->size()) return std::nullopt;
+        return (*results)[i++];
+      };
+    });
+  }
+
+  /// Equi-join against another enumerable (hash-join semantics, like the
+  /// paper's EnumerableJoin: "implements joins by collecting rows from its
+  /// child nodes and joining on the desired attributes").
+  template <typename U, typename K, typename R>
+  Enumerable<R> Join(const Enumerable<U>& inner,
+                     std::function<K(const T&)> outer_key,
+                     std::function<K(const U&)> inner_key,
+                     std::function<R(const T&, const U&)> result_fn) const {
+    Generator gen = gen_;
+    typename Enumerable<U>::Generator inner_gen = inner.generator();
+    return Enumerable<R>([gen, inner_gen, outer_key, inner_key, result_fn]() {
+      std::map<K, std::vector<U>> table;
+      auto inner_pull = inner_gen();
+      while (auto v = inner_pull()) table[inner_key(*v)].push_back(*v);
+      auto results = std::make_shared<std::vector<R>>();
+      Puller pull = gen();
+      while (auto v = pull()) {
+        auto it = table.find(outer_key(*v));
+        if (it == table.end()) continue;
+        for (const U& u : it->second) results->push_back(result_fn(*v, u));
+      }
+      size_t i = 0;
+      return [results, i]() mutable -> std::optional<R> {
+        if (i >= results->size()) return std::nullopt;
+        return (*results)[i++];
+      };
+    });
+  }
+
+  // ------------------------------ terminals -------------------------------
+
+  std::vector<T> ToVector() const {
+    std::vector<T> result;
+    Puller pull = gen_();
+    while (auto v = pull()) result.push_back(*v);
+    return result;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    Puller pull = gen_();
+    while (pull()) ++n;
+    return n;
+  }
+
+  bool Any() const {
+    Puller pull = gen_();
+    return pull().has_value();
+  }
+
+  std::optional<T> First() const {
+    Puller pull = gen_();
+    return pull();
+  }
+
+  /// Left fold (SQL aggregate backbone).
+  template <typename A>
+  A Aggregate(A init, std::function<A(A, const T&)> fold) const {
+    Puller pull = gen_();
+    A acc = std::move(init);
+    while (auto v = pull()) acc = fold(std::move(acc), *v);
+    return acc;
+  }
+
+  const Generator& generator() const { return gen_; }
+
+ private:
+  Generator gen_;
+};
+
+}  // namespace calcite::linq
+
+#endif  // CALCITE_LINQ_ENUMERABLE_H_

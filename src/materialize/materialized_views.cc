@@ -1,0 +1,297 @@
+#include "materialize/materialized_views.h"
+
+#include <set>
+
+#include "plan/hep_planner.h"
+#include "rex/rex_util.h"
+#include "rules/core_rules.h"
+#include "tools/frameworks.h"
+#include "util/string_utils.h"
+
+namespace calcite {
+
+namespace {
+
+/// Normalizes a logical plan so structurally-different but equivalent trees
+/// compare equal more often (the "transformation rules that try to unify
+/// expressions in the plan" of §6's substitution algorithm).
+Result<RelNodePtr> Normalize(const RelNodePtr& plan, PlannerContext* context) {
+  HepPlanner planner(StandardLogicalRules(), context);
+  return planner.Optimize(plan);
+}
+
+/// Scan node over a materialization's backing table (logical convention;
+/// the physical phase turns it into an EnumerableTableScan).
+RelNodePtr ScanOf(const Materialization& m, const TypeFactory& tf) {
+  return LogicalTableScan::Create(m.table, {m.name}, Convention::Enumerable(),
+                                  tf);
+}
+
+class MaterializedViewSubstitutionRule final : public RelOptRule {
+ public:
+  explicit MaterializedViewSubstitutionRule(
+      const std::vector<Materialization>* materializations)
+      : materializations_(materializations) {}
+
+  std::string name() const override {
+    return "MaterializedViewSubstitutionRule";
+  }
+
+  bool MatchesRoot(const RelNode& node) const override {
+    return node.convention() == Convention::Logical();
+  }
+
+  bool NeedsConcreteChildren() const override { return true; }
+
+  void OnMatch(RelOptRuleCall* call) const override {
+    const RelNodePtr& node = call->rel();
+    std::string digest = node->Digest();
+    for (const Materialization& m : *materializations_) {
+      // (a) Exact substitution.
+      if (m.plan->Digest() == digest) {
+        call->TransformTo(ScanOf(m, call->type_factory()));
+        return;
+      }
+      // (b) Residual filter: node = Filter(X, q), view = Filter(X, p),
+      // conjuncts(p) ⊆ conjuncts(q) → Filter(scan, q \ p).
+      if (const auto* query_filter = dynamic_cast<const Filter*>(node.get())) {
+        if (const auto* view_filter =
+                dynamic_cast<const Filter*>(m.plan.get())) {
+          if (view_filter->input(0)->Digest() ==
+              query_filter->input(0)->Digest()) {
+            std::set<std::string> view_conjuncts;
+            for (const RexNodePtr& c :
+                 RexUtil::FlattenAnd(view_filter->condition())) {
+              view_conjuncts.insert(c->ToString());
+            }
+            std::vector<RexNodePtr> residual;
+            bool all_covered = true;
+            std::set<std::string> query_conjuncts;
+            for (const RexNodePtr& c :
+                 RexUtil::FlattenAnd(query_filter->condition())) {
+              query_conjuncts.insert(c->ToString());
+              if (view_conjuncts.count(c->ToString()) == 0) {
+                residual.push_back(c);
+              }
+            }
+            // Every view conjunct must be implied by the query (otherwise
+            // the view dropped rows the query needs).
+            for (const std::string& vc : view_conjuncts) {
+              if (query_conjuncts.count(vc) == 0) all_covered = false;
+            }
+            if (all_covered) {
+              RelNodePtr scan = ScanOf(m, call->type_factory());
+              if (residual.empty()) {
+                call->TransformTo(std::move(scan));
+              } else {
+                call->TransformTo(LogicalFilter::Create(
+                    std::move(scan),
+                    call->rex_builder().MakeAnd(std::move(residual))));
+              }
+              return;
+            }
+          }
+        }
+      }
+      // (c) Aggregate rollup.
+      if (const auto* query_agg =
+              dynamic_cast<const Aggregate*>(node.get())) {
+        if (const auto* view_agg =
+                dynamic_cast<const Aggregate*>(m.plan.get())) {
+          RelNodePtr rollup =
+              TryRollup(*query_agg, *view_agg, m, call);
+          if (rollup != nullptr) {
+            call->TransformTo(std::move(rollup));
+            return;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  /// A grouped query reduced to base-relative form: the digest of the base
+  /// relation (below any pre-projection), the group-key expressions and the
+  /// aggregate arguments as canonical strings over that base.
+  struct AggShape {
+    std::string base_digest;
+    std::vector<std::string> keys;
+    struct Call {
+      AggKind kind;
+      bool distinct;
+      std::string arg;  // "" for COUNT(*)
+    };
+    std::vector<Call> calls;
+  };
+
+  static bool ExtractShape(const Aggregate& agg, AggShape* shape) {
+    const RelNodePtr& input = agg.input(0);
+    const Project* project = dynamic_cast<const Project*>(input.get());
+    const RelNodePtr& base = project != nullptr ? input->input(0) : input;
+    shape->base_digest = base->Digest();
+    auto expr_of = [&](int index) -> std::string {
+      if (project != nullptr) {
+        return project->exprs()[static_cast<size_t>(index)]->ToString();
+      }
+      return "$" + std::to_string(index);
+    };
+    for (int key : agg.group_keys()) shape->keys.push_back(expr_of(key));
+    for (const AggregateCall& call : agg.agg_calls()) {
+      AggShape::Call c;
+      c.kind = call.kind;
+      c.distinct = call.distinct;
+      c.arg = call.args.empty() ? "" : expr_of(call.args[0]);
+      shape->calls.push_back(std::move(c));
+    }
+    return true;
+  }
+
+  /// Rewrites Aggregate(X, K, A) as Aggregate(scan(view), K'', A'') when the
+  /// view is Aggregate(X, K' ⊇ K, A') and each call in A rolls up from A'.
+  /// Pre-projections on either side are looked through by comparing the
+  /// projected expressions over the shared base.
+  RelNodePtr TryRollup(const Aggregate& query, const Aggregate& view,
+                       const Materialization& m, RelOptRuleCall* call) const {
+    AggShape q, v;
+    ExtractShape(query, &q);
+    ExtractShape(view, &v);
+    if (q.base_digest != v.base_digest) return nullptr;
+
+    // Query keys must appear among the view keys; record their positions in
+    // the view output (keys come first).
+    std::vector<int> key_positions;
+    for (const std::string& qk : q.keys) {
+      int position = -1;
+      for (size_t i = 0; i < v.keys.size(); ++i) {
+        if (v.keys[i] == qk) {
+          position = static_cast<int>(i);
+          break;
+        }
+      }
+      if (position < 0) return nullptr;
+      key_positions.push_back(position);
+    }
+    // Each query aggregate must roll up from a view aggregate.
+    std::vector<AggregateCall> rollup_calls;
+    for (size_t qi = 0; qi < q.calls.size(); ++qi) {
+      const AggShape::Call& qc = q.calls[qi];
+      if (qc.distinct) return nullptr;  // DISTINCT does not roll up.
+      int source = -1;
+      AggKind rollup_kind = qc.kind;
+      for (size_t i = 0; i < v.calls.size(); ++i) {
+        const AggShape::Call& vc = v.calls[i];
+        if (vc.distinct) continue;
+        if (qc.kind == AggKind::kCountStar &&
+            vc.kind == AggKind::kCountStar) {
+          source = static_cast<int>(i);
+          rollup_kind = AggKind::kSum;  // COUNT(*) rolls up as SUM of counts
+          break;
+        }
+        if (vc.arg != qc.arg) continue;
+        if ((qc.kind == AggKind::kSum && vc.kind == AggKind::kSum) ||
+            (qc.kind == AggKind::kCount && vc.kind == AggKind::kCount)) {
+          source = static_cast<int>(i);
+          rollup_kind = AggKind::kSum;
+          break;
+        }
+        if ((qc.kind == AggKind::kMin && vc.kind == AggKind::kMin) ||
+            (qc.kind == AggKind::kMax && vc.kind == AggKind::kMax)) {
+          source = static_cast<int>(i);
+          rollup_kind = qc.kind;
+          break;
+        }
+      }
+      if (source < 0) return nullptr;
+      AggregateCall rolled;
+      rolled.kind = rollup_kind;
+      rolled.distinct = false;
+      rolled.args = {static_cast<int>(v.keys.size()) + source};
+      rolled.name = query.agg_calls()[qi].name;
+      rollup_calls.push_back(std::move(rolled));
+    }
+    RelNodePtr scan = ScanOf(m, call->type_factory());
+    return LogicalAggregate::Create(std::move(scan), key_positions,
+                                    std::move(rollup_calls),
+                                    call->type_factory());
+  }
+
+  const std::vector<Materialization>* materializations_;
+};
+
+}  // namespace
+
+Status MaterializationCatalog::Register(Connection* connection,
+                                        const std::string& name,
+                                        const std::string& sql) {
+  auto logical = connection->ParseQuery(sql);
+  if (!logical.ok()) return logical.status();
+  auto normalized = Normalize(logical.value(), connection->context());
+  if (!normalized.ok()) return normalized.status();
+
+  // Precompute the view contents.
+  auto result = connection->Query(sql);
+  if (!result.ok()) return result.status();
+  auto table = std::make_shared<MemTable>(result.value().row_type,
+                                          std::move(result).value().rows);
+  Statistic stat;
+  stat.row_count = static_cast<double>(table->rows().size());
+  table->set_statistic(stat);
+
+  materializations_.push_back(
+      Materialization{name, normalized.value(), std::move(table)});
+  return Status::OK();
+}
+
+RelOptRulePtr MaterializationCatalog::SubstitutionRule() const {
+  return std::make_shared<MaterializedViewSubstitutionRule>(
+      &materializations_);
+}
+
+Status Lattice::BuildTile(Connection* connection,
+                          MaterializationCatalog* catalog,
+                          const std::vector<std::string>& keys) {
+  for (const std::string& key : keys) {
+    bool known = false;
+    for (const std::string& dim : dimensions_) {
+      if (EqualsIgnoreCase(dim, key)) known = true;
+    }
+    if (!known) {
+      return Status::InvalidArgument("'" + key +
+                                     "' is not a lattice dimension");
+    }
+  }
+  std::string name = "tile_" + JoinStrings(keys, "_");
+  std::string sql = "SELECT " + JoinStrings(keys, ", ") +
+                    ", COUNT(*) AS cnt, SUM(" + measure_ + ") AS sm FROM (" +
+                    fact_sql_ + ") AS fact GROUP BY " +
+                    JoinStrings(keys, ", ");
+  CALCITE_RETURN_IF_ERROR(catalog->Register(connection, name, sql));
+  tiles_.push_back({name, keys});
+  return Status::OK();
+}
+
+std::string Lattice::FindCoveringTile(
+    const std::vector<std::string>& keys) const {
+  std::string best;
+  size_t best_size = SIZE_MAX;
+  for (const auto& [name, tile_keys] : tiles_) {
+    bool covers = true;
+    for (const std::string& key : keys) {
+      bool found = false;
+      for (const std::string& tk : tile_keys) {
+        if (EqualsIgnoreCase(tk, key)) found = true;
+      }
+      if (!found) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers && tile_keys.size() < best_size) {
+      best = name;
+      best_size = tile_keys.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace calcite

@@ -1,0 +1,110 @@
+#ifndef CALCITE_MATERIALIZE_MATERIALIZED_VIEWS_H_
+#define CALCITE_MATERIALIZE_MATERIALIZED_VIEWS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/rule.h"
+#include "rel/core.h"
+#include "schema/table.h"
+#include "util/status.h"
+
+namespace calcite {
+
+class Connection;
+
+/// A registered materialization: the precomputation of a query whose result
+/// is stored as a table (§6: "one of the most powerful techniques to
+/// accelerate query processing in data warehouses is the precomputation of
+/// relevant summaries or materialized views").
+struct Materialization {
+  std::string name;
+  /// The view's defining query, as a *normalized* logical plan.
+  RelNodePtr plan;
+  /// The precomputed result.
+  TablePtr table;
+};
+
+/// Registry of materializations known to the optimizer, plus the rewriting
+/// rule implementing Calcite's *view substitution* algorithm ([10, 18]):
+/// "substitute part of the relational algebra tree with an equivalent
+/// expression which makes use of a materialized view", including partial
+/// rewritings "that include additional operators to compute the desired
+/// expression, e.g., filters with residual predicate conditions".
+///
+/// Supported rewritings:
+///   - exact: subtree ≡ view definition → scan(view)
+///   - residual filter: Filter(X, p ∧ r) over view Filter(X, p)
+///     → Filter(scan(view), r)
+///   - aggregate rollup: Aggregate(X, K, A) over view Aggregate(X, K' ⊇ K,
+///     A') when every aggregate in A rolls up from A'
+///     (SUM→SUM, COUNT→SUM, MIN→MIN, MAX→MAX).
+class MaterializationCatalog {
+ public:
+  /// Registers a materialization: parses/normalizes `sql` against
+  /// `connection`'s schema and executes it once to populate the backing
+  /// table (the precomputation).
+  Status Register(Connection* connection, const std::string& name,
+                  const std::string& sql);
+
+  /// Registers a prebuilt materialization.
+  void Register(Materialization materialization) {
+    materializations_.push_back(std::move(materialization));
+  }
+
+  const std::vector<Materialization>& materializations() const {
+    return materializations_;
+  }
+
+  /// The substitution rule to add to the logical phase.
+  RelOptRulePtr SubstitutionRule() const;
+
+ private:
+  std::vector<Materialization> materializations_;
+};
+
+/// A lattice (§6, [22]): data sources declared to form a star schema whose
+/// aggregation space is organized as tiles. Each *tile* is a
+/// materialization of the fact query grouped by a subset of dimension
+/// attributes; "the rewriting algorithm is especially efficient in matching
+/// expressions over data sources organized in a star schema".
+class Lattice {
+ public:
+  /// `fact_sql`: the star query whose aggregations the lattice serves,
+  /// e.g. "SELECT * FROM sales JOIN products USING (productId)".
+  /// `dimension_columns`: output columns of fact_sql usable as group keys.
+  /// `measure_column`: the column summed by tiles (alongside COUNT(*)).
+  Lattice(std::string fact_sql, std::vector<std::string> dimension_columns,
+          std::string measure_column)
+      : fact_sql_(std::move(fact_sql)),
+        dimensions_(std::move(dimension_columns)),
+        measure_(std::move(measure_column)) {}
+
+  /// Materializes the tile grouping by `keys` (must be dimension columns)
+  /// and registers it in `catalog`. The tile computes COUNT(*) and
+  /// SUM(measure) — enough to answer any rollup of those measures.
+  Status BuildTile(Connection* connection, MaterializationCatalog* catalog,
+                   const std::vector<std::string>& keys);
+
+  /// The tiles built so far (tile name -> group keys).
+  const std::vector<std::pair<std::string, std::vector<std::string>>>& tiles()
+      const {
+    return tiles_;
+  }
+
+  /// Picks the smallest registered tile whose keys cover `keys`; empty
+  /// string if none.
+  std::string FindCoveringTile(const std::vector<std::string>& keys) const;
+
+ private:
+  std::string fact_sql_;
+  std::vector<std::string> dimensions_;
+  std::string measure_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> tiles_;
+  std::vector<size_t> tile_sizes_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_MATERIALIZE_MATERIALIZED_VIEWS_H_

@@ -1,0 +1,64 @@
+#include "plan/hep_planner.h"
+
+namespace calcite {
+
+Result<RelNodePtr> HepPlanner::Optimize(const RelNodePtr& root) {
+  rule_fire_count_ = 0;
+  seen_digests_.clear();
+  RelNodePtr current = root;
+  seen_digests_.insert(current->Digest());
+  for (int pass = 0; pass < max_passes_; ++pass) {
+    bool changed = false;
+    auto rewritten = RewriteOnce(current, &changed);
+    if (!rewritten.ok()) return rewritten;
+    if (!changed) break;
+    std::string digest = rewritten.value()->Digest();
+    if (!seen_digests_.insert(digest).second) {
+      // Cycle: a rule regenerated a previously seen plan. Stop here.
+      current = std::move(rewritten).value();
+      break;
+    }
+    current = std::move(rewritten).value();
+  }
+  return current;
+}
+
+Result<RelNodePtr> HepPlanner::RewriteOnce(const RelNodePtr& node,
+                                           bool* changed) {
+  // Rewrite children first (bottom-up application).
+  std::vector<RelNodePtr> new_inputs;
+  new_inputs.reserve(node->inputs().size());
+  bool child_changed = false;
+  for (const RelNodePtr& input : node->inputs()) {
+    auto rewritten = RewriteOnce(input, &child_changed);
+    if (!rewritten.ok()) return rewritten;
+    new_inputs.push_back(std::move(rewritten).value());
+  }
+  RelNodePtr current =
+      child_changed ? node->CopyWithNewInputs(std::move(new_inputs)) : node;
+  *changed = *changed || child_changed;
+
+  // Fire the first matching rule that produces a different expression.
+  for (const RelOptRulePtr& rule : rules_) {
+    if (!rule->MatchesRoot(*current)) continue;
+    bool children_match = true;
+    for (int i = 0; i < current->num_inputs(); ++i) {
+      if (!rule->MatchesChild(i, *current->input(i))) {
+        children_match = false;
+        break;
+      }
+    }
+    if (!children_match) continue;
+    RelOptRuleCall call(current, context_);
+    rule->OnMatch(&call);
+    for (const RelNodePtr& result : call.results()) {
+      if (result->Digest() == current->Digest()) continue;
+      ++rule_fire_count_;
+      *changed = true;
+      return result;
+    }
+  }
+  return current;
+}
+
+}  // namespace calcite

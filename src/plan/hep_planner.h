@@ -1,0 +1,50 @@
+#ifndef CALCITE_PLAN_HEP_PLANNER_H_
+#define CALCITE_PLAN_HEP_PLANNER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "plan/rule.h"
+#include "rel/rel_node.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// The exhaustive (heuristic) planner engine (§6): "triggers rules
+/// exhaustively until it generates an expression that is no longer modified
+/// by any rules. This planner is useful to quickly execute rules without
+/// taking into account the cost of each expression."
+///
+/// Rules are applied bottom-up over the concrete operator tree; passes
+/// repeat until a fixpoint (no rule changes the tree) or the pass limit.
+/// A digest history breaks rewrite cycles (e.g. a commute rule firing
+/// forever).
+class HepPlanner {
+ public:
+  explicit HepPlanner(std::vector<RelOptRulePtr> rules,
+                      PlannerContext* context)
+      : rules_(std::move(rules)), context_(context) {}
+
+  /// Transforms `root` until fixpoint. Always returns a valid plan (the
+  /// input itself if no rule matches).
+  Result<RelNodePtr> Optimize(const RelNodePtr& root);
+
+  /// Number of successful rule firings in the last Optimize call.
+  int rule_fire_count() const { return rule_fire_count_; }
+
+  void set_max_passes(int max_passes) { max_passes_ = max_passes; }
+
+ private:
+  Result<RelNodePtr> RewriteOnce(const RelNodePtr& node, bool* changed);
+
+  std::vector<RelOptRulePtr> rules_;
+  PlannerContext* context_;
+  int max_passes_ = 100;
+  int rule_fire_count_ = 0;
+  std::unordered_set<std::string> seen_digests_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_PLAN_HEP_PLANNER_H_

@@ -1,0 +1,57 @@
+#include "plan/programs.h"
+
+namespace calcite {
+
+Result<RelNodePtr> Program::Run(const RelNodePtr& root,
+                                PlannerContext* context) const {
+  RelNodePtr current = root;
+  for (const ProgramPhase& phase : phases_) {
+    switch (phase.engine) {
+      case ProgramPhase::Engine::kHeuristic: {
+        HepPlanner planner(phase.rules, context);
+        auto result = planner.Optimize(current);
+        if (!result.ok()) {
+          return Status::PlanError("phase '" + phase.name +
+                                   "' failed: " + result.status().message());
+        }
+        current = std::move(result).value();
+        break;
+      }
+      case ProgramPhase::Engine::kCostBased: {
+        VolcanoPlanner planner(phase.rules, context, phase.volcano_options);
+        auto result = planner.Optimize(current, phase.required_traits);
+        if (!result.ok()) {
+          return Status::PlanError("phase '" + phase.name +
+                                   "' failed: " + result.status().message());
+        }
+        current = std::move(result).value();
+        break;
+      }
+    }
+    // The plan graph changed identity; metadata keyed by node pointers from
+    // the previous phase must not leak into the next.
+    context->metadata()->ClearCache();
+  }
+  return current;
+}
+
+Program Program::Standard(std::vector<RelOptRulePtr> logical_rules,
+                          std::vector<RelOptRulePtr> physical_rules,
+                          RelTraitSet required) {
+  Program program;
+  ProgramPhase logical;
+  logical.name = "logical";
+  logical.engine = ProgramPhase::Engine::kHeuristic;
+  logical.rules = std::move(logical_rules);
+  program.AddPhase(std::move(logical));
+
+  ProgramPhase physical;
+  physical.name = "physical";
+  physical.engine = ProgramPhase::Engine::kCostBased;
+  physical.rules = std::move(physical_rules);
+  physical.required_traits = std::move(required);
+  program.AddPhase(std::move(physical));
+  return program;
+}
+
+}  // namespace calcite

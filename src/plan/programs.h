@@ -1,0 +1,57 @@
+#ifndef CALCITE_PLAN_PROGRAMS_H_
+#define CALCITE_PLAN_PROGRAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/hep_planner.h"
+#include "plan/rule.h"
+#include "plan/volcano_planner.h"
+
+namespace calcite {
+
+/// One stage of a multi-stage optimization program (§6: "users may choose to
+/// generate multi-stage optimization logic, in which different sets of rules
+/// are applied in consecutive phases of the optimization process").
+struct ProgramPhase {
+  enum class Engine { kHeuristic, kCostBased };
+
+  std::string name;
+  Engine engine = Engine::kHeuristic;
+  std::vector<RelOptRulePtr> rules;
+  /// Required output traits for cost-based phases (e.g. the enumerable
+  /// convention at the final physical phase).
+  RelTraitSet required_traits;
+  /// Options for cost-based phases.
+  VolcanoPlanner::Options volcano_options;
+};
+
+/// A sequence of optimization phases executed in order, each phase handing
+/// its result to the next. This is the paper's "planner programs
+/// (collections of rules organized into planning phases)".
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<ProgramPhase> phases)
+      : phases_(std::move(phases)) {}
+
+  void AddPhase(ProgramPhase phase) { phases_.push_back(std::move(phase)); }
+  const std::vector<ProgramPhase>& phases() const { return phases_; }
+
+  /// Runs all phases over `root`.
+  Result<RelNodePtr> Run(const RelNodePtr& root, PlannerContext* context) const;
+
+  /// The standard two-phase program: (1) heuristic logical rewrites with
+  /// `logical_rules`, then (2) cost-based physical planning with
+  /// `physical_rules` targeting `required`.
+  static Program Standard(std::vector<RelOptRulePtr> logical_rules,
+                          std::vector<RelOptRulePtr> physical_rules,
+                          RelTraitSet required);
+
+ private:
+  std::vector<ProgramPhase> phases_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_PLAN_PROGRAMS_H_

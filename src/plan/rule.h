@@ -1,0 +1,143 @@
+#ifndef CALCITE_PLAN_RULE_H_
+#define CALCITE_PLAN_RULE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metadata/metadata.h"
+#include "rel/rel_node.h"
+#include "rex/rex_builder.h"
+#include "rex/rex_simplifier.h"
+
+namespace calcite {
+
+/// Shared services available to planner rules: expression builder, type
+/// factory, simplifier, and the metadata query (Calcite's RelOptCluster).
+class PlannerContext {
+ public:
+  PlannerContext() : rex_builder_(TypeFactory{}), simplifier_(rex_builder_) {}
+
+  const RexBuilder& rex_builder() const { return rex_builder_; }
+  const TypeFactory& type_factory() const {
+    return rex_builder_.type_factory();
+  }
+  const RexSimplifier& simplifier() const { return simplifier_; }
+  MetadataQuery* metadata() { return &metadata_; }
+
+ private:
+  RexBuilder rex_builder_;
+  RexSimplifier simplifier_;
+  MetadataQuery metadata_;
+};
+
+class RelOptRuleCall;
+
+/// A planner rule: "a rule matches a given pattern in the tree and executes
+/// a transformation that preserves semantics of that expression" (§6).
+///
+/// Matching is a two-level operand pattern, like Calcite's most common rule
+/// shapes: MatchesRoot filters the node the rule fires on; MatchesChild
+/// optionally constrains each direct input (for rules such as
+/// FilterIntoJoinRule, which matches "a filter node with a join node as a
+/// [child]"). OnMatch performs the rewrite through the RelOptRuleCall.
+class RelOptRule {
+ public:
+  virtual ~RelOptRule() = default;
+
+  /// Unique display name, e.g. "FilterIntoJoinRule".
+  virtual std::string name() const = 0;
+
+  /// Fast root-type test (no children inspected).
+  virtual bool MatchesRoot(const RelNode& node) const = 0;
+
+  /// Constrains input `i` of the matched root. Default: anything. When a
+  /// rule returns a non-trivial implementation, the cost-based planner binds
+  /// concrete child expressions from the child equivalence sets.
+  virtual bool MatchesChild(int i, const RelNode& child) const {
+    (void)i;
+    (void)child;
+    return true;
+  }
+
+  /// True if the rule inspects its children's structure. Rules that only
+  /// look at the root (most converter rules) return false, skipping child
+  /// binding in the cost-based planner.
+  virtual bool NeedsConcreteChildren() const { return true; }
+
+  /// Fires the rule. Implementations inspect call->rel(), construct a
+  /// semantically-equivalent expression, and call call->TransformTo().
+  virtual void OnMatch(RelOptRuleCall* call) const = 0;
+};
+
+using RelOptRulePtr = std::shared_ptr<const RelOptRule>;
+
+/// A single rule invocation: carries the matched expression and collects the
+/// equivalent expressions the rule produces.
+class RelOptRuleCall {
+ public:
+  /// Requests `node` converted to `traits`. In the cost-based planner this
+  /// yields a subset placeholder of node's equivalence set with the desired
+  /// traits; in the heuristic planner (which has no equivalence sets) it
+  /// returns `node` if its traits already satisfy, else nullptr — converter
+  /// rules then simply do not fire.
+  using ConvertFn =
+      std::function<RelNodePtr(const RelNodePtr&, const RelTraitSet&)>;
+
+  RelOptRuleCall(RelNodePtr rel, PlannerContext* context)
+      : rel_(std::move(rel)), context_(context) {}
+
+  /// The matched root expression. Its inputs are concrete expressions when
+  /// the rule declared NeedsConcreteChildren().
+  const RelNodePtr& rel() const { return rel_; }
+
+  PlannerContext* context() { return context_; }
+  const RexBuilder& rex_builder() const { return context_->rex_builder(); }
+  const TypeFactory& type_factory() const { return context_->type_factory(); }
+  MetadataQuery* metadata() { return context_->metadata(); }
+
+  /// Registers `node` as semantically equivalent to the matched expression.
+  void TransformTo(RelNodePtr node) { results_.push_back(std::move(node)); }
+
+  const std::vector<RelNodePtr>& results() const { return results_; }
+
+  void SetConvertFn(ConvertFn fn) { convert_fn_ = std::move(fn); }
+
+  /// See ConvertFn. Returns nullptr when conversion is unavailable.
+  RelNodePtr Convert(const RelNodePtr& node, const RelTraitSet& traits) const {
+    if (convert_fn_) return convert_fn_(node, traits);
+    if (node->traits().Satisfies(traits)) return node;
+    return nullptr;
+  }
+
+ private:
+  RelNodePtr rel_;
+  PlannerContext* context_;
+  std::vector<RelNodePtr> results_;
+  ConvertFn convert_fn_;
+};
+
+/// Convenience base for converter rules: rules that translate an expression
+/// from one calling convention to another equivalent expression in the
+/// adapter's convention (§5: adapter rules "convert various types of logical
+/// relational expressions to the corresponding relational expressions of the
+/// adapter's convention").
+class ConverterRule : public RelOptRule {
+ public:
+  ConverterRule(const Convention* from, const Convention* to)
+      : from_(from), to_(to) {}
+
+  const Convention* from() const { return from_; }
+  const Convention* to() const { return to_; }
+
+  bool NeedsConcreteChildren() const override { return false; }
+
+ private:
+  const Convention* from_;
+  const Convention* to_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_PLAN_RULE_H_

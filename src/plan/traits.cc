@@ -1,0 +1,72 @@
+#include "plan/traits.h"
+
+#include <cmath>
+#include <limits>
+
+namespace calcite {
+
+const Convention* Convention::Logical() {
+  static const Convention* kLogical = new Convention("LOGICAL", 1.0);
+  return kLogical;
+}
+
+const Convention* Convention::Enumerable() {
+  static const Convention* kEnumerable = new Convention("ENUMERABLE", 1.0);
+  return kEnumerable;
+}
+
+bool RelCollation::Satisfies(const RelCollation& required) const {
+  if (required.fields_.size() > fields_.size()) return false;
+  for (size_t i = 0; i < required.fields_.size(); ++i) {
+    if (!(fields_[i] == required.fields_[i])) return false;
+  }
+  return true;
+}
+
+std::string RelCollation::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(fields_[i].field);
+    if (fields_[i].direction == Direction::kDescending) out += " DESC";
+  }
+  return out + "]";
+}
+
+std::string RelTraitSet::ToString() const {
+  std::string out = convention_->name();
+  if (!collation_.empty()) out += "." + collation_.ToString();
+  return out;
+}
+
+RelOptCost RelOptCost::Infinite() {
+  double inf = std::numeric_limits<double>::infinity();
+  return RelOptCost(inf, inf, inf);
+}
+
+bool RelOptCost::IsInfinite() const {
+  return std::isinf(rows_) || std::isinf(cpu_) || std::isinf(io_);
+}
+
+double RelOptCost::Magnitude() const {
+  // CPU and IO dominate; rows act as a mild tiebreaker.
+  return cpu_ + io_ + rows_ * 0.01;
+}
+
+bool RelOptCost::IsLt(const RelOptCost& other) const {
+  return Magnitude() < other.Magnitude();
+}
+
+bool RelOptCost::IsLe(const RelOptCost& other) const {
+  return Magnitude() <= other.Magnitude();
+}
+
+std::string RelOptCost::ToString() const {
+  if (IsInfinite()) return "{inf}";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{%.1f rows, %.1f cpu, %.1f io}", rows_,
+                cpu_, io_);
+  return buf;
+}
+
+}  // namespace calcite

@@ -1,0 +1,176 @@
+#ifndef CALCITE_PLAN_TRAITS_H_
+#define CALCITE_PLAN_TRAITS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace calcite {
+
+/// A *calling convention* trait: the data processing system in which a
+/// relational expression executes (§4). "Including the calling convention as
+/// a trait allows Calcite to ... optimize transparently queries whose
+/// execution might span over different engines." Conventions are interned
+/// singletons — compare by pointer.
+class Convention {
+ public:
+  /// `name` is the display name ("ENUMERABLE", "CASSANDRA", ...).
+  /// `cost_factor` scales the cost of work performed in this convention
+  /// relative to the enumerable baseline; adapters that execute inside the
+  /// backend (e.g. pushing a filter into Splunk) advertise a factor < 1.
+  Convention(std::string name, double cost_factor)
+      : name_(std::move(name)), cost_factor_(cost_factor) {}
+
+  Convention(const Convention&) = delete;
+  Convention& operator=(const Convention&) = delete;
+
+  const std::string& name() const { return name_; }
+  double cost_factor() const { return cost_factor_; }
+
+  /// The logical convention: no implementation has been chosen yet. Plans
+  /// containing logical-convention operators cannot execute, which the cost
+  /// model expresses as infinite cost.
+  static const Convention* Logical();
+
+  /// The enumerable convention: client-side operators over the iterator
+  /// interface (§5).
+  static const Convention* Enumerable();
+
+ private:
+  std::string name_;
+  double cost_factor_;
+};
+
+/// Sort direction of one collation field.
+enum class Direction { kAscending, kDescending };
+
+/// One column of a collation: field index plus direction. NULLS FIRST is
+/// implied by our Value ordering (nulls sort low).
+struct FieldCollation {
+  int field = 0;
+  Direction direction = Direction::kAscending;
+
+  bool operator==(const FieldCollation& other) const {
+    return field == other.field && direction == other.direction;
+  }
+};
+
+/// An ordering trait: the sequence of field collations the operator's output
+/// satisfies. An empty collation means "no ordering guaranteed".
+class RelCollation {
+ public:
+  RelCollation() = default;
+  explicit RelCollation(std::vector<FieldCollation> fields)
+      : fields_(std::move(fields)) {}
+
+  static RelCollation Of(std::initializer_list<int> fields) {
+    std::vector<FieldCollation> fcs;
+    for (int f : fields) fcs.push_back({f, Direction::kAscending});
+    return RelCollation(std::move(fcs));
+  }
+
+  const std::vector<FieldCollation>& fields() const { return fields_; }
+  bool empty() const { return fields_.empty(); }
+
+  /// True if data sorted by *this is also sorted by `required` — i.e.
+  /// `required` is a prefix of this collation (the SCOPE-style property
+  /// reasoning of §4 that lets the planner remove redundant sorts).
+  bool Satisfies(const RelCollation& required) const;
+
+  bool operator==(const RelCollation& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// "[0 ASC, 2 DESC]" or "[]".
+  std::string ToString() const;
+
+ private:
+  std::vector<FieldCollation> fields_;
+};
+
+/// The set of physical traits attached to a relational operator. Changing a
+/// trait value "does not change the logical expression being evaluated" (§4).
+class RelTraitSet {
+ public:
+  RelTraitSet() : convention_(Convention::Logical()) {}
+  explicit RelTraitSet(const Convention* convention,
+                       RelCollation collation = RelCollation())
+      : convention_(convention), collation_(std::move(collation)) {}
+
+  const Convention* convention() const { return convention_; }
+  const RelCollation& collation() const { return collation_; }
+
+  RelTraitSet WithConvention(const Convention* convention) const {
+    return RelTraitSet(convention, collation_);
+  }
+  RelTraitSet WithCollation(RelCollation collation) const {
+    return RelTraitSet(convention_, std::move(collation));
+  }
+
+  /// True if an expression with these traits can be used where `required`
+  /// traits are demanded: conventions must match exactly and the collation
+  /// must satisfy the required one.
+  bool Satisfies(const RelTraitSet& required) const {
+    return convention_ == required.convention_ &&
+           collation_.Satisfies(required.collation_);
+  }
+
+  bool operator==(const RelTraitSet& other) const {
+    return convention_ == other.convention_ && collation_ == other.collation_;
+  }
+
+  /// "ENUMERABLE.[0]".
+  std::string ToString() const;
+
+ private:
+  const Convention* convention_;
+  RelCollation collation_;
+};
+
+/// Optimizer cost: row count processed, CPU work, and IO work. The default
+/// cost function "combines estimations for CPU, IO, and memory resources
+/// used by a given expression" (§6).
+class RelOptCost {
+ public:
+  RelOptCost() = default;
+  RelOptCost(double rows, double cpu, double io)
+      : rows_(rows), cpu_(cpu), io_(io) {}
+
+  static RelOptCost Infinite();
+  static RelOptCost Zero() { return RelOptCost(0, 0, 0); }
+
+  double rows() const { return rows_; }
+  double cpu() const { return cpu_; }
+  double io() const { return io_; }
+
+  bool IsInfinite() const;
+
+  RelOptCost operator+(const RelOptCost& other) const {
+    return RelOptCost(rows_ + other.rows_, cpu_ + other.cpu_, io_ + other.io_);
+  }
+
+  /// Scales all components (used by Convention::cost_factor).
+  RelOptCost operator*(double factor) const {
+    return RelOptCost(rows_ * factor, cpu_ * factor, io_ * factor);
+  }
+
+  /// True if this cost is strictly lower than `other` under the weighted
+  /// scalar ordering (cpu + io dominate; rows break ties).
+  bool IsLt(const RelOptCost& other) const;
+  bool IsLe(const RelOptCost& other) const;
+
+  /// Scalar magnitude used for ordering and for the δ-improvement fixpoint
+  /// check in the cost-based planner.
+  double Magnitude() const;
+
+  std::string ToString() const;
+
+ private:
+  double rows_ = 0;
+  double cpu_ = 0;
+  double io_ = 0;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_PLAN_TRAITS_H_

@@ -1,0 +1,487 @@
+#include "rel/core.h"
+
+#include <cassert>
+
+#include "rex/rex_util.h"
+#include "util/string_utils.h"
+
+namespace calcite {
+
+const char* JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeft:
+      return "left";
+    case JoinType::kRight:
+      return "right";
+    case JoinType::kFull:
+      return "full";
+    case JoinType::kSemi:
+      return "semi";
+    case JoinType::kAnti:
+      return "anti";
+  }
+  return "?";
+}
+
+std::string AggregateCall::ToString() const {
+  std::string out = AggKindName(kind);
+  out += "(";
+  if (distinct) out += "DISTINCT ";
+  if (kind == AggKind::kCountStar) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "$" + std::to_string(args[i]);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string RelNode::Digest() const {
+  std::string digest = op_name();
+  digest += "#";
+  digest += traits_.ToString();
+  std::string attrs = DigestAttributes();
+  if (!attrs.empty()) {
+    digest += "{" + attrs + "}";
+  }
+  digest += "(";
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (i > 0) digest += ",";
+    digest += inputs_[i]->Digest();
+  }
+  digest += ")";
+  return digest;
+}
+
+std::string TableScan::DigestAttributes() const {
+  return "table=[" + JoinStrings(qualified_name_, ".") + "]";
+}
+
+std::string Project::DigestAttributes() const {
+  std::string out = "exprs=[";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  out += "], names=[";
+  const auto& fields = row_type()->fields();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields[i].name;
+  }
+  return out + "]";
+}
+
+std::string Aggregate::DigestAttributes() const {
+  std::string out = "group=[";
+  for (size_t i = 0; i < group_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + std::to_string(group_keys_[i]);
+  }
+  out += "], aggs=[";
+  for (size_t i = 0; i < agg_calls_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += agg_calls_[i].ToString();
+  }
+  return out + "]";
+}
+
+std::string Sort::DigestAttributes() const {
+  std::string out = "collation=" + collation_.ToString();
+  if (offset_ > 0) out += ", offset=" + std::to_string(offset_);
+  if (fetch_ >= 0) out += ", fetch=" + std::to_string(fetch_);
+  return out;
+}
+
+std::string Values::DigestAttributes() const {
+  std::string out = "tuples=[";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += RowToString(tuples_[i]);
+  }
+  return out + "]";
+}
+
+std::string WindowGroup::ToString() const {
+  std::string out = "partition=[";
+  for (size_t i = 0; i < partition_keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + std::to_string(partition_keys[i]);
+  }
+  out += "], order=" + order.ToString();
+  out += is_rows ? ", ROWS" : ", RANGE";
+  out += " preceding=" + std::to_string(preceding);
+  out += " following=" + std::to_string(following);
+  out += ", aggs=[";
+  for (size_t i = 0; i < agg_calls.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += agg_calls[i].ToString();
+  }
+  return out + "]";
+}
+
+std::string Window::DigestAttributes() const {
+  std::string out = "groups=[";
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += groups_[i].ToString();
+  }
+  return out + "]";
+}
+
+std::string Converter::DigestAttributes() const {
+  return "from=[" + from()->name() + "], to=[" + to()->name() + "]";
+}
+
+bool Join::AnalyzeEquiKeys(std::vector<std::pair<int, int>>* keys,
+                           std::vector<RexNodePtr>* remaining) const {
+  keys->clear();
+  remaining->clear();
+  int left_count = left()->row_type()->field_count();
+  for (const RexNodePtr& conjunct : RexUtil::FlattenAnd(condition_)) {
+    const RexCall* call = AsCall(conjunct);
+    bool handled = false;
+    if (call != nullptr && call->op() == OpKind::kEquals) {
+      const RexInputRef* a = AsInputRef(call->operand(0));
+      const RexInputRef* b = AsInputRef(call->operand(1));
+      if (a != nullptr && b != nullptr) {
+        int ai = a->index();
+        int bi = b->index();
+        if (ai < left_count && bi >= left_count) {
+          keys->push_back({ai, bi - left_count});
+          handled = true;
+        } else if (bi < left_count && ai >= left_count) {
+          keys->push_back({bi, ai - left_count});
+          handled = true;
+        }
+      }
+    }
+    if (!handled) remaining->push_back(conjunct);
+  }
+  return !keys->empty();
+}
+
+// --------------------------- row-type derivation ---------------------------
+
+RelDataTypePtr DeriveProjectRowType(const std::vector<RexNodePtr>& exprs,
+                                    const std::vector<std::string>& field_names,
+                                    const TypeFactory& factory) {
+  assert(exprs.size() == field_names.size());
+  std::vector<RelDataTypeField> fields;
+  fields.reserve(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    fields.push_back(
+        {field_names[i], static_cast<int>(i), exprs[i]->type()});
+  }
+  return factory.CreateStructType(std::move(fields));
+}
+
+RelDataTypePtr DeriveJoinRowType(const RelDataTypePtr& left,
+                                 const RelDataTypePtr& right, JoinType type,
+                                 const TypeFactory& factory) {
+  std::vector<RelDataTypeField> fields;
+  bool left_nullable = type == JoinType::kRight || type == JoinType::kFull;
+  bool right_nullable = type == JoinType::kLeft || type == JoinType::kFull;
+  for (const RelDataTypeField& f : left->fields()) {
+    RelDataTypePtr t =
+        left_nullable ? factory.CreateWithNullability(f.type, true) : f.type;
+    fields.push_back({f.name, static_cast<int>(fields.size()), std::move(t)});
+  }
+  if (type != JoinType::kSemi && type != JoinType::kAnti) {
+    for (const RelDataTypeField& f : right->fields()) {
+      RelDataTypePtr t = right_nullable
+                             ? factory.CreateWithNullability(f.type, true)
+                             : f.type;
+      std::string name = f.name;
+      // Disambiguate duplicated field names as Calcite does (name0).
+      int suffix = 0;
+      while (true) {
+        bool clash = false;
+        for (const RelDataTypeField& existing : fields) {
+          if (EqualsIgnoreCase(existing.name, name)) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) break;
+        name = f.name + std::to_string(suffix++);
+      }
+      fields.push_back({std::move(name), static_cast<int>(fields.size()),
+                        std::move(t)});
+    }
+  }
+  return factory.CreateStructType(std::move(fields));
+}
+
+RelDataTypePtr DeriveAggCallType(AggKind kind, const std::vector<int>& args,
+                                 const RelDataTypePtr& input,
+                                 const TypeFactory& factory) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+      return factory.CreateSqlType(SqlTypeName::kBigInt);
+    case AggKind::kSum: {
+      RelDataTypePtr arg = input->fields()[static_cast<size_t>(args[0])].type;
+      // SUM of integers widens to BIGINT; of approx stays DOUBLE.
+      if (IsExactNumericType(arg->type_name())) {
+        return factory.CreateSqlType(SqlTypeName::kBigInt, true);
+      }
+      return factory.CreateSqlType(SqlTypeName::kDouble, true);
+    }
+    case AggKind::kAvg:
+      return factory.CreateSqlType(SqlTypeName::kDouble, true);
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kSingleValue: {
+      RelDataTypePtr arg = input->fields()[static_cast<size_t>(args[0])].type;
+      return factory.CreateWithNullability(arg, true);
+    }
+  }
+  return factory.CreateSqlType(SqlTypeName::kAny, true);
+}
+
+RelDataTypePtr DeriveAggregateRowType(const RelDataTypePtr& input,
+                                      const std::vector<int>& group_keys,
+                                      const std::vector<AggregateCall>& calls,
+                                      const TypeFactory& factory) {
+  std::vector<RelDataTypeField> fields;
+  for (int key : group_keys) {
+    const RelDataTypeField& f = input->fields()[static_cast<size_t>(key)];
+    fields.push_back({f.name, static_cast<int>(fields.size()), f.type});
+  }
+  for (const AggregateCall& call : calls) {
+    RelDataTypePtr type = call.type != nullptr
+                              ? call.type
+                              : DeriveAggCallType(call.kind, call.args, input,
+                                                  factory);
+    fields.push_back({call.name.empty()
+                          ? std::string(AggKindName(call.kind))
+                          : call.name,
+                      static_cast<int>(fields.size()), std::move(type)});
+  }
+  return factory.CreateStructType(std::move(fields));
+}
+
+RelDataTypePtr DeriveWindowRowType(const RelDataTypePtr& input,
+                                   const std::vector<WindowGroup>& groups,
+                                   const TypeFactory& factory) {
+  std::vector<RelDataTypeField> fields = input->fields();
+  for (const WindowGroup& group : groups) {
+    for (const AggregateCall& call : group.agg_calls) {
+      RelDataTypePtr type = call.type != nullptr
+                                ? call.type
+                                : DeriveAggCallType(call.kind, call.args,
+                                                    input, factory);
+      fields.push_back({call.name.empty()
+                            ? std::string(AggKindName(call.kind))
+                            : call.name,
+                        static_cast<int>(fields.size()), std::move(type)});
+    }
+  }
+  return factory.CreateStructType(std::move(fields));
+}
+
+// --------------------------- logical constructors --------------------------
+
+RelNodePtr LogicalTableScan::Create(TablePtr table,
+                                    std::vector<std::string> name,
+                                    const Convention* table_convention,
+                                    const TypeFactory& factory) {
+  RelDataTypePtr row_type = table->GetRowType(factory);
+  return RelNodePtr(new LogicalTableScan(
+      RelTraitSet(Convention::Logical()), std::move(row_type),
+      std::move(table), std::move(name), table_convention));
+}
+
+RelNodePtr LogicalTableScan::Copy(RelTraitSet traits,
+                                  std::vector<RelNodePtr> inputs) const {
+  assert(inputs.empty());
+  (void)inputs;
+  return RelNodePtr(new LogicalTableScan(std::move(traits), row_type(), table_,
+                                         qualified_name_, table_convention_));
+}
+
+RelNodePtr LogicalFilter::Create(RelNodePtr input, RexNodePtr condition) {
+  return RelNodePtr(new LogicalFilter(RelTraitSet(Convention::Logical()),
+                                      std::move(input), std::move(condition)));
+}
+
+RelNodePtr LogicalFilter::Copy(RelTraitSet traits,
+                               std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 1);
+  return RelNodePtr(new LogicalFilter(std::move(traits), row_type(),
+                                      std::move(inputs[0]), condition_));
+}
+
+RelNodePtr LogicalProject::Create(RelNodePtr input,
+                                  std::vector<RexNodePtr> exprs,
+                                  const std::vector<std::string>& field_names,
+                                  const TypeFactory& factory) {
+  RelDataTypePtr row_type = DeriveProjectRowType(exprs, field_names, factory);
+  return RelNodePtr(new LogicalProject(RelTraitSet(Convention::Logical()),
+                                       std::move(row_type), std::move(input),
+                                       std::move(exprs)));
+}
+
+RelNodePtr LogicalProject::Copy(RelTraitSet traits,
+                                std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 1);
+  return RelNodePtr(new LogicalProject(std::move(traits), row_type(),
+                                       std::move(inputs[0]), exprs_));
+}
+
+RelNodePtr LogicalJoin::Create(RelNodePtr left, RelNodePtr right,
+                               RexNodePtr condition, JoinType join_type,
+                               const TypeFactory& factory) {
+  RelDataTypePtr row_type = DeriveJoinRowType(left->row_type(),
+                                              right->row_type(), join_type,
+                                              factory);
+  return RelNodePtr(new LogicalJoin(
+      RelTraitSet(Convention::Logical()), std::move(row_type), std::move(left),
+      std::move(right), std::move(condition), join_type));
+}
+
+RelNodePtr LogicalJoin::Copy(RelTraitSet traits,
+                             std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 2);
+  return RelNodePtr(new LogicalJoin(std::move(traits), row_type(),
+                                    std::move(inputs[0]), std::move(inputs[1]),
+                                    condition_, join_type_));
+}
+
+RelNodePtr LogicalAggregate::Create(RelNodePtr input,
+                                    std::vector<int> group_keys,
+                                    std::vector<AggregateCall> agg_calls,
+                                    const TypeFactory& factory) {
+  for (AggregateCall& call : agg_calls) {
+    if (call.type == nullptr) {
+      call.type = DeriveAggCallType(call.kind, call.args, input->row_type(),
+                                    factory);
+    }
+  }
+  RelDataTypePtr row_type = DeriveAggregateRowType(input->row_type(),
+                                                   group_keys, agg_calls,
+                                                   factory);
+  return RelNodePtr(new LogicalAggregate(
+      RelTraitSet(Convention::Logical()), std::move(row_type),
+      std::move(input), std::move(group_keys), std::move(agg_calls)));
+}
+
+RelNodePtr LogicalAggregate::Copy(RelTraitSet traits,
+                                  std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 1);
+  return RelNodePtr(new LogicalAggregate(std::move(traits), row_type(),
+                                         std::move(inputs[0]), group_keys_,
+                                         agg_calls_));
+}
+
+RelNodePtr LogicalSort::Create(RelNodePtr input, RelCollation collation,
+                               int64_t offset, int64_t fetch) {
+  return RelNodePtr(new LogicalSort(RelTraitSet(Convention::Logical()),
+                                    std::move(input), std::move(collation),
+                                    offset, fetch));
+}
+
+RelNodePtr LogicalSort::Copy(RelTraitSet traits,
+                             std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 1);
+  return RelNodePtr(new LogicalSort(std::move(traits), row_type(),
+                                    std::move(inputs[0]), collation_, offset_,
+                                    fetch_));
+}
+
+std::string LogicalSetOp::op_name() const {
+  switch (set_kind()) {
+    case Kind::kUnion:
+      return "LogicalUnion";
+    case Kind::kIntersect:
+      return "LogicalIntersect";
+    case Kind::kMinus:
+      return "LogicalMinus";
+  }
+  return "LogicalSetOp";
+}
+
+RelNodePtr LogicalSetOp::Create(std::vector<RelNodePtr> inputs, Kind kind,
+                                bool all, const TypeFactory& factory) {
+  assert(!inputs.empty());
+  // Result type: least-restrictive across inputs, keeping the first input's
+  // field names.
+  std::vector<RelDataTypeField> fields = inputs[0]->row_type()->fields();
+  for (size_t f = 0; f < fields.size(); ++f) {
+    std::vector<RelDataTypePtr> types;
+    for (const RelNodePtr& input : inputs) {
+      types.push_back(input->row_type()->fields()[f].type);
+    }
+    RelDataTypePtr lr = factory.LeastRestrictive(types);
+    if (lr != nullptr) fields[f].type = lr;
+  }
+  RelDataTypePtr row_type = factory.CreateStructType(std::move(fields));
+  return RelNodePtr(new LogicalSetOp(RelTraitSet(Convention::Logical()),
+                                     std::move(row_type), std::move(inputs),
+                                     kind, all));
+}
+
+RelNodePtr LogicalSetOp::Copy(RelTraitSet traits,
+                              std::vector<RelNodePtr> inputs) const {
+  return RelNodePtr(new LogicalSetOp(std::move(traits), row_type(),
+                                     std::move(inputs), set_kind_, all_));
+}
+
+RelNodePtr LogicalValues::Create(RelDataTypePtr row_type,
+                                 std::vector<Row> tuples) {
+  return RelNodePtr(new LogicalValues(RelTraitSet(Convention::Logical()),
+                                      std::move(row_type), std::move(tuples)));
+}
+
+RelNodePtr LogicalValues::Copy(RelTraitSet traits,
+                               std::vector<RelNodePtr> inputs) const {
+  assert(inputs.empty());
+  (void)inputs;
+  return RelNodePtr(
+      new LogicalValues(std::move(traits), row_type(), tuples_));
+}
+
+RelNodePtr LogicalWindow::Create(RelNodePtr input,
+                                 std::vector<WindowGroup> groups,
+                                 const TypeFactory& factory) {
+  for (WindowGroup& group : groups) {
+    for (AggregateCall& call : group.agg_calls) {
+      if (call.type == nullptr) {
+        call.type = DeriveAggCallType(call.kind, call.args, input->row_type(),
+                                      factory);
+      }
+    }
+  }
+  RelDataTypePtr row_type =
+      DeriveWindowRowType(input->row_type(), groups, factory);
+  return RelNodePtr(new LogicalWindow(RelTraitSet(Convention::Logical()),
+                                      std::move(row_type), std::move(input),
+                                      std::move(groups)));
+}
+
+RelNodePtr LogicalWindow::Copy(RelTraitSet traits,
+                               std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 1);
+  return RelNodePtr(new LogicalWindow(std::move(traits), row_type(),
+                                      std::move(inputs[0]), groups_));
+}
+
+RelNodePtr LogicalDelta::Create(RelNodePtr input) {
+  return RelNodePtr(
+      new LogicalDelta(RelTraitSet(Convention::Logical()), std::move(input)));
+}
+
+RelNodePtr LogicalDelta::Copy(RelTraitSet traits,
+                              std::vector<RelNodePtr> inputs) const {
+  assert(inputs.size() == 1);
+  return RelNodePtr(
+      new LogicalDelta(std::move(traits), row_type(), std::move(inputs[0])));
+}
+
+}  // namespace calcite

@@ -1,0 +1,457 @@
+#ifndef CALCITE_REL_CORE_H_
+#define CALCITE_REL_CORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rel/rel_node.h"
+#include "schema/schema.h"
+#include "schema/table.h"
+
+namespace calcite {
+
+// ---------------------------------------------------------------------------
+// Abstract core operators. Adapter conventions subclass these; the Logical*
+// classes below are their logical-convention instantiations. This mirrors
+// Calcite's core/logical split (§4).
+// ---------------------------------------------------------------------------
+
+/// Reads all rows of a table. "When a query is parsed and converted to a
+/// relational algebra expression, an operator is created for each table
+/// representing a scan of the data on that table. It is the minimal
+/// interface that an adapter must implement." (§5)
+class TableScan : public RelNode {
+ public:
+  const TablePtr& table() const { return table_; }
+  const std::vector<std::string>& qualified_name() const {
+    return qualified_name_;
+  }
+  /// Convention of the backend that stores this table.
+  const Convention* table_convention() const { return table_convention_; }
+
+  std::string DigestAttributes() const override;
+
+  std::optional<double> SelfRowCount(MetadataQuery*) const override {
+    return table_->GetStatistic().row_count;
+  }
+
+ protected:
+  TableScan(RelTraitSet traits, RelDataTypePtr row_type, TablePtr table,
+            std::vector<std::string> qualified_name,
+            const Convention* table_convention)
+      : RelNode(std::move(traits), std::move(row_type), {}),
+        table_(std::move(table)),
+        qualified_name_(std::move(qualified_name)),
+        table_convention_(table_convention) {}
+
+  TablePtr table_;
+  std::vector<std::string> qualified_name_;
+  const Convention* table_convention_;
+};
+
+/// Emits the input rows that satisfy a boolean condition.
+class Filter : public RelNode {
+ public:
+  const RexNodePtr& condition() const { return condition_; }
+
+  std::string DigestAttributes() const override {
+    return "condition=[" + condition_->ToString() + "]";
+  }
+
+ protected:
+  Filter(RelTraitSet traits, RelNodePtr input, RexNodePtr condition)
+      : RelNode(std::move(traits), input->row_type(), {input}),
+        condition_(std::move(condition)) {}
+  // Constructor for planner copies where the input may be a subset
+  // placeholder whose row type must be supplied explicitly.
+  Filter(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input,
+         RexNodePtr condition)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}),
+        condition_(std::move(condition)) {}
+
+  RexNodePtr condition_;
+};
+
+/// Computes a list of scalar expressions over each input row.
+class Project : public RelNode {
+ public:
+  const std::vector<RexNodePtr>& exprs() const { return exprs_; }
+
+  std::string DigestAttributes() const override;
+
+ protected:
+  Project(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input,
+          std::vector<RexNodePtr> exprs)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}),
+        exprs_(std::move(exprs)) {}
+
+  std::vector<RexNodePtr> exprs_;
+};
+
+/// Combines two inputs on a join condition. The output row type is the
+/// concatenation of the input row types (right side fields become nullable
+/// for LEFT/FULL, left side for RIGHT/FULL; SEMI/ANTI emit only the left).
+class Join : public RelNode {
+ public:
+  const RexNodePtr& condition() const { return condition_; }
+  JoinType join_type() const { return join_type_; }
+  const RelNodePtr& left() const { return input(0); }
+  const RelNodePtr& right() const { return input(1); }
+
+  std::string DigestAttributes() const override {
+    return std::string("condition=[") + condition_->ToString() +
+           "], joinType=[" + JoinTypeName(join_type_) + "]";
+  }
+
+  /// Extracts equi-join keys: pairs (left_field, right_field_offset_in_join)
+  /// from conjuncts of the form $l = $r. Non-equi conjuncts are reported in
+  /// `remaining`. Returns false if the condition has no equi part.
+  bool AnalyzeEquiKeys(std::vector<std::pair<int, int>>* keys,
+                       std::vector<RexNodePtr>* remaining) const;
+
+ protected:
+  Join(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr left,
+       RelNodePtr right, RexNodePtr condition, JoinType join_type)
+      : RelNode(std::move(traits), std::move(row_type),
+                {std::move(left), std::move(right)}),
+        condition_(std::move(condition)),
+        join_type_(join_type) {}
+
+  RexNodePtr condition_;
+  JoinType join_type_;
+};
+
+/// Groups rows by key columns and computes aggregate functions.
+class Aggregate : public RelNode {
+ public:
+  const std::vector<int>& group_keys() const { return group_keys_; }
+  const std::vector<AggregateCall>& agg_calls() const { return agg_calls_; }
+
+  std::string DigestAttributes() const override;
+
+ protected:
+  Aggregate(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input,
+            std::vector<int> group_keys, std::vector<AggregateCall> agg_calls)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}),
+        group_keys_(std::move(group_keys)),
+        agg_calls_(std::move(agg_calls)) {}
+
+  std::vector<int> group_keys_;
+  std::vector<AggregateCall> agg_calls_;
+};
+
+/// Sorts the input by a collation; optionally applies OFFSET/FETCH (LIMIT).
+class Sort : public RelNode {
+ public:
+  const RelCollation& collation() const { return collation_; }
+  /// Number of leading rows to skip; 0 for none.
+  int64_t offset() const { return offset_; }
+  /// Max rows to return; -1 for unlimited.
+  int64_t fetch() const { return fetch_; }
+
+  std::string DigestAttributes() const override;
+
+ protected:
+  Sort(RelTraitSet traits, RelNodePtr input, RelCollation collation,
+       int64_t offset, int64_t fetch)
+      : RelNode(std::move(traits), input->row_type(), {input}),
+        collation_(std::move(collation)),
+        offset_(offset),
+        fetch_(fetch) {}
+  Sort(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input,
+       RelCollation collation, int64_t offset, int64_t fetch)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}),
+        collation_(std::move(collation)),
+        offset_(offset),
+        fetch_(fetch) {}
+
+  RelCollation collation_;
+  int64_t offset_;
+  int64_t fetch_;
+};
+
+/// Base of the set operators UNION / INTERSECT / MINUS.
+class SetOp : public RelNode {
+ public:
+  enum class Kind { kUnion, kIntersect, kMinus };
+
+  Kind set_kind() const { return set_kind_; }
+  /// True for the ALL variant (bag semantics).
+  bool all() const { return all_; }
+
+  std::string DigestAttributes() const override {
+    return std::string("all=[") + (all_ ? "true" : "false") + "]";
+  }
+
+ protected:
+  SetOp(RelTraitSet traits, RelDataTypePtr row_type,
+        std::vector<RelNodePtr> inputs, Kind kind, bool all)
+      : RelNode(std::move(traits), std::move(row_type), std::move(inputs)),
+        set_kind_(kind),
+        all_(all) {}
+
+  Kind set_kind_;
+  bool all_;
+};
+
+/// A constant relation: an inline list of tuples.
+class Values : public RelNode {
+ public:
+  const std::vector<Row>& tuples() const { return tuples_; }
+
+  std::string DigestAttributes() const override;
+
+  std::optional<double> SelfRowCount(MetadataQuery*) const override {
+    return static_cast<double>(tuples_.size());
+  }
+
+ protected:
+  Values(RelTraitSet traits, RelDataTypePtr row_type, std::vector<Row> tuples)
+      : RelNode(std::move(traits), std::move(row_type), {}),
+        tuples_(std::move(tuples)) {}
+
+  std::vector<Row> tuples_;
+};
+
+/// Specification of one window within a Window operator (§4: "Calcite
+/// introduces a window operator that encapsulates the window definition,
+/// i.e., upper and lower bound, partitioning etc., and the aggregate
+/// functions to execute on each window").
+struct WindowGroup {
+  std::vector<int> partition_keys;
+  RelCollation order;
+  /// True for ROWS frames (physical offsets); false for RANGE frames
+  /// (value offsets on the ordering key).
+  bool is_rows = false;
+  /// Lower bound: how far the frame extends before the current row
+  /// (rows or range units); -1 means UNBOUNDED PRECEDING.
+  int64_t preceding = -1;
+  /// Upper bound after the current row; 0 means CURRENT ROW.
+  int64_t following = 0;
+  std::vector<AggregateCall> agg_calls;
+
+  std::string ToString() const;
+};
+
+/// Computes windowed aggregate functions. Output = input fields followed by
+/// one field per aggregate call.
+class Window : public RelNode {
+ public:
+  const std::vector<WindowGroup>& groups() const { return groups_; }
+
+  std::string DigestAttributes() const override;
+
+ protected:
+  Window(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input,
+         std::vector<WindowGroup> groups)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}),
+        groups_(std::move(groups)) {}
+
+  std::vector<WindowGroup> groups_;
+};
+
+/// Marks the streaming interpretation of a query (§7.2): `SELECT STREAM ...`
+/// wraps the source in a Delta operator, asking for incoming rows rather
+/// than existing ones.
+class Delta : public RelNode {
+ public:
+  std::string DigestAttributes() const override { return ""; }
+
+ protected:
+  Delta(RelTraitSet traits, RelNodePtr input)
+      : RelNode(std::move(traits), input->row_type(), {input}) {}
+  Delta(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}) {}
+};
+
+/// Converts an expression from one calling convention to another (§4:
+/// "relational operators can implement a converter interface that indicates
+/// how to convert traits of an expression from one value to another").
+/// Concrete converters live with their target convention's adapter.
+class Converter : public RelNode {
+ public:
+  const Convention* from() const { return input(0)->convention(); }
+  const Convention* to() const { return convention(); }
+
+  std::string DigestAttributes() const override;
+
+ protected:
+  Converter(RelTraitSet traits, RelNodePtr input)
+      : RelNode(std::move(traits), input->row_type(), {input}) {}
+  Converter(RelTraitSet traits, RelDataTypePtr row_type, RelNodePtr input)
+      : RelNode(std::move(traits), std::move(row_type), {std::move(input)}) {}
+};
+
+// ---------------------------------------------------------------------------
+// Logical (convention-free) operators: what the SQL converter and RelBuilder
+// produce, before the planner assigns implementations.
+// ---------------------------------------------------------------------------
+
+class LogicalTableScan final : public TableScan {
+ public:
+  static RelNodePtr Create(TablePtr table, std::vector<std::string> name,
+                           const Convention* table_convention,
+                           const TypeFactory& factory);
+
+  std::string op_name() const override { return "LogicalTableScan"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using TableScan::TableScan;
+};
+
+class LogicalFilter final : public Filter {
+ public:
+  static RelNodePtr Create(RelNodePtr input, RexNodePtr condition);
+
+  std::string op_name() const override { return "LogicalFilter"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Filter::Filter;
+};
+
+class LogicalProject final : public Project {
+ public:
+  /// Field names must match exprs in count; the row type is derived.
+  static RelNodePtr Create(RelNodePtr input, std::vector<RexNodePtr> exprs,
+                           const std::vector<std::string>& field_names,
+                           const TypeFactory& factory);
+
+  std::string op_name() const override { return "LogicalProject"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Project::Project;
+};
+
+class LogicalJoin final : public Join {
+ public:
+  static RelNodePtr Create(RelNodePtr left, RelNodePtr right,
+                           RexNodePtr condition, JoinType join_type,
+                           const TypeFactory& factory);
+
+  std::string op_name() const override { return "LogicalJoin"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Join::Join;
+};
+
+class LogicalAggregate final : public Aggregate {
+ public:
+  static RelNodePtr Create(RelNodePtr input, std::vector<int> group_keys,
+                           std::vector<AggregateCall> agg_calls,
+                           const TypeFactory& factory);
+
+  std::string op_name() const override { return "LogicalAggregate"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Aggregate::Aggregate;
+};
+
+class LogicalSort final : public Sort {
+ public:
+  static RelNodePtr Create(RelNodePtr input, RelCollation collation,
+                           int64_t offset = 0, int64_t fetch = -1);
+
+  std::string op_name() const override { return "LogicalSort"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Sort::Sort;
+};
+
+class LogicalSetOp final : public SetOp {
+ public:
+  static RelNodePtr Create(std::vector<RelNodePtr> inputs, Kind kind, bool all,
+                           const TypeFactory& factory);
+
+  std::string op_name() const override;
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using SetOp::SetOp;
+};
+
+class LogicalValues final : public Values {
+ public:
+  static RelNodePtr Create(RelDataTypePtr row_type, std::vector<Row> tuples);
+
+  std::string op_name() const override { return "LogicalValues"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Values::Values;
+};
+
+class LogicalWindow final : public Window {
+ public:
+  static RelNodePtr Create(RelNodePtr input, std::vector<WindowGroup> groups,
+                           const TypeFactory& factory);
+
+  std::string op_name() const override { return "LogicalWindow"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Window::Window;
+};
+
+class LogicalDelta final : public Delta {
+ public:
+  static RelNodePtr Create(RelNodePtr input);
+
+  std::string op_name() const override { return "LogicalDelta"; }
+  RelNodePtr Copy(RelTraitSet traits,
+                  std::vector<RelNodePtr> inputs) const override;
+
+ private:
+  using Delta::Delta;
+};
+
+// ---------------------------------------------------------------------------
+// Row-type derivation helpers shared by logical and physical operators.
+// ---------------------------------------------------------------------------
+
+/// Output type of a projection: exprs[i] typed, named field_names[i].
+RelDataTypePtr DeriveProjectRowType(const std::vector<RexNodePtr>& exprs,
+                                    const std::vector<std::string>& field_names,
+                                    const TypeFactory& factory);
+
+/// Output type of a join of the given type over the two input row types.
+RelDataTypePtr DeriveJoinRowType(const RelDataTypePtr& left,
+                                 const RelDataTypePtr& right, JoinType type,
+                                 const TypeFactory& factory);
+
+/// Output type of an aggregate: group key fields then agg call fields.
+RelDataTypePtr DeriveAggregateRowType(const RelDataTypePtr& input,
+                                      const std::vector<int>& group_keys,
+                                      const std::vector<AggregateCall>& calls,
+                                      const TypeFactory& factory);
+
+/// Output type of a window: input fields then agg call fields per group.
+RelDataTypePtr DeriveWindowRowType(const RelDataTypePtr& input,
+                                   const std::vector<WindowGroup>& groups,
+                                   const TypeFactory& factory);
+
+/// Result type of an aggregate function over the given input field types.
+RelDataTypePtr DeriveAggCallType(AggKind kind, const std::vector<int>& args,
+                                 const RelDataTypePtr& input,
+                                 const TypeFactory& factory);
+
+}  // namespace calcite
+
+#endif  // CALCITE_REL_CORE_H_

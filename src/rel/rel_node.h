@@ -1,0 +1,137 @@
+#ifndef CALCITE_REL_REL_NODE_H_
+#define CALCITE_REL_REL_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/traits.h"
+#include "rex/rex_node.h"
+#include "type/rel_data_type.h"
+#include "type/value.h"
+#include "util/status.h"
+
+namespace calcite {
+
+class RelNode;
+class MetadataQuery;
+using RelNodePtr = std::shared_ptr<const RelNode>;
+
+/// Join semantics supported by the Join operator.
+enum class JoinType { kInner, kLeft, kRight, kFull, kSemi, kAnti };
+
+/// Returns "inner", "left", ...
+const char* JoinTypeName(JoinType type);
+
+/// One aggregate function application within an Aggregate or Window
+/// operator: e.g. `SUM(DISTINCT $2) AS total`.
+struct AggregateCall {
+  AggKind kind = AggKind::kCountStar;
+  bool distinct = false;
+  std::vector<int> args;  // input field indexes; empty for COUNT(*)
+  std::string name;       // output field name
+  RelDataTypePtr type;    // output type
+
+  /// "SUM($2)" / "COUNT(DISTINCT $0)".
+  std::string ToString() const;
+};
+
+/// Base class of all relational operators (§4). A RelNode is an immutable
+/// node in an operator tree/DAG: it has input operators, an output row type,
+/// and a trait set describing its physical properties (calling convention
+/// and collation). Calcite "does not use different entities to represent
+/// logical and physical operators"; the convention trait distinguishes them.
+class RelNode : public std::enable_shared_from_this<RelNode> {
+ public:
+  virtual ~RelNode() = default;
+
+  RelNode(const RelNode&) = delete;
+  RelNode& operator=(const RelNode&) = delete;
+
+  const RelTraitSet& traits() const { return traits_; }
+  const Convention* convention() const { return traits_.convention(); }
+  const RelDataTypePtr& row_type() const { return row_type_; }
+  const std::vector<RelNodePtr>& inputs() const { return inputs_; }
+  const RelNodePtr& input(int i) const {
+    return inputs_[static_cast<size_t>(i)];
+  }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+
+  /// Operator display name, e.g. "LogicalFilter", "EnumerableHashJoin",
+  /// "CassandraSort".
+  virtual std::string op_name() const = 0;
+
+  /// The node's attributes rendered for digests/EXPLAIN (without inputs),
+  /// e.g. "condition=[>($1, 10)]".
+  virtual std::string DigestAttributes() const { return ""; }
+
+  /// Creates a copy of this node with new traits and inputs; all other
+  /// attributes are preserved. The planner uses this to re-parent
+  /// expressions onto equivalence-set subsets.
+  virtual RelNodePtr Copy(RelTraitSet traits,
+                          std::vector<RelNodePtr> inputs) const = 0;
+
+  /// Convenience: copy with same traits.
+  RelNodePtr CopyWithNewInputs(std::vector<RelNodePtr> inputs) const {
+    return Copy(traits_, std::move(inputs));
+  }
+
+  /// Recursive canonical digest: "op{attrs}(inputDigest,...)". Two nodes
+  /// with equal digests are semantically identical expressions; the Volcano
+  /// planner registers digests to detect duplicates and merge equivalence
+  /// sets (§6).
+  std::string Digest() const;
+
+  /// The cost of executing *this operator alone* (not its inputs), or
+  /// nullopt to let the default metadata provider estimate it. Adapter
+  /// nodes override this to advertise push-down benefits.
+  virtual std::optional<RelOptCost> SelfCost(MetadataQuery*) const {
+    return std::nullopt;
+  }
+
+  /// Row-count estimate override for this node, or nullopt for the default
+  /// provider's formula.
+  virtual std::optional<double> SelfRowCount(MetadataQuery*) const {
+    return std::nullopt;
+  }
+
+  /// Cumulative-cost override. Used by planner subset placeholders, whose
+  /// cumulative cost is the best cost of their equivalence subset rather
+  /// than a sum over inputs.
+  virtual std::optional<RelOptCost> SelfCumulativeCost(MetadataQuery*) const {
+    return std::nullopt;
+  }
+
+  /// Column-uniqueness override; subset placeholders delegate to their
+  /// equivalence set's canonical expression.
+  virtual std::optional<bool> SelfColumnsUnique(
+      MetadataQuery*, const std::vector<int>&) const {
+    return std::nullopt;
+  }
+
+  /// Executes the node, materializing its full result. Only physical
+  /// (non-logical convention) operators are executable; logical operators
+  /// return an error. Execution is pull-based internally (iterator
+  /// interface; §5) but the public surface materializes for simplicity.
+  virtual Result<std::vector<Row>> Execute() const {
+    return Status::PlanError("operator " + op_name() +
+                             " is not executable (logical convention)");
+  }
+
+ protected:
+  RelNode(RelTraitSet traits, RelDataTypePtr row_type,
+          std::vector<RelNodePtr> inputs)
+      : traits_(std::move(traits)),
+        row_type_(std::move(row_type)),
+        inputs_(std::move(inputs)) {}
+
+ private:
+  RelTraitSet traits_;
+  RelDataTypePtr row_type_;
+  std::vector<RelNodePtr> inputs_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_REL_REL_NODE_H_

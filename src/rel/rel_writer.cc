@@ -1,0 +1,41 @@
+#include "rel/rel_writer.h"
+
+namespace calcite {
+
+namespace {
+
+void ExplainRec(const RelNodePtr& node, bool include_traits, int depth,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node->op_name());
+  std::string attrs = node->DigestAttributes();
+  out->push_back('(');
+  out->append(attrs);
+  out->push_back(')');
+  if (include_traits) {
+    out->append(": ");
+    out->append(node->traits().ToString());
+  }
+  out->push_back('\n');
+  for (const RelNodePtr& input : node->inputs()) {
+    ExplainRec(input, include_traits, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const RelNodePtr& node, bool include_traits) {
+  std::string out;
+  ExplainRec(node, include_traits, 0, &out);
+  return out;
+}
+
+int PlanNodeCount(const RelNodePtr& node) {
+  int count = 1;
+  for (const RelNodePtr& input : node->inputs()) {
+    count += PlanNodeCount(input);
+  }
+  return count;
+}
+
+}  // namespace calcite

@@ -1,0 +1,25 @@
+#ifndef CALCITE_REL_REL_WRITER_H_
+#define CALCITE_REL_REL_WRITER_H_
+
+#include <string>
+
+#include "rel/rel_node.h"
+
+namespace calcite {
+
+/// Renders a plan tree in Calcite's EXPLAIN format:
+///
+///   LogicalAggregate(group=[$0], aggs=[COUNT()])
+///     LogicalFilter(condition=[IS NOT NULL($2)])
+///       LogicalTableScan(table=[sales])
+///
+/// With `include_traits`, each line is suffixed with the node's trait set —
+/// useful when inspecting convention assignment (Figure 2).
+std::string ExplainPlan(const RelNodePtr& node, bool include_traits = false);
+
+/// Counts the nodes in a plan tree.
+int PlanNodeCount(const RelNodePtr& node);
+
+}  // namespace calcite
+
+#endif  // CALCITE_REL_REL_WRITER_H_

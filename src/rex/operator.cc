@@ -1,0 +1,203 @@
+#include "rex/operator.h"
+
+namespace calcite {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPlus:
+      return "+";
+    case OpKind::kMinus:
+      return "-";
+    case OpKind::kTimes:
+      return "*";
+    case OpKind::kDivide:
+      return "/";
+    case OpKind::kMod:
+      return "MOD";
+    case OpKind::kUnaryMinus:
+      return "-";
+    case OpKind::kEquals:
+      return "=";
+    case OpKind::kNotEquals:
+      return "<>";
+    case OpKind::kLessThan:
+      return "<";
+    case OpKind::kLessThanOrEqual:
+      return "<=";
+    case OpKind::kGreaterThan:
+      return ">";
+    case OpKind::kGreaterThanOrEqual:
+      return ">=";
+    case OpKind::kAnd:
+      return "AND";
+    case OpKind::kOr:
+      return "OR";
+    case OpKind::kNot:
+      return "NOT";
+    case OpKind::kIsNull:
+      return "IS NULL";
+    case OpKind::kIsNotNull:
+      return "IS NOT NULL";
+    case OpKind::kIsTrue:
+      return "IS TRUE";
+    case OpKind::kIsFalse:
+      return "IS FALSE";
+    case OpKind::kLike:
+      return "LIKE";
+    case OpKind::kIn:
+      return "IN";
+    case OpKind::kBetween:
+      return "BETWEEN";
+    case OpKind::kCase:
+      return "CASE";
+    case OpKind::kCoalesce:
+      return "COALESCE";
+    case OpKind::kCast:
+      return "CAST";
+    case OpKind::kItem:
+      return "ITEM";
+    case OpKind::kConcat:
+      return "||";
+    case OpKind::kUpper:
+      return "UPPER";
+    case OpKind::kLower:
+      return "LOWER";
+    case OpKind::kCharLength:
+      return "CHAR_LENGTH";
+    case OpKind::kSubstring:
+      return "SUBSTRING";
+    case OpKind::kTrim:
+      return "TRIM";
+    case OpKind::kAbs:
+      return "ABS";
+    case OpKind::kFloor:
+      return "FLOOR";
+    case OpKind::kCeil:
+      return "CEIL";
+    case OpKind::kPower:
+      return "POWER";
+    case OpKind::kSqrt:
+      return "SQRT";
+    case OpKind::kStGeomFromText:
+      return "ST_GeomFromText";
+    case OpKind::kStAsText:
+      return "ST_AsText";
+    case OpKind::kStContains:
+      return "ST_Contains";
+    case OpKind::kStWithin:
+      return "ST_Within";
+    case OpKind::kStDistance:
+      return "ST_Distance";
+    case OpKind::kStIntersects:
+      return "ST_Intersects";
+    case OpKind::kStArea:
+      return "ST_Area";
+    case OpKind::kStX:
+      return "ST_X";
+    case OpKind::kStY:
+      return "ST_Y";
+    case OpKind::kStMakePoint:
+      return "ST_MakePoint";
+    case OpKind::kTumble:
+      return "TUMBLE";
+    case OpKind::kTumbleEnd:
+      return "TUMBLE_END";
+    case OpKind::kTumbleStart:
+      return "TUMBLE_START";
+    case OpKind::kHop:
+      return "HOP";
+    case OpKind::kHopEnd:
+      return "HOP_END";
+    case OpKind::kSession:
+      return "SESSION";
+    case OpKind::kSessionEnd:
+      return "SESSION_END";
+  }
+  return "?";
+}
+
+bool IsComparison(OpKind kind) {
+  switch (kind) {
+    case OpKind::kEquals:
+    case OpKind::kNotEquals:
+    case OpKind::kLessThan:
+    case OpKind::kLessThanOrEqual:
+    case OpKind::kGreaterThan:
+    case OpKind::kGreaterThanOrEqual:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsInfix(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPlus:
+    case OpKind::kMinus:
+    case OpKind::kTimes:
+    case OpKind::kDivide:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kConcat:
+    case OpKind::kLike:
+      return true;
+    default:
+      return IsComparison(kind);
+  }
+}
+
+OpKind ReverseComparison(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLessThan:
+      return OpKind::kGreaterThan;
+    case OpKind::kLessThanOrEqual:
+      return OpKind::kGreaterThanOrEqual;
+    case OpKind::kGreaterThan:
+      return OpKind::kLessThan;
+    case OpKind::kGreaterThanOrEqual:
+      return OpKind::kLessThanOrEqual;
+    default:
+      return kind;
+  }
+}
+
+OpKind NegateComparison(OpKind kind) {
+  switch (kind) {
+    case OpKind::kEquals:
+      return OpKind::kNotEquals;
+    case OpKind::kNotEquals:
+      return OpKind::kEquals;
+    case OpKind::kLessThan:
+      return OpKind::kGreaterThanOrEqual;
+    case OpKind::kLessThanOrEqual:
+      return OpKind::kGreaterThan;
+    case OpKind::kGreaterThan:
+      return OpKind::kLessThanOrEqual;
+    case OpKind::kGreaterThanOrEqual:
+      return OpKind::kLessThan;
+    default:
+      return kind;
+  }
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kCountStar:
+      return "COUNT";
+    case AggKind::kSingleValue:
+      return "SINGLE_VALUE";
+  }
+  return "?";
+}
+
+}  // namespace calcite

@@ -1,0 +1,112 @@
+#ifndef CALCITE_REX_OPERATOR_H_
+#define CALCITE_REX_OPERATOR_H_
+
+#include <string>
+
+namespace calcite {
+
+/// Kinds of scalar operators and functions supported in row expressions.
+/// Covers standard SQL operators, the `[]` ITEM operator for semi-structured
+/// data (§7.1), the ST_* geospatial functions (§7.3), and the streaming
+/// window grouping functions TUMBLE/HOP/SESSION (§7.2).
+enum class OpKind {
+  // Binary arithmetic.
+  kPlus,
+  kMinus,
+  kTimes,
+  kDivide,
+  kMod,
+  // Unary arithmetic.
+  kUnaryMinus,
+  // Comparison.
+  kEquals,
+  kNotEquals,
+  kLessThan,
+  kLessThanOrEqual,
+  kGreaterThan,
+  kGreaterThanOrEqual,
+  // Boolean.
+  kAnd,
+  kOr,
+  kNot,
+  // Null tests / predicates.
+  kIsNull,
+  kIsNotNull,
+  kIsTrue,
+  kIsFalse,
+  kLike,
+  kIn,
+  kBetween,
+  // Conditional.
+  kCase,
+  kCoalesce,
+  // Type & structure.
+  kCast,
+  kItem,  // map[key] / array[index]
+  // String functions.
+  kConcat,
+  kUpper,
+  kLower,
+  kCharLength,
+  kSubstring,
+  kTrim,
+  // Numeric functions.
+  kAbs,
+  kFloor,
+  kCeil,
+  kPower,
+  kSqrt,
+  // Geospatial (OpenGIS subset).
+  kStGeomFromText,
+  kStAsText,
+  kStContains,
+  kStWithin,
+  kStDistance,
+  kStIntersects,
+  kStArea,
+  kStX,
+  kStY,
+  kStMakePoint,
+  // Streaming window group functions.
+  kTumble,
+  kTumbleEnd,
+  kTumbleStart,
+  kHop,
+  kHopEnd,
+  kSession,
+  kSessionEnd,
+};
+
+/// Returns the SQL name of an operator ("=", "AND", "ST_Contains", ...).
+const char* OpKindName(OpKind kind);
+
+/// True for the six comparison operators.
+bool IsComparison(OpKind kind);
+
+/// True for operators rendered infix in SQL ("a + b").
+bool IsInfix(OpKind kind);
+
+/// Returns the mirrored comparison (a < b becomes b > a); kind itself for
+/// symmetric operators; used by join-condition normalization.
+OpKind ReverseComparison(OpKind kind);
+
+/// Returns the negated comparison (a < b becomes a >= b).
+OpKind NegateComparison(OpKind kind);
+
+/// Aggregate function kinds (used by Aggregate and Window operators).
+enum class AggKind {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kCountStar,
+  kSingleValue,
+};
+
+/// Returns the SQL name of an aggregate function ("COUNT", "SUM", ...).
+const char* AggKindName(AggKind kind);
+
+}  // namespace calcite
+
+#endif  // CALCITE_REX_OPERATOR_H_

@@ -1,0 +1,331 @@
+#include "rex/rex_builder.h"
+
+#include <cassert>
+
+namespace calcite {
+
+RexNodePtr RexBuilder::MakeInputRef(int index, RelDataTypePtr type) const {
+  return std::make_shared<RexInputRef>(index, std::move(type));
+}
+
+RexNodePtr RexBuilder::MakeInputRef(const RelDataTypePtr& row_type,
+                                    int index) const {
+  assert(index >= 0 && index < row_type->field_count());
+  return std::make_shared<RexInputRef>(index,
+                                       row_type->fields()[index].type);
+}
+
+RexNodePtr RexBuilder::MakeLiteral(Value value, RelDataTypePtr type) const {
+  return std::make_shared<RexLiteral>(std::move(value), std::move(type));
+}
+
+RexNodePtr RexBuilder::MakeBoolLiteral(bool b) const {
+  return MakeLiteral(Value::Bool(b),
+                     type_factory_.CreateSqlType(SqlTypeName::kBoolean));
+}
+
+RexNodePtr RexBuilder::MakeIntLiteral(int64_t i) const {
+  return MakeLiteral(Value::Int(i),
+                     type_factory_.CreateSqlType(SqlTypeName::kInteger));
+}
+
+RexNodePtr RexBuilder::MakeBigIntLiteral(int64_t i) const {
+  return MakeLiteral(Value::Int(i),
+                     type_factory_.CreateSqlType(SqlTypeName::kBigInt));
+}
+
+RexNodePtr RexBuilder::MakeDoubleLiteral(double d) const {
+  return MakeLiteral(Value::Double(d),
+                     type_factory_.CreateSqlType(SqlTypeName::kDouble));
+}
+
+RexNodePtr RexBuilder::MakeStringLiteral(const std::string& s) const {
+  return MakeLiteral(
+      Value::String(s),
+      type_factory_.CreateSqlType(SqlTypeName::kVarchar,
+                                  static_cast<int>(s.size())));
+}
+
+RexNodePtr RexBuilder::MakeNullLiteral(RelDataTypePtr type) const {
+  return MakeLiteral(Value::Null(),
+                     type_factory_.CreateWithNullability(type, true));
+}
+
+RexNodePtr RexBuilder::MakeIntervalLiteral(int64_t millis) const {
+  return MakeLiteral(Value::Int(millis),
+                     type_factory_.CreateSqlType(SqlTypeName::kIntervalDay));
+}
+
+namespace {
+
+bool AnyNullable(const std::vector<RexNodePtr>& operands) {
+  for (const RexNodePtr& op : operands) {
+    if (op->type()->nullable()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<RexNodePtr> RexBuilder::MakeCall(OpKind op,
+                                        std::vector<RexNodePtr> operands) const {
+  auto check_arity = [&](size_t min, size_t max) -> Status {
+    if (operands.size() < min || operands.size() > max) {
+      return Status::ValidationError(
+          std::string("operator ") + OpKindName(op) + " expects " +
+          std::to_string(min) + ".." + std::to_string(max) + " operands, got " +
+          std::to_string(operands.size()));
+    }
+    return Status::OK();
+  };
+  bool nullable = AnyNullable(operands);
+  const TypeFactory& tf = type_factory_;
+
+  switch (op) {
+    case OpKind::kPlus:
+    case OpKind::kMinus:
+    case OpKind::kTimes:
+    case OpKind::kDivide:
+    case OpKind::kMod: {
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      RelDataTypePtr result =
+          tf.LeastRestrictive({operands[0]->type(), operands[1]->type()});
+      if (result == nullptr || !result->is_numeric()) {
+        // Datetime arithmetic: TIMESTAMP +/- INTERVAL stays TIMESTAMP.
+        if ((op == OpKind::kPlus || op == OpKind::kMinus) &&
+            IsDatetimeType(operands[0]->type()->type_name())) {
+          result = operands[0]->type();
+        } else {
+          return Status::ValidationError(
+              std::string("cannot apply '") + OpKindName(op) + "' to " +
+              operands[0]->type()->ToString() + " and " +
+              operands[1]->type()->ToString());
+        }
+      }
+      return MakeCallOfType(op, tf.CreateWithNullability(result, nullable),
+                            std::move(operands));
+    }
+    case OpKind::kUnaryMinus: {
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      RelDataTypePtr result = operands[0]->type();
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+    case OpKind::kEquals:
+    case OpKind::kNotEquals:
+    case OpKind::kLessThan:
+    case OpKind::kLessThanOrEqual:
+    case OpKind::kGreaterThan:
+    case OpKind::kGreaterThanOrEqual:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kBoolean, nullable),
+          std::move(operands));
+    case OpKind::kAnd:
+    case OpKind::kOr:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 1000));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kBoolean, nullable),
+          std::move(operands));
+    case OpKind::kNot:
+    case OpKind::kIsTrue:
+    case OpKind::kIsFalse:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      return MakeCallOfType(
+          op,
+          tf.CreateSqlType(SqlTypeName::kBoolean,
+                           op == OpKind::kNot && nullable),
+          std::move(operands));
+    case OpKind::kIsNull:
+    case OpKind::kIsNotNull:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      return MakeCallOfType(op, tf.CreateSqlType(SqlTypeName::kBoolean),
+                            std::move(operands));
+    case OpKind::kLike:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kBoolean, nullable),
+          std::move(operands));
+    case OpKind::kIn:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 1000));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kBoolean, nullable),
+          std::move(operands));
+    case OpKind::kBetween:
+      CALCITE_RETURN_IF_ERROR(check_arity(3, 3));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kBoolean, nullable),
+          std::move(operands));
+    case OpKind::kCase: {
+      // Operands: [cond1, val1, cond2, val2, ..., else].
+      if (operands.size() < 3 || operands.size() % 2 == 0) {
+        return Status::ValidationError("malformed CASE operand list");
+      }
+      std::vector<RelDataTypePtr> value_types;
+      for (size_t i = 1; i < operands.size(); i += 2) {
+        value_types.push_back(operands[i]->type());
+      }
+      value_types.push_back(operands.back()->type());
+      RelDataTypePtr result = tf.LeastRestrictive(value_types);
+      if (result == nullptr) {
+        return Status::ValidationError("incompatible CASE branch types");
+      }
+      return MakeCallOfType(op, result, std::move(operands));
+    }
+    case OpKind::kCoalesce: {
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1000));
+      std::vector<RelDataTypePtr> types;
+      for (const RexNodePtr& o : operands) types.push_back(o->type());
+      RelDataTypePtr result = tf.LeastRestrictive(types);
+      if (result == nullptr) {
+        return Status::ValidationError("incompatible COALESCE operand types");
+      }
+      return MakeCallOfType(op, result, std::move(operands));
+    }
+    case OpKind::kCast:
+      return Status::InvalidArgument("use MakeCast for CAST");
+    case OpKind::kItem: {
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      const RelDataTypePtr& container = operands[0]->type();
+      RelDataTypePtr component = container->component_type();
+      if (component == nullptr) {
+        component = tf.CreateSqlType(SqlTypeName::kAny, true);
+      }
+      return MakeCallOfType(op, tf.CreateWithNullability(component, true),
+                            std::move(operands));
+    }
+    case OpKind::kConcat:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kVarchar, -1, nullable),
+          std::move(operands));
+    case OpKind::kUpper:
+    case OpKind::kLower:
+    case OpKind::kTrim: {
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      RelDataTypePtr result =
+          tf.CreateWithNullability(operands[0]->type(), nullable);
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+    case OpKind::kSubstring:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 3));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kVarchar, -1, nullable),
+          std::move(operands));
+    case OpKind::kCharLength:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kInteger, nullable),
+          std::move(operands));
+    case OpKind::kAbs: {
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      RelDataTypePtr result = operands[0]->type();
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+    case OpKind::kFloor:
+    case OpKind::kCeil: {
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 2));
+      RelDataTypePtr result = operands[0]->type();
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+    case OpKind::kPower:
+    case OpKind::kSqrt:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kDouble, nullable),
+          std::move(operands));
+    case OpKind::kStGeomFromText:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kGeometry, nullable),
+          std::move(operands));
+    case OpKind::kStMakePoint:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kGeometry, nullable),
+          std::move(operands));
+    case OpKind::kStAsText:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kVarchar, -1, nullable),
+          std::move(operands));
+    case OpKind::kStContains:
+    case OpKind::kStWithin:
+    case OpKind::kStIntersects:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kBoolean, nullable),
+          std::move(operands));
+    case OpKind::kStDistance:
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kDouble, nullable),
+          std::move(operands));
+    case OpKind::kStArea:
+    case OpKind::kStX:
+    case OpKind::kStY:
+      CALCITE_RETURN_IF_ERROR(check_arity(1, 1));
+      return MakeCallOfType(
+          op, tf.CreateSqlType(SqlTypeName::kDouble, nullable),
+          std::move(operands));
+    case OpKind::kTumble:
+    case OpKind::kTumbleEnd:
+    case OpKind::kTumbleStart: {
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      RelDataTypePtr result = operands[0]->type();
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+    case OpKind::kHop:
+    case OpKind::kHopEnd: {
+      CALCITE_RETURN_IF_ERROR(check_arity(3, 3));
+      RelDataTypePtr result = operands[0]->type();
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+    case OpKind::kSession:
+    case OpKind::kSessionEnd: {
+      CALCITE_RETURN_IF_ERROR(check_arity(2, 2));
+      RelDataTypePtr result = operands[0]->type();
+      return MakeCallOfType(op, std::move(result), std::move(operands));
+    }
+  }
+  return Status::Internal("unhandled operator kind");
+}
+
+RexNodePtr RexBuilder::MakeCallOfType(OpKind op, RelDataTypePtr type,
+                                      std::vector<RexNodePtr> operands) const {
+  return std::make_shared<RexCall>(op, std::move(operands), std::move(type));
+}
+
+RexNodePtr RexBuilder::MakeCast(RelDataTypePtr type, RexNodePtr operand) const {
+  if (operand->type()->Equals(*type)) return operand;
+  return MakeCallOfType(OpKind::kCast, std::move(type), {std::move(operand)});
+}
+
+RexNodePtr RexBuilder::MakeAnd(std::vector<RexNodePtr> operands) const {
+  if (operands.empty()) return MakeBoolLiteral(true);
+  if (operands.size() == 1) return operands[0];
+  return MakeCallOfType(
+      OpKind::kAnd,
+      type_factory_.CreateSqlType(SqlTypeName::kBoolean,
+                                  AnyNullable(operands)),
+      std::move(operands));
+}
+
+RexNodePtr RexBuilder::MakeOr(std::vector<RexNodePtr> operands) const {
+  if (operands.empty()) return MakeBoolLiteral(false);
+  if (operands.size() == 1) return operands[0];
+  return MakeCallOfType(
+      OpKind::kOr,
+      type_factory_.CreateSqlType(SqlTypeName::kBoolean,
+                                  AnyNullable(operands)),
+      std::move(operands));
+}
+
+RexNodePtr RexBuilder::MakeEquals(RexNodePtr a, RexNodePtr b) const {
+  bool nullable = a->type()->nullable() || b->type()->nullable();
+  return MakeCallOfType(
+      OpKind::kEquals,
+      type_factory_.CreateSqlType(SqlTypeName::kBoolean, nullable),
+      {std::move(a), std::move(b)});
+}
+
+}  // namespace calcite

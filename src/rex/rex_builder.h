@@ -1,0 +1,70 @@
+#ifndef CALCITE_REX_REX_BUILDER_H_
+#define CALCITE_REX_REX_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rex/rex_node.h"
+#include "type/rel_data_type.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Factory for typed row expressions. Infers result types for operator
+/// calls (comparisons yield BOOLEAN, arithmetic widens its operands, ITEM
+/// yields the container's component type, and so on), mirroring Calcite's
+/// RexBuilder.
+class RexBuilder {
+ public:
+  explicit RexBuilder(TypeFactory type_factory = {})
+      : type_factory_(type_factory) {}
+
+  const TypeFactory& type_factory() const { return type_factory_; }
+
+  /// $index with the given type.
+  RexNodePtr MakeInputRef(int index, RelDataTypePtr type) const;
+
+  /// $index typed from the input row type's field.
+  RexNodePtr MakeInputRef(const RelDataTypePtr& row_type, int index) const;
+
+  RexNodePtr MakeLiteral(Value value, RelDataTypePtr type) const;
+  RexNodePtr MakeBoolLiteral(bool b) const;
+  RexNodePtr MakeIntLiteral(int64_t i) const;
+  RexNodePtr MakeBigIntLiteral(int64_t i) const;
+  RexNodePtr MakeDoubleLiteral(double d) const;
+  RexNodePtr MakeStringLiteral(const std::string& s) const;
+  RexNodePtr MakeNullLiteral(RelDataTypePtr type) const;
+  /// Day-time interval literal, stored in milliseconds.
+  RexNodePtr MakeIntervalLiteral(int64_t millis) const;
+
+  /// Builds an operator call, inferring the result type. Returns an error
+  /// for arity or operand-type violations.
+  Result<RexNodePtr> MakeCall(OpKind op,
+                              std::vector<RexNodePtr> operands) const;
+
+  /// Builds a call with an explicit result type (used for CAST and cases
+  /// where the caller has better type information).
+  RexNodePtr MakeCallOfType(OpKind op, RelDataTypePtr type,
+                            std::vector<RexNodePtr> operands) const;
+
+  /// CAST(expr AS type).
+  RexNodePtr MakeCast(RelDataTypePtr type, RexNodePtr operand) const;
+
+  /// Conjunction of the given predicates; returns TRUE literal when empty,
+  /// the sole element when singleton.
+  RexNodePtr MakeAnd(std::vector<RexNodePtr> operands) const;
+
+  /// Disjunction; returns FALSE literal when empty.
+  RexNodePtr MakeOr(std::vector<RexNodePtr> operands) const;
+
+  /// a = b.
+  RexNodePtr MakeEquals(RexNodePtr a, RexNodePtr b) const;
+
+ private:
+  TypeFactory type_factory_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_REX_REX_BUILDER_H_

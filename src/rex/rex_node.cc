@@ -1,0 +1,20 @@
+#include "rex/rex_node.h"
+
+namespace calcite {
+
+std::string RexCall::ToString() const {
+  if (op_ == OpKind::kCast) {
+    return "CAST(" + operands_[0]->ToString() + " AS " + type()->ToString() +
+           ")";
+  }
+  std::string result = OpKindName(op_);
+  result += "(";
+  for (size_t i = 0; i < operands_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += operands_[i]->ToString();
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace calcite

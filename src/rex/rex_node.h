@@ -1,0 +1,113 @@
+#ifndef CALCITE_REX_REX_NODE_H_
+#define CALCITE_REX_REX_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rex/operator.h"
+#include "type/rel_data_type.h"
+#include "type/value.h"
+
+namespace calcite {
+
+class RexNode;
+using RexNodePtr = std::shared_ptr<const RexNode>;
+
+/// A row expression — a scalar expression evaluated against the fields of an
+/// input row. RexNodes are immutable and shared between plans; every node
+/// carries its static type. This mirrors Calcite's RexNode (§4).
+class RexNode {
+ public:
+  enum class NodeKind { kInputRef, kLiteral, kCall };
+
+  virtual ~RexNode() = default;
+
+  NodeKind node_kind() const { return node_kind_; }
+  const RelDataTypePtr& type() const { return type_; }
+
+  bool is_input_ref() const { return node_kind_ == NodeKind::kInputRef; }
+  bool is_literal() const { return node_kind_ == NodeKind::kLiteral; }
+  bool is_call() const { return node_kind_ == NodeKind::kCall; }
+
+  /// Canonical textual form used in digests and EXPLAIN output, e.g.
+  /// "=($0, 10)" or "AND(>($1, 5), IS NOT NULL($2))".
+  virtual std::string ToString() const = 0;
+
+ protected:
+  RexNode(NodeKind node_kind, RelDataTypePtr type)
+      : node_kind_(node_kind), type_(std::move(type)) {}
+
+ private:
+  NodeKind node_kind_;
+  RelDataTypePtr type_;
+};
+
+/// Reference to a field of the input row by zero-based index ("$n").
+class RexInputRef final : public RexNode {
+ public:
+  RexInputRef(int index, RelDataTypePtr type)
+      : RexNode(NodeKind::kInputRef, std::move(type)), index_(index) {}
+
+  int index() const { return index_; }
+
+  std::string ToString() const override {
+    return "$" + std::to_string(index_);
+  }
+
+ private:
+  int index_;
+};
+
+/// A constant value with its type.
+class RexLiteral final : public RexNode {
+ public:
+  RexLiteral(Value value, RelDataTypePtr type)
+      : RexNode(NodeKind::kLiteral, std::move(type)), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+/// An operator or function applied to operand expressions.
+class RexCall final : public RexNode {
+ public:
+  RexCall(OpKind op, std::vector<RexNodePtr> operands, RelDataTypePtr type)
+      : RexNode(NodeKind::kCall, std::move(type)),
+        op_(op),
+        operands_(std::move(operands)) {}
+
+  OpKind op() const { return op_; }
+  const std::vector<RexNodePtr>& operands() const { return operands_; }
+  const RexNodePtr& operand(int i) const { return operands_[i]; }
+
+  std::string ToString() const override;
+
+ private:
+  OpKind op_;
+  std::vector<RexNodePtr> operands_;
+};
+
+/// Downcast helpers. Return nullptr when the node is not of that kind.
+inline const RexInputRef* AsInputRef(const RexNodePtr& node) {
+  return node && node->is_input_ref()
+             ? static_cast<const RexInputRef*>(node.get())
+             : nullptr;
+}
+inline const RexLiteral* AsLiteral(const RexNodePtr& node) {
+  return node && node->is_literal()
+             ? static_cast<const RexLiteral*>(node.get())
+             : nullptr;
+}
+inline const RexCall* AsCall(const RexNodePtr& node) {
+  return node && node->is_call() ? static_cast<const RexCall*>(node.get())
+                                 : nullptr;
+}
+
+}  // namespace calcite
+
+#endif  // CALCITE_REX_REX_NODE_H_

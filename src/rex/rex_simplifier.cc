@@ -1,0 +1,154 @@
+#include "rex/rex_simplifier.h"
+
+#include <vector>
+
+#include "rex/rex_interpreter.h"
+#include "rex/rex_util.h"
+
+namespace calcite {
+
+RexNodePtr RexSimplifier::TryFoldConstant(const RexNodePtr& node) const {
+  if (!node->is_call() || !RexUtil::IsConstant(node)) return node;
+  const RexCall* call = AsCall(node);
+  // Do not fold non-deterministic or window-group functions; everything in
+  // our operator table is deterministic, but SESSION assignment is
+  // context-dependent.
+  if (call->op() == OpKind::kSession || call->op() == OpKind::kSessionEnd) {
+    return node;
+  }
+  Row empty;
+  auto result = RexInterpreter::Eval(node, empty);
+  if (!result.ok()) return node;  // e.g. division by zero: keep for runtime
+  return std::make_shared<RexLiteral>(std::move(result).value(), node->type());
+}
+
+RexNodePtr RexSimplifier::Simplify(const RexNodePtr& node) const {
+  if (node == nullptr || !node->is_call()) return node;
+  const RexCall* call = AsCall(node);
+
+  // Simplify operands first (bottom-up).
+  std::vector<RexNodePtr> operands;
+  operands.reserve(call->operands().size());
+  bool changed = false;
+  for (const RexNodePtr& operand : call->operands()) {
+    RexNodePtr simplified = Simplify(operand);
+    changed = changed || simplified.get() != operand.get();
+    operands.push_back(std::move(simplified));
+  }
+  RexNodePtr rewritten =
+      changed ? std::make_shared<RexCall>(call->op(), operands, node->type())
+              : node;
+  return SimplifyCall(*AsCall(rewritten), rewritten->type());
+}
+
+RexNodePtr RexSimplifier::SimplifyCall(const RexCall& call,
+                                       const RelDataTypePtr& type) const {
+  RexNodePtr node = std::make_shared<RexCall>(call.op(), call.operands(), type);
+  switch (call.op()) {
+    case OpKind::kAnd: {
+      std::vector<RexNodePtr> conjuncts;
+      std::vector<std::string> seen;
+      for (const RexNodePtr& operand : call.operands()) {
+        if (RexUtil::IsLiteralTrue(operand)) continue;
+        if (RexUtil::IsLiteralFalse(operand)) {
+          return builder_.MakeBoolLiteral(false);
+        }
+        std::string digest = operand->ToString();
+        bool duplicate = false;
+        for (const std::string& s : seen) {
+          if (s == digest) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        seen.push_back(std::move(digest));
+        conjuncts.push_back(operand);
+      }
+      return builder_.MakeAnd(std::move(conjuncts));
+    }
+    case OpKind::kOr: {
+      std::vector<RexNodePtr> disjuncts;
+      std::vector<std::string> seen;
+      for (const RexNodePtr& operand : call.operands()) {
+        if (RexUtil::IsLiteralFalse(operand)) continue;
+        if (RexUtil::IsLiteralTrue(operand)) {
+          return builder_.MakeBoolLiteral(true);
+        }
+        std::string digest = operand->ToString();
+        bool duplicate = false;
+        for (const std::string& s : seen) {
+          if (s == digest) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        seen.push_back(std::move(digest));
+        disjuncts.push_back(operand);
+      }
+      return builder_.MakeOr(std::move(disjuncts));
+    }
+    case OpKind::kNot: {
+      const RexNodePtr& operand = call.operand(0);
+      if (RexUtil::IsLiteralTrue(operand)) return builder_.MakeBoolLiteral(false);
+      if (RexUtil::IsLiteralFalse(operand)) return builder_.MakeBoolLiteral(true);
+      if (const RexCall* inner = AsCall(operand)) {
+        if (inner->op() == OpKind::kNot) return inner->operand(0);
+        if (IsComparison(inner->op())) {
+          // NOT(a < b) => a >= b. Safe for filters: both forms yield UNKNOWN
+          // on NULL operands.
+          return builder_.MakeCallOfType(NegateComparison(inner->op()),
+                                         operand->type(), inner->operands());
+        }
+        if (inner->op() == OpKind::kIsNull) {
+          return builder_.MakeCallOfType(OpKind::kIsNotNull, operand->type(),
+                                         inner->operands());
+        }
+        if (inner->op() == OpKind::kIsNotNull) {
+          return builder_.MakeCallOfType(OpKind::kIsNull, operand->type(),
+                                         inner->operands());
+        }
+      }
+      return TryFoldConstant(node);
+    }
+    case OpKind::kCase: {
+      // Drop statically-false arms; collapse when the first live condition
+      // is statically true.
+      const auto& ops = call.operands();
+      std::vector<RexNodePtr> pruned;
+      for (size_t i = 0; i + 1 < ops.size(); i += 2) {
+        if (RexUtil::IsLiteralFalse(ops[i])) continue;
+        if (RexUtil::IsLiteralTrue(ops[i]) && pruned.empty()) {
+          return ops[i + 1];
+        }
+        pruned.push_back(ops[i]);
+        pruned.push_back(ops[i + 1]);
+      }
+      pruned.push_back(ops.back());
+      if (pruned.size() == 1) return pruned[0];
+      if (pruned.size() != ops.size()) {
+        return builder_.MakeCallOfType(OpKind::kCase, type, std::move(pruned));
+      }
+      return TryFoldConstant(node);
+    }
+    case OpKind::kCast:
+      // CAST(x AS t) where x already has type t.
+      if (call.operand(0)->type()->Equals(*type)) return call.operand(0);
+      return TryFoldConstant(node);
+    case OpKind::kIsNotNull:
+      if (!call.operand(0)->type()->nullable()) {
+        return builder_.MakeBoolLiteral(true);
+      }
+      return TryFoldConstant(node);
+    case OpKind::kIsNull:
+      if (!call.operand(0)->type()->nullable()) {
+        return builder_.MakeBoolLiteral(false);
+      }
+      return TryFoldConstant(node);
+    default:
+      return TryFoldConstant(node);
+  }
+}
+
+}  // namespace calcite

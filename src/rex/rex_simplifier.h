@@ -1,0 +1,36 @@
+#ifndef CALCITE_REX_REX_SIMPLIFIER_H_
+#define CALCITE_REX_REX_SIMPLIFIER_H_
+
+#include "rex/rex_builder.h"
+#include "rex/rex_node.h"
+
+namespace calcite {
+
+/// Expression simplification used by ReduceExpressionsRule and during
+/// SQL-to-Rel conversion:
+///  - constant folding via the interpreter (`1 + 2` -> `3`),
+///  - boolean algebra (`x AND TRUE` -> `x`, `x OR TRUE` -> `TRUE`,
+///    `NOT NOT x` -> `x`, `NOT (a = b)` -> `a <> b`),
+///  - CASE pruning when a condition is a constant,
+///  - CAST of a literal folded to a literal,
+///  - duplicate conjunct elimination.
+/// Simplification is semantics-preserving under SQL three-valued logic:
+/// e.g. `x AND FALSE` folds to FALSE, which is equivalent for filters.
+class RexSimplifier {
+ public:
+  explicit RexSimplifier(RexBuilder builder) : builder_(std::move(builder)) {}
+
+  /// Returns a simplified, semantically-equal expression. Idempotent.
+  RexNodePtr Simplify(const RexNodePtr& node) const;
+
+ private:
+  RexNodePtr SimplifyCall(const RexCall& call,
+                          const RelDataTypePtr& type) const;
+  RexNodePtr TryFoldConstant(const RexNodePtr& node) const;
+
+  RexBuilder builder_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_REX_REX_SIMPLIFIER_H_

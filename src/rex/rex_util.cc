@@ -1,0 +1,210 @@
+#include "rex/rex_util.h"
+
+#include <cassert>
+
+namespace calcite {
+
+std::vector<RexNodePtr> RexUtil::FlattenAnd(const RexNodePtr& node) {
+  std::vector<RexNodePtr> result;
+  if (node == nullptr || IsLiteralTrue(node)) return result;
+  if (const RexCall* call = AsCall(node); call && call->op() == OpKind::kAnd) {
+    for (const RexNodePtr& operand : call->operands()) {
+      auto sub = FlattenAnd(operand);
+      result.insert(result.end(), sub.begin(), sub.end());
+    }
+    return result;
+  }
+  result.push_back(node);
+  return result;
+}
+
+RexNodePtr RexUtil::ComposeConjunction(const RexBuilder& builder,
+                                       std::vector<RexNodePtr> conjuncts) {
+  return builder.MakeAnd(std::move(conjuncts));
+}
+
+namespace {
+
+void CollectRefs(const RexNodePtr& node, std::set<int>* refs) {
+  if (const RexInputRef* ref = AsInputRef(node)) {
+    refs->insert(ref->index());
+    return;
+  }
+  if (const RexCall* call = AsCall(node)) {
+    for (const RexNodePtr& operand : call->operands()) {
+      CollectRefs(operand, refs);
+    }
+  }
+}
+
+}  // namespace
+
+std::set<int> RexUtil::InputRefs(const RexNodePtr& node) {
+  std::set<int> refs;
+  CollectRefs(node, &refs);
+  return refs;
+}
+
+bool RexUtil::AllRefsInRange(const RexNodePtr& node, int lower, int upper) {
+  for (int ref : InputRefs(node)) {
+    if (ref < lower || ref >= upper) return false;
+  }
+  return true;
+}
+
+RexNodePtr RexUtil::ShiftRefs(const RexNodePtr& node, int offset) {
+  if (offset == 0) return node;
+  if (const RexInputRef* ref = AsInputRef(node)) {
+    return std::make_shared<RexInputRef>(ref->index() + offset, node->type());
+  }
+  if (const RexCall* call = AsCall(node)) {
+    std::vector<RexNodePtr> operands;
+    operands.reserve(call->operands().size());
+    for (const RexNodePtr& operand : call->operands()) {
+      operands.push_back(ShiftRefs(operand, offset));
+    }
+    return std::make_shared<RexCall>(call->op(), std::move(operands),
+                                     node->type());
+  }
+  return node;
+}
+
+RexNodePtr RexUtil::RemapRefs(const RexNodePtr& node,
+                              const std::vector<int>& mapping) {
+  if (const RexInputRef* ref = AsInputRef(node)) {
+    int index = ref->index();
+    if (index >= 0 && static_cast<size_t>(index) < mapping.size()) {
+      index = mapping[static_cast<size_t>(index)];
+    }
+    return std::make_shared<RexInputRef>(index, node->type());
+  }
+  if (const RexCall* call = AsCall(node)) {
+    std::vector<RexNodePtr> operands;
+    operands.reserve(call->operands().size());
+    for (const RexNodePtr& operand : call->operands()) {
+      operands.push_back(RemapRefs(operand, mapping));
+    }
+    return std::make_shared<RexCall>(call->op(), std::move(operands),
+                                     node->type());
+  }
+  return node;
+}
+
+RexNodePtr RexUtil::ReplaceRefs(const RexNodePtr& node,
+                                const std::vector<RexNodePtr>& exprs) {
+  if (const RexInputRef* ref = AsInputRef(node)) {
+    int index = ref->index();
+    assert(index >= 0 && static_cast<size_t>(index) < exprs.size());
+    return exprs[static_cast<size_t>(index)];
+  }
+  if (const RexCall* call = AsCall(node)) {
+    std::vector<RexNodePtr> operands;
+    operands.reserve(call->operands().size());
+    for (const RexNodePtr& operand : call->operands()) {
+      operands.push_back(ReplaceRefs(operand, exprs));
+    }
+    return std::make_shared<RexCall>(call->op(), std::move(operands),
+                                     node->type());
+  }
+  return node;
+}
+
+bool RexUtil::IsConstant(const RexNodePtr& node) {
+  return InputRefs(node).empty();
+}
+
+bool RexUtil::IsLiteralTrue(const RexNodePtr& node) {
+  const RexLiteral* lit = AsLiteral(node);
+  return lit != nullptr && lit->value().is_bool() && lit->value().AsBool();
+}
+
+bool RexUtil::IsLiteralFalse(const RexNodePtr& node) {
+  const RexLiteral* lit = AsLiteral(node);
+  return lit != nullptr && lit->value().is_bool() && !lit->value().AsBool();
+}
+
+bool RexUtil::Equal(const RexNodePtr& a, const RexNodePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->ToString() == b->ToString();
+}
+
+bool RexUtil::IsIdentity(const std::vector<RexNodePtr>& exprs,
+                         int input_field_count) {
+  if (static_cast<int>(exprs.size()) != input_field_count) return false;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    const RexInputRef* ref = AsInputRef(exprs[i]);
+    if (ref == nullptr || ref->index() != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+Monotonicity DeriveMonotonicity(const RexNodePtr& node,
+                                const std::set<int>& increasing_inputs) {
+  if (const RexInputRef* ref = AsInputRef(node)) {
+    return increasing_inputs.count(ref->index()) > 0
+               ? Monotonicity::kIncreasing
+               : Monotonicity::kNotMonotonic;
+  }
+  if (node->is_literal()) return Monotonicity::kConstant;
+  const RexCall* call = AsCall(node);
+  if (call == nullptr) return Monotonicity::kNotMonotonic;
+  switch (call->op()) {
+    case OpKind::kTumble:
+    case OpKind::kTumbleStart:
+    case OpKind::kTumbleEnd:
+    case OpKind::kHop:
+    case OpKind::kHopEnd:
+    case OpKind::kSession:
+    case OpKind::kSessionEnd:
+    case OpKind::kFloor:
+    case OpKind::kCeil:
+    case OpKind::kCast: {
+      // Monotone transforms of the first operand (remaining operands must be
+      // constants, which the builder enforces for window functions).
+      Monotonicity m = DeriveMonotonicity(call->operand(0), increasing_inputs);
+      for (size_t i = 1; i < call->operands().size(); ++i) {
+        if (DeriveMonotonicity(call->operands()[i], increasing_inputs) !=
+            Monotonicity::kConstant) {
+          return Monotonicity::kNotMonotonic;
+        }
+      }
+      return m;
+    }
+    case OpKind::kPlus:
+    case OpKind::kMinus: {
+      Monotonicity a = DeriveMonotonicity(call->operand(0), increasing_inputs);
+      Monotonicity b = DeriveMonotonicity(call->operand(1), increasing_inputs);
+      if (a == Monotonicity::kConstant && b == Monotonicity::kConstant) {
+        return Monotonicity::kConstant;
+      }
+      if (b == Monotonicity::kConstant) return a;
+      if (a == Monotonicity::kConstant) {
+        if (call->op() == OpKind::kPlus) return b;
+        // constant - increasing = decreasing.
+        return b == Monotonicity::kIncreasing ? Monotonicity::kDecreasing
+               : b == Monotonicity::kDecreasing ? Monotonicity::kIncreasing
+                                                : b;
+      }
+      return Monotonicity::kNotMonotonic;
+    }
+    case OpKind::kUnaryMinus: {
+      Monotonicity m = DeriveMonotonicity(call->operand(0), increasing_inputs);
+      if (m == Monotonicity::kIncreasing) return Monotonicity::kDecreasing;
+      if (m == Monotonicity::kDecreasing) return Monotonicity::kIncreasing;
+      return m;
+    }
+    default: {
+      // An expression over constants only is constant.
+      for (const RexNodePtr& operand : call->operands()) {
+        if (DeriveMonotonicity(operand, increasing_inputs) !=
+            Monotonicity::kConstant) {
+          return Monotonicity::kNotMonotonic;
+        }
+      }
+      return Monotonicity::kConstant;
+    }
+  }
+}
+
+}  // namespace calcite

@@ -1,0 +1,52 @@
+#include "schema/model.h"
+
+#include "adapters/csv/csv_adapter.h"
+
+namespace calcite {
+
+Result<SchemaPtr> LoadModel(
+    const std::string& json_text,
+    const std::map<std::string, SchemaFactoryFn>& factories) {
+  auto model = ParseJson(json_text);
+  if (!model.ok()) return model.status();
+  if (!model.value().is_object()) {
+    return Status::InvalidArgument("model must be a JSON object");
+  }
+  auto root = std::make_shared<Schema>();
+  const JsonValue* schemas = model.value().Get("schemas");
+  if (schemas == nullptr || !schemas->is_array()) {
+    return Status::InvalidArgument("model requires a 'schemas' array");
+  }
+  for (const JsonValue& spec : schemas->as_array()) {
+    const JsonValue* name = spec.Get("name");
+    const JsonValue* factory = spec.Get("factory");
+    if (name == nullptr || !name->is_string() || factory == nullptr ||
+        !factory->is_string()) {
+      return Status::InvalidArgument(
+          "each schema needs string 'name' and 'factory'");
+    }
+    const JsonValue* operand = spec.Get("operand");
+    JsonValue empty = JsonValue::Object();
+    const JsonValue& op = operand != nullptr ? *operand : empty;
+
+    Result<SchemaPtr> schema = Status::NotFound("");
+    if (auto it = factories.find(factory->as_string()); it != factories.end()) {
+      schema = it->second(op);
+    } else if (factory->as_string() == "csv") {
+      const JsonValue* dir = op.Get("directory");
+      if (dir == nullptr || !dir->is_string()) {
+        return Status::InvalidArgument(
+            "csv factory requires operand.directory");
+      }
+      schema = CsvSchemaFactory(dir->as_string());
+    } else {
+      return Status::NotFound("unknown schema factory '" +
+                              factory->as_string() + "'");
+    }
+    if (!schema.ok()) return schema;
+    root->AddSubSchema(name->as_string(), schema.value());
+  }
+  return SchemaPtr(root);
+}
+
+}  // namespace calcite

@@ -1,0 +1,38 @@
+#ifndef CALCITE_SCHEMA_MODEL_H_
+#define CALCITE_SCHEMA_MODEL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "schema/schema.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// A schema factory: builds an adapter schema from its model operand
+/// (Figure 3: model → schema factory → schema).
+using SchemaFactoryFn = std::function<Result<SchemaPtr>(const JsonValue&)>;
+
+/// Loads a JSON model file describing the catalog — the adapter "model" of
+/// Figure 3, mirroring Calcite's model.json:
+///
+///   {
+///     "defaultSchema": "sales",
+///     "schemas": [
+///       {"name": "sales", "factory": "csv",
+///        "operand": {"directory": "data/sales"}},
+///       {"name": "hr", "factory": "mem", "operand": {...}}
+///     ]
+///   }
+///
+/// `factories` maps factory names to SchemaFactoryFn; the built-in "csv"
+/// factory is always available.
+Result<SchemaPtr> LoadModel(
+    const std::string& json_text,
+    const std::map<std::string, SchemaFactoryFn>& factories = {});
+
+}  // namespace calcite
+
+#endif  // CALCITE_SCHEMA_MODEL_H_

@@ -1,0 +1,104 @@
+#include "schema/schema.h"
+
+#include "util/string_utils.h"
+
+namespace calcite {
+
+bool Statistic::IsKey(const std::vector<int>& columns) const {
+  for (const std::vector<int>& key : unique_keys) {
+    // `columns` is a key if it contains some declared unique key.
+    bool contains_all = true;
+    for (int k : key) {
+      bool found = false;
+      for (int c : columns) {
+        if (c == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all && !key.empty()) return true;
+  }
+  return false;
+}
+
+TablePtr Schema::GetTable(const std::string& name) const {
+  for (const auto& [key, table] : tables_) {
+    if (EqualsIgnoreCase(key, name)) return table;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Schema> Schema::GetSubSchema(const std::string& name) const {
+  for (const auto& [key, schema] : sub_schemas_) {
+    if (EqualsIgnoreCase(key, name)) return schema;
+  }
+  return nullptr;
+}
+
+void Schema::AddTable(const std::string& name, TablePtr table) {
+  tables_[name] = std::move(table);
+}
+
+void Schema::AddSubSchema(const std::string& name,
+                          std::shared_ptr<Schema> schema) {
+  sub_schemas_[name] = std::move(schema);
+}
+
+std::vector<std::string> Schema::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(key);
+  return names;
+}
+
+std::vector<std::string> Schema::SubSchemaNames() const {
+  std::vector<std::string> names;
+  names.reserve(sub_schemas_.size());
+  for (const auto& [key, schema] : sub_schemas_) names.push_back(key);
+  return names;
+}
+
+const Convention* Schema::ScanConvention() const {
+  return Convention::Enumerable();
+}
+
+Result<ResolvedTable> ResolveTable(const SchemaPtr& root,
+                                   const std::vector<std::string>& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty table path");
+  }
+  std::shared_ptr<Schema> schema = root;
+  std::vector<std::string> qualified;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    std::shared_ptr<Schema> next = schema->GetSubSchema(path[i]);
+    if (next == nullptr) {
+      return Status::NotFound("schema '" + path[i] + "' not found");
+    }
+    qualified.push_back(path[i]);
+    schema = std::move(next);
+  }
+  TablePtr table = schema->GetTable(path.back());
+  if (table == nullptr) {
+    // Try a one-level search through subschemas for unqualified names.
+    if (path.size() == 1) {
+      for (const std::string& sub_name : root->SubSchemaNames()) {
+        std::shared_ptr<Schema> sub = root->GetSubSchema(sub_name);
+        TablePtr t = sub->GetTable(path.back());
+        if (t != nullptr) {
+          return ResolvedTable{t, sub, {sub_name, path.back()}};
+        }
+      }
+    }
+    return Status::NotFound("table '" + path.back() + "' not found");
+  }
+  qualified.push_back(path.back());
+  return ResolvedTable{std::move(table), std::move(schema),
+                       std::move(qualified)};
+}
+
+}  // namespace calcite

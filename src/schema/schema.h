@@ -1,0 +1,72 @@
+#ifndef CALCITE_SCHEMA_SCHEMA_H_
+#define CALCITE_SCHEMA_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schema/table.h"
+#include "util/status.h"
+
+namespace calcite {
+
+class RelOptRule;
+using RelOptRulePtr = std::shared_ptr<const RelOptRule>;
+
+/// A namespace of tables, possibly nested in a parent schema (Figure 3: "a
+/// schema is the definition of the data found in the model"). Adapters
+/// produce Schema instances through their schema factories; a schema may
+/// also advertise planner rules ("the adapter may define a set of rules that
+/// are added to the planner") and the convention its tables scan in.
+class Schema {
+ public:
+  virtual ~Schema() = default;
+
+  /// Case-insensitive table lookup; nullptr when absent.
+  TablePtr GetTable(const std::string& name) const;
+
+  /// Case-insensitive subschema lookup; nullptr when absent.
+  std::shared_ptr<Schema> GetSubSchema(const std::string& name) const;
+
+  /// Registers a table under `name`.
+  void AddTable(const std::string& name, TablePtr table);
+
+  /// Registers a nested schema under `name`.
+  void AddSubSchema(const std::string& name, std::shared_ptr<Schema> schema);
+
+  /// Names of all tables in this schema, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Names of all subschemas, sorted.
+  std::vector<std::string> SubSchemaNames() const;
+
+  /// Planner rules this adapter contributes (push-down/converter rules).
+  virtual std::vector<RelOptRulePtr> AdapterRules() const { return {}; }
+
+  /// The convention table scans of this schema start in. Plain in-memory
+  /// schemas scan directly in the enumerable convention; adapter schemas
+  /// return their backend convention.
+  virtual const Convention* ScanConvention() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+  std::map<std::string, std::shared_ptr<Schema>> sub_schemas_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+/// Resolves a possibly-qualified table path ("schema.table" or "table")
+/// starting from `root`. On success also reports the schema that owned the
+/// table (so the converter can pick up its convention and rules).
+struct ResolvedTable {
+  TablePtr table;
+  std::shared_ptr<Schema> schema;
+  std::vector<std::string> qualified_name;
+};
+Result<ResolvedTable> ResolveTable(const SchemaPtr& root,
+                                   const std::vector<std::string>& path);
+
+}  // namespace calcite
+
+#endif  // CALCITE_SCHEMA_SCHEMA_H_

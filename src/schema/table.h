@@ -1,0 +1,120 @@
+#ifndef CALCITE_SCHEMA_TABLE_H_
+#define CALCITE_SCHEMA_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/traits.h"
+#include "type/rel_data_type.h"
+#include "type/value.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Statistics a table exposes to the optimizer's metadata providers (§6:
+/// "for many of them, it is sufficient to provide statistics about their
+/// input data, e.g., number of rows and size of a table, whether values for
+/// a given column are unique etc., and Calcite will do the rest").
+struct Statistic {
+  /// Estimated row count; nullopt means unknown (the default provider then
+  /// assumes a fixed guess).
+  std::optional<double> row_count;
+  /// Sets of columns that form unique keys.
+  std::vector<std::vector<int>> unique_keys;
+  /// Orderings the physical data is known to satisfy (e.g. Cassandra rows
+  /// sorted by clustering key within a partition).
+  std::vector<RelCollation> collations;
+  /// Columns known to be monotonically increasing across the scan — e.g. a
+  /// stream's rowtime. Required by streaming window validation (§7.2).
+  std::vector<int> monotonic_columns;
+
+  bool IsKey(const std::vector<int>& columns) const;
+};
+
+/// A table known to the framework. Adapters implement this to describe the
+/// data in their backend (Figure 3: "the data itself is physically accessed
+/// via tables"). The minimal contract is a row type plus Scan() — "if an
+/// adapter implements the table scan operator, the Calcite optimizer is then
+/// able to use client-side operators ... to execute arbitrary SQL queries".
+class Table {
+ public:
+  virtual ~Table() = default;
+
+  /// The relational row type of this table.
+  virtual RelDataTypePtr GetRowType(const TypeFactory& factory) const = 0;
+
+  /// Optimizer statistics. Default: everything unknown.
+  virtual Statistic GetStatistic() const { return Statistic{}; }
+
+  /// Full scan of the table contents, in storage order. This is the access
+  /// path the enumerable convention uses.
+  virtual Result<std::vector<Row>> Scan() const = 0;
+
+  /// True if this table is a stream (time-ordered, unbounded in principle;
+  /// §7.2). STREAM queries are only legal on streaming tables.
+  virtual bool IsStream() const { return false; }
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// A straightforward in-memory table: a row type plus a vector of rows.
+/// Used by tests, examples, and as the backing store of the simulated
+/// adapters.
+class MemTable : public Table {
+ public:
+  MemTable(RelDataTypePtr row_type, std::vector<Row> rows)
+      : row_type_(std::move(row_type)), rows_(std::move(rows)) {}
+
+  RelDataTypePtr GetRowType(const TypeFactory&) const override {
+    return row_type_;
+  }
+
+  Statistic GetStatistic() const override {
+    Statistic stat = statistic_;
+    if (!stat.row_count.has_value()) {
+      stat.row_count = static_cast<double>(rows_.size());
+    }
+    return stat;
+  }
+
+  Result<std::vector<Row>> Scan() const override { return rows_; }
+
+  /// Mutable access for test/bench setup.
+  std::vector<Row>& rows() { return rows_; }
+  void set_statistic(Statistic statistic) { statistic_ = std::move(statistic); }
+
+ private:
+  RelDataTypePtr row_type_;
+  std::vector<Row> rows_;
+  Statistic statistic_;
+};
+
+/// A view: a table defined by a SQL query over other tables. The validator
+/// expands views in-place during name resolution (§7.1 uses views to expose
+/// semi-structured data relationally).
+class ViewTable : public Table {
+ public:
+  ViewTable(std::string sql, RelDataTypePtr row_type)
+      : sql_(std::move(sql)), row_type_(std::move(row_type)) {}
+
+  const std::string& sql() const { return sql_; }
+
+  RelDataTypePtr GetRowType(const TypeFactory&) const override {
+    return row_type_;
+  }
+
+  Result<std::vector<Row>> Scan() const override {
+    return Status::Internal(
+        "views are expanded during validation and never scanned directly");
+  }
+
+ private:
+  std::string sql_;
+  RelDataTypePtr row_type_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_SCHEMA_TABLE_H_

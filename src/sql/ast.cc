@@ -1,0 +1,192 @@
+#include "sql/ast.h"
+
+#include "util/string_utils.h"
+
+namespace calcite::sql {
+
+namespace {
+
+std::string JoinSql(const std::vector<SqlNodePtr>& nodes,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += sep;
+    out += nodes[i]->ToSql();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SqlIdentifier::ToSql() const {
+  std::string out = JoinStrings(names_, ".");
+  if (star_) out += out.empty() ? "*" : ".*";
+  return out;
+}
+
+std::string SqlLiteral::ToSql() const {
+  switch (literal_kind_) {
+    case LiteralKind::kNull:
+      return "NULL";
+    case LiteralKind::kBoolean:
+      return value_.AsBool() ? "TRUE" : "FALSE";
+    case LiteralKind::kString:
+      return "'" + value_.AsString() + "'";
+    case LiteralKind::kInterval:
+      return "INTERVAL " + std::to_string(value_.AsInt()) + " MS";
+    default: {
+      Value v = value_;
+      std::string s = v.ToString();
+      return s;
+    }
+  }
+}
+
+std::string SqlTypeSpec::ToSql() const {
+  std::string out = name;
+  if (precision >= 0) {
+    out += "(" + std::to_string(precision);
+    if (scale >= 0) out += ", " + std::to_string(scale);
+    out += ")";
+  }
+  return out;
+}
+
+std::string SqlCall::ToSql() const {
+  if (op_ == "CAST" && type_spec.has_value()) {
+    return "CAST(" + operands_[0]->ToSql() + " AS " + type_spec->ToSql() + ")";
+  }
+  if (op_ == "ITEM") {
+    return operands_[0]->ToSql() + "[" + operands_[1]->ToSql() + "]";
+  }
+  if (op_ == "CASE") {
+    std::string out = "CASE";
+    for (size_t i = 0; i + 1 < operands_.size(); i += 2) {
+      out += " WHEN " + operands_[i]->ToSql() + " THEN " +
+             operands_[i + 1]->ToSql();
+    }
+    out += " ELSE " + operands_.back()->ToSql() + " END";
+    return out;
+  }
+  if (op_ == "OVER") {
+    return operands_[0]->ToSql() + " OVER (" + operands_[1]->ToSql() + ")";
+  }
+  std::string out = op_ + "(";
+  if (distinct) out += "DISTINCT ";
+  if (star) out += "*";
+  out += JoinSql(operands_, ", ");
+  out += ")";
+  return out;
+}
+
+std::string SqlOrderItem::ToSql() const {
+  return expr_->ToSql() + (descending_ ? " DESC" : "");
+}
+
+std::string SqlWindowSpec::ToSql() const {
+  std::string out;
+  if (!partition_by.empty()) {
+    out += "PARTITION BY " + JoinSql(partition_by, ", ");
+  }
+  if (!order_by.empty()) {
+    if (!out.empty()) out += " ";
+    out += "ORDER BY " + JoinSql(order_by, ", ");
+  }
+  if (has_frame) {
+    if (!out.empty()) out += " ";
+    out += is_rows ? "ROWS " : "RANGE ";
+    out += preceding < 0 ? "UNBOUNDED PRECEDING"
+                         : std::to_string(preceding) + " PRECEDING";
+  }
+  return out;
+}
+
+std::string SqlTableRef::ToSql() const {
+  std::string out = JoinStrings(names_, ".");
+  if (!alias_.empty()) out += " AS " + alias_;
+  return out;
+}
+
+std::string SqlSubquery::ToSql() const {
+  std::string out = "(" + query_->ToSql() + ")";
+  if (!alias_.empty()) out += " AS " + alias_;
+  return out;
+}
+
+std::string SqlJoin::ToSql() const {
+  std::string out = left_->ToSql();
+  switch (type_) {
+    case Type::kInner:
+      out += " JOIN ";
+      break;
+    case Type::kLeft:
+      out += " LEFT JOIN ";
+      break;
+    case Type::kRight:
+      out += " RIGHT JOIN ";
+      break;
+    case Type::kFull:
+      out += " FULL JOIN ";
+      break;
+    case Type::kCross:
+      out += " CROSS JOIN ";
+      break;
+  }
+  out += right_->ToSql();
+  if (condition_ != nullptr) out += " ON " + condition_->ToSql();
+  if (!using_columns_.empty()) {
+    out += " USING (" + JoinStrings(using_columns_, ", ") + ")";
+  }
+  return out;
+}
+
+std::string SqlSelect::ToSql() const {
+  std::string out = "SELECT ";
+  if (stream) out += "STREAM ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_list[i].expr->ToSql();
+    if (!select_list[i].alias.empty()) out += " AS " + select_list[i].alias;
+  }
+  if (from != nullptr) out += " FROM " + from->ToSql();
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) out += " GROUP BY " + JoinSql(group_by, ", ");
+  if (having != nullptr) out += " HAVING " + having->ToSql();
+  if (!order_by.empty()) out += " ORDER BY " + JoinSql(order_by, ", ");
+  if (offset > 0) out += " OFFSET " + std::to_string(offset);
+  if (fetch >= 0) out += " LIMIT " + std::to_string(fetch);
+  return out;
+}
+
+std::string SqlSetOp::ToSql() const {
+  std::string out = left_->ToSql();
+  switch (op_) {
+    case Op::kUnion:
+      out += " UNION ";
+      break;
+    case Op::kIntersect:
+      out += " INTERSECT ";
+      break;
+    case Op::kExcept:
+      out += " EXCEPT ";
+      break;
+  }
+  if (all_) out += "ALL ";
+  out += right_->ToSql();
+  if (!order_by.empty()) out += " ORDER BY " + JoinSql(order_by, ", ");
+  if (offset > 0) out += " OFFSET " + std::to_string(offset);
+  if (fetch >= 0) out += " LIMIT " + std::to_string(fetch);
+  return out;
+}
+
+std::string SqlValues::ToSql() const {
+  std::string out = "VALUES ";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + JoinSql(rows_[i], ", ") + ")";
+  }
+  return out;
+}
+
+}  // namespace calcite::sql

@@ -1,0 +1,297 @@
+#ifndef CALCITE_SQL_AST_H_
+#define CALCITE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "type/value.h"
+
+namespace calcite::sql {
+
+class SqlNode;
+using SqlNodePtr = std::shared_ptr<const SqlNode>;
+
+/// Abstract syntax tree node kinds for the supported SQL dialect (core ANSI
+/// SQL plus the paper's extensions: STREAM, windowed aggregation, `[]` item
+/// access, geospatial function calls).
+enum class SqlNodeKind {
+  kIdentifier,
+  kLiteral,
+  kCall,
+  kSelect,
+  kJoin,
+  kSetOp,
+  kTableRef,
+  kSubquery,
+  kOrderItem,
+  kWindowSpec,
+  kValues,
+};
+
+/// Base class of parsed SQL nodes (parse tree only; resolution happens in
+/// the validator).
+class SqlNode {
+ public:
+  virtual ~SqlNode() = default;
+  explicit SqlNode(SqlNodeKind kind) : kind_(kind) {}
+
+  SqlNodeKind kind() const { return kind_; }
+
+  /// Unparses back to SQL text (used by error messages and tests).
+  virtual std::string ToSql() const = 0;
+
+ private:
+  SqlNodeKind kind_;
+};
+
+/// Possibly-qualified name: a, s.t, t.c, or the star "*" / "t.*".
+class SqlIdentifier final : public SqlNode {
+ public:
+  explicit SqlIdentifier(std::vector<std::string> names, bool star = false)
+      : SqlNode(SqlNodeKind::kIdentifier),
+        names_(std::move(names)),
+        star_(star) {}
+
+  const std::vector<std::string>& names() const { return names_; }
+  bool is_star() const { return star_; }
+
+  std::string ToSql() const override;
+
+ private:
+  std::vector<std::string> names_;
+  bool star_;
+};
+
+/// A literal constant (with interval support: value in milliseconds).
+class SqlLiteral final : public SqlNode {
+ public:
+  enum class LiteralKind { kNull, kBoolean, kInteger, kDecimal, kString,
+                           kInterval };
+
+  SqlLiteral(LiteralKind literal_kind, Value value)
+      : SqlNode(SqlNodeKind::kLiteral),
+        literal_kind_(literal_kind),
+        value_(std::move(value)) {}
+
+  LiteralKind literal_kind() const { return literal_kind_; }
+  const Value& value() const { return value_; }
+
+  std::string ToSql() const override;
+
+ private:
+  LiteralKind literal_kind_;
+  Value value_;
+};
+
+/// Type specification in CAST(expr AS type).
+struct SqlTypeSpec {
+  std::string name;       // upper-case: "INTEGER", "VARCHAR", ...
+  int precision = -1;     // VARCHAR(n) / DECIMAL(p)
+  int scale = -1;
+
+  std::string ToSql() const;
+};
+
+/// Operator or function application. The operator is identified by its
+/// upper-case name ("=", "AND", "COUNT", "TUMBLE", "CAST", "CASE", "ITEM",
+/// "OVER", ...). For CAST, `type_spec` carries the target type. For
+/// aggregate calls, `distinct`/`star` mirror COUNT(DISTINCT x) / COUNT(*).
+class SqlCall final : public SqlNode {
+ public:
+  SqlCall(std::string op, std::vector<SqlNodePtr> operands)
+      : SqlNode(SqlNodeKind::kCall),
+        op_(std::move(op)),
+        operands_(std::move(operands)) {}
+
+  const std::string& op() const { return op_; }
+  const std::vector<SqlNodePtr>& operands() const { return operands_; }
+
+  bool distinct = false;
+  bool star = false;
+  std::optional<SqlTypeSpec> type_spec;
+
+  std::string ToSql() const override;
+
+ private:
+  std::string op_;
+  std::vector<SqlNodePtr> operands_;
+};
+
+/// ORDER BY item: expression plus direction.
+class SqlOrderItem final : public SqlNode {
+ public:
+  SqlOrderItem(SqlNodePtr expr, bool descending)
+      : SqlNode(SqlNodeKind::kOrderItem),
+        expr_(std::move(expr)),
+        descending_(descending) {}
+
+  const SqlNodePtr& expr() const { return expr_; }
+  bool descending() const { return descending_; }
+
+  std::string ToSql() const override;
+
+ private:
+  SqlNodePtr expr_;
+  bool descending_;
+};
+
+/// Window specification of an OVER clause (§7.2's sliding windows and §4's
+/// window operator): PARTITION BY / ORDER BY / frame.
+class SqlWindowSpec final : public SqlNode {
+ public:
+  SqlWindowSpec() : SqlNode(SqlNodeKind::kWindowSpec) {}
+
+  std::vector<SqlNodePtr> partition_by;
+  std::vector<SqlNodePtr> order_by;  // SqlOrderItem
+  bool is_rows = false;              // ROWS vs RANGE
+  /// -1 = UNBOUNDED PRECEDING; otherwise rows or milliseconds.
+  int64_t preceding = -1;
+  int64_t following = 0;  // 0 = CURRENT ROW
+  bool has_frame = false;
+
+  std::string ToSql() const override;
+};
+
+/// Table reference in FROM: qualified name plus optional alias.
+class SqlTableRef final : public SqlNode {
+ public:
+  SqlTableRef(std::vector<std::string> names, std::string alias)
+      : SqlNode(SqlNodeKind::kTableRef),
+        names_(std::move(names)),
+        alias_(std::move(alias)) {}
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& alias() const { return alias_; }
+
+  std::string ToSql() const override;
+
+ private:
+  std::vector<std::string> names_;
+  std::string alias_;
+};
+
+/// Parenthesized subquery in FROM, with alias.
+class SqlSubquery final : public SqlNode {
+ public:
+  SqlSubquery(SqlNodePtr query, std::string alias)
+      : SqlNode(SqlNodeKind::kSubquery),
+        query_(std::move(query)),
+        alias_(std::move(alias)) {}
+
+  const SqlNodePtr& query() const { return query_; }
+  const std::string& alias() const { return alias_; }
+
+  std::string ToSql() const override;
+
+ private:
+  SqlNodePtr query_;
+  std::string alias_;
+};
+
+/// JOIN in the FROM clause.
+class SqlJoin final : public SqlNode {
+ public:
+  enum class Type { kInner, kLeft, kRight, kFull, kCross };
+
+  SqlJoin(Type type, SqlNodePtr left, SqlNodePtr right, SqlNodePtr condition,
+          std::vector<std::string> using_columns)
+      : SqlNode(SqlNodeKind::kJoin),
+        type_(type),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        condition_(std::move(condition)),
+        using_columns_(std::move(using_columns)) {}
+
+  Type type() const { return type_; }
+  const SqlNodePtr& left() const { return left_; }
+  const SqlNodePtr& right() const { return right_; }
+  /// ON condition; nullptr for CROSS or USING joins.
+  const SqlNodePtr& condition() const { return condition_; }
+  const std::vector<std::string>& using_columns() const {
+    return using_columns_;
+  }
+
+  std::string ToSql() const override;
+
+ private:
+  Type type_;
+  SqlNodePtr left_;
+  SqlNodePtr right_;
+  SqlNodePtr condition_;
+  std::vector<std::string> using_columns_;
+};
+
+/// One item of the SELECT list: expression plus optional alias.
+struct SqlSelectItem {
+  SqlNodePtr expr;
+  std::string alias;  // empty if none
+};
+
+/// A SELECT statement (§7.2: the STREAM keyword requests incoming rows).
+class SqlSelect final : public SqlNode {
+ public:
+  SqlSelect() : SqlNode(SqlNodeKind::kSelect) {}
+
+  bool stream = false;
+  bool distinct = false;
+  std::vector<SqlSelectItem> select_list;
+  SqlNodePtr from;  // table ref / join / subquery; may be null (VALUES-less)
+  SqlNodePtr where;
+  std::vector<SqlNodePtr> group_by;
+  SqlNodePtr having;
+  std::vector<SqlNodePtr> order_by;  // SqlOrderItem
+  int64_t offset = 0;
+  int64_t fetch = -1;
+
+  std::string ToSql() const override;
+};
+
+/// UNION / INTERSECT / EXCEPT.
+class SqlSetOp final : public SqlNode {
+ public:
+  enum class Op { kUnion, kIntersect, kExcept };
+
+  SqlSetOp(Op op, bool all, SqlNodePtr left, SqlNodePtr right)
+      : SqlNode(SqlNodeKind::kSetOp),
+        op_(op),
+        all_(all),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Op op() const { return op_; }
+  bool all() const { return all_; }
+  const SqlNodePtr& left() const { return left_; }
+  const SqlNodePtr& right() const { return right_; }
+
+  std::vector<SqlNodePtr> order_by;  // trailing ORDER BY over the set result
+  int64_t offset = 0;
+  int64_t fetch = -1;
+
+  std::string ToSql() const override;
+
+ private:
+  Op op_;
+  bool all_;
+  SqlNodePtr left_;
+  SqlNodePtr right_;
+};
+
+/// VALUES (...), (...) — an inline relation.
+class SqlValues final : public SqlNode {
+ public:
+  explicit SqlValues(std::vector<std::vector<SqlNodePtr>> rows)
+      : SqlNode(SqlNodeKind::kValues), rows_(std::move(rows)) {}
+
+  const std::vector<std::vector<SqlNodePtr>>& rows() const { return rows_; }
+
+  std::string ToSql() const override;
+
+ private:
+  std::vector<std::vector<SqlNodePtr>> rows_;
+};
+
+}  // namespace calcite::sql
+
+#endif  // CALCITE_SQL_AST_H_

@@ -1,0 +1,64 @@
+#include "sql/dialect.h"
+
+namespace calcite {
+
+namespace {
+
+class AnsiDialect final : public SqlDialect {
+ public:
+  std::string name() const override { return "ANSI"; }
+
+  std::string LimitClause(int64_t offset, int64_t fetch) const override {
+    std::string out;
+    if (offset > 0) out += " OFFSET " + std::to_string(offset) + " ROWS";
+    if (fetch >= 0) {
+      out += " FETCH NEXT " + std::to_string(fetch) + " ROWS ONLY";
+    }
+    return out;
+  }
+};
+
+class PostgreSqlDialect final : public SqlDialect {
+ public:
+  std::string name() const override { return "PostgreSQL"; }
+};
+
+class MySqlDialect final : public SqlDialect {
+ public:
+  std::string name() const override { return "MySQL"; }
+
+  std::string QuoteIdentifier(const std::string& id) const override {
+    return "`" + id + "`";
+  }
+
+  std::string LimitClause(int64_t offset, int64_t fetch) const override {
+    std::string out;
+    if (fetch >= 0) {
+      out += " LIMIT " + std::to_string(fetch);
+      if (offset > 0) out += " OFFSET " + std::to_string(offset);
+    } else if (offset > 0) {
+      // MySQL requires a LIMIT before OFFSET; use its idiomatic huge bound.
+      out += " LIMIT 18446744073709551615 OFFSET " + std::to_string(offset);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const SqlDialect& SqlDialect::Ansi() {
+  static const AnsiDialect* kDialect = new AnsiDialect();
+  return *kDialect;
+}
+
+const SqlDialect& SqlDialect::PostgreSql() {
+  static const PostgreSqlDialect* kDialect = new PostgreSqlDialect();
+  return *kDialect;
+}
+
+const SqlDialect& SqlDialect::MySql() {
+  static const MySqlDialect* kDialect = new MySqlDialect();
+  return *kDialect;
+}
+
+}  // namespace calcite

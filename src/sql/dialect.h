@@ -1,0 +1,52 @@
+#ifndef CALCITE_SQL_DIALECT_H_
+#define CALCITE_SQL_DIALECT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace calcite {
+
+/// A SQL dialect for the Rel-to-SQL generator. "The JDBC adapter supports
+/// the generation of multiple SQL dialects, including those supported by
+/// popular RDBMSes such as PostgreSQL and MySQL" (§8.2, Table 2).
+class SqlDialect {
+ public:
+  virtual ~SqlDialect() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Quotes an identifier ("x" in ANSI, `x` in MySQL).
+  virtual std::string QuoteIdentifier(const std::string& id) const {
+    return "\"" + id + "\"";
+  }
+
+  /// Quotes a string literal.
+  virtual std::string QuoteString(const std::string& s) const {
+    std::string out = "'";
+    for (char c : s) {
+      if (c == '\'') out += "''";
+      out.push_back(c);
+    }
+    out += "'";
+    return out;
+  }
+
+  /// Renders OFFSET/FETCH. `fetch` < 0 means unlimited.
+  virtual std::string LimitClause(int64_t offset, int64_t fetch) const {
+    std::string out;
+    if (fetch >= 0) out += " LIMIT " + std::to_string(fetch);
+    if (offset > 0) out += " OFFSET " + std::to_string(offset);
+    return out;
+  }
+
+  /// TRUE/FALSE literals.
+  virtual std::string BoolLiteral(bool b) const { return b ? "TRUE" : "FALSE"; }
+
+  static const SqlDialect& Ansi();
+  static const SqlDialect& PostgreSql();
+  static const SqlDialect& MySql();
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_SQL_DIALECT_H_

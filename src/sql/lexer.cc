@@ -1,0 +1,174 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "util/string_utils.h"
+
+namespace calcite {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT",    "FROM",     "WHERE",   "GROUP",     "BY",       "HAVING",
+      "ORDER",     "LIMIT",    "OFFSET",  "FETCH",     "FIRST",    "NEXT",
+      "ROWS",      "ROW",      "ONLY",    "AS",        "JOIN",     "INNER",
+      "LEFT",      "RIGHT",    "FULL",    "OUTER",     "CROSS",    "ON",
+      "USING",     "UNION",    "INTERSECT", "EXCEPT",  "ALL",      "DISTINCT",
+      "AND",       "OR",       "NOT",     "NULL",      "TRUE",     "FALSE",
+      "IS",        "IN",       "LIKE",    "BETWEEN",   "CASE",     "WHEN",
+      "THEN",      "ELSE",     "END",     "CAST",      "INTERVAL", "STREAM",
+      "OVER",      "PARTITION", "RANGE",  "PRECEDING", "FOLLOWING",
+      "UNBOUNDED", "CURRENT",  "EXISTS",  "VALUES",    "ASC",      "DESC",
+      "INTEGER",   "INT",      "BIGINT",  "SMALLINT",  "TINYINT",  "DOUBLE",
+      "FLOAT",     "DECIMAL",  "VARCHAR", "CHAR",      "BOOLEAN",  "DATE",
+      "TIME",      "TIMESTAMP", "GEOMETRY", "ANY",     "MAP",      "ARRAY",
+      "MULTISET",  "SECOND",   "MINUTE",  "HOUR",      "DAY",      "YEAR",
+      "MONTH",     "NATURAL",  "SEMI",    "ANTI",      "EXPLAIN",  "PLAN",
+      "FOR",       "WITH",     "WITHIN",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kKeyword && text == kw;
+}
+
+Result<std::vector<Token>> TokenizeSql(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // String literal.
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kStringLiteral, std::move(value), start});
+      continue;
+    }
+    // Quoted identifier: ANSI "x" or MySQL-style `x`.
+    if (c == '"' || c == '`') {
+      const char quote = c;
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kIdentifier, std::move(value), start});
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_decimal = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_decimal = true;
+        ++i;
+      }
+      tokens.push_back({is_decimal ? TokenKind::kDecimalLiteral
+                                   : TokenKind::kIntegerLiteral,
+                        std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_' || sql[i] == '$')) {
+        ++i;
+      }
+      std::string word(sql.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenKind::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    // Multi-char operators.
+    auto push_op = [&](size_t len) {
+      tokens.push_back({TokenKind::kOperator,
+                        std::string(sql.substr(start, len)), start});
+      i += len;
+    };
+    if (i + 1 < n) {
+      std::string_view two = sql.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "||" ||
+          two == "!=") {
+        push_op(2);
+        continue;
+      }
+    }
+    switch (c) {
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '[':
+      case ']':
+        push_op(1);
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace calcite

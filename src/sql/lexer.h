@@ -1,0 +1,42 @@
+#ifndef CALCITE_SQL_LEXER_H_
+#define CALCITE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace calcite {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenKind {
+  kIdentifier,       // foo, "Quoted Name"
+  kKeyword,          // SELECT, FROM, ... (normalized upper-case in text)
+  kIntegerLiteral,   // 42
+  kDecimalLiteral,   // 3.14, 1e10
+  kStringLiteral,    // 'abc' (text holds the unquoted value)
+  kOperator,         // = <> < <= > >= + - * / % || . , ( ) [ ]
+  kEnd,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(std::string_view kw) const;
+  bool IsOp(std::string_view op) const {
+    return kind == TokenKind::kOperator && text == op;
+  }
+};
+
+/// Tokenizes SQL text. Identifiers matching a reserved word list come back
+/// as keywords with upper-cased text; quoted identifiers ("x") are always
+/// plain identifiers. Comments (`--` to end of line) are skipped.
+Result<std::vector<Token>> TokenizeSql(std::string_view sql);
+
+}  // namespace calcite
+
+#endif  // CALCITE_SQL_LEXER_H_

@@ -1,0 +1,882 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+#include "util/string_utils.h"
+
+namespace calcite {
+
+using sql::SqlCall;
+using sql::SqlIdentifier;
+using sql::SqlJoin;
+using sql::SqlLiteral;
+using sql::SqlNode;
+using sql::SqlNodePtr;
+using sql::SqlOrderItem;
+using sql::SqlSelect;
+using sql::SqlSelectItem;
+using sql::SqlSetOp;
+using sql::SqlSubquery;
+using sql::SqlTableRef;
+using sql::SqlTypeSpec;
+using sql::SqlValues;
+using sql::SqlWindowSpec;
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SqlNodePtr> ParseStatement() {
+    auto query = ParseQuery();
+    if (!query.ok()) return query;
+    if (!Peek().IsKeyword("") && Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeOp(std::string_view op) {
+    if (Peek().IsOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error("expected " + std::string(kw));
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(std::string_view op) {
+    if (!ConsumeOp(op)) {
+      return Error("expected '" + std::string(op) + "'");
+    }
+    return Status::OK();
+  }
+
+  // ------------------------------- queries --------------------------------
+
+  Result<SqlNodePtr> ParseQuery() {
+    auto left = ParseQueryTerm();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+    while (true) {
+      SqlSetOp::Op op;
+      if (Peek().IsKeyword("UNION")) {
+        op = SqlSetOp::Op::kUnion;
+      } else if (Peek().IsKeyword("INTERSECT")) {
+        op = SqlSetOp::Op::kIntersect;
+      } else if (Peek().IsKeyword("EXCEPT")) {
+        op = SqlSetOp::Op::kExcept;
+      } else {
+        break;
+      }
+      Advance();
+      bool all = ConsumeKeyword("ALL");
+      auto right = ParseQueryTerm();
+      if (!right.ok()) return right;
+      result = std::make_shared<SqlSetOp>(op, all, result, right.value());
+    }
+    // Trailing ORDER BY / LIMIT / OFFSET binding to the whole query.
+    std::vector<SqlNodePtr> order_by;
+    int64_t offset = 0;
+    int64_t fetch = -1;
+    if (ConsumeKeyword("ORDER")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      auto items = ParseOrderItems();
+      if (!items.ok()) return items.status();
+      order_by = std::move(items).value();
+    }
+    CALCITE_RETURN_IF_ERROR(ParseLimitClauses(&offset, &fetch));
+    if (order_by.empty() && offset == 0 && fetch < 0) return result;
+
+    if (result->kind() == sql::SqlNodeKind::kSelect) {
+      auto* select = const_cast<SqlSelect*>(
+          static_cast<const SqlSelect*>(result.get()));
+      if (select->order_by.empty() && select->offset == 0 &&
+          select->fetch < 0) {
+        select->order_by = std::move(order_by);
+        select->offset = offset;
+        select->fetch = fetch;
+        return result;
+      }
+    }
+    if (result->kind() == sql::SqlNodeKind::kSetOp) {
+      auto* setop =
+          const_cast<SqlSetOp*>(static_cast<const SqlSetOp*>(result.get()));
+      setop->order_by = std::move(order_by);
+      setop->offset = offset;
+      setop->fetch = fetch;
+      return result;
+    }
+    // VALUES with ORDER BY: wrap in a trivial select.
+    auto select = std::make_shared<SqlSelect>();
+    select->select_list.push_back(
+        {std::make_shared<SqlIdentifier>(std::vector<std::string>{}, true),
+         ""});
+    select->from = std::make_shared<SqlSubquery>(result, "v");
+    select->order_by = std::move(order_by);
+    select->offset = offset;
+    select->fetch = fetch;
+    return SqlNodePtr(select);
+  }
+
+  Result<SqlNodePtr> ParseQueryTerm() {
+    if (Peek().IsKeyword("SELECT")) return ParseSelect();
+    if (Peek().IsKeyword("VALUES")) return ParseValues();
+    if (Peek().IsOp("(")) {
+      Advance();
+      auto query = ParseQuery();
+      if (!query.ok()) return query;
+      CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+      return query;
+    }
+    return Error("expected SELECT, VALUES or subquery");
+  }
+
+  Result<SqlNodePtr> ParseValues() {
+    Advance();  // VALUES
+    std::vector<std::vector<SqlNodePtr>> rows;
+    do {
+      CALCITE_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<SqlNodePtr> row;
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr;
+        row.push_back(expr.value());
+      } while (ConsumeOp(","));
+      CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+      rows.push_back(std::move(row));
+    } while (ConsumeOp(","));
+    return SqlNodePtr(std::make_shared<SqlValues>(std::move(rows)));
+  }
+
+  Result<SqlNodePtr> ParseSelect() {
+    Advance();  // SELECT
+    auto select = std::make_shared<SqlSelect>();
+    select->stream = ConsumeKeyword("STREAM");
+    select->distinct = ConsumeKeyword("DISTINCT");
+    ConsumeKeyword("ALL");
+
+    do {
+      SqlSelectItem item;
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      item.expr = expr.value();
+      if (ConsumeKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdentifier &&
+            Peek().kind != TokenKind::kKeyword) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      select->select_list.push_back(std::move(item));
+    } while (ConsumeOp(","));
+
+    if (ConsumeKeyword("FROM")) {
+      auto from = ParseFromClause();
+      if (!from.ok()) return from;
+      select->from = from.value();
+    }
+    if (ConsumeKeyword("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where;
+      select->where = where.value();
+    }
+    if (ConsumeKeyword("GROUP")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr;
+        select->group_by.push_back(expr.value());
+      } while (ConsumeOp(","));
+    }
+    if (ConsumeKeyword("HAVING")) {
+      auto having = ParseExpr();
+      if (!having.ok()) return having;
+      select->having = having.value();
+    }
+    if (ConsumeKeyword("ORDER")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      auto items = ParseOrderItems();
+      if (!items.ok()) return items.status();
+      select->order_by = std::move(items).value();
+    }
+    CALCITE_RETURN_IF_ERROR(
+        ParseLimitClauses(&select->offset, &select->fetch));
+    return SqlNodePtr(select);
+  }
+
+  Status ParseLimitClauses(int64_t* offset, int64_t* fetch) {
+    while (true) {
+      if (ConsumeKeyword("LIMIT")) {
+        if (Peek().kind != TokenKind::kIntegerLiteral) {
+          return Error("expected integer after LIMIT");
+        }
+        *fetch = std::strtoll(Advance().text.c_str(), nullptr, 10);
+        continue;
+      }
+      if (ConsumeKeyword("OFFSET")) {
+        if (Peek().kind != TokenKind::kIntegerLiteral) {
+          return Error("expected integer after OFFSET");
+        }
+        *offset = std::strtoll(Advance().text.c_str(), nullptr, 10);
+        ConsumeKeyword("ROWS");
+        ConsumeKeyword("ROW");
+        continue;
+      }
+      if (ConsumeKeyword("FETCH")) {
+        if (!ConsumeKeyword("FIRST")) ConsumeKeyword("NEXT");
+        if (Peek().kind != TokenKind::kIntegerLiteral) {
+          return Error("expected integer in FETCH clause");
+        }
+        *fetch = std::strtoll(Advance().text.c_str(), nullptr, 10);
+        if (!ConsumeKeyword("ROWS")) ConsumeKeyword("ROW");
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("ONLY"));
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<SqlNodePtr>> ParseOrderItems() {
+    std::vector<SqlNodePtr> items;
+    do {
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      bool descending = false;
+      if (ConsumeKeyword("DESC")) {
+        descending = true;
+      } else {
+        ConsumeKeyword("ASC");
+      }
+      items.push_back(
+          std::make_shared<SqlOrderItem>(expr.value(), descending));
+    } while (ConsumeOp(","));
+    return items;
+  }
+
+  // ------------------------------ FROM clause -----------------------------
+
+  Result<SqlNodePtr> ParseFromClause() {
+    auto left = ParseTableRef();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+    while (true) {
+      SqlJoin::Type type;
+      bool has_join = true;
+      if (ConsumeOp(",")) {
+        type = SqlJoin::Type::kCross;
+        auto right = ParseTableRef();
+        if (!right.ok()) return right;
+        result = std::make_shared<SqlJoin>(type, result, right.value(),
+                                           nullptr,
+                                           std::vector<std::string>{});
+        continue;
+      } else if (ConsumeKeyword("CROSS")) {
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        type = SqlJoin::Type::kCross;
+        has_join = false;
+      } else if (ConsumeKeyword("INNER")) {
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        type = SqlJoin::Type::kInner;
+      } else if (ConsumeKeyword("LEFT")) {
+        ConsumeKeyword("OUTER");
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        type = SqlJoin::Type::kLeft;
+      } else if (ConsumeKeyword("RIGHT")) {
+        ConsumeKeyword("OUTER");
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        type = SqlJoin::Type::kRight;
+      } else if (ConsumeKeyword("FULL")) {
+        ConsumeKeyword("OUTER");
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        type = SqlJoin::Type::kFull;
+      } else if (ConsumeKeyword("JOIN")) {
+        type = SqlJoin::Type::kInner;
+      } else {
+        break;
+      }
+      auto right = ParseTableRef();
+      if (!right.ok()) return right;
+      SqlNodePtr condition;
+      std::vector<std::string> using_columns;
+      if (has_join && ConsumeKeyword("ON")) {
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond;
+        condition = cond.value();
+      } else if (has_join && ConsumeKeyword("USING")) {
+        CALCITE_RETURN_IF_ERROR(ExpectOp("("));
+        do {
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return Error("expected column name in USING");
+          }
+          using_columns.push_back(Advance().text);
+        } while (ConsumeOp(","));
+        CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+      } else if (type != SqlJoin::Type::kCross) {
+        return Error("JOIN requires ON or USING clause");
+      }
+      result = std::make_shared<SqlJoin>(type, result, right.value(),
+                                         condition, std::move(using_columns));
+    }
+    return result;
+  }
+
+  Result<SqlNodePtr> ParseTableRef() {
+    if (Peek().IsOp("(")) {
+      Advance();
+      auto query = ParseQuery();
+      if (!query.ok()) return query;
+      CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+      std::string alias;
+      ConsumeKeyword("AS");
+      if (Peek().kind == TokenKind::kIdentifier) alias = Advance().text;
+      return SqlNodePtr(std::make_shared<SqlSubquery>(query.value(), alias));
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected table name");
+    }
+    std::vector<std::string> names;
+    names.push_back(Advance().text);
+    while (Peek().IsOp(".")) {
+      Advance();
+      // Keywords are non-reserved after '.' (a table may be named "rows").
+      if (Peek().kind != TokenKind::kIdentifier &&
+          Peek().kind != TokenKind::kKeyword) {
+        return Error("expected identifier after '.'");
+      }
+      names.push_back(Advance().text);
+    }
+    std::string alias;
+    if (ConsumeKeyword("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      alias = Advance().text;
+    }
+    return SqlNodePtr(
+        std::make_shared<SqlTableRef>(std::move(names), std::move(alias)));
+  }
+
+  // ------------------------------ expressions -----------------------------
+
+  Result<SqlNodePtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlNodePtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+    while (ConsumeKeyword("OR")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right;
+      result = std::make_shared<SqlCall>(
+          "OR", std::vector<SqlNodePtr>{result, right.value()});
+    }
+    return result;
+  }
+
+  Result<SqlNodePtr> ParseAnd() {
+    auto left = ParseNot();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+    while (ConsumeKeyword("AND")) {
+      auto right = ParseNot();
+      if (!right.ok()) return right;
+      result = std::make_shared<SqlCall>(
+          "AND", std::vector<SqlNodePtr>{result, right.value()});
+    }
+    return result;
+  }
+
+  Result<SqlNodePtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return SqlNodePtr(std::make_shared<SqlCall>(
+          "NOT", std::vector<SqlNodePtr>{operand.value()}));
+    }
+    return ParseComparison();
+  }
+
+  Result<SqlNodePtr> ParseComparison() {
+    auto left = ParseAdditive();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+
+    // IS [NOT] NULL / TRUE / FALSE.
+    if (Peek().IsKeyword("IS")) {
+      Advance();
+      bool negated = ConsumeKeyword("NOT");
+      std::string op;
+      if (ConsumeKeyword("NULL")) {
+        op = negated ? "IS NOT NULL" : "IS NULL";
+      } else if (ConsumeKeyword("TRUE")) {
+        op = negated ? "IS NOT TRUE" : "IS TRUE";
+      } else if (ConsumeKeyword("FALSE")) {
+        op = negated ? "IS NOT FALSE" : "IS FALSE";
+      } else {
+        return Error("expected NULL, TRUE or FALSE after IS");
+      }
+      return SqlNodePtr(std::make_shared<SqlCall>(
+          op, std::vector<SqlNodePtr>{result}));
+    }
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("IN") ||
+         Peek(1).IsKeyword("BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
+    if (ConsumeKeyword("LIKE")) {
+      auto pattern = ParseAdditive();
+      if (!pattern.ok()) return pattern;
+      SqlNodePtr like = std::make_shared<SqlCall>(
+          "LIKE", std::vector<SqlNodePtr>{result, pattern.value()});
+      if (negated) {
+        like = std::make_shared<SqlCall>("NOT",
+                                         std::vector<SqlNodePtr>{like});
+      }
+      return like;
+    }
+    if (ConsumeKeyword("IN")) {
+      CALCITE_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<SqlNodePtr> operands{result};
+      do {
+        auto item = ParseExpr();
+        if (!item.ok()) return item;
+        operands.push_back(item.value());
+      } while (ConsumeOp(","));
+      CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+      SqlNodePtr in = std::make_shared<SqlCall>("IN", std::move(operands));
+      if (negated) {
+        in = std::make_shared<SqlCall>("NOT", std::vector<SqlNodePtr>{in});
+      }
+      return in;
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      auto low = ParseAdditive();
+      if (!low.ok()) return low;
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      auto high = ParseAdditive();
+      if (!high.ok()) return high;
+      SqlNodePtr between = std::make_shared<SqlCall>(
+          "BETWEEN",
+          std::vector<SqlNodePtr>{result, low.value(), high.value()});
+      if (negated) {
+        between = std::make_shared<SqlCall>(
+            "NOT", std::vector<SqlNodePtr>{between});
+      }
+      return between;
+    }
+
+    static const char* kComparisons[] = {"=", "<>", "!=", "<", "<=", ">",
+                                         ">="};
+    for (const char* op : kComparisons) {
+      if (Peek().IsOp(op)) {
+        Advance();
+        auto right = ParseAdditive();
+        if (!right.ok()) return right;
+        std::string norm = (std::string(op) == "!=") ? "<>" : op;
+        return SqlNodePtr(std::make_shared<SqlCall>(
+            norm, std::vector<SqlNodePtr>{result, right.value()}));
+      }
+    }
+    return result;
+  }
+
+  Result<SqlNodePtr> ParseAdditive() {
+    auto left = ParseMultiplicative();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+    while (true) {
+      std::string op;
+      if (Peek().IsOp("+")) {
+        op = "+";
+      } else if (Peek().IsOp("-")) {
+        op = "-";
+      } else if (Peek().IsOp("||")) {
+        op = "||";
+      } else {
+        break;
+      }
+      Advance();
+      auto right = ParseMultiplicative();
+      if (!right.ok()) return right;
+      result = std::make_shared<SqlCall>(
+          op, std::vector<SqlNodePtr>{result, right.value()});
+    }
+    return result;
+  }
+
+  Result<SqlNodePtr> ParseMultiplicative() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    SqlNodePtr result = left.value();
+    while (true) {
+      std::string op;
+      if (Peek().IsOp("*")) {
+        op = "*";
+      } else if (Peek().IsOp("/")) {
+        op = "/";
+      } else if (Peek().IsOp("%")) {
+        op = "MOD";
+      } else {
+        break;
+      }
+      Advance();
+      auto right = ParseUnary();
+      if (!right.ok()) return right;
+      result = std::make_shared<SqlCall>(
+          op, std::vector<SqlNodePtr>{result, right.value()});
+    }
+    return result;
+  }
+
+  Result<SqlNodePtr> ParseUnary() {
+    if (ConsumeOp("-")) {
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return SqlNodePtr(std::make_shared<SqlCall>(
+          "UNARY_MINUS", std::vector<SqlNodePtr>{operand.value()}));
+    }
+    ConsumeOp("+");
+    return ParsePostfix();
+  }
+
+  Result<SqlNodePtr> ParsePostfix() {
+    auto primary = ParsePrimary();
+    if (!primary.ok()) return primary;
+    SqlNodePtr result = primary.value();
+    while (ConsumeOp("[")) {
+      auto index = ParseExpr();
+      if (!index.ok()) return index;
+      CALCITE_RETURN_IF_ERROR(ExpectOp("]"));
+      result = std::make_shared<SqlCall>(
+          "ITEM", std::vector<SqlNodePtr>{result, index.value()});
+    }
+    return result;
+  }
+
+  Result<int64_t> ParseIntervalMillis() {
+    // INTERVAL '<n>' <unit>
+    if (Peek().kind != TokenKind::kStringLiteral &&
+        Peek().kind != TokenKind::kIntegerLiteral) {
+      return Error("expected interval value");
+    }
+    std::string value_text = Advance().text;
+    int64_t amount = std::strtoll(value_text.c_str(), nullptr, 10);
+    int64_t unit_ms;
+    if (ConsumeKeyword("SECOND")) {
+      unit_ms = 1000;
+    } else if (ConsumeKeyword("MINUTE")) {
+      unit_ms = 60 * 1000;
+    } else if (ConsumeKeyword("HOUR")) {
+      unit_ms = 60 * 60 * 1000;
+    } else if (ConsumeKeyword("DAY")) {
+      unit_ms = 24 * 60 * 60 * 1000;
+    } else {
+      return Error("expected SECOND, MINUTE, HOUR or DAY interval unit");
+    }
+    return amount * unit_ms;
+  }
+
+  Result<SqlTypeSpec> ParseTypeSpec() {
+    if (Peek().kind != TokenKind::kKeyword &&
+        Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected type name");
+    }
+    SqlTypeSpec spec;
+    spec.name = ToUpper(Advance().text);
+    if (spec.name == "INT") spec.name = "INTEGER";
+    if (ConsumeOp("(")) {
+      if (Peek().kind != TokenKind::kIntegerLiteral) {
+        return Error("expected precision");
+      }
+      spec.precision =
+          static_cast<int>(std::strtoll(Advance().text.c_str(), nullptr, 10));
+      if (ConsumeOp(",")) {
+        if (Peek().kind != TokenKind::kIntegerLiteral) {
+          return Error("expected scale");
+        }
+        spec.scale = static_cast<int>(
+            std::strtoll(Advance().text.c_str(), nullptr, 10));
+      }
+      CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    return spec;
+  }
+
+  Result<SqlNodePtr> ParseWindowSpec() {
+    auto spec = std::make_shared<SqlWindowSpec>();
+    if (ConsumeKeyword("PARTITION")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr;
+        spec->partition_by.push_back(expr.value());
+      } while (ConsumeOp(","));
+    }
+    if (ConsumeKeyword("ORDER")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      auto items = ParseOrderItems();
+      if (!items.ok()) return items.status();
+      spec->order_by = std::move(items).value();
+    }
+    // Calcite's streaming examples also accept ORDER BY after PARTITION BY
+    // in either order; handle "PARTITION BY" appearing after "ORDER BY".
+    if (ConsumeKeyword("PARTITION")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr;
+        spec->partition_by.push_back(expr.value());
+      } while (ConsumeOp(","));
+    }
+    if (Peek().IsKeyword("ROWS") || Peek().IsKeyword("RANGE")) {
+      spec->has_frame = true;
+      spec->is_rows = Advance().text == "ROWS";
+      bool between = ConsumeKeyword("BETWEEN");
+      auto bound = ParseFrameBound(spec->is_rows);
+      if (!bound.ok()) return bound.status();
+      spec->preceding = bound.value();
+      if (between) {
+        CALCITE_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        auto upper = ParseFrameBound(spec->is_rows);
+        if (!upper.ok()) return upper.status();
+        spec->following = upper.value() < 0 ? 0 : upper.value();
+      }
+    }
+    return SqlNodePtr(spec);
+  }
+
+  /// Returns the bound magnitude: -1 for UNBOUNDED PRECEDING, 0 for
+  /// CURRENT ROW, else N rows or interval milliseconds.
+  Result<int64_t> ParseFrameBound(bool is_rows) {
+    if (ConsumeKeyword("UNBOUNDED")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("PRECEDING"));
+      return int64_t{-1};
+    }
+    if (ConsumeKeyword("CURRENT")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("ROW"));
+      return int64_t{0};
+    }
+    int64_t magnitude;
+    if (ConsumeKeyword("INTERVAL")) {
+      auto ms = ParseIntervalMillis();
+      if (!ms.ok()) return ms;
+      magnitude = ms.value();
+    } else if (Peek().kind == TokenKind::kIntegerLiteral) {
+      magnitude = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    } else {
+      return Error("expected frame bound");
+    }
+    if (!ConsumeKeyword("PRECEDING")) {
+      CALCITE_RETURN_IF_ERROR(ExpectKeyword("FOLLOWING"));
+    }
+    (void)is_rows;
+    return magnitude;
+  }
+
+  Result<SqlNodePtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kIntegerLiteral: {
+        Advance();
+        return SqlNodePtr(std::make_shared<SqlLiteral>(
+            SqlLiteral::LiteralKind::kInteger,
+            Value::Int(std::strtoll(tok.text.c_str(), nullptr, 10))));
+      }
+      case TokenKind::kDecimalLiteral: {
+        Advance();
+        return SqlNodePtr(std::make_shared<SqlLiteral>(
+            SqlLiteral::LiteralKind::kDecimal,
+            Value::Double(std::strtod(tok.text.c_str(), nullptr))));
+      }
+      case TokenKind::kStringLiteral: {
+        Advance();
+        return SqlNodePtr(std::make_shared<SqlLiteral>(
+            SqlLiteral::LiteralKind::kString, Value::String(tok.text)));
+      }
+      case TokenKind::kKeyword: {
+        if (tok.text == "NULL") {
+          Advance();
+          return SqlNodePtr(std::make_shared<SqlLiteral>(
+              SqlLiteral::LiteralKind::kNull, Value::Null()));
+        }
+        if (tok.text == "TRUE" || tok.text == "FALSE") {
+          Advance();
+          return SqlNodePtr(std::make_shared<SqlLiteral>(
+              SqlLiteral::LiteralKind::kBoolean,
+              Value::Bool(tok.text == "TRUE")));
+        }
+        if (tok.text == "INTERVAL") {
+          Advance();
+          auto ms = ParseIntervalMillis();
+          if (!ms.ok()) return ms.status();
+          return SqlNodePtr(std::make_shared<SqlLiteral>(
+              SqlLiteral::LiteralKind::kInterval, Value::Int(ms.value())));
+        }
+        if (tok.text == "CAST") {
+          Advance();
+          CALCITE_RETURN_IF_ERROR(ExpectOp("("));
+          auto operand = ParseExpr();
+          if (!operand.ok()) return operand;
+          CALCITE_RETURN_IF_ERROR(ExpectKeyword("AS"));
+          auto type = ParseTypeSpec();
+          if (!type.ok()) return type.status();
+          CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+          auto call = std::make_shared<SqlCall>(
+              "CAST", std::vector<SqlNodePtr>{operand.value()});
+          call->type_spec = type.value();
+          return SqlNodePtr(call);
+        }
+        if (tok.text == "CASE") {
+          Advance();
+          std::vector<SqlNodePtr> operands;
+          while (ConsumeKeyword("WHEN")) {
+            auto cond = ParseExpr();
+            if (!cond.ok()) return cond;
+            CALCITE_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+            auto value = ParseExpr();
+            if (!value.ok()) return value;
+            operands.push_back(cond.value());
+            operands.push_back(value.value());
+          }
+          if (operands.empty()) {
+            return Error("CASE requires at least one WHEN branch");
+          }
+          if (ConsumeKeyword("ELSE")) {
+            auto else_value = ParseExpr();
+            if (!else_value.ok()) return else_value;
+            operands.push_back(else_value.value());
+          } else {
+            operands.push_back(std::make_shared<SqlLiteral>(
+                SqlLiteral::LiteralKind::kNull, Value::Null()));
+          }
+          CALCITE_RETURN_IF_ERROR(ExpectKeyword("END"));
+          return SqlNodePtr(
+              std::make_shared<SqlCall>("CASE", std::move(operands)));
+        }
+        // Grouping/window functions appear as keyword-named calls.
+        if (Peek(1).IsOp("(")) {
+          return ParseFunctionCall(Advance().text);
+        }
+        return Error("unexpected keyword '" + tok.text + "'");
+      }
+      case TokenKind::kOperator: {
+        if (tok.IsOp("(")) {
+          Advance();
+          auto expr = ParseExpr();
+          if (!expr.ok()) return expr;
+          CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+          return expr;
+        }
+        if (tok.IsOp("*")) {
+          Advance();
+          return SqlNodePtr(std::make_shared<SqlIdentifier>(
+              std::vector<std::string>{}, true));
+        }
+        return Error("unexpected token '" + tok.text + "'");
+      }
+      case TokenKind::kIdentifier: {
+        if (Peek(1).IsOp("(")) {
+          return ParseFunctionCall(Advance().text);
+        }
+        std::vector<std::string> names;
+        names.push_back(Advance().text);
+        bool star = false;
+        while (ConsumeOp(".")) {
+          if (ConsumeOp("*")) {
+            star = true;
+            break;
+          }
+          if (Peek().kind != TokenKind::kIdentifier &&
+              Peek().kind != TokenKind::kKeyword) {
+            return Error("expected identifier after '.'");
+          }
+          names.push_back(Advance().text);
+        }
+        return SqlNodePtr(
+            std::make_shared<SqlIdentifier>(std::move(names), star));
+      }
+      case TokenKind::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  Result<SqlNodePtr> ParseFunctionCall(const std::string& raw_name) {
+    std::string name = ToUpper(raw_name);
+    CALCITE_RETURN_IF_ERROR(ExpectOp("("));
+    auto call_operands = std::vector<SqlNodePtr>{};
+    bool distinct = false;
+    bool star = false;
+    if (ConsumeOp("*")) {
+      star = true;
+    } else if (!Peek().IsOp(")")) {
+      distinct = ConsumeKeyword("DISTINCT");
+      do {
+        auto arg = ParseExpr();
+        if (!arg.ok()) return arg;
+        call_operands.push_back(arg.value());
+      } while (ConsumeOp(","));
+    }
+    CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+    auto call = std::make_shared<SqlCall>(name, std::move(call_operands));
+    call->distinct = distinct;
+    call->star = star;
+
+    if (ConsumeKeyword("OVER")) {
+      CALCITE_RETURN_IF_ERROR(ExpectOp("("));
+      auto spec = ParseWindowSpec();
+      if (!spec.ok()) return spec;
+      CALCITE_RETURN_IF_ERROR(ExpectOp(")"));
+      return SqlNodePtr(std::make_shared<SqlCall>(
+          "OVER", std::vector<SqlNodePtr>{call, spec.value()}));
+    }
+    return SqlNodePtr(call);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<sql::SqlNodePtr> SqlParser::Parse(std::string_view sql_text) {
+  auto tokens = TokenizeSql(sql_text);
+  if (!tokens.ok()) return tokens.status();
+  ParserImpl parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+}  // namespace calcite

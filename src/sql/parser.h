@@ -1,0 +1,31 @@
+#ifndef CALCITE_SQL_PARSER_H_
+#define CALCITE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// The SQL parser (Figure 1: "Calcite contains a query parser and validator
+/// that can translate a SQL query to a tree of relational operators").
+///
+/// Supported grammar: SELECT [STREAM] [DISTINCT] ... FROM (tables, joins
+/// with ON/USING, subqueries) WHERE / GROUP BY / HAVING / ORDER BY /
+/// LIMIT / OFFSET / FETCH, set operations (UNION/INTERSECT/EXCEPT [ALL]),
+/// VALUES, scalar expressions with standard operators, CASE, CAST, IN,
+/// BETWEEN, LIKE, IS [NOT] NULL, `[]` item access (§7.1), aggregate calls
+/// with DISTINCT, OVER windows with ROWS/RANGE frames (§7.2), INTERVAL
+/// literals, and function calls (including ST_* geospatial functions, §7.3,
+/// and TUMBLE/HOP/SESSION grouping functions).
+class SqlParser {
+ public:
+  /// Parses one statement; returns the AST root (SqlSelect, SqlSetOp or
+  /// SqlValues).
+  static Result<sql::SqlNodePtr> Parse(std::string_view sql_text);
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_SQL_PARSER_H_

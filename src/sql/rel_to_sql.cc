@@ -1,0 +1,387 @@
+#include "sql/rel_to_sql.h"
+
+#include "util/string_utils.h"
+
+namespace calcite {
+
+std::string RelToSqlConverter::SqlStatement::Render(
+    const SqlDialect& dialect) const {
+  std::string sql = "SELECT ";
+  sql += select.empty() ? "*" : select;
+  if (!from.empty()) sql += " FROM " + from;
+  if (!where.empty()) sql += " WHERE " + where;
+  if (!group_by.empty()) sql += " GROUP BY " + group_by;
+  if (!having.empty()) sql += " HAVING " + having;
+  if (!order_by.empty()) sql += " ORDER BY " + order_by;
+  sql += dialect.LimitClause(offset, fetch);
+  return sql;
+}
+
+RelToSqlConverter::SqlStatement RelToSqlConverter::WrapIfNeeded(
+    SqlStatement stmt, int* alias_counter) const {
+  if (stmt.select.empty() && stmt.where.empty() && stmt.group_by.empty() &&
+      stmt.having.empty() && stmt.order_by.empty() && stmt.offset == 0 &&
+      stmt.fetch < 0) {
+    return stmt;
+  }
+  return WrapAsSubquery(stmt, alias_counter);
+}
+
+RelToSqlConverter::SqlStatement RelToSqlConverter::WrapAsSubquery(
+    const SqlStatement& stmt, int* alias_counter) const {
+  SqlStatement wrapped;
+  std::string alias = "t" + std::to_string((*alias_counter)++);
+  wrapped.from = "(" + stmt.Render(*dialect_) + ") AS " +
+                 dialect_->QuoteIdentifier(alias);
+  wrapped.output_fields = stmt.output_fields;
+  return wrapped;
+}
+
+Result<std::string> RelToSqlConverter::ConvertRex(
+    const RexNodePtr& rex, const std::vector<std::string>& fields) const {
+  if (const RexInputRef* ref = AsInputRef(rex)) {
+    if (ref->index() < 0 ||
+        static_cast<size_t>(ref->index()) >= fields.size()) {
+      return Status::Internal("field reference out of range in SQL emitter");
+    }
+    return dialect_->QuoteIdentifier(fields[static_cast<size_t>(ref->index())]);
+  }
+  if (const RexLiteral* lit = AsLiteral(rex)) {
+    const Value& v = lit->value();
+    if (v.IsNull()) return std::string("NULL");
+    if (v.is_bool()) return dialect_->BoolLiteral(v.AsBool());
+    if (v.is_string()) return dialect_->QuoteString(v.AsString());
+    return v.ToString();
+  }
+  const RexCall* call = AsCall(rex);
+  if (call == nullptr) return Status::Unsupported("unknown rex node kind");
+
+  std::vector<std::string> operands;
+  operands.reserve(call->operands().size());
+  for (const RexNodePtr& operand : call->operands()) {
+    auto converted = ConvertRex(operand, fields);
+    if (!converted.ok()) return converted;
+    operands.push_back(std::move(converted).value());
+  }
+  switch (call->op()) {
+    case OpKind::kCast:
+      return "CAST(" + operands[0] + " AS " +
+             std::string(SqlTypeNameString(rex->type()->type_name())) +
+             (rex->type()->precision() > 0
+                  ? "(" + std::to_string(rex->type()->precision()) + ")"
+                  : "") +
+             ")";
+    case OpKind::kIsNull:
+      return operands[0] + " IS NULL";
+    case OpKind::kIsNotNull:
+      return operands[0] + " IS NOT NULL";
+    case OpKind::kIsTrue:
+      return operands[0] + " IS TRUE";
+    case OpKind::kIsFalse:
+      return operands[0] + " IS FALSE";
+    case OpKind::kNot:
+      return "NOT (" + operands[0] + ")";
+    case OpKind::kUnaryMinus:
+      return "-(" + operands[0] + ")";
+    case OpKind::kCase: {
+      std::string out = "CASE";
+      for (size_t i = 0; i + 1 < operands.size(); i += 2) {
+        out += " WHEN " + operands[i] + " THEN " + operands[i + 1];
+      }
+      out += " ELSE " + operands.back() + " END";
+      return out;
+    }
+    case OpKind::kIn: {
+      std::string out = operands[0] + " IN (";
+      for (size_t i = 1; i < operands.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += operands[i];
+      }
+      return out + ")";
+    }
+    case OpKind::kBetween:
+      return operands[0] + " BETWEEN " + operands[1] + " AND " + operands[2];
+    case OpKind::kItem:
+      return operands[0] + "[" + operands[1] + "]";
+    case OpKind::kAnd:
+    case OpKind::kOr: {
+      std::string sep =
+          call->op() == OpKind::kAnd ? std::string(" AND ") : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < operands.size(); ++i) {
+        if (i > 0) out += sep;
+        out += operands[i];
+      }
+      return out + ")";
+    }
+    default:
+      break;
+  }
+  if (IsInfix(call->op()) && operands.size() == 2) {
+    return "(" + operands[0] + " " + OpKindName(call->op()) + " " +
+           operands[1] + ")";
+  }
+  // Function style.
+  std::string out = OpKindName(call->op());
+  out += "(";
+  for (size_t i = 0; i < operands.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += operands[i];
+  }
+  return out + ")";
+}
+
+namespace {
+
+std::vector<std::string> FieldNames(const RelDataTypePtr& type) {
+  std::vector<std::string> names;
+  names.reserve(type->fields().size());
+  for (const RelDataTypeField& f : type->fields()) names.push_back(f.name);
+  return names;
+}
+
+std::string AggCallSql(const AggregateCall& call, const SqlDialect& dialect,
+                       const std::vector<std::string>& fields) {
+  std::string out = AggKindName(call.kind);
+  out += "(";
+  if (call.distinct) out += "DISTINCT ";
+  if (call.kind == AggKind::kCountStar) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < call.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dialect.QuoteIdentifier(
+          fields[static_cast<size_t>(call.args[i])]);
+    }
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+Result<RelToSqlConverter::SqlStatement> RelToSqlConverter::Visit(
+    const RelNodePtr& node, int* alias_counter) const {
+  if (const auto* scan = dynamic_cast<const TableScan*>(node.get())) {
+    SqlStatement stmt;
+    std::vector<std::string> quoted;
+    // Skip the adapter-schema prefix: the backend knows its own tables by
+    // their local name.
+    quoted.push_back(dialect_->QuoteIdentifier(scan->qualified_name().back()));
+    stmt.from = JoinStrings(quoted, ".");
+    stmt.output_fields = FieldNames(scan->row_type());
+    return stmt;
+  }
+  if (const auto* filter = dynamic_cast<const Filter*>(node.get())) {
+    auto input = Visit(node->input(0), alias_counter);
+    if (!input.ok()) return input;
+    SqlStatement stmt = std::move(input).value();
+    if (!stmt.group_by.empty()) {
+      // Filter above aggregation renders as HAVING.
+      auto condition = ConvertRex(filter->condition(), stmt.output_fields);
+      if (!condition.ok()) return condition.status();
+      if (!stmt.having.empty()) {
+        stmt.having = "(" + stmt.having + ") AND " + condition.value();
+      } else {
+        stmt.having = condition.value();
+      }
+      return stmt;
+    }
+    if (!stmt.select.empty() || !stmt.order_by.empty() || stmt.fetch >= 0) {
+      stmt = WrapAsSubquery(stmt, alias_counter);
+    }
+    auto condition = ConvertRex(filter->condition(), stmt.output_fields);
+    if (!condition.ok()) return condition.status();
+    if (!stmt.where.empty()) {
+      stmt.where = "(" + stmt.where + ") AND " + condition.value();
+    } else {
+      stmt.where = condition.value();
+    }
+    return stmt;
+  }
+  if (const auto* project = dynamic_cast<const Project*>(node.get())) {
+    auto input = Visit(node->input(0), alias_counter);
+    if (!input.ok()) return input;
+    SqlStatement stmt = std::move(input).value();
+    if (!stmt.select.empty() || !stmt.group_by.empty() ||
+        !stmt.order_by.empty() || stmt.fetch >= 0) {
+      stmt = WrapAsSubquery(stmt, alias_counter);
+    }
+    std::string select;
+    std::vector<std::string> out_fields;
+    const auto& fields = project->row_type()->fields();
+    for (size_t i = 0; i < project->exprs().size(); ++i) {
+      auto expr = ConvertRex(project->exprs()[i], stmt.output_fields);
+      if (!expr.ok()) return expr.status();
+      if (i > 0) select += ", ";
+      select += expr.value() + " AS " +
+                dialect_->QuoteIdentifier(fields[i].name);
+      out_fields.push_back(fields[i].name);
+    }
+    stmt.select = std::move(select);
+    stmt.output_fields = std::move(out_fields);
+    return stmt;
+  }
+  if (const auto* join = dynamic_cast<const Join*>(node.get())) {
+    auto left = Visit(node->input(0), alias_counter);
+    if (!left.ok()) return left;
+    auto right = Visit(node->input(1), alias_counter);
+    if (!right.ok()) return right;
+    SqlStatement lstmt = WrapIfNeeded(std::move(left).value(), alias_counter);
+    SqlStatement rstmt = WrapIfNeeded(std::move(right).value(), alias_counter);
+
+    SqlStatement stmt;
+    std::string join_kw;
+    switch (join->join_type()) {
+      case JoinType::kInner:
+        join_kw = " INNER JOIN ";
+        break;
+      case JoinType::kLeft:
+        join_kw = " LEFT JOIN ";
+        break;
+      case JoinType::kRight:
+        join_kw = " RIGHT JOIN ";
+        break;
+      case JoinType::kFull:
+        join_kw = " FULL JOIN ";
+        break;
+      case JoinType::kSemi:
+      case JoinType::kAnti:
+        return Status::Unsupported(
+            "SEMI/ANTI joins have no portable SQL form");
+    }
+    std::vector<std::string> combined = lstmt.output_fields;
+    combined.insert(combined.end(), rstmt.output_fields.begin(),
+                    rstmt.output_fields.end());
+    auto condition = ConvertRex(join->condition(), combined);
+    if (!condition.ok()) return condition.status();
+    stmt.from = lstmt.from + join_kw + rstmt.from + " ON " + condition.value();
+    stmt.output_fields = std::move(combined);
+    return stmt;
+  }
+  if (const auto* agg = dynamic_cast<const Aggregate*>(node.get())) {
+    auto input = Visit(node->input(0), alias_counter);
+    if (!input.ok()) return input;
+    SqlStatement stmt = std::move(input).value();
+    if (!stmt.select.empty() || !stmt.group_by.empty() ||
+        !stmt.order_by.empty() || stmt.fetch >= 0) {
+      stmt = WrapAsSubquery(stmt, alias_counter);
+    }
+    std::string select;
+    std::string group_by;
+    std::vector<std::string> out_fields;
+    const auto& out_type_fields = agg->row_type()->fields();
+    for (size_t i = 0; i < agg->group_keys().size(); ++i) {
+      std::string col = dialect_->QuoteIdentifier(
+          stmt.output_fields[static_cast<size_t>(agg->group_keys()[i])]);
+      if (i > 0) {
+        select += ", ";
+        group_by += ", ";
+      }
+      select += col;
+      group_by += col;
+      out_fields.push_back(out_type_fields[i].name);
+    }
+    for (size_t i = 0; i < agg->agg_calls().size(); ++i) {
+      if (!select.empty()) select += ", ";
+      const auto& field = out_type_fields[agg->group_keys().size() + i];
+      select += AggCallSql(agg->agg_calls()[i], *dialect_,
+                           stmt.output_fields) +
+                " AS " + dialect_->QuoteIdentifier(field.name);
+      out_fields.push_back(field.name);
+    }
+    stmt.select = std::move(select);
+    stmt.group_by = std::move(group_by);
+    stmt.output_fields = std::move(out_fields);
+    return stmt;
+  }
+  if (const auto* sort = dynamic_cast<const Sort*>(node.get())) {
+    auto input = Visit(node->input(0), alias_counter);
+    if (!input.ok()) return input;
+    SqlStatement stmt = std::move(input).value();
+    if (!stmt.order_by.empty() || stmt.fetch >= 0) {
+      stmt = WrapAsSubquery(stmt, alias_counter);
+    }
+    std::string order_by;
+    for (size_t i = 0; i < sort->collation().fields().size(); ++i) {
+      const FieldCollation& fc = sort->collation().fields()[i];
+      if (i > 0) order_by += ", ";
+      order_by += dialect_->QuoteIdentifier(
+          stmt.output_fields[static_cast<size_t>(fc.field)]);
+      if (fc.direction == Direction::kDescending) order_by += " DESC";
+    }
+    stmt.order_by = std::move(order_by);
+    stmt.offset = sort->offset();
+    stmt.fetch = sort->fetch();
+    return stmt;
+  }
+  if (const auto* setop = dynamic_cast<const SetOp*>(node.get())) {
+    std::string op;
+    switch (setop->set_kind()) {
+      case SetOp::Kind::kUnion:
+        op = " UNION ";
+        break;
+      case SetOp::Kind::kIntersect:
+        op = " INTERSECT ";
+        break;
+      case SetOp::Kind::kMinus:
+        op = " EXCEPT ";
+        break;
+    }
+    if (setop->all()) op += "ALL ";
+    std::string sql;
+    for (size_t i = 0; i < setop->inputs().size(); ++i) {
+      auto input = Visit(setop->inputs()[i], alias_counter);
+      if (!input.ok()) return input;
+      if (i > 0) sql += op;
+      sql += input.value().Render(*dialect_);
+    }
+    SqlStatement stmt;
+    std::string alias = "t" + std::to_string((*alias_counter)++);
+    stmt.from = "(" + sql + ") AS " + dialect_->QuoteIdentifier(alias);
+    stmt.output_fields = FieldNames(setop->row_type());
+    return stmt;
+  }
+  if (const auto* values = dynamic_cast<const Values*>(node.get())) {
+    std::string sql = "VALUES ";
+    for (size_t r = 0; r < values->tuples().size(); ++r) {
+      if (r > 0) sql += ", ";
+      sql += "(";
+      const Row& row = values->tuples()[r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) sql += ", ";
+        const Value& v = row[c];
+        if (v.IsNull()) {
+          sql += "NULL";
+        } else if (v.is_string()) {
+          sql += dialect_->QuoteString(v.AsString());
+        } else if (v.is_bool()) {
+          sql += dialect_->BoolLiteral(v.AsBool());
+        } else {
+          sql += v.ToString();
+        }
+      }
+      sql += ")";
+    }
+    SqlStatement stmt;
+    std::string alias = "t" + std::to_string((*alias_counter)++);
+    stmt.from = "(" + sql + ") AS " + dialect_->QuoteIdentifier(alias);
+    stmt.output_fields = FieldNames(values->row_type());
+    return stmt;
+  }
+  // Converters are transparent to SQL generation.
+  if (dynamic_cast<const Converter*>(node.get()) != nullptr ||
+      dynamic_cast<const Delta*>(node.get()) != nullptr) {
+    return Visit(node->input(0), alias_counter);
+  }
+  return Status::Unsupported("cannot translate operator " + node->op_name() +
+                             " to SQL");
+}
+
+Result<std::string> RelToSqlConverter::Convert(const RelNodePtr& node) const {
+  int alias_counter = 0;
+  auto stmt = Visit(node, &alias_counter);
+  if (!stmt.ok()) return stmt.status();
+  return stmt.value().Render(*dialect_);
+}
+
+}  // namespace calcite

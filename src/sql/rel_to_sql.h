@@ -1,0 +1,61 @@
+#ifndef CALCITE_SQL_REL_TO_SQL_H_
+#define CALCITE_SQL_REL_TO_SQL_H_
+
+#include <string>
+
+#include "rel/core.h"
+#include "sql/dialect.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Translates a relational expression back into SQL text (§3: "once the
+/// query has been optimized, Calcite can translate the relational expression
+/// back to SQL. This feature allows Calcite to work as a stand-alone system
+/// on top of any data management system with a SQL interface"). The JDBC
+/// adapter uses this to push whole subtrees into SQL backends, per dialect
+/// (Table 2).
+///
+/// Supported operators: TableScan, Filter, Project, Join, Aggregate, Sort
+/// (with OFFSET/FETCH), Union/Intersect/Minus, Values. Other operators
+/// return Unsupported — the planner then keeps them client-side.
+class RelToSqlConverter {
+ public:
+  explicit RelToSqlConverter(const SqlDialect& dialect) : dialect_(&dialect) {}
+
+  /// Returns the SQL text computing `node`.
+  Result<std::string> Convert(const RelNodePtr& node) const;
+
+  /// Renders a scalar expression given the input field names.
+  Result<std::string> ConvertRex(const RexNodePtr& rex,
+                                 const std::vector<std::string>& fields) const;
+
+ private:
+  /// A SELECT under construction; clauses merge until they would conflict,
+  /// then the current statement is wrapped as a subquery.
+  struct SqlStatement {
+    std::string select;  // comma list; empty = "*"
+    std::string from;    // table or "(subquery) AS t"
+    std::string where;
+    std::string group_by;
+    std::string having;
+    std::string order_by;
+    int64_t offset = 0;
+    int64_t fetch = -1;
+    std::vector<std::string> output_fields;
+
+    std::string Render(const SqlDialect& dialect) const;
+  };
+
+  Result<SqlStatement> Visit(const RelNodePtr& node, int* alias_counter) const;
+  SqlStatement WrapAsSubquery(const SqlStatement& stmt,
+                              int* alias_counter) const;
+  /// Wraps unless the statement is already a bare FROM item.
+  SqlStatement WrapIfNeeded(SqlStatement stmt, int* alias_counter) const;
+
+  const SqlDialect* dialect_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_SQL_REL_TO_SQL_H_

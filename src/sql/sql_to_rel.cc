@@ -1,0 +1,1221 @@
+#include "sql/sql_to_rel.h"
+
+#include <map>
+#include <set>
+
+#include "rex/rex_util.h"
+#include "sql/parser.h"
+#include "util/string_utils.h"
+
+namespace calcite {
+
+using sql::SqlCall;
+using sql::SqlIdentifier;
+using sql::SqlJoin;
+using sql::SqlLiteral;
+using sql::SqlNode;
+using sql::SqlNodeKind;
+using sql::SqlNodePtr;
+using sql::SqlOrderItem;
+using sql::SqlSelect;
+using sql::SqlSetOp;
+using sql::SqlSubquery;
+using sql::SqlTableRef;
+using sql::SqlTypeSpec;
+using sql::SqlValues;
+using sql::SqlWindowSpec;
+
+namespace {
+
+Status ValidationError(const std::string& msg) {
+  return Status::ValidationError(msg);
+}
+
+/// One named relation visible in the FROM scope.
+struct ScopeEntry {
+  std::string alias;        // table alias or table name
+  RelDataTypePtr row_type;  // the relation's fields
+  int offset;               // field offset in the combined row
+};
+
+/// Name-resolution scope for a SELECT: the relations of its FROM clause.
+struct Scope {
+  std::vector<ScopeEntry> entries;
+  int total_fields = 0;
+  /// Input columns known to be monotonically increasing (stream rowtime
+  /// columns), in combined-row index space.
+  std::set<int> monotonic_columns;
+
+  /// Finds an unqualified column. Errors on ambiguity.
+  Result<std::pair<int, RelDataTypePtr>> FindColumn(
+      const std::string& name) const {
+    int found = -1;
+    RelDataTypePtr type;
+    for (const ScopeEntry& entry : entries) {
+      const RelDataTypeField* field = entry.row_type->FindField(name);
+      if (field != nullptr) {
+        if (found >= 0) {
+          return ValidationError("column '" + name + "' is ambiguous");
+        }
+        found = entry.offset + field->index;
+        type = field->type;
+      }
+    }
+    if (found < 0) {
+      return ValidationError("column '" + name + "' not found");
+    }
+    return std::make_pair(found, type);
+  }
+
+  /// Finds alias.column.
+  Result<std::pair<int, RelDataTypePtr>> FindQualified(
+      const std::string& alias, const std::string& name) const {
+    for (const ScopeEntry& entry : entries) {
+      if (!EqualsIgnoreCase(entry.alias, alias)) continue;
+      const RelDataTypeField* field = entry.row_type->FindField(name);
+      if (field == nullptr) {
+        return ValidationError("column '" + name + "' not found in '" +
+                               alias + "'");
+      }
+      return std::make_pair(entry.offset + field->index, field->type);
+    }
+    return ValidationError("table alias '" + alias + "' not found");
+  }
+};
+
+/// Maps a parsed type spec to a RelDataType.
+Result<RelDataTypePtr> ResolveTypeSpec(const SqlTypeSpec& spec,
+                                       const TypeFactory& tf) {
+  static const std::map<std::string, SqlTypeName> kTypes = {
+      {"BOOLEAN", SqlTypeName::kBoolean},
+      {"TINYINT", SqlTypeName::kTinyInt},
+      {"SMALLINT", SqlTypeName::kSmallInt},
+      {"INTEGER", SqlTypeName::kInteger},
+      {"BIGINT", SqlTypeName::kBigInt},
+      {"FLOAT", SqlTypeName::kFloat},
+      {"DOUBLE", SqlTypeName::kDouble},
+      {"DECIMAL", SqlTypeName::kDecimal},
+      {"CHAR", SqlTypeName::kChar},
+      {"VARCHAR", SqlTypeName::kVarchar},
+      {"DATE", SqlTypeName::kDate},
+      {"TIME", SqlTypeName::kTime},
+      {"TIMESTAMP", SqlTypeName::kTimestamp},
+      {"GEOMETRY", SqlTypeName::kGeometry},
+      {"ANY", SqlTypeName::kAny},
+  };
+  auto it = kTypes.find(spec.name);
+  if (it == kTypes.end()) {
+    return ValidationError("unknown type '" + spec.name + "'");
+  }
+  if (spec.precision >= 0) {
+    return tf.CreateSqlType(it->second, spec.precision, true, spec.scale);
+  }
+  return tf.CreateSqlType(it->second, true);
+}
+
+/// Scalar function name -> operator kind.
+const std::map<std::string, OpKind>& ScalarFunctions() {
+  static const std::map<std::string, OpKind>* kFns =
+      new std::map<std::string, OpKind>{
+          {"UPPER", OpKind::kUpper},
+          {"LOWER", OpKind::kLower},
+          {"TRIM", OpKind::kTrim},
+          {"CHAR_LENGTH", OpKind::kCharLength},
+          {"CHARACTER_LENGTH", OpKind::kCharLength},
+          {"SUBSTRING", OpKind::kSubstring},
+          {"ABS", OpKind::kAbs},
+          {"FLOOR", OpKind::kFloor},
+          {"CEIL", OpKind::kCeil},
+          {"CEILING", OpKind::kCeil},
+          {"POWER", OpKind::kPower},
+          {"SQRT", OpKind::kSqrt},
+          {"MOD", OpKind::kMod},
+          {"COALESCE", OpKind::kCoalesce},
+          {"ST_GEOMFROMTEXT", OpKind::kStGeomFromText},
+          {"ST_ASTEXT", OpKind::kStAsText},
+          {"ST_CONTAINS", OpKind::kStContains},
+          {"ST_WITHIN", OpKind::kStWithin},
+          {"ST_DISTANCE", OpKind::kStDistance},
+          {"ST_INTERSECTS", OpKind::kStIntersects},
+          {"ST_AREA", OpKind::kStArea},
+          {"ST_X", OpKind::kStX},
+          {"ST_Y", OpKind::kStY},
+          {"ST_MAKEPOINT", OpKind::kStMakePoint},
+          {"TUMBLE", OpKind::kTumble},
+          {"TUMBLE_START", OpKind::kTumbleStart},
+          {"TUMBLE_END", OpKind::kTumbleEnd},
+          {"HOP", OpKind::kHop},
+          {"HOP_END", OpKind::kHopEnd},
+          {"SESSION", OpKind::kSession},
+          {"SESSION_END", OpKind::kSessionEnd},
+      };
+  return *kFns;
+}
+
+/// Binary/unary operator name -> kind.
+const std::map<std::string, OpKind>& Operators() {
+  static const std::map<std::string, OpKind>* kOps =
+      new std::map<std::string, OpKind>{
+          {"=", OpKind::kEquals},
+          {"<>", OpKind::kNotEquals},
+          {"<", OpKind::kLessThan},
+          {"<=", OpKind::kLessThanOrEqual},
+          {">", OpKind::kGreaterThan},
+          {">=", OpKind::kGreaterThanOrEqual},
+          {"+", OpKind::kPlus},
+          {"-", OpKind::kMinus},
+          {"*", OpKind::kTimes},
+          {"/", OpKind::kDivide},
+          {"MOD", OpKind::kMod},
+          {"||", OpKind::kConcat},
+          {"AND", OpKind::kAnd},
+          {"OR", OpKind::kOr},
+          {"NOT", OpKind::kNot},
+          {"IS NULL", OpKind::kIsNull},
+          {"IS NOT NULL", OpKind::kIsNotNull},
+          {"IS TRUE", OpKind::kIsTrue},
+          {"IS FALSE", OpKind::kIsFalse},
+          {"LIKE", OpKind::kLike},
+          {"IN", OpKind::kIn},
+          {"BETWEEN", OpKind::kBetween},
+          {"CASE", OpKind::kCase},
+          {"ITEM", OpKind::kItem},
+          {"UNARY_MINUS", OpKind::kUnaryMinus},
+      };
+  return *kOps;
+}
+
+bool IsAggregateFunction(const std::string& name) {
+  return name == "COUNT" || name == "SUM" || name == "MIN" || name == "MAX" ||
+         name == "AVG";
+}
+
+AggKind AggKindForName(const std::string& name, bool star) {
+  if (name == "COUNT") return star ? AggKind::kCountStar : AggKind::kCount;
+  if (name == "SUM") return AggKind::kSum;
+  if (name == "MIN") return AggKind::kMin;
+  if (name == "MAX") return AggKind::kMax;
+  return AggKind::kAvg;
+}
+
+/// Does this expression (AST) contain an aggregate call (outside OVER)?
+bool ContainsAggregate(const SqlNodePtr& node) {
+  if (node == nullptr) return false;
+  if (node->kind() != SqlNodeKind::kCall) return false;
+  const auto* call = static_cast<const SqlCall*>(node.get());
+  if (call->op() == "OVER") return false;  // windowed, not grouped
+  if (IsAggregateFunction(call->op())) return true;
+  for (const SqlNodePtr& operand : call->operands()) {
+    if (ContainsAggregate(operand)) return true;
+  }
+  return false;
+}
+
+bool ContainsOver(const SqlNodePtr& node) {
+  if (node == nullptr || node->kind() != SqlNodeKind::kCall) return false;
+  const auto* call = static_cast<const SqlCall*>(node.get());
+  if (call->op() == "OVER") return true;
+  for (const SqlNodePtr& operand : call->operands()) {
+    if (ContainsOver(operand)) return true;
+  }
+  return false;
+}
+
+/// The conversion engine for one query (and, recursively, its subqueries).
+class ConverterImpl {
+ public:
+  ConverterImpl(SchemaPtr schema, PlannerContext* context, int view_depth)
+      : schema_(std::move(schema)),
+        context_(context),
+        view_depth_(view_depth) {}
+
+  Result<RelNodePtr> ConvertQuery(const SqlNodePtr& query) {
+    switch (query->kind()) {
+      case SqlNodeKind::kSelect:
+        return ConvertSelect(static_cast<const SqlSelect&>(*query));
+      case SqlNodeKind::kSetOp:
+        return ConvertSetOp(static_cast<const SqlSetOp&>(*query));
+      case SqlNodeKind::kValues:
+        return ConvertValues(static_cast<const SqlValues&>(*query));
+      default:
+        return ValidationError("unsupported query node");
+    }
+  }
+
+ private:
+  const RexBuilder& rex() const { return context_->rex_builder(); }
+  const TypeFactory& tf() const { return context_->type_factory(); }
+
+  // ------------------------------ FROM clause -----------------------------
+
+  Result<RelNodePtr> ConvertFrom(const SqlNodePtr& from, Scope* scope,
+                                 bool stream_requested) {
+    switch (from->kind()) {
+      case SqlNodeKind::kTableRef: {
+        const auto& ref = static_cast<const SqlTableRef&>(*from);
+        auto resolved = ResolveTable(schema_, ref.names());
+        if (!resolved.ok()) {
+          return Status::ValidationError(resolved.status().message());
+        }
+        // View expansion: parse and convert the view SQL in place.
+        if (auto view =
+                std::dynamic_pointer_cast<ViewTable>(resolved.value().table)) {
+          if (view_depth_ > 16) {
+            return ValidationError("view expansion too deep (cycle?)");
+          }
+          auto ast = SqlParser::Parse(view->sql());
+          if (!ast.ok()) {
+            return ValidationError("error parsing view '" +
+                                   ref.names().back() +
+                                   "': " + ast.status().message());
+          }
+          ConverterImpl sub(schema_, context_, view_depth_ + 1);
+          auto node = sub.ConvertQuery(ast.value());
+          if (!node.ok()) return node;
+          std::string alias =
+              ref.alias().empty() ? ref.names().back() : ref.alias();
+          scope->entries.push_back({alias, node.value()->row_type(),
+                                    scope->total_fields});
+          scope->total_fields += node.value()->row_type()->field_count();
+          return node;
+        }
+
+        RelNodePtr scan = LogicalTableScan::Create(
+            resolved.value().table, resolved.value().qualified_name,
+            resolved.value().schema->ScanConvention(), tf());
+        bool is_stream = resolved.value().table->IsStream();
+        if (stream_requested && !is_stream) {
+          return ValidationError(
+              "STREAM requested but table '" + ref.names().back() +
+              "' is not a stream (§7.2: the STREAM directive asks for "
+              "incoming records)");
+        }
+        if (stream_requested && is_stream) {
+          scan = LogicalDelta::Create(scan);
+        }
+        std::string alias =
+            ref.alias().empty() ? ref.names().back() : ref.alias();
+        // Record monotonic (rowtime) columns for streaming validation.
+        Statistic stat = resolved.value().table->GetStatistic();
+        for (int col : stat.monotonic_columns) {
+          scope->monotonic_columns.insert(scope->total_fields + col);
+        }
+        scope->entries.push_back(
+            {alias, scan->row_type(), scope->total_fields});
+        scope->total_fields += scan->row_type()->field_count();
+        return scan;
+      }
+      case SqlNodeKind::kSubquery: {
+        const auto& sub = static_cast<const SqlSubquery&>(*from);
+        ConverterImpl converter(schema_, context_, view_depth_ + 1);
+        auto node = converter.ConvertQuery(sub.query());
+        if (!node.ok()) return node;
+        scope->entries.push_back({sub.alias().empty() ? "$subquery"
+                                                      : sub.alias(),
+                                  node.value()->row_type(),
+                                  scope->total_fields});
+        scope->total_fields += node.value()->row_type()->field_count();
+        return node;
+      }
+      case SqlNodeKind::kJoin: {
+        const auto& join = static_cast<const SqlJoin&>(*from);
+        auto left = ConvertFrom(join.left(), scope, stream_requested);
+        if (!left.ok()) return left;
+        int left_fields = scope->total_fields;
+        auto right = ConvertFrom(join.right(), scope, false);
+        if (!right.ok()) return right;
+
+        JoinType type = JoinType::kInner;
+        switch (join.type()) {
+          case SqlJoin::Type::kInner:
+          case SqlJoin::Type::kCross:
+            type = JoinType::kInner;
+            break;
+          case SqlJoin::Type::kLeft:
+            type = JoinType::kLeft;
+            break;
+          case SqlJoin::Type::kRight:
+            type = JoinType::kRight;
+            break;
+          case SqlJoin::Type::kFull:
+            type = JoinType::kFull;
+            break;
+        }
+        RexNodePtr condition;
+        if (join.condition() != nullptr) {
+          auto cond = ConvertExpr(join.condition(), *scope);
+          if (!cond.ok()) return cond.status();
+          condition = cond.value();
+        } else if (!join.using_columns().empty()) {
+          std::vector<RexNodePtr> conjuncts;
+          for (const std::string& column : join.using_columns()) {
+            // Resolve the column on each side of the join.
+            Result<std::pair<int, RelDataTypePtr>> l =
+                ValidationError("USING column not found");
+            Result<std::pair<int, RelDataTypePtr>> r = l;
+            for (const ScopeEntry& entry : scope->entries) {
+              const RelDataTypeField* field =
+                  entry.row_type->FindField(column);
+              if (field == nullptr) continue;
+              if (entry.offset < left_fields && !l.ok()) {
+                l = std::make_pair(entry.offset + field->index, field->type);
+              } else if (entry.offset >= left_fields && !r.ok()) {
+                r = std::make_pair(entry.offset + field->index, field->type);
+              }
+            }
+            if (!l.ok() || !r.ok()) {
+              return ValidationError("USING column '" + column +
+                                     "' must appear on both join sides");
+            }
+            conjuncts.push_back(rex().MakeEquals(
+                rex().MakeInputRef(l.value().first, l.value().second),
+                rex().MakeInputRef(r.value().first, r.value().second)));
+          }
+          condition = rex().MakeAnd(std::move(conjuncts));
+        } else {
+          condition = rex().MakeBoolLiteral(true);  // CROSS JOIN
+        }
+        return LogicalJoin::Create(left.value(), right.value(),
+                                   std::move(condition), type, tf());
+      }
+      default:
+        return ValidationError("unsupported FROM clause element");
+    }
+  }
+
+  // ----------------------------- expressions ------------------------------
+
+  Result<RexNodePtr> ConvertExpr(const SqlNodePtr& node, const Scope& scope) {
+    switch (node->kind()) {
+      case SqlNodeKind::kLiteral: {
+        const auto& lit = static_cast<const SqlLiteral&>(*node);
+        switch (lit.literal_kind()) {
+          case SqlLiteral::LiteralKind::kNull:
+            return rex().MakeNullLiteral(
+                tf().CreateSqlType(SqlTypeName::kNull, true));
+          case SqlLiteral::LiteralKind::kBoolean:
+            return rex().MakeBoolLiteral(lit.value().AsBool());
+          case SqlLiteral::LiteralKind::kInteger:
+            return rex().MakeIntLiteral(lit.value().AsInt());
+          case SqlLiteral::LiteralKind::kDecimal:
+            return rex().MakeDoubleLiteral(lit.value().AsDouble());
+          case SqlLiteral::LiteralKind::kString:
+            return rex().MakeStringLiteral(lit.value().AsString());
+          case SqlLiteral::LiteralKind::kInterval:
+            return rex().MakeIntervalLiteral(lit.value().AsInt());
+        }
+        return Status::Internal("unhandled literal kind");
+      }
+      case SqlNodeKind::kIdentifier: {
+        const auto& id = static_cast<const SqlIdentifier&>(*node);
+        if (id.is_star()) {
+          return ValidationError("'*' is not valid in this context");
+        }
+        if (id.names().size() == 1) {
+          auto col = scope.FindColumn(id.names()[0]);
+          if (!col.ok()) return col.status();
+          return rex().MakeInputRef(col.value().first, col.value().second);
+        }
+        if (id.names().size() == 2) {
+          auto col = scope.FindQualified(id.names()[0], id.names()[1]);
+          if (!col.ok()) return col.status();
+          return rex().MakeInputRef(col.value().first, col.value().second);
+        }
+        // schema.table.column: try the trailing two segments.
+        auto col = scope.FindQualified(id.names()[id.names().size() - 2],
+                                       id.names().back());
+        if (!col.ok()) return col.status();
+        return rex().MakeInputRef(col.value().first, col.value().second);
+      }
+      case SqlNodeKind::kCall: {
+        const auto& call = static_cast<const SqlCall&>(*node);
+        if (call.op() == "CAST") {
+          auto operand = ConvertExpr(call.operands()[0], scope);
+          if (!operand.ok()) return operand;
+          auto type = ResolveTypeSpec(*call.type_spec, tf());
+          if (!type.ok()) return type.status();
+          return rex().MakeCast(type.value(), operand.value());
+        }
+        if (call.op() == "OVER") {
+          return ValidationError(
+              "window (OVER) expressions are only allowed in the SELECT "
+              "list");
+        }
+        if (IsAggregateFunction(call.op())) {
+          return ValidationError("aggregate function " + call.op() +
+                                 " is not allowed in this context");
+        }
+        // Scalar functions and operators.
+        std::vector<RexNodePtr> operands;
+        for (const SqlNodePtr& operand : call.operands()) {
+          auto converted = ConvertExpr(operand, scope);
+          if (!converted.ok()) return converted;
+          operands.push_back(converted.value());
+        }
+        auto op_it = Operators().find(call.op());
+        if (op_it != Operators().end()) {
+          return rex().MakeCall(op_it->second, std::move(operands));
+        }
+        auto fn_it = ScalarFunctions().find(call.op());
+        if (fn_it != ScalarFunctions().end()) {
+          return rex().MakeCall(fn_it->second, std::move(operands));
+        }
+        return ValidationError("unknown function or operator '" + call.op() +
+                               "'");
+      }
+      default:
+        return ValidationError("unsupported expression");
+    }
+  }
+
+  // ------------------------------- VALUES ---------------------------------
+
+  Result<RelNodePtr> ConvertValues(const SqlValues& values) {
+    if (values.rows().empty()) {
+      return ValidationError("VALUES requires at least one row");
+    }
+    Scope empty_scope;
+    std::vector<Row> rows;
+    std::vector<std::vector<RelDataTypePtr>> column_types;
+    for (const auto& ast_row : values.rows()) {
+      Row row;
+      for (size_t c = 0; c < ast_row.size(); ++c) {
+        auto expr = ConvertExpr(ast_row[c], empty_scope);
+        if (!expr.ok()) return expr.status();
+        const RexLiteral* lit = AsLiteral(expr.value());
+        if (lit == nullptr) {
+          return ValidationError("VALUES rows must contain only literals");
+        }
+        row.push_back(lit->value());
+        if (column_types.size() <= c) column_types.resize(c + 1);
+        column_types[c].push_back(expr.value()->type());
+      }
+      if (ast_row.size() != values.rows()[0].size()) {
+        return ValidationError("VALUES rows differ in arity");
+      }
+      rows.push_back(std::move(row));
+    }
+    std::vector<std::string> names;
+    std::vector<RelDataTypePtr> types;
+    for (size_t c = 0; c < column_types.size(); ++c) {
+      names.push_back("EXPR$" + std::to_string(c));
+      RelDataTypePtr t = tf().LeastRestrictive(column_types[c]);
+      types.push_back(t != nullptr ? t
+                                   : tf().CreateSqlType(SqlTypeName::kAny,
+                                                        true));
+    }
+    return LogicalValues::Create(tf().CreateStructType(names, types),
+                                 std::move(rows));
+  }
+
+  // ------------------------------- set ops --------------------------------
+
+  Result<RelNodePtr> ConvertSetOp(const SqlSetOp& setop) {
+    ConverterImpl left_converter(schema_, context_, view_depth_ + 1);
+    auto left = left_converter.ConvertQuery(setop.left());
+    if (!left.ok()) return left;
+    ConverterImpl right_converter(schema_, context_, view_depth_ + 1);
+    auto right = right_converter.ConvertQuery(setop.right());
+    if (!right.ok()) return right;
+    if (left.value()->row_type()->field_count() !=
+        right.value()->row_type()->field_count()) {
+      return ValidationError(
+          "set operation inputs differ in column count (" +
+          std::to_string(left.value()->row_type()->field_count()) + " vs " +
+          std::to_string(right.value()->row_type()->field_count()) + ")");
+    }
+    SetOp::Kind kind = SetOp::Kind::kUnion;
+    switch (setop.op()) {
+      case SqlSetOp::Op::kUnion:
+        kind = SetOp::Kind::kUnion;
+        break;
+      case SqlSetOp::Op::kIntersect:
+        kind = SetOp::Kind::kIntersect;
+        break;
+      case SqlSetOp::Op::kExcept:
+        kind = SetOp::Kind::kMinus;
+        break;
+    }
+    RelNodePtr result = LogicalSetOp::Create({left.value(), right.value()},
+                                             kind, setop.all(), tf());
+    // Trailing ORDER BY over the set result (by output column name or
+    // ordinal).
+    if (!setop.order_by.empty() || setop.offset > 0 || setop.fetch >= 0) {
+      std::vector<FieldCollation> collation;
+      for (const SqlNodePtr& item_node : setop.order_by) {
+        const auto& item = static_cast<const SqlOrderItem&>(*item_node);
+        auto field = ResolveOrderField(item.expr(), result->row_type());
+        if (!field.ok()) return field.status();
+        collation.push_back({field.value(),
+                             item.descending() ? Direction::kDescending
+                                               : Direction::kAscending});
+      }
+      result = LogicalSort::Create(result, RelCollation(std::move(collation)),
+                                   setop.offset, setop.fetch);
+    }
+    return result;
+  }
+
+  /// ORDER BY item as output-column name or 1-based ordinal.
+  Result<int> ResolveOrderField(const SqlNodePtr& expr,
+                                const RelDataTypePtr& row_type) {
+    if (expr->kind() == SqlNodeKind::kLiteral) {
+      const auto& lit = static_cast<const SqlLiteral&>(*expr);
+      if (lit.value().is_int()) {
+        int ordinal = static_cast<int>(lit.value().AsInt());
+        if (ordinal < 1 || ordinal > row_type->field_count()) {
+          return ValidationError("ORDER BY ordinal out of range");
+        }
+        return ordinal - 1;
+      }
+    }
+    if (expr->kind() == SqlNodeKind::kIdentifier) {
+      const auto& id = static_cast<const SqlIdentifier&>(*expr);
+      const RelDataTypeField* field =
+          row_type->FindField(id.names().back());
+      if (field != nullptr) return field->index;
+    }
+    return ValidationError("cannot resolve ORDER BY expression " +
+                           expr->ToSql());
+  }
+
+  // -------------------------------- SELECT --------------------------------
+
+  Result<RelNodePtr> ConvertSelect(const SqlSelect& select);
+
+  /// Expands stars and returns the final select items (expr + name).
+  Result<std::vector<std::pair<SqlNodePtr, std::string>>> ExpandSelectList(
+      const SqlSelect& select, const Scope& scope);
+
+  SchemaPtr schema_;
+  PlannerContext* context_;
+  int view_depth_;
+};
+
+Result<std::vector<std::pair<SqlNodePtr, std::string>>>
+ConverterImpl::ExpandSelectList(const SqlSelect& select, const Scope& scope) {
+  std::vector<std::pair<SqlNodePtr, std::string>> items;
+  for (const auto& item : select.select_list) {
+    if (item.expr->kind() == SqlNodeKind::kIdentifier) {
+      const auto& id = static_cast<const SqlIdentifier&>(*item.expr);
+      if (id.is_star()) {
+        // `*` or `alias.*`.
+        for (const ScopeEntry& entry : scope.entries) {
+          if (!id.names().empty() &&
+              !EqualsIgnoreCase(entry.alias, id.names()[0])) {
+            continue;
+          }
+          for (const RelDataTypeField& field : entry.row_type->fields()) {
+            items.push_back(
+                {std::make_shared<SqlIdentifier>(
+                     std::vector<std::string>{entry.alias, field.name}),
+                 field.name});
+          }
+        }
+        continue;
+      }
+    }
+    std::string name = item.alias;
+    if (name.empty()) {
+      if (item.expr->kind() == SqlNodeKind::kIdentifier) {
+        const auto& id = static_cast<const SqlIdentifier&>(*item.expr);
+        name = id.names().back();
+      } else {
+        name = "EXPR$" + std::to_string(items.size());
+      }
+    }
+    items.push_back({item.expr, name});
+  }
+  if (items.empty()) {
+    return ValidationError("SELECT list is empty");
+  }
+  return items;
+}
+
+Result<RelNodePtr> ConverterImpl::ConvertSelect(const SqlSelect& select) {
+  Scope scope;
+  RelNodePtr node;
+  if (select.from != nullptr) {
+    auto from = ConvertFrom(select.from, &scope, select.stream);
+    if (!from.ok()) return from;
+    node = from.value();
+  } else {
+    if (select.stream) {
+      return ValidationError("SELECT STREAM requires a FROM clause");
+    }
+    // SELECT without FROM: a single empty row.
+    node = LogicalValues::Create(tf().CreateStructType({}, {}), {Row{}});
+  }
+
+  // WHERE.
+  if (select.where != nullptr) {
+    if (ContainsAggregate(select.where)) {
+      return ValidationError("aggregate functions are not allowed in WHERE");
+    }
+    auto condition = ConvertExpr(select.where, scope);
+    if (!condition.ok()) return condition.status();
+    if (condition.value()->type()->type_name() != SqlTypeName::kBoolean) {
+      return ValidationError("WHERE condition must be BOOLEAN, got " +
+                             condition.value()->type()->ToString());
+    }
+    node = LogicalFilter::Create(node, condition.value());
+  }
+
+  auto items = ExpandSelectList(select, scope);
+  if (!items.ok()) return items.status();
+
+  bool has_aggregation = !select.group_by.empty();
+  for (const auto& [expr, name] : items.value()) {
+    if (ContainsAggregate(expr)) has_aggregation = true;
+  }
+  if (select.having != nullptr) has_aggregation = true;
+
+  std::vector<FieldCollation> collation;
+
+  if (has_aggregation) {
+    // ---- Grouped query: pre-project group keys + agg args, aggregate,
+    // then post-project select expressions over the aggregate output. ----
+
+    // Convert group expressions over the FROM scope.
+    std::vector<RexNodePtr> group_exprs;
+    std::vector<std::string> group_digests;
+    for (const SqlNodePtr& g : select.group_by) {
+      auto converted = ConvertExpr(g, scope);
+      if (!converted.ok()) return converted.status();
+      group_exprs.push_back(converted.value());
+      group_digests.push_back(g->ToSql());
+    }
+
+    // Streaming monotonicity validation (§7.2): windowed aggregates over a
+    // stream need a monotonic group expression.
+    if (select.stream) {
+      bool any_monotonic = false;
+      for (const RexNodePtr& g : group_exprs) {
+        Monotonicity m = DeriveMonotonicity(g, scope.monotonic_columns);
+        if (m == Monotonicity::kIncreasing ||
+            m == Monotonicity::kDecreasing) {
+          any_monotonic = true;
+          break;
+        }
+      }
+      if (!any_monotonic) {
+        return ValidationError(
+            "streaming aggregation requires a monotonic expression (e.g. "
+            "TUMBLE(rowtime, ...)) in the GROUP BY clause (§7.2)");
+      }
+    }
+
+    // Collect aggregate calls from SELECT items, HAVING and ORDER BY.
+    struct PendingAgg {
+      const SqlCall* call;
+      std::string digest;
+    };
+    std::vector<PendingAgg> agg_asts;
+    auto collect_aggs = [&](const SqlNodePtr& n, auto&& self) -> void {
+      if (n == nullptr || n->kind() != SqlNodeKind::kCall) return;
+      const auto* call = static_cast<const SqlCall*>(n.get());
+      if (IsAggregateFunction(call->op())) {
+        std::string digest = n->ToSql();
+        for (const PendingAgg& existing : agg_asts) {
+          if (existing.digest == digest) return;
+        }
+        agg_asts.push_back({call, digest});
+        return;
+      }
+      for (const SqlNodePtr& operand : call->operands()) {
+        self(operand, self);
+      }
+    };
+    for (const auto& [expr, name] : items.value()) {
+      collect_aggs(expr, collect_aggs);
+    }
+    collect_aggs(select.having, collect_aggs);
+    for (const SqlNodePtr& item_node : select.order_by) {
+      collect_aggs(static_cast<const SqlOrderItem&>(*item_node).expr(),
+                   collect_aggs);
+    }
+
+    // Pre-projection: group exprs then agg arguments.
+    std::vector<RexNodePtr> pre_exprs = group_exprs;
+    std::vector<std::string> pre_names;
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      pre_names.push_back("$g" + std::to_string(i));
+    }
+    std::vector<AggregateCall> agg_calls;
+    for (const PendingAgg& pending : agg_asts) {
+      AggregateCall agg;
+      agg.kind = AggKindForName(pending.call->op(), pending.call->star);
+      agg.distinct = pending.call->distinct;
+      agg.name = "$a" + std::to_string(agg_calls.size());
+      if (!pending.call->star) {
+        if (pending.call->operands().size() != 1) {
+          return ValidationError(pending.call->op() +
+                                 " expects exactly one argument");
+        }
+        auto arg = ConvertExpr(pending.call->operands()[0], scope);
+        if (!arg.ok()) return arg.status();
+        agg.args.push_back(static_cast<int>(pre_exprs.size()));
+        pre_exprs.push_back(arg.value());
+        pre_names.push_back("$arg" + std::to_string(pre_exprs.size()));
+      }
+      agg_calls.push_back(std::move(agg));
+    }
+
+    node = LogicalProject::Create(node, pre_exprs, pre_names, tf());
+    std::vector<int> group_keys;
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      group_keys.push_back(static_cast<int>(i));
+    }
+    node = LogicalAggregate::Create(node, group_keys, agg_calls, tf());
+
+    // Rewriting of post-aggregation expressions: group expr digests map to
+    // key fields, agg digests to agg fields; TUMBLE_END/HOP_END etc. derive
+    // from their group expression.
+    const RelDataTypePtr agg_row = node->row_type();
+    auto rewrite =
+        [&](const SqlNodePtr& n,
+            auto&& self) -> Result<RexNodePtr> {
+      std::string digest = n->ToSql();
+      for (size_t g = 0; g < group_digests.size(); ++g) {
+        if (group_digests[g] == digest) {
+          return rex().MakeInputRef(agg_row, static_cast<int>(g));
+        }
+      }
+      for (size_t a = 0; a < agg_asts.size(); ++a) {
+        if (agg_asts[a].digest == digest) {
+          return rex().MakeInputRef(
+              agg_row, static_cast<int>(group_digests.size() + a));
+        }
+      }
+      if (n->kind() == SqlNodeKind::kCall) {
+        const auto& call = static_cast<const SqlCall&>(*n);
+        // Window-end helpers: TUMBLE_END(ts, i) = TUMBLE(ts, i) + i, etc.
+        auto window_end = [&](const std::string& base_fn,
+                              int interval_operand)
+            -> Result<RexNodePtr> {
+          std::vector<SqlNodePtr> base_ops(call.operands().begin(),
+                                           call.operands().end());
+          auto base_call = std::make_shared<SqlCall>(base_fn, base_ops);
+          std::string base_digest = base_call->ToSql();
+          for (size_t g = 0; g < group_digests.size(); ++g) {
+            if (group_digests[g] == base_digest) {
+              RexNodePtr ref =
+                  rex().MakeInputRef(agg_row, static_cast<int>(g));
+              auto interval = ConvertExpr(
+                  call.operands()[static_cast<size_t>(interval_operand)],
+                  Scope{});
+              if (!interval.ok()) return interval.status();
+              return rex().MakeCall(OpKind::kPlus,
+                                    {ref, interval.value()});
+            }
+          }
+          return ValidationError(
+              call.op() + " must match a " + base_fn +
+              " expression in the GROUP BY clause");
+        };
+        if (call.op() == "TUMBLE_END") return window_end("TUMBLE", 1);
+        if (call.op() == "HOP_END") return window_end("HOP", 2);
+        if (call.op() == "SESSION_END") return window_end("SESSION", 1);
+        if (call.op() == "TUMBLE_START") {
+          std::vector<SqlNodePtr> base_ops(call.operands().begin(),
+                                           call.operands().end());
+          auto base_call = std::make_shared<SqlCall>("TUMBLE", base_ops);
+          std::string base_digest = base_call->ToSql();
+          for (size_t g = 0; g < group_digests.size(); ++g) {
+            if (group_digests[g] == base_digest) {
+              return rex().MakeInputRef(agg_row, static_cast<int>(g));
+            }
+          }
+          return ValidationError(
+              "TUMBLE_START must match a TUMBLE group expression");
+        }
+        if (call.op() == "CAST") {
+          auto operand = self(call.operands()[0], self);
+          if (!operand.ok()) return operand;
+          auto type = ResolveTypeSpec(*call.type_spec, tf());
+          if (!type.ok()) return type.status();
+          return rex().MakeCast(type.value(), operand.value());
+        }
+        std::vector<RexNodePtr> operands;
+        for (const SqlNodePtr& operand : call.operands()) {
+          auto converted = self(operand, self);
+          if (!converted.ok()) return converted;
+          operands.push_back(converted.value());
+        }
+        auto op_it = Operators().find(call.op());
+        if (op_it != Operators().end()) {
+          return rex().MakeCall(op_it->second, std::move(operands));
+        }
+        auto fn_it = ScalarFunctions().find(call.op());
+        if (fn_it != ScalarFunctions().end()) {
+          return rex().MakeCall(fn_it->second, std::move(operands));
+        }
+        return ValidationError("unknown function '" + call.op() + "'");
+      }
+      if (n->kind() == SqlNodeKind::kLiteral) {
+        Scope empty;
+        return ConvertExpr(n, empty);
+      }
+      return ValidationError(
+          "expression " + digest +
+          " is neither aggregated nor in the GROUP BY clause");
+    };
+
+    // HAVING.
+    if (select.having != nullptr) {
+      auto having = rewrite(select.having, rewrite);
+      if (!having.ok()) return having.status();
+      node = LogicalFilter::Create(node, having.value());
+    }
+
+    // Post-projection of the select items.
+    std::vector<RexNodePtr> post_exprs;
+    std::vector<std::string> post_names;
+    for (const auto& [expr, name] : items.value()) {
+      auto converted = rewrite(expr, rewrite);
+      if (!converted.ok()) return converted.status();
+      post_exprs.push_back(converted.value());
+      post_names.push_back(name);
+    }
+
+    // ORDER BY expressions rewritten in the same space, matched against the
+    // select list first (aliases and ordinals included).
+    for (const SqlNodePtr& item_node : select.order_by) {
+      const auto& item = static_cast<const SqlOrderItem&>(*item_node);
+      Direction dir = item.descending() ? Direction::kDescending
+                                        : Direction::kAscending;
+      int field_index = -1;
+      // Ordinal?
+      if (item.expr()->kind() == SqlNodeKind::kLiteral) {
+        const auto& lit = static_cast<const SqlLiteral&>(*item.expr());
+        if (lit.value().is_int()) {
+          field_index = static_cast<int>(lit.value().AsInt()) - 1;
+        }
+      }
+      // Alias / digest match against select items.
+      if (field_index < 0) {
+        std::string digest = item.expr()->ToSql();
+        for (size_t i = 0; i < items.value().size(); ++i) {
+          if (EqualsIgnoreCase(items.value()[i].second, digest) ||
+              items.value()[i].first->ToSql() == digest) {
+            field_index = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (field_index < 0) {
+        // Append as hidden sort column.
+        auto converted = rewrite(item.expr(), rewrite);
+        if (!converted.ok()) return converted.status();
+        field_index = static_cast<int>(post_exprs.size());
+        post_exprs.push_back(converted.value());
+        post_names.push_back("$sort" + std::to_string(field_index));
+      }
+      collation.push_back({field_index, dir});
+    }
+
+    size_t visible = items.value().size();
+    node = LogicalProject::Create(node, post_exprs, post_names, tf());
+    if (!collation.empty() || select.offset > 0 || select.fetch >= 0) {
+      node = LogicalSort::Create(node, RelCollation(collation),
+                                 select.offset, select.fetch);
+    }
+    if (post_exprs.size() > visible) {
+      // Strip hidden sort columns.
+      std::vector<RexNodePtr> trim;
+      std::vector<std::string> trim_names;
+      for (size_t i = 0; i < visible; ++i) {
+        trim.push_back(rex().MakeInputRef(node->row_type(),
+                                          static_cast<int>(i)));
+        trim_names.push_back(post_names[i]);
+      }
+      node = LogicalProject::Create(node, trim, trim_names, tf());
+    }
+    if (select.distinct) {
+      std::vector<int> keys;
+      for (int i = 0; i < node->row_type()->field_count(); ++i) {
+        keys.push_back(i);
+      }
+      node = LogicalAggregate::Create(node, keys, {}, tf());
+    }
+    return node;
+  }
+
+  // ---- Non-aggregated query ----
+
+  // Window (OVER) calls in the select list become a LogicalWindow.
+  bool any_over = false;
+  for (const auto& [expr, name] : items.value()) {
+    if (ContainsOver(expr)) any_over = true;
+  }
+
+  std::vector<RexNodePtr> select_exprs;
+  std::vector<std::string> select_names;
+
+  if (any_over) {
+    // Build one window group per distinct OVER spec; replace the OVER call
+    // with a reference to the appended window output column.
+    struct WindowCall {
+      const SqlCall* agg;        // the aggregate being windowed
+      const SqlWindowSpec* spec;
+      std::string digest;
+      int output_field = -1;
+    };
+    std::vector<WindowCall> window_calls;
+    auto collect_overs = [&](const SqlNodePtr& n, auto&& self) -> void {
+      if (n == nullptr || n->kind() != SqlNodeKind::kCall) return;
+      const auto* call = static_cast<const SqlCall*>(n.get());
+      if (call->op() == "OVER") {
+        std::string digest = n->ToSql();
+        for (const WindowCall& existing : window_calls) {
+          if (existing.digest == digest) return;
+        }
+        window_calls.push_back(
+            {static_cast<const SqlCall*>(call->operands()[0].get()),
+             static_cast<const SqlWindowSpec*>(call->operands()[1].get()),
+             digest});
+        return;
+      }
+      for (const SqlNodePtr& operand : call->operands()) self(operand, self);
+    };
+    for (const auto& [expr, name] : items.value()) {
+      collect_overs(expr, collect_overs);
+    }
+
+    int base_fields = node->row_type()->field_count();
+    // All window functions must use the same input; build one group per
+    // distinct (partition, order, frame) signature.
+    std::vector<WindowGroup> groups;
+    std::vector<std::string> group_digests;
+    for (WindowCall& wc : window_calls) {
+      if (!IsAggregateFunction(wc.agg->op())) {
+        return ValidationError("only aggregate functions support OVER");
+      }
+      WindowGroup group;
+      for (const SqlNodePtr& p : wc.spec->partition_by) {
+        auto converted = ConvertExpr(p, scope);
+        if (!converted.ok()) return converted.status();
+        const RexInputRef* ref = AsInputRef(converted.value());
+        if (ref == nullptr) {
+          return ValidationError(
+              "PARTITION BY expressions must be plain columns");
+        }
+        group.partition_keys.push_back(ref->index());
+      }
+      std::vector<FieldCollation> order_fields;
+      for (const SqlNodePtr& o : wc.spec->order_by) {
+        const auto& order_item = static_cast<const SqlOrderItem&>(*o);
+        auto converted = ConvertExpr(order_item.expr(), scope);
+        if (!converted.ok()) return converted.status();
+        const RexInputRef* ref = AsInputRef(converted.value());
+        if (ref == nullptr) {
+          return ValidationError("ORDER BY in OVER must be a plain column");
+        }
+        order_fields.push_back({ref->index(),
+                                order_item.descending()
+                                    ? Direction::kDescending
+                                    : Direction::kAscending});
+      }
+      group.order = RelCollation(order_fields);
+      group.is_rows = wc.spec->is_rows;
+      group.preceding = wc.spec->has_frame ? wc.spec->preceding : -1;
+      group.following = wc.spec->following;
+
+      AggregateCall agg;
+      agg.kind = AggKindForName(wc.agg->op(), wc.agg->star);
+      agg.distinct = wc.agg->distinct;
+      agg.name = "$w" + std::to_string(window_calls.size());
+      if (!wc.agg->star) {
+        auto arg = ConvertExpr(wc.agg->operands()[0], scope);
+        if (!arg.ok()) return arg.status();
+        const RexInputRef* ref = AsInputRef(arg.value());
+        if (ref == nullptr) {
+          return ValidationError(
+              "windowed aggregate arguments must be plain columns");
+        }
+        agg.args.push_back(ref->index());
+      }
+
+      // Merge into an existing group with the same signature.
+      std::string sig = group.ToString();
+      // Remove the agg list from the signature (compare structure only).
+      bool merged = false;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (group_digests[g] == sig) {
+          wc.output_field =
+              base_fields + static_cast<int>(g) * 1000 +
+              static_cast<int>(groups[g].agg_calls.size());
+          groups[g].agg_calls.push_back(agg);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        wc.output_field = base_fields + static_cast<int>(groups.size()) * 1000;
+        groups.push_back(group);
+        groups.back().agg_calls.push_back(agg);
+        group_digests.push_back(sig);
+      }
+    }
+    // Flatten output-field bookkeeping: fields appended in group order.
+    int next = base_fields;
+    std::vector<int> group_starts;
+    for (WindowGroup& group : groups) {
+      group_starts.push_back(next);
+      next += static_cast<int>(group.agg_calls.size());
+    }
+    for (WindowCall& wc : window_calls) {
+      int g = (wc.output_field - base_fields) / 1000;
+      int offset = (wc.output_field - base_fields) % 1000;
+      wc.output_field = group_starts[static_cast<size_t>(g)] + offset;
+    }
+
+    node = LogicalWindow::Create(node, groups, tf());
+
+    // Rewrite select expressions replacing OVER calls with field refs.
+    auto rewrite_over =
+        [&](const SqlNodePtr& n, auto&& self) -> Result<RexNodePtr> {
+      if (n->kind() == SqlNodeKind::kCall) {
+        const auto& call = static_cast<const SqlCall&>(*n);
+        if (call.op() == "OVER") {
+          std::string digest = n->ToSql();
+          for (const WindowCall& wc : window_calls) {
+            if (wc.digest == digest) {
+              return rex().MakeInputRef(node->row_type(), wc.output_field);
+            }
+          }
+          return Status::Internal("window call not collected");
+        }
+        if (call.op() == "CAST") {
+          auto operand = self(call.operands()[0], self);
+          if (!operand.ok()) return operand;
+          auto type = ResolveTypeSpec(*call.type_spec, tf());
+          if (!type.ok()) return type.status();
+          return rex().MakeCast(type.value(), operand.value());
+        }
+        std::vector<RexNodePtr> operands;
+        for (const SqlNodePtr& operand : call.operands()) {
+          auto converted = self(operand, self);
+          if (!converted.ok()) return converted;
+          operands.push_back(converted.value());
+        }
+        auto op_it = Operators().find(call.op());
+        if (op_it != Operators().end()) {
+          return rex().MakeCall(op_it->second, std::move(operands));
+        }
+        auto fn_it = ScalarFunctions().find(call.op());
+        if (fn_it != ScalarFunctions().end()) {
+          return rex().MakeCall(fn_it->second, std::move(operands));
+        }
+        return ValidationError("unknown function '" + call.op() + "'");
+      }
+      // Identifiers/literals resolve against the original scope (window
+      // output keeps the input fields first).
+      return ConvertExpr(n, scope);
+    };
+    for (const auto& [expr, name] : items.value()) {
+      auto converted = rewrite_over(expr, rewrite_over);
+      if (!converted.ok()) return converted.status();
+      select_exprs.push_back(converted.value());
+      select_names.push_back(name);
+    }
+  } else {
+    for (const auto& [expr, name] : items.value()) {
+      auto converted = ConvertExpr(expr, scope);
+      if (!converted.ok()) return converted.status();
+      select_exprs.push_back(converted.value());
+      select_names.push_back(name);
+    }
+  }
+
+  // ORDER BY for the non-aggregated case: match select aliases/ordinals
+  // first, else hidden sort columns over the FROM scope.
+  std::vector<RexNodePtr> hidden_exprs;
+  for (const SqlNodePtr& item_node : select.order_by) {
+    const auto& item = static_cast<const SqlOrderItem&>(*item_node);
+    Direction dir = item.descending() ? Direction::kDescending
+                                      : Direction::kAscending;
+    int field_index = -1;
+    if (item.expr()->kind() == SqlNodeKind::kLiteral) {
+      const auto& lit = static_cast<const SqlLiteral&>(*item.expr());
+      if (lit.value().is_int()) {
+        field_index = static_cast<int>(lit.value().AsInt()) - 1;
+        if (field_index < 0 ||
+            field_index >= static_cast<int>(select_exprs.size())) {
+          return ValidationError("ORDER BY ordinal out of range");
+        }
+      }
+    }
+    if (field_index < 0) {
+      std::string digest = item.expr()->ToSql();
+      for (size_t i = 0; i < items.value().size(); ++i) {
+        if (EqualsIgnoreCase(select_names[i], digest) ||
+            items.value()[i].first->ToSql() == digest) {
+          field_index = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (field_index < 0) {
+      auto converted = ConvertExpr(item.expr(), scope);
+      if (!converted.ok()) return converted.status();
+      field_index =
+          static_cast<int>(select_exprs.size() + hidden_exprs.size());
+      hidden_exprs.push_back(converted.value());
+    }
+    collation.push_back({field_index, dir});
+  }
+
+  size_t visible = select_exprs.size();
+  std::vector<RexNodePtr> all_exprs = select_exprs;
+  std::vector<std::string> all_names = select_names;
+  for (size_t i = 0; i < hidden_exprs.size(); ++i) {
+    all_exprs.push_back(hidden_exprs[i]);
+    all_names.push_back("$sort" + std::to_string(i));
+  }
+  node = LogicalProject::Create(node, all_exprs, all_names, tf());
+
+  if (select.distinct) {
+    if (!hidden_exprs.empty()) {
+      return ValidationError(
+          "ORDER BY expressions must appear in the SELECT DISTINCT list");
+    }
+    std::vector<int> keys;
+    for (int i = 0; i < node->row_type()->field_count(); ++i) {
+      keys.push_back(i);
+    }
+    node = LogicalAggregate::Create(node, keys, {}, tf());
+  }
+
+  if (!collation.empty() || select.offset > 0 || select.fetch >= 0) {
+    node = LogicalSort::Create(node, RelCollation(collation), select.offset,
+                               select.fetch);
+  }
+  if (all_exprs.size() > visible) {
+    std::vector<RexNodePtr> trim;
+    std::vector<std::string> trim_names;
+    for (size_t i = 0; i < visible; ++i) {
+      trim.push_back(
+          rex().MakeInputRef(node->row_type(), static_cast<int>(i)));
+      trim_names.push_back(select_names[i]);
+    }
+    node = LogicalProject::Create(node, trim, trim_names, tf());
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<RelNodePtr> SqlToRelConverter::Convert(const SqlNodePtr& query) {
+  ConverterImpl impl(schema_, context_, 0);
+  return impl.ConvertQuery(query);
+}
+
+Result<RelDataTypePtr> SqlValidator::Validate(const SqlNodePtr& query) {
+  SqlToRelConverter converter(schema_, context_);
+  auto node = converter.Convert(query);
+  if (!node.ok()) return node.status();
+  return node.value()->row_type();
+}
+
+}  // namespace calcite

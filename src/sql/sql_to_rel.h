@@ -1,0 +1,53 @@
+#ifndef CALCITE_SQL_SQL_TO_REL_H_
+#define CALCITE_SQL_SQL_TO_REL_H_
+
+#include <memory>
+
+#include "plan/rule.h"
+#include "rel/core.h"
+#include "schema/schema.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Converts a validated SQL AST into a tree of logical relational operators
+/// (Figure 1's "Query parser / validator → relational algebra" path).
+/// Name resolution, type checking, view expansion, star expansion,
+/// aggregate/window rewriting and the §7.2 streaming monotonicity checks all
+/// happen here; semantic problems surface as ValidationError.
+class SqlToRelConverter {
+ public:
+  SqlToRelConverter(SchemaPtr schema, PlannerContext* context)
+      : schema_(std::move(schema)), context_(context) {}
+
+  /// Converts a query AST (SqlSelect / SqlSetOp / SqlValues) to a logical
+  /// plan.
+  Result<RelNodePtr> Convert(const sql::SqlNodePtr& query);
+
+ private:
+  SchemaPtr schema_;
+  PlannerContext* context_;
+};
+
+/// The SQL validator: checks a parsed query against the catalog (tables,
+/// columns, types, stream-ness) and reports the query's output row type.
+/// Internally shares the conversion machinery with SqlToRelConverter, so a
+/// query that validates is guaranteed to convert.
+class SqlValidator {
+ public:
+  SqlValidator(SchemaPtr schema, PlannerContext* context)
+      : schema_(std::move(schema)), context_(context) {}
+
+  /// Returns the validated row type, or a ValidationError / NotFound status
+  /// explaining the problem.
+  Result<RelDataTypePtr> Validate(const sql::SqlNodePtr& query);
+
+ private:
+  SchemaPtr schema_;
+  PlannerContext* context_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_SQL_SQL_TO_REL_H_

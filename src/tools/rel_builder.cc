@@ -1,0 +1,386 @@
+#include "tools/rel_builder.h"
+
+#include "rex/rex_util.h"
+#include "util/string_utils.h"
+
+namespace calcite {
+
+RelBuilder::RelBuilder(SchemaPtr schema, RexBuilder rex_builder)
+    : schema_(std::move(schema)), rex_builder_(std::move(rex_builder)) {}
+
+void RelBuilder::RecordError(const std::string& message) {
+  if (error_.ok()) error_ = Status::InvalidArgument(message);
+}
+
+RelBuilder& RelBuilder::Scan(const std::string& table_name) {
+  auto resolved = ResolveTable(schema_, Split(table_name, '.'));
+  if (!resolved.ok()) {
+    RecordError(resolved.status().message());
+    return *this;
+  }
+  stack_.push_back(LogicalTableScan::Create(
+      resolved.value().table, resolved.value().qualified_name,
+      resolved.value().schema->ScanConvention(),
+      rex_builder_.type_factory()));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Values(RelDataTypePtr row_type,
+                               std::vector<Row> rows) {
+  stack_.push_back(LogicalValues::Create(std::move(row_type),
+                                         std::move(rows)));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Push(RelNodePtr node) {
+  stack_.push_back(std::move(node));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Filter(RexNodePtr condition) {
+  if (stack_.empty()) {
+    RecordError("Filter() with no input on the stack");
+    return *this;
+  }
+  if (condition == nullptr) {
+    RecordError("Filter() with null condition");
+    return *this;
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  stack_.push_back(LogicalFilter::Create(std::move(input),
+                                         std::move(condition)));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Project(std::vector<RexNodePtr> exprs,
+                                std::vector<std::string> names) {
+  if (stack_.empty()) {
+    RecordError("Project() with no input on the stack");
+    return *this;
+  }
+  for (const RexNodePtr& e : exprs) {
+    if (e == nullptr) {
+      RecordError("Project() with null expression");
+      return *this;
+    }
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  if (names.empty()) {
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (const RexInputRef* ref = AsInputRef(exprs[i])) {
+        names.push_back(
+            input->row_type()->fields()[static_cast<size_t>(ref->index())]
+                .name);
+      } else {
+        names.push_back("$f" + std::to_string(i));
+      }
+    }
+  }
+  stack_.push_back(LogicalProject::Create(std::move(input), std::move(exprs),
+                                          names,
+                                          rex_builder_.type_factory()));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Join(JoinType type, RexNodePtr condition) {
+  if (stack_.size() < 2) {
+    RecordError("Join() needs two inputs on the stack");
+    return *this;
+  }
+  if (condition == nullptr) {
+    RecordError("Join() with null condition");
+    return *this;
+  }
+  RelNodePtr right = stack_.back();
+  stack_.pop_back();
+  RelNodePtr left = stack_.back();
+  stack_.pop_back();
+  stack_.push_back(LogicalJoin::Create(std::move(left), std::move(right),
+                                       std::move(condition), type,
+                                       rex_builder_.type_factory()));
+  return *this;
+}
+
+std::vector<int> RelBuilder::EnsureFields(
+    const std::vector<RexNodePtr>& exprs) {
+  std::vector<int> indexes;
+  bool all_refs = true;
+  for (const RexNodePtr& e : exprs) {
+    const RexInputRef* ref = AsInputRef(e);
+    if (ref == nullptr) {
+      all_refs = false;
+      break;
+    }
+    indexes.push_back(ref->index());
+  }
+  if (all_refs) return indexes;
+
+  // Materialize a projection: all existing fields plus the computed keys.
+  indexes.clear();
+  RelNodePtr input = stack_.back();
+  int base = input->row_type()->field_count();
+  std::vector<RexNodePtr> projections;
+  std::vector<std::string> names;
+  for (int i = 0; i < base; ++i) {
+    projections.push_back(rex_builder_.MakeInputRef(input->row_type(), i));
+    names.push_back(input->row_type()->fields()[static_cast<size_t>(i)].name);
+  }
+  int next = base;
+  for (const RexNodePtr& e : exprs) {
+    if (const RexInputRef* ref = AsInputRef(e)) {
+      indexes.push_back(ref->index());
+      continue;
+    }
+    projections.push_back(e);
+    names.push_back("$f" + std::to_string(next));
+    indexes.push_back(next++);
+  }
+  stack_.pop_back();
+  stack_.push_back(LogicalProject::Create(std::move(input),
+                                          std::move(projections), names,
+                                          rex_builder_.type_factory()));
+  return indexes;
+}
+
+RelBuilder& RelBuilder::Aggregate(GroupKeyDef group_key,
+                                  std::vector<AggCall> calls) {
+  if (stack_.empty()) {
+    RecordError("Aggregate() with no input on the stack");
+    return *this;
+  }
+  std::vector<int> keys = EnsureFields(group_key.keys);
+
+  std::vector<AggregateCall> agg_calls;
+  for (AggCall& call : calls) {
+    std::vector<int> args = EnsureFields(call.operands);
+    AggregateCall agg;
+    agg.kind = call.kind;
+    agg.distinct = call.distinct;
+    agg.args = std::move(args);
+    agg.name = call.name;
+    agg_calls.push_back(std::move(agg));
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  stack_.push_back(LogicalAggregate::Create(std::move(input), std::move(keys),
+                                            std::move(agg_calls),
+                                            rex_builder_.type_factory()));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Sort(std::vector<FieldCollation> collation) {
+  if (stack_.empty()) {
+    RecordError("Sort() with no input on the stack");
+    return *this;
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  stack_.push_back(
+      LogicalSort::Create(std::move(input), RelCollation(std::move(collation))));
+  return *this;
+}
+
+RelBuilder& RelBuilder::SortAsc(const std::vector<std::string>& field_names) {
+  std::vector<FieldCollation> collation;
+  for (const std::string& name : field_names) {
+    RexNodePtr field = Field(name);
+    if (const RexInputRef* ref = AsInputRef(field)) {
+      collation.push_back({ref->index(), Direction::kAscending});
+    }
+  }
+  return Sort(std::move(collation));
+}
+
+RelBuilder& RelBuilder::Limit(int64_t offset, int64_t fetch) {
+  if (stack_.empty()) {
+    RecordError("Limit() with no input on the stack");
+    return *this;
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  // Fold into an existing sort if one is on top (ORDER BY ... LIMIT).
+  if (const auto* sort = dynamic_cast<const ::calcite::Sort*>(input.get());
+      sort != nullptr && sort->offset() == 0 && sort->fetch() < 0) {
+    stack_.push_back(LogicalSort::Create(sort->input(0), sort->collation(),
+                                         offset, fetch));
+    return *this;
+  }
+  stack_.push_back(
+      LogicalSort::Create(std::move(input), RelCollation(), offset, fetch));
+  return *this;
+}
+
+namespace {
+
+RelBuilder& ApplySetOp(RelBuilder* builder, std::vector<RelNodePtr>* stack,
+                       Status* error, const TypeFactory& factory,
+                       SetOp::Kind kind, bool all, int input_count) {
+  if (static_cast<int>(stack->size()) < input_count) {
+    if (error->ok()) {
+      *error = Status::InvalidArgument("set operation needs more inputs");
+    }
+    return *builder;
+  }
+  std::vector<RelNodePtr> inputs;
+  for (int i = 0; i < input_count; ++i) {
+    inputs.insert(inputs.begin(), stack->back());
+    stack->pop_back();
+  }
+  stack->push_back(LogicalSetOp::Create(std::move(inputs), kind, all,
+                                        factory));
+  return *builder;
+}
+
+}  // namespace
+
+RelBuilder& RelBuilder::Union(bool all, int input_count) {
+  return ApplySetOp(this, &stack_, &error_, rex_builder_.type_factory(),
+                    SetOp::Kind::kUnion, all, input_count);
+}
+
+RelBuilder& RelBuilder::Intersect(bool all, int input_count) {
+  return ApplySetOp(this, &stack_, &error_, rex_builder_.type_factory(),
+                    SetOp::Kind::kIntersect, all, input_count);
+}
+
+RelBuilder& RelBuilder::Minus(bool all, int input_count) {
+  return ApplySetOp(this, &stack_, &error_, rex_builder_.type_factory(),
+                    SetOp::Kind::kMinus, all, input_count);
+}
+
+RelBuilder& RelBuilder::Delta() {
+  if (stack_.empty()) {
+    RecordError("Delta() with no input on the stack");
+    return *this;
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  stack_.push_back(LogicalDelta::Create(std::move(input)));
+  return *this;
+}
+
+RelBuilder& RelBuilder::Window(std::vector<WindowGroup> groups) {
+  if (stack_.empty()) {
+    RecordError("Window() with no input on the stack");
+    return *this;
+  }
+  RelNodePtr input = stack_.back();
+  stack_.pop_back();
+  stack_.push_back(LogicalWindow::Create(std::move(input), std::move(groups),
+                                         rex_builder_.type_factory()));
+  return *this;
+}
+
+RexNodePtr RelBuilder::Field(const std::string& name) {
+  return Field(0, name);
+}
+
+RexNodePtr RelBuilder::Field(int index) {
+  if (stack_.empty()) {
+    RecordError("Field() with no input on the stack");
+    return nullptr;
+  }
+  const RelDataTypePtr& row_type = stack_.back()->row_type();
+  if (index < 0 || index >= row_type->field_count()) {
+    RecordError("field index " + std::to_string(index) + " out of range");
+    return nullptr;
+  }
+  return rex_builder_.MakeInputRef(row_type, index);
+}
+
+RexNodePtr RelBuilder::Field(int inputs_from_top, const std::string& name) {
+  if (static_cast<int>(stack_.size()) <= inputs_from_top) {
+    RecordError("Field(): not enough inputs on the stack");
+    return nullptr;
+  }
+  const RelNodePtr& frame =
+      stack_[stack_.size() - 1 - static_cast<size_t>(inputs_from_top)];
+  const RelDataTypeField* field = frame->row_type()->FindField(name);
+  if (field == nullptr) {
+    RecordError("no field '" + name + "' in input row type " +
+                frame->row_type()->ToString());
+    return nullptr;
+  }
+  // When two frames are pending a Join(), references address the
+  // concatenated row: left (frame 1) fields first, then right (frame 0)
+  // fields shifted by the left field count.
+  int offset = 0;
+  if (inputs_from_top == 0 && stack_.size() >= 2) {
+    const RelNodePtr& left = stack_[stack_.size() - 2];
+    offset = left->row_type()->field_count();
+  }
+  return rex_builder_.MakeInputRef(field->index + offset, field->type);
+}
+
+RexNodePtr RelBuilder::Call(OpKind op, std::vector<RexNodePtr> operands) {
+  for (const RexNodePtr& o : operands) {
+    if (o == nullptr) return nullptr;
+  }
+  auto result = rex_builder_.MakeCall(op, std::move(operands));
+  if (!result.ok()) {
+    RecordError(result.status().message());
+    return nullptr;
+  }
+  return result.value();
+}
+
+RelBuilder::GroupKeyDef RelBuilder::GroupKey(
+    const std::vector<std::string>& field_names) {
+  GroupKeyDef def;
+  for (const std::string& name : field_names) {
+    def.keys.push_back(Field(name));
+  }
+  return def;
+}
+
+RelBuilder::AggCall RelBuilder::Count(bool distinct, const std::string& name) {
+  return AggCall{AggKind::kCountStar, distinct, name, {}};
+}
+
+RelBuilder::AggCall RelBuilder::Count(bool distinct, const std::string& name,
+                                      RexNodePtr operand) {
+  return AggCall{AggKind::kCount, distinct, name, {std::move(operand)}};
+}
+
+RelBuilder::AggCall RelBuilder::Sum(bool distinct, const std::string& name,
+                                    RexNodePtr operand) {
+  return AggCall{AggKind::kSum, distinct, name, {std::move(operand)}};
+}
+
+RelBuilder::AggCall RelBuilder::Min(const std::string& name,
+                                    RexNodePtr operand) {
+  return AggCall{AggKind::kMin, false, name, {std::move(operand)}};
+}
+
+RelBuilder::AggCall RelBuilder::Max(const std::string& name,
+                                    RexNodePtr operand) {
+  return AggCall{AggKind::kMax, false, name, {std::move(operand)}};
+}
+
+RelBuilder::AggCall RelBuilder::Avg(bool distinct, const std::string& name,
+                                    RexNodePtr operand) {
+  return AggCall{AggKind::kAvg, distinct, name, {std::move(operand)}};
+}
+
+Result<RelNodePtr> RelBuilder::Build() {
+  if (!error_.ok()) {
+    Status st = error_;
+    error_ = Status::OK();
+    stack_.clear();
+    return st;
+  }
+  if (stack_.empty()) {
+    return Status::InvalidArgument("Build() with empty stack");
+  }
+  RelNodePtr result = stack_.back();
+  stack_.pop_back();
+  return result;
+}
+
+RelNodePtr RelBuilder::Peek() const {
+  return stack_.empty() ? nullptr : stack_.back();
+}
+
+}  // namespace calcite

@@ -1,0 +1,149 @@
+#ifndef CALCITE_TOOLS_REL_BUILDER_H_
+#define CALCITE_TOOLS_REL_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/core.h"
+#include "rex/rex_builder.h"
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// The fluent relational expression builder of §3: "Calcite also allows
+/// operator trees to be easily constructed by directly instantiating
+/// relational operators. One can use the built-in relational expressions
+/// builder interface." Systems with their own query language parser (Pig,
+/// Hive, ...) translate into algebra through this interface.
+///
+/// The builder is stack-based: Scan/Values push a frame; Filter/Project/...
+/// replace the top frame; Join/Union pop several. Errors (unknown table or
+/// column, arity mismatches) are recorded and surface in Build().
+///
+///   RelBuilder b(schema);
+///   auto node = b.Scan("employee_data")
+///                .Aggregate(b.GroupKey({"deptno"}),
+///                           {b.Count(false, "c"),
+///                            b.Sum(false, "s", b.Field("sal"))})
+///                .Build();
+class RelBuilder {
+ public:
+  /// An aggregate call under construction (operand of Aggregate()).
+  struct AggCall {
+    AggKind kind;
+    bool distinct = false;
+    std::string name;
+    std::vector<RexNodePtr> operands;
+  };
+
+  /// A group key under construction.
+  struct GroupKeyDef {
+    std::vector<RexNodePtr> keys;
+  };
+
+  explicit RelBuilder(SchemaPtr schema, RexBuilder rex_builder = RexBuilder());
+
+  const RexBuilder& rex() const { return rex_builder_; }
+  const TypeFactory& type_factory() const {
+    return rex_builder_.type_factory();
+  }
+
+  // ------------------------------ leaf inputs ------------------------------
+
+  /// Pushes a table scan. Accepts "table" or "schema.table".
+  RelBuilder& Scan(const std::string& table_name);
+
+  /// Pushes an inline relation.
+  RelBuilder& Values(RelDataTypePtr row_type, std::vector<Row> rows);
+
+  /// Pushes an existing operator tree.
+  RelBuilder& Push(RelNodePtr node);
+
+  // ----------------------------- transformations ---------------------------
+
+  RelBuilder& Filter(RexNodePtr condition);
+  RelBuilder& Project(std::vector<RexNodePtr> exprs,
+                      std::vector<std::string> names = {});
+  /// Joins the two top frames (left pushed first).
+  RelBuilder& Join(JoinType type, RexNodePtr condition);
+  RelBuilder& Aggregate(GroupKeyDef group_key, std::vector<AggCall> calls);
+  RelBuilder& Sort(std::vector<FieldCollation> collation);
+  /// ORDER BY the named/indexed fields ascending.
+  RelBuilder& SortAsc(const std::vector<std::string>& field_names);
+  RelBuilder& Limit(int64_t offset, int64_t fetch);
+  /// Combines the top `input_count` frames.
+  RelBuilder& Union(bool all, int input_count = 2);
+  RelBuilder& Intersect(bool all, int input_count = 2);
+  RelBuilder& Minus(bool all, int input_count = 2);
+  /// Wraps the top frame in a Delta (STREAM interpretation, §7.2).
+  RelBuilder& Delta();
+  RelBuilder& Window(std::vector<WindowGroup> groups);
+
+  // ----------------------------- expressions -------------------------------
+
+  /// Reference to a field of the top frame by name.
+  RexNodePtr Field(const std::string& name);
+  /// Reference to a field of the top frame by index.
+  RexNodePtr Field(int index);
+  /// Reference into the N-th frame from the top (0 = top); used to build
+  /// join conditions where the left is frame 1 and the right frame 0 —
+  /// right-side references are offset into the joined row space.
+  RexNodePtr Field(int inputs_from_top, const std::string& name);
+
+  RexNodePtr Literal(int64_t v) const { return rex_builder_.MakeIntLiteral(v); }
+  RexNodePtr Literal(const std::string& v) const {
+    return rex_builder_.MakeStringLiteral(v);
+  }
+  RexNodePtr Literal(double v) const {
+    return rex_builder_.MakeDoubleLiteral(v);
+  }
+
+  /// Operator call with inferred type; records an error on failure.
+  RexNodePtr Call(OpKind op, std::vector<RexNodePtr> operands);
+
+  RexNodePtr Equals(RexNodePtr a, RexNodePtr b) {
+    return Call(OpKind::kEquals, {std::move(a), std::move(b)});
+  }
+  RexNodePtr And(std::vector<RexNodePtr> operands) {
+    return rex_builder_.MakeAnd(std::move(operands));
+  }
+
+  // ------------------------------ aggregates -------------------------------
+
+  GroupKeyDef GroupKey(const std::vector<std::string>& field_names);
+  GroupKeyDef GroupKeyExprs(std::vector<RexNodePtr> keys) {
+    return GroupKeyDef{std::move(keys)};
+  }
+
+  AggCall Count(bool distinct, const std::string& name);
+  AggCall Count(bool distinct, const std::string& name, RexNodePtr operand);
+  AggCall Sum(bool distinct, const std::string& name, RexNodePtr operand);
+  AggCall Min(const std::string& name, RexNodePtr operand);
+  AggCall Max(const std::string& name, RexNodePtr operand);
+  AggCall Avg(bool distinct, const std::string& name, RexNodePtr operand);
+
+  // -------------------------------- results --------------------------------
+
+  /// Pops and returns the completed tree, or the first recorded error.
+  Result<RelNodePtr> Build();
+
+  /// The top frame without popping (nullptr if empty/error).
+  RelNodePtr Peek() const;
+
+ private:
+  void RecordError(const std::string& message);
+  /// Materializes expressions as a projection if they are not pure refs;
+  /// returns field indexes of the keys.
+  std::vector<int> EnsureFields(const std::vector<RexNodePtr>& exprs);
+
+  SchemaPtr schema_;
+  RexBuilder rex_builder_;
+  std::vector<RelNodePtr> stack_;
+  Status error_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_TOOLS_REL_BUILDER_H_

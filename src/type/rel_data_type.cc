@@ -1,0 +1,210 @@
+#include "type/rel_data_type.h"
+
+#include <algorithm>
+
+#include "util/string_utils.h"
+
+namespace calcite {
+
+const RelDataTypeField* RelDataType::FindField(const std::string& name) const {
+  for (const RelDataTypeField& field : fields_) {
+    if (EqualsIgnoreCase(field.name, name)) return &field;
+  }
+  return nullptr;
+}
+
+std::string RelDataType::ToString() const {
+  std::string result;
+  if (is_struct()) {
+    result = "RecordType(";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) result += ", ";
+      result += fields_[i].type->ToString();
+      result += " ";
+      result += fields_[i].name;
+    }
+    result += ")";
+    return result;
+  }
+  result = SqlTypeNameString(type_name_);
+  if (precision_ >= 0) {
+    result += "(" + std::to_string(precision_);
+    if (scale_ >= 0) result += ", " + std::to_string(scale_);
+    result += ")";
+  }
+  if (type_name_ == SqlTypeName::kArray || type_name_ == SqlTypeName::kMultiset) {
+    result = (component_type_ ? component_type_->ToString() : "ANY") + " " +
+             result;
+  } else if (type_name_ == SqlTypeName::kMap) {
+    result = "(" + (key_type_ ? key_type_->ToString() : "ANY") + ", " +
+             (component_type_ ? component_type_->ToString() : "ANY") + ") MAP";
+  }
+  if (!nullable_) result += " NOT NULL";
+  return result;
+}
+
+bool RelDataType::Equals(const RelDataType& other) const {
+  if (type_name_ != other.type_name_ || nullable_ != other.nullable_ ||
+      precision_ != other.precision_ || scale_ != other.scale_) {
+    return false;
+  }
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name) return false;
+    if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+  }
+  if ((component_type_ == nullptr) != (other.component_type_ == nullptr)) {
+    return false;
+  }
+  if (component_type_ && !component_type_->Equals(*other.component_type_)) {
+    return false;
+  }
+  if ((key_type_ == nullptr) != (other.key_type_ == nullptr)) return false;
+  if (key_type_ && !key_type_->Equals(*other.key_type_)) return false;
+  return true;
+}
+
+bool RelDataType::EqualsIgnoringNullability(const RelDataType& other) const {
+  if (type_name_ != other.type_name_) return false;
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!fields_[i].type->EqualsIgnoringNullability(*other.fields_[i].type)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RelDataTypePtr TypeFactory::CreateSqlType(SqlTypeName name,
+                                          bool nullable) const {
+  return RelDataTypePtr(new RelDataType(name, nullable, -1, -1));
+}
+
+RelDataTypePtr TypeFactory::CreateSqlType(SqlTypeName name, int precision,
+                                          bool nullable, int scale) const {
+  return RelDataTypePtr(new RelDataType(name, nullable, precision, scale));
+}
+
+RelDataTypePtr TypeFactory::CreateStructType(
+    const std::vector<std::string>& names,
+    const std::vector<RelDataTypePtr>& types) const {
+  std::vector<RelDataTypeField> fields;
+  fields.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    fields.push_back({names[i], static_cast<int>(i), types[i]});
+  }
+  return CreateStructType(std::move(fields));
+}
+
+RelDataTypePtr TypeFactory::CreateStructType(
+    std::vector<RelDataTypeField> fields) const {
+  auto* type = new RelDataType(SqlTypeName::kRow, false, -1, -1);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    fields[i].index = static_cast<int>(i);
+  }
+  type->fields_ = std::move(fields);
+  return RelDataTypePtr(type);
+}
+
+RelDataTypePtr TypeFactory::CreateArrayType(RelDataTypePtr component,
+                                            bool nullable) const {
+  auto* type = new RelDataType(SqlTypeName::kArray, nullable, -1, -1);
+  type->component_type_ = std::move(component);
+  return RelDataTypePtr(type);
+}
+
+RelDataTypePtr TypeFactory::CreateMultisetType(RelDataTypePtr component,
+                                               bool nullable) const {
+  auto* type = new RelDataType(SqlTypeName::kMultiset, nullable, -1, -1);
+  type->component_type_ = std::move(component);
+  return RelDataTypePtr(type);
+}
+
+RelDataTypePtr TypeFactory::CreateMapType(RelDataTypePtr key,
+                                          RelDataTypePtr value,
+                                          bool nullable) const {
+  auto* type = new RelDataType(SqlTypeName::kMap, nullable, -1, -1);
+  type->key_type_ = std::move(key);
+  type->component_type_ = std::move(value);
+  return RelDataTypePtr(type);
+}
+
+RelDataTypePtr TypeFactory::CreateWithNullability(const RelDataTypePtr& type,
+                                                  bool nullable) const {
+  if (type->nullable() == nullable) return type;
+  auto* copy =
+      new RelDataType(type->type_name(), nullable, type->precision(),
+                      type->scale());
+  copy->fields_ = type->fields();
+  copy->component_type_ = type->component_type();
+  copy->key_type_ = type->key_type();
+  return RelDataTypePtr(copy);
+}
+
+namespace {
+
+/// Numeric widening order used by LeastRestrictive.
+int NumericRank(SqlTypeName name) {
+  switch (name) {
+    case SqlTypeName::kTinyInt:
+      return 1;
+    case SqlTypeName::kSmallInt:
+      return 2;
+    case SqlTypeName::kInteger:
+      return 3;
+    case SqlTypeName::kBigInt:
+      return 4;
+    case SqlTypeName::kDecimal:
+      return 5;
+    case SqlTypeName::kFloat:
+      return 6;
+    case SqlTypeName::kDouble:
+      return 7;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+RelDataTypePtr TypeFactory::LeastRestrictive(
+    const std::vector<RelDataTypePtr>& types) const {
+  if (types.empty()) return nullptr;
+  RelDataTypePtr best = types[0];
+  bool nullable = types[0]->nullable();
+  for (size_t i = 1; i < types.size(); ++i) {
+    const RelDataTypePtr& t = types[i];
+    nullable = nullable || t->nullable();
+    if (t->type_name() == SqlTypeName::kNull) continue;
+    if (best->type_name() == SqlTypeName::kNull) {
+      best = t;
+      nullable = true;
+      continue;
+    }
+    if (best->type_name() == t->type_name()) {
+      if (t->precision() > best->precision()) best = t;
+      continue;
+    }
+    if (best->is_numeric() && t->is_numeric()) {
+      if (NumericRank(t->type_name()) > NumericRank(best->type_name())) {
+        best = t;
+      }
+      continue;
+    }
+    if (best->is_char() && t->is_char()) {
+      // CHAR + VARCHAR -> VARCHAR with max precision.
+      int precision = std::max(best->precision(), t->precision());
+      best = CreateSqlType(SqlTypeName::kVarchar, precision, nullable);
+      continue;
+    }
+    if (best->type_name() == SqlTypeName::kAny ||
+        t->type_name() == SqlTypeName::kAny) {
+      best = CreateSqlType(SqlTypeName::kAny, nullable);
+      continue;
+    }
+    return nullptr;  // Incompatible.
+  }
+  return CreateWithNullability(best, nullable);
+}
+
+}  // namespace calcite

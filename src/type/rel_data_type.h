@@ -1,0 +1,128 @@
+#ifndef CALCITE_TYPE_REL_DATA_TYPE_H_
+#define CALCITE_TYPE_REL_DATA_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "type/sql_type.h"
+
+namespace calcite {
+
+class RelDataType;
+using RelDataTypePtr = std::shared_ptr<const RelDataType>;
+
+/// A named, positioned field within a ROW (struct) type.
+struct RelDataTypeField {
+  std::string name;
+  int index = 0;
+  RelDataTypePtr type;
+};
+
+/// The type of a relational expression or scalar expression: a SQL type name
+/// plus nullability, and — depending on the kind — precision/scale, a
+/// component type (ARRAY/MULTISET), key/value types (MAP), or a field list
+/// (ROW). RelDataType instances are immutable and shared; create them
+/// through TypeFactory so equal types share a canonical representation.
+class RelDataType {
+ public:
+  SqlTypeName type_name() const { return type_name_; }
+  bool nullable() const { return nullable_; }
+
+  /// For CHAR/VARCHAR: the max length; for DECIMAL: the precision.
+  /// -1 means unspecified.
+  int precision() const { return precision_; }
+  /// For DECIMAL: the scale. -1 means unspecified.
+  int scale() const { return scale_; }
+
+  bool is_struct() const { return type_name_ == SqlTypeName::kRow; }
+  bool is_numeric() const { return IsNumericType(type_name_); }
+  bool is_char() const { return IsCharType(type_name_); }
+
+  /// Fields of a ROW type; empty for scalar types.
+  const std::vector<RelDataTypeField>& fields() const { return fields_; }
+  int field_count() const { return static_cast<int>(fields_.size()); }
+
+  /// Finds a field by name (case-insensitive); returns nullptr if absent.
+  const RelDataTypeField* FindField(const std::string& name) const;
+
+  /// Component type of ARRAY/MULTISET, or value type of MAP.
+  const RelDataTypePtr& component_type() const { return component_type_; }
+  /// Key type of MAP.
+  const RelDataTypePtr& key_type() const { return key_type_; }
+
+  /// Full textual form, e.g. "VARCHAR(20)", "INTEGER NOT NULL",
+  /// "RecordType(INTEGER a, VARCHAR b)".
+  std::string ToString() const;
+
+  /// Structural equality (same name, nullability, precision, components).
+  bool Equals(const RelDataType& other) const;
+
+  /// Equality ignoring nullability and field names (used when checking that
+  /// two plans produce compatible row types).
+  bool EqualsIgnoringNullability(const RelDataType& other) const;
+
+ private:
+  friend class TypeFactory;
+
+  RelDataType(SqlTypeName name, bool nullable, int precision, int scale)
+      : type_name_(name),
+        nullable_(nullable),
+        precision_(precision),
+        scale_(scale) {}
+
+  SqlTypeName type_name_;
+  bool nullable_;
+  int precision_;
+  int scale_;
+  std::vector<RelDataTypeField> fields_;
+  RelDataTypePtr component_type_;
+  RelDataTypePtr key_type_;
+};
+
+/// Creates canonical RelDataType instances. The factory is cheap to copy
+/// (stateless); types it returns may be shared freely across plans.
+class TypeFactory {
+ public:
+  /// Creates a scalar type of the given name.
+  RelDataTypePtr CreateSqlType(SqlTypeName name, bool nullable = false) const;
+
+  /// Creates a CHAR/VARCHAR/DECIMAL type with precision (and scale).
+  RelDataTypePtr CreateSqlType(SqlTypeName name, int precision,
+                               bool nullable = false, int scale = -1) const;
+
+  /// Creates a ROW type from field names and types.
+  RelDataTypePtr CreateStructType(
+      const std::vector<std::string>& names,
+      const std::vector<RelDataTypePtr>& types) const;
+
+  /// Creates a ROW type from prepared fields (indexes are re-assigned).
+  RelDataTypePtr CreateStructType(std::vector<RelDataTypeField> fields) const;
+
+  /// Creates an ARRAY type with the given component type.
+  RelDataTypePtr CreateArrayType(RelDataTypePtr component,
+                                 bool nullable = false) const;
+
+  /// Creates a MULTISET type with the given component type.
+  RelDataTypePtr CreateMultisetType(RelDataTypePtr component,
+                                    bool nullable = false) const;
+
+  /// Creates a MAP type.
+  RelDataTypePtr CreateMapType(RelDataTypePtr key, RelDataTypePtr value,
+                               bool nullable = false) const;
+
+  /// Returns the same type with the requested nullability.
+  RelDataTypePtr CreateWithNullability(const RelDataTypePtr& type,
+                                       bool nullable) const;
+
+  /// Returns the least-restrictive common type of the inputs (e.g. INTEGER
+  /// and DOUBLE -> DOUBLE; VARCHAR(10) and VARCHAR(20) -> VARCHAR(20)), or
+  /// nullptr if the inputs are incompatible. Used for set operations, CASE
+  /// arms, and arithmetic result typing.
+  RelDataTypePtr LeastRestrictive(
+      const std::vector<RelDataTypePtr>& types) const;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_TYPE_REL_DATA_TYPE_H_

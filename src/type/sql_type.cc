@@ -1,0 +1,97 @@
+#include "type/sql_type.h"
+
+namespace calcite {
+
+const char* SqlTypeNameString(SqlTypeName name) {
+  switch (name) {
+    case SqlTypeName::kBoolean:
+      return "BOOLEAN";
+    case SqlTypeName::kTinyInt:
+      return "TINYINT";
+    case SqlTypeName::kSmallInt:
+      return "SMALLINT";
+    case SqlTypeName::kInteger:
+      return "INTEGER";
+    case SqlTypeName::kBigInt:
+      return "BIGINT";
+    case SqlTypeName::kFloat:
+      return "FLOAT";
+    case SqlTypeName::kDouble:
+      return "DOUBLE";
+    case SqlTypeName::kDecimal:
+      return "DECIMAL";
+    case SqlTypeName::kChar:
+      return "CHAR";
+    case SqlTypeName::kVarchar:
+      return "VARCHAR";
+    case SqlTypeName::kDate:
+      return "DATE";
+    case SqlTypeName::kTime:
+      return "TIME";
+    case SqlTypeName::kTimestamp:
+      return "TIMESTAMP";
+    case SqlTypeName::kIntervalDay:
+      return "INTERVAL";
+    case SqlTypeName::kArray:
+      return "ARRAY";
+    case SqlTypeName::kMap:
+      return "MAP";
+    case SqlTypeName::kMultiset:
+      return "MULTISET";
+    case SqlTypeName::kRow:
+      return "ROW";
+    case SqlTypeName::kGeometry:
+      return "GEOMETRY";
+    case SqlTypeName::kAny:
+      return "ANY";
+    case SqlTypeName::kNull:
+      return "NULL";
+  }
+  return "UNKNOWN";
+}
+
+bool IsNumericType(SqlTypeName name) {
+  switch (name) {
+    case SqlTypeName::kTinyInt:
+    case SqlTypeName::kSmallInt:
+    case SqlTypeName::kInteger:
+    case SqlTypeName::kBigInt:
+    case SqlTypeName::kFloat:
+    case SqlTypeName::kDouble:
+    case SqlTypeName::kDecimal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCharType(SqlTypeName name) {
+  return name == SqlTypeName::kChar || name == SqlTypeName::kVarchar;
+}
+
+bool IsDatetimeType(SqlTypeName name) {
+  switch (name) {
+    case SqlTypeName::kDate:
+    case SqlTypeName::kTime:
+    case SqlTypeName::kTimestamp:
+    case SqlTypeName::kIntervalDay:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsExactNumericType(SqlTypeName name) {
+  switch (name) {
+    case SqlTypeName::kTinyInt:
+    case SqlTypeName::kSmallInt:
+    case SqlTypeName::kInteger:
+    case SqlTypeName::kBigInt:
+    case SqlTypeName::kDecimal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace calcite

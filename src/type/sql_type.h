@@ -1,0 +1,52 @@
+#ifndef CALCITE_TYPE_SQL_TYPE_H_
+#define CALCITE_TYPE_SQL_TYPE_H_
+
+#include <string>
+
+namespace calcite {
+
+/// SQL type names supported by the framework, including the paper's
+/// semi-structured types (ARRAY, MAP, MULTISET, §7.1) and the geospatial
+/// GEOMETRY type (§7.3).
+enum class SqlTypeName {
+  kBoolean,
+  kTinyInt,
+  kSmallInt,
+  kInteger,
+  kBigInt,
+  kFloat,
+  kDouble,
+  kDecimal,
+  kChar,
+  kVarchar,
+  kDate,
+  kTime,
+  kTimestamp,
+  kIntervalDay,  // day-time interval, stored as milliseconds
+  kArray,
+  kMap,
+  kMultiset,
+  kRow,
+  kGeometry,
+  kAny,
+  kNull,
+};
+
+/// Returns the SQL spelling of a type name ("INTEGER", "VARCHAR", ...).
+const char* SqlTypeNameString(SqlTypeName name);
+
+/// True for TINYINT..DOUBLE and DECIMAL.
+bool IsNumericType(SqlTypeName name);
+
+/// True for CHAR/VARCHAR.
+bool IsCharType(SqlTypeName name);
+
+/// True for DATE/TIME/TIMESTAMP/INTERVAL.
+bool IsDatetimeType(SqlTypeName name);
+
+/// True for exact (integer) numerics.
+bool IsExactNumericType(SqlTypeName name);
+
+}  // namespace calcite
+
+#endif  // CALCITE_TYPE_SQL_TYPE_H_

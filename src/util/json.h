@@ -1,0 +1,89 @@
+#ifndef CALCITE_UTIL_JSON_H_
+#define CALCITE_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace calcite {
+
+/// A minimal JSON document value. Used by the model loader (adapter
+/// specifications), the MongoDB-style document adapter, and the JSON query
+/// generators (Druid/Elasticsearch-style target languages in Table 2).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(int n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(int64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Appends to an array value.
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+
+  /// Sets a key in an object value.
+  void Set(const std::string& key, JsonValue v) {
+    object_[key] = std::move(v);
+  }
+
+  /// Looks up a key in an object; returns nullptr if absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+
+  /// Serializes to compact JSON text.
+  std::string Dump() const;
+
+  /// Serializes with 2-space indentation.
+  std::string DumpPretty() const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses JSON text into a JsonValue. Supports the full JSON grammar with
+/// \uXXXX escapes (BMP only).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace calcite
+
+#endif  // CALCITE_UTIL_JSON_H_

@@ -1,0 +1,108 @@
+#include "util/string_utils.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace calcite {
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(sep);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> result;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      result.emplace_back(s.substr(start));
+      break;
+    }
+    result.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return result;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string result(s);
+  std::transform(result.begin(), result.end(), result.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return result;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string result(s);
+  std::transform(result.begin(), result.end(), result.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return result;
+}
+
+std::string Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+namespace {
+
+bool LikeMatchImpl(std::string_view value, std::string_view pattern, size_t vi,
+                   size_t pi) {
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '%') {
+      // Collapse consecutive '%'.
+      while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+      if (pi == pattern.size()) return true;
+      for (size_t k = vi; k <= value.size(); ++k) {
+        if (LikeMatchImpl(value, pattern, k, pi)) return true;
+      }
+      return false;
+    }
+    if (vi >= value.size()) return false;
+    if (pc != '_' && pc != value[vi]) return false;
+    ++vi;
+    ++pi;
+  }
+  return vi == value.size();
+}
+
+}  // namespace
+
+bool SqlLikeMatch(std::string_view value, std::string_view pattern) {
+  return LikeMatchImpl(value, pattern, 0, 0);
+}
+
+}  // namespace calcite

@@ -1,0 +1,41 @@
+#ifndef CALCITE_UTIL_STRING_UTILS_H_
+#define CALCITE_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace calcite {
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Splits `s` on the single character `sep`. Empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Returns `s` converted to upper case (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Returns `s` converted to lower case (ASCII only).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` with leading and trailing whitespace removed.
+std::string Trim(std::string_view s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// SQL LIKE pattern matching: '%' matches any sequence, '_' any single
+/// character. No escape character support.
+bool SqlLikeMatch(std::string_view value, std::string_view pattern);
+
+}  // namespace calcite
+
+#endif  // CALCITE_UTIL_STRING_UTILS_H_

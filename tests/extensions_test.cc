@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "materialize/materialized_views.h"
+#include "rel/rel_writer.h"
+#include "stream/stream.h"
+#include "test_schema.h"
+#include "tools/frameworks.h"
+
+namespace calcite {
+namespace {
+
+// -------------------------------- streaming --------------------------------
+
+SchemaPtr MakeStreamCatalog(std::shared_ptr<stream::StreamTable>* orders_out) {
+  TypeFactory tf;
+  auto ts_t = tf.CreateSqlType(SqlTypeName::kTimestamp);
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  auto row = tf.CreateStructType({"rowtime", "productId", "units"},
+                                 {ts_t, int_t, int_t});
+  auto orders = std::make_shared<stream::StreamTable>(row, 0);
+  *orders_out = orders;
+  auto schema = std::make_shared<Schema>();
+  schema->AddTable("Orders", orders);
+  return schema;
+}
+
+constexpr int64_t kHour = 3600 * 1000;
+
+TEST(StreamTest, StreamKeywordSelectsIncomingRows) {
+  std::shared_ptr<stream::StreamTable> orders;
+  SchemaPtr schema = MakeStreamCatalog(&orders);
+  Connection conn{Connection::Config{schema}};
+
+  // The paper's first streaming query (§7.2).
+  const std::string sql =
+      "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 25";
+
+  std::vector<Row> events;
+  for (int i = 0; i < 40; ++i) {
+    events.push_back({Value::Int(i * 60000), Value::Int(i % 5),
+                      Value::Int(i)});
+  }
+  stream::StreamExecutor executor(&conn, sql);
+  int emissions = 0;
+  auto emitted = executor.Run(orders.get(), events, 10,
+                              [&](const std::vector<Row>&) { ++emissions; });
+  ASSERT_TRUE(emitted.ok()) << emitted.status().ToString();
+  // units 26..39 pass the filter.
+  EXPECT_EQ(emitted.value().size(), 14u);
+  // Results appeared incrementally across batches, not all at the end.
+  EXPECT_GE(emissions, 2);
+}
+
+TEST(StreamTest, TumblingWindowAggregation) {
+  std::shared_ptr<stream::StreamTable> orders;
+  SchemaPtr schema = MakeStreamCatalog(&orders);
+  Connection conn{Connection::Config{schema}};
+
+  // The paper's tumbling-window query (§7.2).
+  const std::string sql =
+      "SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS rowtime, "
+      "productId, COUNT(*) AS c, SUM(units) AS units "
+      "FROM Orders "
+      "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId";
+
+  // Two products alternating over three hours, 6 events/hour.
+  std::vector<Row> events;
+  for (int i = 0; i < 18; ++i) {
+    events.push_back({Value::Int(i * (kHour / 6)), Value::Int(i % 2),
+                      Value::Int(10)});
+  }
+  for (Row& event : events) {
+    ASSERT_TRUE(orders->Append(event).ok());
+  }
+  auto result = conn.Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 3 hours x 2 products.
+  ASSERT_EQ(result.value().rows.size(), 6u);
+  for (const Row& row : result.value().rows) {
+    EXPECT_EQ(row[2].AsInt(), 3);   // 3 events per product per hour
+    EXPECT_EQ(row[3].AsInt(), 30);  // 3 * 10 units
+    // TUMBLE_END is a full hour boundary.
+    EXPECT_EQ(row[0].AsInt() % kHour, 0);
+  }
+}
+
+TEST(StreamTest, NonMonotonicGroupByRejected) {
+  std::shared_ptr<stream::StreamTable> orders;
+  SchemaPtr schema = MakeStreamCatalog(&orders);
+  Connection conn{Connection::Config{schema}};
+  // §7.2: windowed streaming aggregation needs a monotonic group expression.
+  auto result = conn.Query(
+      "SELECT STREAM productId, COUNT(*) FROM Orders GROUP BY productId");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kValidationError);
+}
+
+TEST(StreamTest, SlidingWindowOverStream) {
+  std::shared_ptr<stream::StreamTable> orders;
+  SchemaPtr schema = MakeStreamCatalog(&orders);
+  Connection conn{Connection::Config{schema}};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(orders
+                    ->Append({Value::Int(i * (kHour / 2)), Value::Int(1),
+                              Value::Int(i + 1)})
+                    .ok());
+  }
+  // The paper's sliding-window query (§7.2): last hour per product.
+  auto result = conn.Query(
+      "SELECT STREAM rowtime, productId, units, "
+      "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime "
+      "RANGE INTERVAL '1' HOUR PRECEDING) AS unitsLastHour FROM Orders");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 6u);
+  // Row i sums units of rows within [t_i - 1h, t_i]: itself and the two
+  // preceding half-hour events.
+  EXPECT_EQ(result.value().rows[0][3].AsInt(), 1);
+  EXPECT_EQ(result.value().rows[2][3].AsInt(), 1 + 2 + 3);
+  EXPECT_EQ(result.value().rows[5][3].AsInt(), 4 + 5 + 6);
+}
+
+TEST(StreamTest, OutOfOrderEventRejected) {
+  std::shared_ptr<stream::StreamTable> orders;
+  MakeStreamCatalog(&orders);
+  ASSERT_TRUE(
+      orders->Append({Value::Int(1000), Value::Int(1), Value::Int(1)}).ok());
+  Status st =
+      orders->Append({Value::Int(500), Value::Int(1), Value::Int(1)});
+  EXPECT_FALSE(st.ok());
+}
+
+// ---------------------------- materialized views ---------------------------
+
+TEST(MaterializeTest, ExactSubstitution) {
+  SchemaPtr schema = testing::MakeTestSchema();
+  MaterializationCatalog catalog;
+  {
+    Connection loader{Connection::Config{schema}};
+    ASSERT_TRUE(catalog
+                    .Register(&loader, "mv_sales_by_product",
+                              "SELECT productId, COUNT(*) AS c FROM sales "
+                              "GROUP BY productId")
+                    .ok());
+  }
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+
+  auto plan = conn.Explain(
+      "SELECT productId, COUNT(*) AS c FROM sales GROUP BY productId", true);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("mv_sales_by_product"), std::string::npos)
+      << plan.value();
+  EXPECT_EQ(plan.value().find("table=[sales]"), std::string::npos)
+      << plan.value();
+
+  auto rows = conn.Query(
+      "SELECT productId, COUNT(*) AS c FROM sales GROUP BY productId");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().rows.size(), 3u);
+}
+
+TEST(MaterializeTest, ResidualFilterRewrite) {
+  SchemaPtr schema = testing::MakeTestSchema();
+  MaterializationCatalog catalog;
+  {
+    Connection loader{Connection::Config{schema}};
+    ASSERT_TRUE(catalog
+                    .Register(&loader, "mv_high_units",
+                              "SELECT * FROM sales WHERE units > 2")
+                    .ok());
+  }
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+
+  // Query condition = view condition AND residual.
+  auto plan = conn.Explain(
+      "SELECT * FROM sales WHERE units > 2 AND productId = 2", true);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("mv_high_units"), std::string::npos)
+      << plan.value();
+
+  auto rows =
+      conn.Query("SELECT * FROM sales WHERE units > 2 AND productId = 2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().rows.size(), 2u);
+}
+
+TEST(MaterializeTest, AggregateRollup) {
+  SchemaPtr schema = testing::MakeTestSchema();
+  MaterializationCatalog catalog;
+  {
+    Connection loader{Connection::Config{schema}};
+    // Finer-grained view: grouped by (productId, saleid).
+    ASSERT_TRUE(catalog
+                    .Register(&loader, "mv_fine",
+                              "SELECT productId, saleid, COUNT(*) AS c, "
+                              "SUM(units) AS u FROM sales "
+                              "GROUP BY productId, saleid")
+                    .ok());
+  }
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+
+  // Coarser query rolls up from the view.
+  const std::string sql =
+      "SELECT productId, COUNT(*) AS c, SUM(units) AS u FROM sales "
+      "GROUP BY productId";
+  auto plan = conn.Explain(sql, true);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("mv_fine"), std::string::npos) << plan.value();
+
+  auto rows = conn.Query(sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().rows.size(), 3u);
+  int64_t total_units = 0;
+  int64_t total_count = 0;
+  for (const Row& row : rows.value().rows) {
+    total_count += row[1].AsInt();
+    total_units += row[2].AsInt();
+  }
+  EXPECT_EQ(total_count, 6);
+  EXPECT_EQ(total_units, 26);
+}
+
+TEST(MaterializeTest, NonMatchingViewIsIgnored) {
+  SchemaPtr schema = testing::MakeTestSchema();
+  MaterializationCatalog catalog;
+  {
+    Connection loader{Connection::Config{schema}};
+    ASSERT_TRUE(catalog
+                    .Register(&loader, "mv_unrelated",
+                              "SELECT * FROM depts WHERE deptno > 15")
+                    .ok());
+  }
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+  auto plan = conn.Explain("SELECT * FROM sales WHERE units > 3", true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().find("mv_unrelated"), std::string::npos)
+      << plan.value();
+}
+
+TEST(MaterializeTest, LatticeTilesAnswerStarQueries) {
+  SchemaPtr schema = testing::MakeTestSchema();
+  MaterializationCatalog catalog;
+  Lattice lattice(
+      "SELECT name, saleid, units FROM sales JOIN products USING (productId)",
+      {"name", "saleid"}, "units");
+  {
+    Connection loader{Connection::Config{schema}};
+    ASSERT_TRUE(
+        lattice.BuildTile(&loader, &catalog, {"name", "saleid"}).ok());
+    ASSERT_TRUE(lattice.BuildTile(&loader, &catalog, {"name"}).ok());
+  }
+  // Tile selection prefers the smallest covering tile.
+  EXPECT_EQ(lattice.FindCoveringTile({"name"}), "tile_name");
+  EXPECT_EQ(lattice.FindCoveringTile({"name", "saleid"}),
+            "tile_name_saleid");
+  EXPECT_EQ(lattice.FindCoveringTile({"units"}), "");
+
+  Connection::Config config{schema};
+  config.materializations = &catalog;
+  Connection conn(config);
+  // The rollup over the star query should hit a tile instead of the join.
+  const std::string sql =
+      "SELECT name, COUNT(*) AS cnt, SUM(units) AS sm FROM "
+      "(SELECT name, saleid, units FROM sales JOIN products "
+      "USING (productId)) AS fact GROUP BY name";
+  auto plan = conn.Explain(sql, true);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan.value().find("tile_"), std::string::npos) << plan.value();
+
+  auto rows = conn.Query(sql);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().rows.size(), 3u);
+}
+
+// --------------------------------- geospatial ------------------------------
+
+TEST(GeoTest, AmsterdamQueryFromThePaper) {
+  // §7.3's example: find the country containing Amsterdam.
+  TypeFactory tf;
+  auto str_t = tf.CreateSqlType(SqlTypeName::kVarchar, 64);
+  auto row = tf.CreateStructType({"name", "boundary"}, {str_t, str_t});
+  std::vector<Row> rows = {
+      {Value::String("Netherlands"),
+       Value::String("POLYGON ((3.3 50.7, 7.2 50.7, 7.2 53.6, 3.3 53.6, "
+                     "3.3 50.7))")},
+      {Value::String("Belgium"),
+       Value::String("POLYGON ((2.5 49.5, 6.4 49.5, 6.4 51.5, 2.5 51.5, "
+                     "2.5 49.5))")},
+  };
+  auto schema = std::make_shared<Schema>();
+  schema->AddTable("country", std::make_shared<MemTable>(row, rows));
+  Connection conn{Connection::Config{schema}};
+
+  auto result = conn.Query(
+      "SELECT name FROM ("
+      "  SELECT name, "
+      "  ST_GeomFromText('POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33, "
+      "4.82 52.33, 4.82 52.43))') AS amsterdam, "
+      "  ST_GeomFromText(boundary) AS country "
+      "  FROM country"
+      ") AS t WHERE ST_Contains(country, amsterdam)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0][0].AsString(), "Netherlands");
+}
+
+TEST(GeoTest, DistanceAndArea) {
+  Connection conn{Connection::Config{std::make_shared<Schema>()}};
+  auto result = conn.Query(
+      "SELECT ST_Distance(ST_MakePoint(0, 0), ST_MakePoint(3, 4)) AS d, "
+      "ST_Area(ST_GeomFromText('POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))')) AS a");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.value().rows[0][0].AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(result.value().rows[0][1].AsDouble(), 16.0);
+}
+
+}  // namespace
+}  // namespace calcite

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_schema.h"
+#include "tools/frameworks.h"
+
+namespace calcite {
+namespace {
+
+class SqlE2eTest : public ::testing::Test {
+ protected:
+  SqlE2eTest() : conn_(Connection::Config{testing::MakeTestSchema()}) {}
+
+  QueryResult MustQuery(const std::string& sql) {
+    auto result = conn_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Status QueryError(const std::string& sql) {
+    auto result = conn_.Query(sql);
+    EXPECT_FALSE(result.ok()) << sql << " unexpectedly succeeded";
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Connection conn_;
+};
+
+TEST_F(SqlE2eTest, SelectStar) {
+  QueryResult r = MustQuery("SELECT * FROM emps");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.row_type->field_count(), 4);
+}
+
+TEST_F(SqlE2eTest, Projection) {
+  QueryResult r = MustQuery("SELECT name, salary * 2 AS double_pay FROM emps");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.row_type->fields()[1].name, "double_pay");
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 20000.0);
+}
+
+TEST_F(SqlE2eTest, WhereFilter) {
+  QueryResult r = MustQuery("SELECT name FROM emps WHERE deptno = 20");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlE2eTest, WhereCompound) {
+  QueryResult r = MustQuery(
+      "SELECT name FROM emps WHERE deptno = 20 OR salary > 10000");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SqlE2eTest, OrderByLimit) {
+  QueryResult r = MustQuery(
+      "SELECT name, salary FROM emps ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Theodore");
+  EXPECT_EQ(r.rows[1][0].AsString(), "Bill");
+}
+
+TEST_F(SqlE2eTest, OrderByOrdinalAndOffset) {
+  QueryResult r = MustQuery(
+      "SELECT name, salary FROM emps ORDER BY 2 OFFSET 1 LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Eric");
+}
+
+TEST_F(SqlE2eTest, GroupByAggregates) {
+  QueryResult r = MustQuery(
+      "SELECT deptno, COUNT(*) AS c, SUM(salary) AS s, AVG(salary) AS a, "
+      "MIN(salary) AS lo, MAX(salary) AS hi FROM emps GROUP BY deptno "
+      "ORDER BY deptno");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 21500.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 10750.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsDouble(), 10000.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][5].AsDouble(), 11500.0);
+}
+
+TEST_F(SqlE2eTest, GlobalAggregate) {
+  QueryResult r = MustQuery("SELECT COUNT(*), SUM(units) FROM sales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 6);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 26);
+}
+
+TEST_F(SqlE2eTest, Having) {
+  QueryResult r = MustQuery(
+      "SELECT deptno, COUNT(*) AS c FROM emps GROUP BY deptno "
+      "HAVING COUNT(*) > 1 ORDER BY deptno");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlE2eTest, CountDistinct) {
+  QueryResult r = MustQuery("SELECT COUNT(DISTINCT productId) FROM sales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlE2eTest, ThePaperFigure4Query) {
+  // §6's example query, verbatim modulo table contents.
+  QueryResult r = MustQuery(
+      "SELECT products.name, COUNT(*) "
+      "FROM sales JOIN products USING (productId) "
+      "WHERE sales.discount IS NOT NULL "
+      "GROUP BY products.name "
+      "ORDER BY COUNT(*) DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Gadget");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(SqlE2eTest, InnerJoinOn) {
+  QueryResult r = MustQuery(
+      "SELECT e.name, d.dept_name FROM emps e JOIN depts d "
+      "ON e.deptno = d.deptno ORDER BY e.name");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Anna");
+  EXPECT_EQ(r.rows[0][1].AsString(), "Marketing");
+}
+
+TEST_F(SqlE2eTest, LeftJoinProducesNulls) {
+  QueryResult r = MustQuery(
+      "SELECT p.name, s.discount FROM products p "
+      "LEFT JOIN sales s ON p.productId = s.productId AND s.units > 100");
+  // No sale has units > 100, so each product pads with NULL.
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const Row& row : r.rows) {
+    EXPECT_TRUE(row[1].IsNull());
+  }
+}
+
+TEST_F(SqlE2eTest, CrossJoinCommaSyntax) {
+  QueryResult r = MustQuery("SELECT * FROM depts, products");
+  EXPECT_EQ(r.rows.size(), 9u);
+}
+
+TEST_F(SqlE2eTest, UnionDistinctAndAll) {
+  QueryResult distinct = MustQuery(
+      "SELECT deptno FROM emps UNION SELECT deptno FROM depts");
+  EXPECT_EQ(distinct.rows.size(), 3u);
+  QueryResult all = MustQuery(
+      "SELECT deptno FROM emps UNION ALL SELECT deptno FROM depts");
+  EXPECT_EQ(all.rows.size(), 8u);
+}
+
+TEST_F(SqlE2eTest, IntersectAndExcept) {
+  QueryResult inter = MustQuery(
+      "SELECT deptno FROM emps INTERSECT SELECT deptno FROM depts");
+  EXPECT_EQ(inter.rows.size(), 3u);
+  QueryResult except = MustQuery(
+      "SELECT deptno FROM depts EXCEPT SELECT deptno FROM emps WHERE "
+      "deptno < 25");
+  ASSERT_EQ(except.rows.size(), 1u);
+  EXPECT_EQ(except.rows[0][0].AsInt(), 30);
+}
+
+TEST_F(SqlE2eTest, SubqueryInFrom) {
+  QueryResult r = MustQuery(
+      "SELECT t.name FROM (SELECT name, salary FROM emps "
+      "WHERE salary > 8000) AS t ORDER BY t.name");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SqlE2eTest, CaseExpression) {
+  QueryResult r = MustQuery(
+      "SELECT name, CASE WHEN salary >= 10000 THEN 'high' ELSE 'low' END "
+      "AS band FROM emps ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "low");  // Anna 9000
+}
+
+TEST_F(SqlE2eTest, CastAndArithmetic) {
+  QueryResult r = MustQuery(
+      "SELECT CAST(salary AS INTEGER) / 1000 AS k FROM emps "
+      "WHERE name = 'Bill'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+}
+
+TEST_F(SqlE2eTest, InListAndBetweenAndLike) {
+  EXPECT_EQ(MustQuery("SELECT * FROM emps WHERE deptno IN (10, 30)").rows.size(),
+            3u);
+  EXPECT_EQ(MustQuery(
+                "SELECT * FROM emps WHERE salary BETWEEN 8000 AND 10000")
+                .rows.size(),
+            3u);
+  EXPECT_EQ(MustQuery("SELECT * FROM emps WHERE name LIKE '%ill'").rows.size(),
+            1u);
+  EXPECT_EQ(
+      MustQuery("SELECT * FROM emps WHERE name NOT LIKE 'A%'").rows.size(),
+      4u);
+}
+
+TEST_F(SqlE2eTest, SelectDistinct) {
+  QueryResult r = MustQuery("SELECT DISTINCT deptno FROM emps");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SqlE2eTest, ValuesClause) {
+  QueryResult r = MustQuery("VALUES (1, 'a'), (2, 'b')");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1][1].AsString(), "b");
+}
+
+TEST_F(SqlE2eTest, SelectWithoutFrom) {
+  QueryResult r = MustQuery("SELECT 1 + 2 AS three");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlE2eTest, WindowFunction) {
+  QueryResult r = MustQuery(
+      "SELECT name, deptno, SUM(salary) OVER (PARTITION BY deptno) AS "
+      "dept_total FROM emps ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 5u);
+  // Anna is alone in dept 30.
+  EXPECT_EQ(r.rows[0][0].AsString(), "Anna");
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 9000.0);
+  // Bill shares dept 10 with Theodore: 10000 + 11500.
+  EXPECT_EQ(r.rows[1][0].AsString(), "Bill");
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsDouble(), 21500.0);
+}
+
+TEST_F(SqlE2eTest, WindowRunningSum) {
+  QueryResult r = MustQuery(
+      "SELECT saleid, SUM(units) OVER (ORDER BY saleid "
+      "ROWS UNBOUNDED PRECEDING) AS running FROM sales ORDER BY saleid");
+  ASSERT_EQ(r.rows.size(), 6u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(r.rows[5][1].AsInt(), 26);
+}
+
+// ------------------------------ error paths -------------------------------
+
+TEST_F(SqlE2eTest, UnknownTableIsValidationError) {
+  Status st = QueryError("SELECT * FROM nonexistent");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST_F(SqlE2eTest, UnknownColumnIsValidationError) {
+  Status st = QueryError("SELECT bogus FROM emps");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST_F(SqlE2eTest, AmbiguousColumnIsError) {
+  Status st = QueryError(
+      "SELECT deptno FROM emps JOIN depts ON emps.deptno = depts.deptno");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST_F(SqlE2eTest, AggregateInWhereIsError) {
+  Status st = QueryError("SELECT * FROM emps WHERE COUNT(*) > 1");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST_F(SqlE2eTest, NonGroupedColumnIsError) {
+  Status st = QueryError("SELECT name, COUNT(*) FROM emps GROUP BY deptno");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST_F(SqlE2eTest, SyntaxErrorReported) {
+  Status st = QueryError("SELECT FROM WHERE");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST_F(SqlE2eTest, StreamOnTableIsError) {
+  Status st = QueryError("SELECT STREAM * FROM emps");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST_F(SqlE2eTest, MismatchedUnionIsError) {
+  Status st = QueryError("SELECT deptno FROM emps UNION SELECT * FROM depts");
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+}  // namespace
+}  // namespace calcite
