@@ -87,6 +87,38 @@ void BM_Stage5_Execute(benchmark::State& state) {
 }
 BENCHMARK(BM_Stage5_Execute);
 
+// Experiment F1b: the vectorized executor's batch-size sweep. One fixed
+// scan -> filter -> project -> aggregate pipeline over 100k sales rows,
+// executed at batch sizes 1 / 64 / 1024 / 4096. batch_size=1 is the old
+// row-at-a-time discipline (one pipeline dispatch per tuple); the larger
+// settings amortize that dispatch across a whole RowBatch. The counter
+// reports source rows per second.
+void BM_BatchSizeSweep(benchmark::State& state) {
+  constexpr int kRows = 100000;
+  SchemaPtr schema = bench::MakeSalesSchema(kRows, 50);
+  Connection::Config config;
+  config.schema = schema;
+  config.exec_options.batch_size = static_cast<size_t>(state.range(0));
+  Connection conn(std::move(config));
+  auto logical = conn.ParseQuery(
+      "SELECT productId, COUNT(*) AS c, SUM(units) AS u, MIN(saleid) AS f, "
+      "MAX(discount) AS m "
+      "FROM sales WHERE discount IS NOT NULL AND units > 2 "
+      "AND saleid >= 0 AND discount < 0.95 "
+      "GROUP BY productId");
+  auto physical = conn.OptimizePlan(logical.value());
+  int64_t rows_processed = 0;
+  for (auto _ : state) {
+    auto result = conn.ExecutePlan(physical.value());
+    benchmark::DoNotOptimize(result);
+    rows_processed += kRows;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_processed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchSizeSweep)->Arg(1)->Arg(64)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AltEntry_ExpressionBuilder(benchmark::State& state) {
   // The "own parser" integration path (§3): algebra built directly.
   SchemaPtr schema = bench::MakeSalesSchema(1000, 50);

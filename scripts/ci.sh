@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: configure -> build -> ctest -> bench smoke-run.
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== configure ==="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "=== build ==="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "=== test ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "=== bench smoke ==="
+# One quick benchmark exercises the batched execution engine end-to-end
+# (parse -> plan -> vectorized pipeline) without turning CI into a perf run.
+if [[ -x "$BUILD_DIR/bench_architecture" ]]; then
+  "$BUILD_DIR/bench_architecture" \
+    --benchmark_filter='BM_BatchSizeSweep|BM_Stage5_Execute' \
+    --benchmark_min_time=0.05
+else
+  echo "bench_architecture not built (google-benchmark not found); skipping"
+fi
+
+echo "=== done ==="

@@ -42,6 +42,10 @@ Statistic CassandraTable::GetStatistic() const {
 
 Result<std::vector<Row>> CassandraTable::Scan() const { return rows_; }
 
+Result<RowBatchPuller> CassandraTable::ScanBatched(size_t batch_size) const {
+  return SliceRows(rows_, batch_size);
+}
+
 const Convention* CassandraSchema::CassandraConvention() {
   static const Convention* kConvention = new Convention("CASSANDRA", 0.9);
   return kConvention;

@@ -28,6 +28,7 @@ class CassandraTable final : public Table {
   }
   Statistic GetStatistic() const override;
   Result<std::vector<Row>> Scan() const override;
+  Result<RowBatchPuller> ScanBatched(size_t batch_size) const override;
 
   const std::vector<int>& partition_keys() const { return partition_keys_; }
   const RelCollation& clustering() const { return clustering_; }

@@ -29,6 +29,12 @@ class CsvTable final : public Table {
   Statistic GetStatistic() const override;
   Result<std::vector<Row>> Scan() const override { return rows_; }
 
+  /// Emits the parsed file a batch at a time, without re-copying the whole
+  /// table per scan (the scan operator pins this table while pulling).
+  Result<RowBatchPuller> ScanBatched(size_t batch_size) const override {
+    return SliceRows(rows_, batch_size);
+  }
+
  private:
   CsvTable(RelDataTypePtr row_type, std::vector<Row> rows)
       : row_type_(std::move(row_type)), rows_(std::move(rows)) {}

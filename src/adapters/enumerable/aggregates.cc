@@ -64,6 +64,17 @@ Status AggAccumulator::Add(const Row& row) {
   return Status::OK();
 }
 
+Status AggAccumulator::AddBatch(const std::vector<Row>& rows) {
+  if (call_->kind == AggKind::kCountStar) {
+    count_ += static_cast<int64_t>(rows.size());
+    return Status::OK();
+  }
+  for (const Row& row : rows) {
+    CALCITE_RETURN_IF_ERROR(Add(row));
+  }
+  return Status::OK();
+}
+
 Value AggAccumulator::Finish() const {
   switch (call_->kind) {
     case AggKind::kCount:

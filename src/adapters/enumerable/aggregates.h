@@ -20,6 +20,11 @@ class AggAccumulator {
   /// Feeds one input row.
   Status Add(const Row& row);
 
+  /// Feeds a whole batch with a single dispatch — the batched executor's
+  /// path for global (ungrouped) aggregates. COUNT(*) degenerates to one
+  /// addition per batch.
+  Status AddBatch(const std::vector<Row>& rows);
+
   /// Produces the aggregate result. For empty input: COUNT-like functions
   /// return 0, the others NULL (SQL semantics).
   Value Finish() const;

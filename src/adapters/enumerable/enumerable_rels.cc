@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "adapters/enumerable/aggregates.h"
 #include "metadata/metadata.h"
@@ -10,6 +12,15 @@
 #include "rex/rex_util.h"
 
 namespace calcite {
+
+// The operators below execute as vectorized pull pipelines: ExecuteBatched
+// wires a chain of RowBatchPullers that exchange RowBatch chunks, so the
+// per-call closure dispatch the old row-at-a-time discipline paid on every
+// tuple is amortized over a whole batch (filters compact batches in place
+// through selection vectors, the hash operators probe a batch per dispatch).
+// Execute() is the materializing wrapper over the same pipeline, so there is
+// a single implementation of each operator's semantics; `batch_size = 1`
+// reproduces the old row-at-a-time behavior exactly (see the parity tests).
 
 namespace {
 
@@ -38,6 +49,32 @@ struct RowLess {
     return a.size() < b.size();
   }
 };
+
+size_t NormalizedBatchSize(const ExecOptions& opts) {
+  return opts.batch_size == 0 ? 1 : opts.batch_size;
+}
+
+/// Materializes a node's full output through its batch pipeline.
+Result<std::vector<Row>> DrainNode(const RelNode& node) {
+  auto puller = node.ExecuteBatched(ExecOptions{});
+  if (!puller.ok()) return puller.status();
+  return DrainBatches(puller.value());
+}
+
+/// The join key of `row` under one side of the equi-key list, or nullopt if
+/// any key column is NULL (NULL keys never match).
+std::optional<Row> JoinKey(const Row& row,
+                           const std::vector<std::pair<int, int>>& keys,
+                           bool left_side) {
+  Row key;
+  key.reserve(keys.size());
+  for (const auto& [l, r] : keys) {
+    const Value& v = row[static_cast<size_t>(left_side ? l : r)];
+    if (v.IsNull()) return std::nullopt;
+    key.push_back(v);
+  }
+  return key;
+}
 
 }  // namespace
 
@@ -81,6 +118,18 @@ Result<std::vector<Row>> EnumerableTableScan::Execute() const {
   return table_->Scan();
 }
 
+Result<RowBatchPuller> EnumerableTableScan::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto puller = table_->ScanBatched(NormalizedBatchSize(opts));
+  if (!puller.ok()) return puller;
+  // The table's puller may capture a raw `this`; pin the table here so the
+  // pipeline owns it for as long as it is pulled.
+  TablePtr table = table_;
+  RowBatchPuller pull = std::move(puller).value();
+  return RowBatchPuller(
+      [table, pull]() -> Result<RowBatch> { return pull(); });
+}
+
 // --------------------------------- Filter ---------------------------------
 
 RelNodePtr EnumerableFilter::Create(RelNodePtr input, RexNodePtr condition) {
@@ -98,15 +147,30 @@ RelNodePtr EnumerableFilter::Copy(RelTraitSet traits,
 }
 
 Result<std::vector<Row>> EnumerableFilter::Execute() const {
-  auto rows = input(0)->Execute();
-  if (!rows.ok()) return rows;
-  std::vector<Row> out;
-  for (Row& row : rows.value()) {
-    auto pass = RexInterpreter::EvalPredicate(condition_, row);
-    if (!pass.ok()) return pass.status();
-    if (pass.value()) out.push_back(std::move(row));
-  }
-  return out;
+  return DrainNode(*this);
+}
+
+Result<RowBatchPuller> EnumerableFilter::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto in = input(0)->ExecuteBatched(opts);
+  if (!in.ok()) return in;
+  RelNodePtr self = shared_from_this();  // keeps condition_ alive
+  RexNodePtr condition = condition_;
+  RowBatchPuller pull = std::move(in).value();
+  return RowBatchPuller([self, condition, pull]() -> Result<RowBatch> {
+    for (;;) {
+      auto batch = pull();
+      if (!batch.ok()) return batch;
+      RowBatch rows = std::move(batch).value();
+      if (rows.empty()) return rows;  // end of stream
+      SelectionVector sel;
+      CALCITE_RETURN_IF_ERROR(
+          RexInterpreter::EvalPredicateBatch(condition, rows, &sel));
+      if (sel.empty()) continue;  // whole batch eliminated; keep pulling
+      CompactBatch(&rows, sel);
+      return rows;
+    }
+  });
 }
 
 // --------------------------------- Project --------------------------------
@@ -126,21 +190,42 @@ RelNodePtr EnumerableProject::Copy(RelTraitSet traits,
 }
 
 Result<std::vector<Row>> EnumerableProject::Execute() const {
-  auto rows = input(0)->Execute();
-  if (!rows.ok()) return rows;
-  std::vector<Row> out;
-  out.reserve(rows.value().size());
-  for (const Row& row : rows.value()) {
-    Row projected;
-    projected.reserve(exprs_.size());
-    for (const RexNodePtr& expr : exprs_) {
-      auto v = RexInterpreter::Eval(expr, row);
-      if (!v.ok()) return v.status();
-      projected.push_back(std::move(v).value());
+  return DrainNode(*this);
+}
+
+Result<RowBatchPuller> EnumerableProject::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto in = input(0)->ExecuteBatched(opts);
+  if (!in.ok()) return in;
+  RelNodePtr self = shared_from_this();  // pins exprs_ for the pipeline
+  const EnumerableProject* node = this;
+  RowBatchPuller pull = std::move(in).value();
+  return RowBatchPuller([self, node, pull]() -> Result<RowBatch> {
+    const std::vector<RexNodePtr>& exprs = node->exprs_;
+    auto batch = pull();
+    if (!batch.ok()) return batch;
+    RowBatch rows = std::move(batch).value();
+    if (rows.empty()) return rows;
+    // Evaluate each projection over the whole batch (one column per
+    // expression), then write the columns back into the input rows, which
+    // this pipeline owns — reusing their allocations instead of
+    // materializing a fresh Row per output row. All columns are computed
+    // before any row is overwritten, so input refs never read a clobbered
+    // value.
+    std::vector<std::vector<Value>> columns(exprs.size());
+    for (size_t e = 0; e < exprs.size(); ++e) {
+      CALCITE_RETURN_IF_ERROR(
+          RexInterpreter::EvalBatch(exprs[e], rows, &columns[e]));
     }
-    out.push_back(std::move(projected));
-  }
-  return out;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Row& row = rows[i];
+      row.resize(exprs.size());
+      for (size_t e = 0; e < exprs.size(); ++e) {
+        row[e] = std::move(columns[e][i]);
+      }
+    }
+    return rows;
+  });
 }
 
 // -------------------------------- HashJoin --------------------------------
@@ -162,107 +247,204 @@ RelNodePtr EnumerableHashJoin::Copy(RelTraitSet traits,
 }
 
 Result<std::vector<Row>> EnumerableHashJoin::Execute() const {
-  auto left_rows = input(0)->Execute();
-  if (!left_rows.ok()) return left_rows;
-  auto right_rows = input(1)->Execute();
-  if (!right_rows.ok()) return right_rows;
+  return DrainNode(*this);
+}
 
-  std::vector<std::pair<int, int>> keys;
-  std::vector<RexNodePtr> remaining;
-  if (!AnalyzeEquiKeys(&keys, &remaining)) {
-    return Status::PlanError(
-        "EnumerableHashJoin requires at least one equi-join key");
-  }
+namespace {
 
-  size_t left_width = input(0)->row_type()->fields().size();
-  size_t right_width = input(1)->row_type()->fields().size();
-
-  // Build phase: hash the right side on its key columns.
+/// Shared runtime state of a streaming join (hash or nested-loop): the
+/// build side is materialized on first pull; probe batches then flow
+/// through one at a time. The hash table stays empty for nested loops.
+struct JoinExecState {
+  bool built = false;
+  std::vector<Row> right_data;
   std::unordered_map<Row, std::vector<size_t>, RowHash> table;
-  const std::vector<Row>& right_data = right_rows.value();
-  for (size_t i = 0; i < right_data.size(); ++i) {
-    Row key;
-    bool has_null = false;
-    key.reserve(keys.size());
-    for (const auto& [l, r] : keys) {
-      const Value& v = right_data[i][static_cast<size_t>(r)];
-      if (v.IsNull()) has_null = true;
-      key.push_back(v);
-    }
-    if (has_null) continue;  // NULL keys never match.
-    table[std::move(key)].push_back(i);
+  std::vector<bool> right_matched;
+  bool left_done = false;
+  size_t right_emit_pos = 0;
+  /// Join output already produced but not yet handed out: a skewed key can
+  /// make one probe batch yield far more than batch_size rows, and the
+  /// ExecuteBatched contract caps every returned batch. Drained through
+  /// pending_pos (a cursor, so flushing stays linear); cleared — and the
+  /// cursor reset — once fully handed out.
+  RowBatch pending;
+  size_t pending_pos = 0;
+};
+
+/// Hands out the next <= batch_size rows of state->pending.
+RowBatch FlushPending(JoinExecState* state, size_t batch_size) {
+  size_t n = std::min(batch_size, state->pending.size() - state->pending_pos);
+  auto first = state->pending.begin() +
+               static_cast<ptrdiff_t>(state->pending_pos);
+  RowBatch out(std::make_move_iterator(first),
+               std::make_move_iterator(first + static_cast<ptrdiff_t>(n)));
+  state->pending_pos += n;
+  if (state->pending_pos >= state->pending.size()) {
+    state->pending.clear();
+    state->pending_pos = 0;
   }
+  return out;
+}
 
-  std::vector<bool> right_matched(right_data.size(), false);
-  std::vector<Row> out;
-
-  auto residual_passes = [&](const Row& combined) -> Result<bool> {
-    for (const RexNodePtr& pred : remaining) {
-      auto pass = RexInterpreter::EvalPredicate(pred, combined);
-      if (!pass.ok()) return pass;
-      if (!pass.value()) return false;
-    }
-    return true;
-  };
-
-  for (const Row& lrow : left_rows.value()) {
-    Row key;
-    bool has_null = false;
-    key.reserve(keys.size());
-    for (const auto& [l, r] : keys) {
-      const Value& v = lrow[static_cast<size_t>(l)];
-      if (v.IsNull()) has_null = true;
-      key.push_back(v);
-    }
-    bool matched = false;
-    if (!has_null) {
-      auto it = table.find(key);
-      if (it != table.end()) {
-        for (size_t ri : it->second) {
-          Row combined = ConcatRows(lrow, right_data[ri]);
-          auto pass = residual_passes(combined);
-          if (!pass.ok()) return pass.status();
-          if (!pass.value()) continue;
-          matched = true;
-          right_matched[ri] = true;
-          switch (join_type_) {
-            case JoinType::kInner:
-            case JoinType::kLeft:
-            case JoinType::kRight:
-            case JoinType::kFull:
-              out.push_back(std::move(combined));
-              break;
-            case JoinType::kSemi:
-            case JoinType::kAnti:
-              break;  // Row-level emission decided after the loop.
-          }
-          if (join_type_ == JoinType::kSemi) break;
-        }
-      }
-    }
-    switch (join_type_) {
-      case JoinType::kLeft:
-      case JoinType::kFull:
-        if (!matched) out.push_back(PadNullRight(lrow, right_width));
-        break;
-      case JoinType::kSemi:
-        if (matched) out.push_back(lrow);
-        break;
-      case JoinType::kAnti:
-        if (!matched) out.push_back(lrow);
-        break;
-      default:
-        break;
+/// Drains the build side into state->right_data and sizes the matched mask.
+Status DrainRightSide(const RowBatchPuller& right_pull, JoinExecState* state) {
+  for (;;) {
+    auto batch = right_pull();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;
+    for (Row& row : batch.value()) {
+      state->right_data.push_back(std::move(row));
     }
   }
-  if (join_type_ == JoinType::kRight || join_type_ == JoinType::kFull) {
-    for (size_t i = 0; i < right_data.size(); ++i) {
-      if (!right_matched[i]) {
-        out.push_back(PadNullLeft(left_width, right_data[i]));
-      }
+  state->right_matched.assign(state->right_data.size(), false);
+  return Status::OK();
+}
+
+/// True for the join types that emit the concatenated row per match
+/// (SEMI/ANTI decide emission per left row instead).
+bool EmitsCombinedRows(JoinType join_type) {
+  switch (join_type) {
+    case JoinType::kInner:
+    case JoinType::kLeft:
+    case JoinType::kRight:
+    case JoinType::kFull:
+      return true;
+    case JoinType::kSemi:
+    case JoinType::kAnti:
+      return false;
+  }
+  return false;
+}
+
+/// Emission decided once per probed left row, after its matches ran.
+void EmitPerLeftRow(JoinType join_type, bool matched, Row&& lrow,
+                    size_t right_width, RowBatch* out) {
+  switch (join_type) {
+    case JoinType::kLeft:
+    case JoinType::kFull:
+      if (!matched) out->push_back(PadNullRight(lrow, right_width));
+      break;
+    case JoinType::kSemi:
+      if (matched) out->push_back(std::move(lrow));
+      break;
+    case JoinType::kAnti:
+      if (!matched) out->push_back(std::move(lrow));
+      break;
+    default:
+      break;
+  }
+}
+
+/// The next batch of NULL-padded unmatched build rows (RIGHT/FULL OUTER),
+/// empty when exhausted or not applicable to the join type.
+RowBatch EmitUnmatchedRight(JoinType join_type, JoinExecState* state,
+                            size_t left_width, size_t batch_size) {
+  RowBatch out;
+  if (join_type != JoinType::kRight && join_type != JoinType::kFull) {
+    return out;
+  }
+  while (state->right_emit_pos < state->right_data.size() &&
+         out.size() < batch_size) {
+    size_t i = state->right_emit_pos++;
+    if (!state->right_matched[i]) {
+      out.push_back(PadNullLeft(left_width, state->right_data[i]));
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto keys = std::make_shared<std::vector<std::pair<int, int>>>();
+  auto remaining = std::make_shared<std::vector<RexNodePtr>>();
+  if (!AnalyzeEquiKeys(keys.get(), remaining.get())) {
+    return Status::PlanError(
+        "EnumerableHashJoin requires at least one equi-join key");
+  }
+  auto left = input(0)->ExecuteBatched(opts);
+  if (!left.ok()) return left;
+  auto right = input(1)->ExecuteBatched(opts);
+  if (!right.ok()) return right;
+
+  RelNodePtr self = shared_from_this();
+  const JoinType join_type = join_type_;
+  const size_t left_width = input(0)->row_type()->fields().size();
+  const size_t right_width = input(1)->row_type()->fields().size();
+  const size_t batch_size = NormalizedBatchSize(opts);
+  auto state = std::make_shared<JoinExecState>();
+  RowBatchPuller left_pull = std::move(left).value();
+  RowBatchPuller right_pull = std::move(right).value();
+
+  return RowBatchPuller([self, keys, remaining, state, left_pull, right_pull,
+                         join_type, left_width, right_width,
+                         batch_size]() -> Result<RowBatch> {
+    if (!state->built) {
+      // Build phase: hash the right side on its key columns.
+      CALCITE_RETURN_IF_ERROR(DrainRightSide(right_pull, state.get()));
+      for (size_t i = 0; i < state->right_data.size(); ++i) {
+        auto key = JoinKey(state->right_data[i], *keys, /*left_side=*/false);
+        if (key.has_value()) {
+          state->table[std::move(*key)].push_back(i);
+        }
+      }
+      state->built = true;
+    }
+
+    if (!state->pending.empty()) {
+      return FlushPending(state.get(), batch_size);
+    }
+
+    auto residual_passes = [&](const Row& combined) -> Result<bool> {
+      for (const RexNodePtr& pred : *remaining) {
+        auto pass = RexInterpreter::EvalPredicate(pred, combined);
+        if (!pass.ok()) return pass;
+        if (!pass.value()) return false;
+      }
+      return true;
+    };
+
+    // Probe phase: a whole left batch per dispatch.
+    while (!state->left_done) {
+      auto batch = left_pull();
+      if (!batch.ok()) return batch;
+      RowBatch left_rows = std::move(batch).value();
+      if (left_rows.empty()) {
+        state->left_done = true;
+        break;
+      }
+      RowBatch& out = state->pending;
+      for (Row& lrow : left_rows) {
+        auto key = JoinKey(lrow, *keys, /*left_side=*/true);
+        bool matched = false;
+        if (key.has_value()) {
+          auto it = state->table.find(*key);
+          if (it != state->table.end()) {
+            for (size_t ri : it->second) {
+              Row combined = ConcatRows(lrow, state->right_data[ri]);
+              auto pass = residual_passes(combined);
+              if (!pass.ok()) return pass.status();
+              if (!pass.value()) continue;
+              matched = true;
+              state->right_matched[ri] = true;
+              if (EmitsCombinedRows(join_type)) {
+                out.push_back(std::move(combined));
+              }
+              if (join_type == JoinType::kSemi) break;
+            }
+          }
+        }
+        EmitPerLeftRow(join_type, matched, std::move(lrow), right_width, &out);
+      }
+      if (!out.empty()) return FlushPending(state.get(), batch_size);
+    }
+
+    RowBatch out =
+        EmitUnmatchedRight(join_type, state.get(), left_width, batch_size);
+    if (!out.empty()) return out;
+    return RowBatch{};
+  });
 }
 
 // ------------------------------ NestedLoopJoin ----------------------------
@@ -292,62 +474,71 @@ std::optional<RelOptCost> EnumerableNestedLoopJoin::SelfCost(
 }
 
 Result<std::vector<Row>> EnumerableNestedLoopJoin::Execute() const {
-  auto left_rows = input(0)->Execute();
-  if (!left_rows.ok()) return left_rows;
-  auto right_rows = input(1)->Execute();
-  if (!right_rows.ok()) return right_rows;
+  return DrainNode(*this);
+}
 
-  size_t left_width = input(0)->row_type()->fields().size();
-  size_t right_width = input(1)->row_type()->fields().size();
-  const std::vector<Row>& right_data = right_rows.value();
-  std::vector<bool> right_matched(right_data.size(), false);
-  std::vector<Row> out;
+Result<RowBatchPuller> EnumerableNestedLoopJoin::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto left = input(0)->ExecuteBatched(opts);
+  if (!left.ok()) return left;
+  auto right = input(1)->ExecuteBatched(opts);
+  if (!right.ok()) return right;
 
-  for (const Row& lrow : left_rows.value()) {
-    bool matched = false;
-    for (size_t ri = 0; ri < right_data.size(); ++ri) {
-      Row combined = ConcatRows(lrow, right_data[ri]);
-      auto pass = RexInterpreter::EvalPredicate(condition_, combined);
-      if (!pass.ok()) return pass.status();
-      if (!pass.value()) continue;
-      matched = true;
-      right_matched[ri] = true;
-      switch (join_type_) {
-        case JoinType::kInner:
-        case JoinType::kLeft:
-        case JoinType::kRight:
-        case JoinType::kFull:
-          out.push_back(std::move(combined));
-          break;
-        case JoinType::kSemi:
-        case JoinType::kAnti:
-          break;
+  RelNodePtr self = shared_from_this();
+  RexNodePtr condition = condition_;
+  const JoinType join_type = join_type_;
+  const size_t left_width = input(0)->row_type()->fields().size();
+  const size_t right_width = input(1)->row_type()->fields().size();
+  const size_t batch_size = NormalizedBatchSize(opts);
+  auto state = std::make_shared<JoinExecState>();
+  RowBatchPuller left_pull = std::move(left).value();
+  RowBatchPuller right_pull = std::move(right).value();
+
+  return RowBatchPuller([self, condition, state, left_pull, right_pull,
+                         join_type, left_width, right_width,
+                         batch_size]() -> Result<RowBatch> {
+    if (!state->built) {
+      CALCITE_RETURN_IF_ERROR(DrainRightSide(right_pull, state.get()));
+      state->built = true;
+    }
+
+    if (!state->pending.empty()) {
+      return FlushPending(state.get(), batch_size);
+    }
+
+    while (!state->left_done) {
+      auto batch = left_pull();
+      if (!batch.ok()) return batch;
+      RowBatch left_rows = std::move(batch).value();
+      if (left_rows.empty()) {
+        state->left_done = true;
+        break;
       }
-      if (join_type_ == JoinType::kSemi) break;
-    }
-    switch (join_type_) {
-      case JoinType::kLeft:
-      case JoinType::kFull:
-        if (!matched) out.push_back(PadNullRight(lrow, right_width));
-        break;
-      case JoinType::kSemi:
-        if (matched) out.push_back(lrow);
-        break;
-      case JoinType::kAnti:
-        if (!matched) out.push_back(lrow);
-        break;
-      default:
-        break;
-    }
-  }
-  if (join_type_ == JoinType::kRight || join_type_ == JoinType::kFull) {
-    for (size_t i = 0; i < right_data.size(); ++i) {
-      if (!right_matched[i]) {
-        out.push_back(PadNullLeft(left_width, right_data[i]));
+      RowBatch& out = state->pending;
+      for (Row& lrow : left_rows) {
+        bool matched = false;
+        for (size_t ri = 0; ri < state->right_data.size(); ++ri) {
+          Row combined = ConcatRows(lrow, state->right_data[ri]);
+          auto pass = RexInterpreter::EvalPredicate(condition, combined);
+          if (!pass.ok()) return pass.status();
+          if (!pass.value()) continue;
+          matched = true;
+          state->right_matched[ri] = true;
+          if (EmitsCombinedRows(join_type)) {
+            out.push_back(std::move(combined));
+          }
+          if (join_type == JoinType::kSemi) break;
+        }
+        EmitPerLeftRow(join_type, matched, std::move(lrow), right_width, &out);
       }
+      if (!out.empty()) return FlushPending(state.get(), batch_size);
     }
-  }
-  return out;
+
+    RowBatch out =
+        EmitUnmatchedRight(join_type, state.get(), left_width, batch_size);
+    if (!out.empty()) return out;
+    return RowBatch{};
+  });
 }
 
 // -------------------------------- Aggregate -------------------------------
@@ -369,41 +560,127 @@ RelNodePtr EnumerableAggregate::Copy(RelTraitSet traits,
 }
 
 Result<std::vector<Row>> EnumerableAggregate::Execute() const {
-  auto rows = input(0)->Execute();
-  if (!rows.ok()) return rows;
+  return DrainNode(*this);
+}
 
-  // Group rows, preserving first-seen key order for deterministic output.
+namespace {
+
+/// Streaming hash-aggregate state: groups hold live accumulators instead of
+/// materialized row lists, fed a batch at a time. Single-column keys probe
+/// by Value directly (no per-row key allocation); wider keys go through the
+/// Row-keyed table.
+struct HashAggState {
+  bool built = false;
   std::unordered_map<Row, size_t, RowHash> group_index;
+  std::unordered_map<Value, size_t, ValueHash> single_index;
   std::vector<Row> group_keys_rows;
-  std::vector<std::vector<Row>> group_rows;
-  for (Row& row : rows.value()) {
-    Row key;
-    key.reserve(group_keys_.size());
-    for (int k : group_keys_) {
-      key.push_back(row[static_cast<size_t>(k)]);
-    }
-    auto [it, inserted] = group_index.try_emplace(key, group_rows.size());
-    if (inserted) {
-      group_keys_rows.push_back(std::move(key));
-      group_rows.emplace_back();
-    }
-    group_rows[it->second].push_back(std::move(row));
-  }
-  // Global aggregate over empty input still produces one row.
-  if (group_keys_.empty() && group_rows.empty()) {
-    group_keys_rows.emplace_back();
-    group_rows.emplace_back();
-  }
+  std::vector<std::vector<AggAccumulator>> group_accs;
+  size_t emit_pos = 0;
+};
 
-  std::vector<Row> out;
-  out.reserve(group_rows.size());
-  for (size_t g = 0; g < group_rows.size(); ++g) {
-    Row result = group_keys_rows[g];
-    CALCITE_RETURN_IF_ERROR(
-        ComputeAggregates(agg_calls_, group_rows[g], &result));
-    out.push_back(std::move(result));
-  }
-  return out;
+}  // namespace
+
+Result<RowBatchPuller> EnumerableAggregate::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto in = input(0)->ExecuteBatched(opts);
+  if (!in.ok()) return in;
+  RelNodePtr self = shared_from_this();  // pins group_keys_ / agg_calls_
+  const EnumerableAggregate* node = this;
+  const size_t batch_size = NormalizedBatchSize(opts);
+  auto state = std::make_shared<HashAggState>();
+  RowBatchPuller pull = std::move(in).value();
+
+  return RowBatchPuller([self, node, state, pull,
+                         batch_size]() -> Result<RowBatch> {
+    const std::vector<int>& group_keys = node->group_keys_;
+    const std::vector<AggregateCall>& agg_calls = node->agg_calls_;
+    if (!state->built) {
+      auto new_group = [&](Row key) {
+        state->group_keys_rows.push_back(std::move(key));
+        std::vector<AggAccumulator> accs;
+        accs.reserve(agg_calls.size());
+        for (const AggregateCall& call : agg_calls) {
+          accs.emplace_back(call);
+        }
+        state->group_accs.push_back(std::move(accs));
+      };
+      for (;;) {
+        auto batch = pull();
+        if (!batch.ok()) return batch;
+        RowBatch rows = std::move(batch).value();
+        if (rows.empty()) break;
+        if (group_keys.empty()) {
+          // Global aggregate: the whole batch feeds one accumulator set —
+          // one AddBatch dispatch per accumulator per batch.
+          if (state->group_accs.empty()) new_group(Row{});
+          for (AggAccumulator& acc : state->group_accs[0]) {
+            CALCITE_RETURN_IF_ERROR(acc.AddBatch(rows));
+          }
+          continue;
+        }
+        // Grouped: probe the hash table with each row of the batch,
+        // preserving first-seen key order for deterministic output.
+        if (group_keys.size() == 1) {
+          const size_t k = static_cast<size_t>(group_keys[0]);
+          for (const Row& row : rows) {
+            const Value& key = row[k];
+            size_t group;
+            auto it = state->single_index.find(key);
+            if (it != state->single_index.end()) {
+              group = it->second;
+            } else {
+              group = state->group_accs.size();
+              state->single_index.emplace(key, group);
+              new_group(Row{key});
+            }
+            for (AggAccumulator& acc : state->group_accs[group]) {
+              CALCITE_RETURN_IF_ERROR(acc.Add(row));
+            }
+          }
+          continue;
+        }
+        // Wider keys: the probe key is a scratch row reused across the
+        // whole batch; a fresh copy is only materialized when a new group
+        // is inserted.
+        Row scratch_key;
+        scratch_key.reserve(group_keys.size());
+        for (const Row& row : rows) {
+          scratch_key.clear();
+          for (int k : group_keys) {
+            scratch_key.push_back(row[static_cast<size_t>(k)]);
+          }
+          size_t group;
+          auto it = state->group_index.find(scratch_key);
+          if (it != state->group_index.end()) {
+            group = it->second;
+          } else {
+            group = state->group_accs.size();
+            state->group_index.emplace(scratch_key, group);
+            new_group(scratch_key);
+          }
+          for (AggAccumulator& acc : state->group_accs[group]) {
+            CALCITE_RETURN_IF_ERROR(acc.Add(row));
+          }
+        }
+      }
+      // Global aggregate over empty input still produces one row.
+      if (group_keys.empty() && state->group_accs.empty()) new_group(Row{});
+      state->built = true;
+    }
+
+    RowBatch out;
+    while (state->emit_pos < state->group_accs.size() &&
+           out.size() < batch_size) {
+      size_t g = state->emit_pos++;
+      Row result = std::move(state->group_keys_rows[g]);
+      result.reserve(result.size() + agg_calls.size());
+      for (const AggAccumulator& acc : state->group_accs[g]) {
+        result.push_back(acc.Finish());
+      }
+      out.push_back(std::move(result));
+    }
+    return out;
+  });
 }
 
 // ---------------------------------- Sort -----------------------------------
@@ -425,23 +702,67 @@ RelNodePtr EnumerableSort::Copy(RelTraitSet traits,
 }
 
 Result<std::vector<Row>> EnumerableSort::Execute() const {
-  auto rows = input(0)->Execute();
-  if (!rows.ok()) return rows;
-  std::vector<Row> data = std::move(rows).value();
-  if (!collation_.empty()) {
-    std::stable_sort(data.begin(), data.end(),
-                     [this](const Row& a, const Row& b) {
-                       return CompareRows(a, b, collation_) < 0;
-                     });
-  }
-  size_t begin = std::min(data.size(), static_cast<size_t>(
-                                           std::max<int64_t>(0, offset_)));
-  size_t end = data.size();
-  if (fetch_ >= 0) {
-    end = std::min(end, begin + static_cast<size_t>(fetch_));
-  }
-  return std::vector<Row>(data.begin() + static_cast<ptrdiff_t>(begin),
-                          data.begin() + static_cast<ptrdiff_t>(end));
+  return DrainNode(*this);
+}
+
+namespace {
+
+struct SortState {
+  bool built = false;
+  std::vector<Row> data;
+  size_t pos = 0;
+  size_t end = 0;
+};
+
+}  // namespace
+
+Result<RowBatchPuller> EnumerableSort::ExecuteBatched(
+    const ExecOptions& opts) const {
+  auto in = input(0)->ExecuteBatched(opts);
+  if (!in.ok()) return in;
+  RelNodePtr self = shared_from_this();  // pins collation_
+  const EnumerableSort* node = this;
+  const int64_t offset = offset_;
+  const int64_t fetch = fetch_;
+  const size_t batch_size = NormalizedBatchSize(opts);
+  auto state = std::make_shared<SortState>();
+  RowBatchPuller pull = std::move(in).value();
+
+  return RowBatchPuller([self, node, offset, fetch, state, pull,
+                         batch_size]() -> Result<RowBatch> {
+    const RelCollation& collation = node->collation_;
+    if (!state->built) {
+      for (;;) {
+        auto batch = pull();
+        if (!batch.ok()) return batch;
+        if (batch.value().empty()) break;
+        for (Row& row : batch.value()) state->data.push_back(std::move(row));
+      }
+      if (!collation.empty()) {
+        std::stable_sort(state->data.begin(), state->data.end(),
+                         [&collation](const Row& a, const Row& b) {
+                           return CompareRows(a, b, collation) < 0;
+                         });
+      }
+      state->pos = std::min(
+          state->data.size(),
+          static_cast<size_t>(std::max<int64_t>(0, offset)));
+      state->end = state->data.size();
+      if (fetch >= 0) {
+        state->end = std::min(state->end,
+                              state->pos + static_cast<size_t>(fetch));
+      }
+      state->built = true;
+    }
+    RowBatch out;
+    size_t n = std::min(batch_size, state->end - state->pos);
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(state->data[state->pos + i]));
+    }
+    state->pos += n;
+    return out;
+  });
 }
 
 // --------------------------------- SetOp ----------------------------------
@@ -472,21 +793,23 @@ RelNodePtr EnumerableSetOp::Copy(RelTraitSet traits,
 }
 
 Result<std::vector<Row>> EnumerableSetOp::Execute() const {
-  std::vector<std::vector<Row>> input_rows;
-  input_rows.reserve(inputs().size());
-  for (const RelNodePtr& in : inputs()) {
-    auto rows = in->Execute();
-    if (!rows.ok()) return rows;
-    input_rows.push_back(std::move(rows).value());
-  }
+  return DrainNode(*this);
+}
+
+namespace {
+
+/// Multiset combination of fully-materialized inputs (INTERSECT / MINUS and
+/// the deduplicating UNION; UNION ALL streams and never reaches this).
+std::vector<Row> CombineSetOp(SetOp::Kind kind, bool all,
+                              std::vector<std::vector<Row>> input_rows) {
   std::vector<Row> out;
-  switch (set_kind_) {
-    case Kind::kUnion: {
+  switch (kind) {
+    case SetOp::Kind::kUnion: {
       for (std::vector<Row>& rows : input_rows) {
         out.insert(out.end(), std::make_move_iterator(rows.begin()),
                    std::make_move_iterator(rows.end()));
       }
-      if (!all_) {
+      if (!all) {
         std::map<Row, bool, RowLess> seen;
         std::vector<Row> dedup;
         for (Row& row : out) {
@@ -496,7 +819,7 @@ Result<std::vector<Row>> EnumerableSetOp::Execute() const {
       }
       return out;
     }
-    case Kind::kIntersect: {
+    case SetOp::Kind::kIntersect: {
       // Bag intersect: multiplicity = min across inputs (1 for DISTINCT).
       std::map<Row, size_t, RowLess> counts;
       for (const Row& row : input_rows[0]) ++counts[row];
@@ -512,7 +835,7 @@ Result<std::vector<Row>> EnumerableSetOp::Execute() const {
         auto it = counts.find(row);
         if (it != counts.end() && it->second > 0) {
           out.push_back(row);
-          if (all_) {
+          if (all) {
             --it->second;
           } else {
             it->second = 0;
@@ -521,7 +844,7 @@ Result<std::vector<Row>> EnumerableSetOp::Execute() const {
       }
       return out;
     }
-    case Kind::kMinus: {
+    case SetOp::Kind::kMinus: {
       std::map<Row, size_t, RowLess> subtract;
       for (size_t i = 1; i < input_rows.size(); ++i) {
         for (const Row& row : input_rows[i]) ++subtract[row];
@@ -530,16 +853,70 @@ Result<std::vector<Row>> EnumerableSetOp::Execute() const {
       for (const Row& row : input_rows[0]) {
         auto it = subtract.find(row);
         if (it != subtract.end() && it->second > 0) {
-          if (all_) --it->second;
+          if (all) --it->second;
           continue;
         }
-        if (!all_ && !emitted.emplace(row, true).second) continue;
+        if (!all && !emitted.emplace(row, true).second) continue;
         out.push_back(row);
       }
       return out;
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<RowBatchPuller> EnumerableSetOp::ExecuteBatched(
+    const ExecOptions& opts) const {
+  RelNodePtr self = shared_from_this();
+  if (set_kind_ == Kind::kUnion && all_) {
+    // UNION ALL streams: batches flow through from each input in turn
+    // without re-batching or materialization.
+    std::vector<RowBatchPuller> pullers;
+    pullers.reserve(inputs().size());
+    for (const RelNodePtr& in : inputs()) {
+      auto puller = in->ExecuteBatched(opts);
+      if (!puller.ok()) return puller;
+      pullers.push_back(std::move(puller).value());
+    }
+    auto shared = std::make_shared<std::vector<RowBatchPuller>>(
+        std::move(pullers));
+    auto current = std::make_shared<size_t>(0);
+    return RowBatchPuller([self, shared, current]() -> Result<RowBatch> {
+      while (*current < shared->size()) {
+        auto batch = (*shared)[*current]();
+        if (!batch.ok()) return batch;
+        if (!batch.value().empty()) return batch;
+        ++*current;
+      }
+      return RowBatch{};
+    });
+  }
+  // The remaining kinds need full multiset views of their inputs.
+  const Kind kind = set_kind_;
+  const bool all = all_;
+  std::vector<RelNodePtr> ins = inputs();
+  const size_t batch_size = NormalizedBatchSize(opts);
+  auto state = std::make_shared<std::optional<RowBatchPuller>>();
+  return RowBatchPuller(
+      [self, kind, all, ins, batch_size, state,
+       opts]() -> Result<RowBatch> {
+        if (!state->has_value()) {
+          std::vector<std::vector<Row>> input_rows;
+          input_rows.reserve(ins.size());
+          for (const RelNodePtr& in : ins) {
+            auto puller = in->ExecuteBatched(opts);
+            if (!puller.ok()) return puller.status();
+            auto rows = DrainBatches(puller.value());
+            if (!rows.ok()) return rows.status();
+            input_rows.push_back(std::move(rows).value());
+          }
+          *state = ChunkRows(CombineSetOp(kind, all, std::move(input_rows)),
+                             batch_size);
+        }
+        return (**state)();
+      });
 }
 
 // --------------------------------- Values ---------------------------------
@@ -560,6 +937,14 @@ RelNodePtr EnumerableValues::Copy(RelTraitSet traits,
 
 Result<std::vector<Row>> EnumerableValues::Execute() const { return tuples_; }
 
+Result<RowBatchPuller> EnumerableValues::ExecuteBatched(
+    const ExecOptions& opts) const {
+  RelNodePtr self = shared_from_this();  // pins tuples_ for the slicer
+  RowBatchPuller pull = SliceRows(tuples_, NormalizedBatchSize(opts));
+  return RowBatchPuller(
+      [self, pull]() -> Result<RowBatch> { return pull(); });
+}
+
 // --------------------------------- Window ---------------------------------
 
 RelNodePtr EnumerableWindow::Create(RelNodePtr input,
@@ -574,6 +959,19 @@ RelNodePtr EnumerableWindow::Copy(RelTraitSet traits,
                                   std::vector<RelNodePtr> inputs) const {
   return RelNodePtr(new EnumerableWindow(std::move(traits), row_type(),
                                          std::move(inputs[0]), groups_));
+}
+
+Result<RowBatchPuller> EnumerableWindow::ExecuteBatched(
+    const ExecOptions& opts) const {
+  // Window frames reach arbitrarily far across the partition, so the
+  // operator is inherently blocking: materialize, then re-chunk.
+  auto rows = Execute();
+  if (!rows.ok()) return rows.status();
+  RowBatchPuller puller = ChunkRows(std::move(rows).value(),
+                                    NormalizedBatchSize(opts));
+  RelNodePtr self = shared_from_this();
+  return RowBatchPuller(
+      [self, puller]() -> Result<RowBatch> { return puller(); });
 }
 
 Result<std::vector<Row>> EnumerableWindow::Execute() const {
@@ -676,6 +1074,14 @@ RelNodePtr EnumerableInterpreter::Copy(RelTraitSet traits,
 
 Result<std::vector<Row>> EnumerableInterpreter::Execute() const {
   return input(0)->Execute();
+}
+
+Result<RowBatchPuller> EnumerableInterpreter::ExecuteBatched(
+    const ExecOptions& opts) const {
+  // The foreign input executes inside its own engine; its default
+  // ExecuteBatched materializes there and re-chunks — the per-row transfer
+  // the cost model charges this converter for.
+  return input(0)->ExecuteBatched(opts);
 }
 
 }  // namespace calcite

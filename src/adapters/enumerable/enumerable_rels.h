@@ -24,6 +24,8 @@ class EnumerableTableScan final : public TableScan {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using TableScan::TableScan;
@@ -37,6 +39,8 @@ class EnumerableFilter final : public Filter {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Filter::Filter;
@@ -51,6 +55,8 @@ class EnumerableProject final : public Project {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Project::Project;
@@ -70,6 +76,8 @@ class EnumerableHashJoin final : public Join {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Join::Join;
@@ -86,6 +94,8 @@ class EnumerableNestedLoopJoin final : public Join {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
   std::optional<RelOptCost> SelfCost(MetadataQuery* mq) const override;
 
@@ -103,6 +113,8 @@ class EnumerableAggregate final : public Aggregate {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Aggregate::Aggregate;
@@ -120,6 +132,8 @@ class EnumerableSort final : public Sort {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Sort::Sort;
@@ -134,6 +148,8 @@ class EnumerableSetOp final : public SetOp {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using SetOp::SetOp;
@@ -147,6 +163,8 @@ class EnumerableValues final : public Values {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Values::Values;
@@ -161,6 +179,8 @@ class EnumerableWindow final : public Window {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Window::Window;
@@ -179,6 +199,8 @@ class EnumerableInterpreter final : public Converter {
   RelNodePtr Copy(RelTraitSet traits,
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
+  Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
 
  private:
   using Converter::Converter;

@@ -1,0 +1,56 @@
+#include "exec/row_batch.h"
+
+#include <memory>
+
+namespace calcite {
+
+RowBatchPuller ChunkRows(std::vector<Row> rows, size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  auto data = std::make_shared<std::vector<Row>>(std::move(rows));
+  auto pos = std::make_shared<size_t>(0);
+  return [data, pos, batch_size]() -> Result<RowBatch> {
+    RowBatch batch;
+    size_t remaining = data->size() - *pos;
+    size_t n = std::min(batch_size, remaining);
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move((*data)[*pos + i]));
+    }
+    *pos += n;
+    return batch;
+  };
+}
+
+RowBatchPuller SliceRows(const std::vector<Row>& rows, size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  const std::vector<Row>* data = &rows;
+  size_t pos = 0;
+  return [data, batch_size, pos]() mutable -> Result<RowBatch> {
+    size_t n = std::min(batch_size, data->size() - pos);
+    RowBatch batch(data->begin() + static_cast<ptrdiff_t>(pos),
+                   data->begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+    return batch;
+  };
+}
+
+Result<std::vector<Row>> DrainBatches(const RowBatchPuller& puller) {
+  std::vector<Row> out;
+  for (;;) {
+    auto batch = puller();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;
+    for (Row& row : batch.value()) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void CompactBatch(RowBatch* batch, const SelectionVector& sel) {
+  if (sel.size() == batch->size()) return;  // everything selected
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (sel[i] != i) (*batch)[i] = std::move((*batch)[sel[i]]);
+  }
+  batch->resize(sel.size());
+}
+
+}  // namespace calcite

@@ -1,0 +1,64 @@
+#ifndef CALCITE_EXEC_ROW_BATCH_H_
+#define CALCITE_EXEC_ROW_BATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "type/value.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Vectorized execution runtime (§5, §7.4). The enumerable calling
+/// convention originally pulled one Row per call; operators now exchange
+/// RowBatch chunks so the per-call dispatch cost (a std::function invocation
+/// plus error-wrapping) is amortized over ~1024 rows. `batch_size = 1`
+/// degenerates to the old row-at-a-time discipline and must preserve its
+/// semantics exactly — the parity test suite enumerates both modes and
+/// compares results.
+
+/// A chunk of rows flowing between physical operators.
+using RowBatch = std::vector<Row>;
+
+/// Default number of rows per batch. Chosen so a batch of small rows stays
+/// cache-resident while still amortizing per-batch dispatch overhead.
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+/// Runtime options threaded from the Connection down to the leaf scans.
+struct ExecOptions {
+  size_t batch_size = kDefaultBatchSize;
+};
+
+/// Pulls the next batch of an operator's output. An empty batch marks the
+/// end of the stream; producers never yield empty batches mid-stream (a
+/// filter that eliminates a whole input chunk keeps pulling until it has at
+/// least one surviving row or its input ends). Errors abort the stream.
+using RowBatchPuller = std::function<Result<RowBatch>()>;
+
+/// Indexes of the rows of a batch that satisfy a predicate, ascending.
+/// The batch-granularity analogue of a boolean column: filters compact
+/// their batch through it without per-row branching in the caller.
+using SelectionVector = std::vector<uint32_t>;
+
+/// Wraps already-materialized rows as a batch stream (the bridge used by
+/// operators and tables that have not been converted to native batching).
+RowBatchPuller ChunkRows(std::vector<Row> rows, size_t batch_size);
+
+/// Batch stream over rows the caller keeps owning (a table's stored data):
+/// each pull copies the next slice of `rows` into a fresh batch, so the
+/// stored vector is never copied whole. The caller must keep `rows` alive
+/// and unchanged while the puller is used — scan operators guarantee this
+/// by pinning their TablePtr in the pipeline closure.
+RowBatchPuller SliceRows(const std::vector<Row>& rows, size_t batch_size);
+
+/// Materializes a batch stream (the terminal step under the unchanged
+/// QueryResult API).
+Result<std::vector<Row>> DrainBatches(const RowBatchPuller& puller);
+
+/// Keeps the rows of `batch` selected by `sel`, in order, in place.
+void CompactBatch(RowBatch* batch, const SelectionVector& sel);
+
+}  // namespace calcite
+
+#endif  // CALCITE_EXEC_ROW_BATCH_H_

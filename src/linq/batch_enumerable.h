@@ -1,0 +1,545 @@
+#ifndef CALCITE_LINQ_BATCH_ENUMERABLE_H_
+#define CALCITE_LINQ_BATCH_ENUMERABLE_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "linq/enumerable.h"
+
+namespace calcite::linq {
+
+/// Default rows-per-batch for batch pipelines (mirrors the executor's
+/// kDefaultBatchSize; kept independent so linq stays self-contained).
+inline constexpr size_t kLinqDefaultBatchSize = 1024;
+
+/// The vectorized sibling of Enumerable<T>: a lazily-evaluated pipeline
+/// whose stages exchange *batches* (std::vector<T> chunks) instead of
+/// single elements. Element-level callbacks (predicates, projections) are
+/// invoked inside a tight per-batch loop, so the std::function dispatch at
+/// each pipeline stage is paid once per ~1024 elements rather than once per
+/// element — the same amortization the enumerable calling convention's
+/// physical operators apply to Rows.
+///
+/// Stream discipline: a pull returns the next non-empty batch, or an empty
+/// batch at end-of-stream. Combinators never surface empty batches
+/// mid-stream (a Where that eliminates an entire input chunk keeps pulling).
+/// Like Enumerable, all per-enumeration state lives in the puller created by
+/// each generator call, so a pipeline can be enumerated any number of
+/// times. Blocking combinators (OrderBy/Distinct/GroupBy/Join) materialize
+/// on the first pull, not at enumeration creation, so an enumeration that
+/// is never pulled costs nothing.
+template <typename T>
+class BatchEnumerable {
+ public:
+  using Batch = std::vector<T>;
+  /// Pulls the next batch; empty batch = end of stream.
+  using Puller = std::function<Batch()>;
+  /// Creates a fresh puller per enumeration.
+  using Generator = std::function<Puller()>;
+
+  explicit BatchEnumerable(Generator gen,
+                           size_t batch_size = kLinqDefaultBatchSize)
+      : gen_(std::move(gen)), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+  size_t batch_size() const { return batch_size_; }
+  const Generator& generator() const { return gen_; }
+
+  // ------------------------------- sources --------------------------------
+
+  /// Batches over a materialized vector (shared, not copied per
+  /// enumeration; each batch is a copied slice).
+  static BatchEnumerable FromVector(std::vector<T> values,
+                                    size_t batch_size = kLinqDefaultBatchSize) {
+    if (batch_size == 0) batch_size = 1;
+    auto data = std::make_shared<std::vector<T>>(std::move(values));
+    return BatchEnumerable(
+        [data, batch_size]() {
+          size_t pos = 0;
+          return [data, batch_size, pos]() mutable -> Batch {
+            size_t n = std::min(batch_size, data->size() - pos);
+            Batch batch(data->begin() + static_cast<ptrdiff_t>(pos),
+                        data->begin() + static_cast<ptrdiff_t>(pos + n));
+            pos += n;
+            return batch;
+          };
+        },
+        batch_size);
+  }
+
+  /// A stream over pre-formed batches (adopted as-is; empty batches in
+  /// `batches` are skipped).
+  static BatchEnumerable FromBatches(std::vector<Batch> batches,
+                                     size_t batch_size = kLinqDefaultBatchSize) {
+    auto data = std::make_shared<std::vector<Batch>>(std::move(batches));
+    return BatchEnumerable(
+        [data]() {
+          size_t i = 0;
+          return [data, i]() mutable -> Batch {
+            while (i < data->size()) {
+              const Batch& b = (*data)[i++];
+              if (!b.empty()) return b;
+            }
+            return {};
+          };
+        },
+        batch_size);
+  }
+
+  static BatchEnumerable Empty() { return FromVector({}); }
+
+  /// Integer range [start, start+count) mapped through `f`, generated one
+  /// batch at a time (never materialized whole).
+  static BatchEnumerable Range(int64_t start, int64_t count,
+                               std::function<T(int64_t)> f,
+                               size_t batch_size = kLinqDefaultBatchSize) {
+    if (batch_size == 0) batch_size = 1;
+    return BatchEnumerable(
+        [start, count, f, batch_size]() {
+          int64_t i = 0;
+          return [start, count, f, batch_size, i]() mutable -> Batch {
+            Batch batch;
+            while (i < count && batch.size() < batch_size) {
+              batch.push_back(f(start + i++));
+            }
+            return batch;
+          };
+        },
+        batch_size);
+  }
+
+  /// Adapts a row-at-a-time Enumerable into batches.
+  static BatchEnumerable FromEnumerable(
+      const Enumerable<T>& source, size_t batch_size = kLinqDefaultBatchSize) {
+    if (batch_size == 0) batch_size = 1;
+    typename Enumerable<T>::Generator gen = source.generator();
+    return BatchEnumerable(
+        [gen, batch_size]() {
+          typename Enumerable<T>::Puller pull = gen();
+          return [pull, batch_size]() mutable -> Batch {
+            Batch batch;
+            batch.reserve(batch_size);
+            while (batch.size() < batch_size) {
+              auto v = pull();
+              if (!v) break;
+              batch.push_back(std::move(*v));
+            }
+            return batch;
+          };
+        },
+        batch_size);
+  }
+
+  /// Flattens back to a row-at-a-time Enumerable (for interop with code
+  /// still written against the scalar combinators).
+  Enumerable<T> ToEnumerable() const {
+    Generator gen = gen_;
+    return Enumerable<T>([gen]() {
+      Puller pull = gen();
+      auto batch = std::make_shared<Batch>();
+      size_t i = 0;
+      return [pull, batch, i]() mutable -> std::optional<T> {
+        while (i >= batch->size()) {
+          *batch = pull();
+          i = 0;
+          if (batch->empty()) return std::nullopt;
+        }
+        return std::move((*batch)[i++]);
+      };
+    });
+  }
+
+  // ----------------------------- combinators ------------------------------
+
+  /// Filters by a per-element predicate, compacting each batch in place
+  /// (SQL WHERE). One pipeline dispatch per batch, not per element.
+  BatchEnumerable Where(std::function<bool(const T&)> predicate) const {
+    Generator gen = gen_;
+    return BatchEnumerable(
+        [gen, predicate]() {
+          Puller pull = gen();
+          return [pull, predicate]() mutable -> Batch {
+            for (;;) {
+              Batch batch = pull();
+              if (batch.empty()) return batch;
+              size_t kept = 0;
+              for (size_t i = 0; i < batch.size(); ++i) {
+                if (predicate(batch[i])) {
+                  if (kept != i) batch[kept] = std::move(batch[i]);
+                  ++kept;
+                }
+              }
+              if (kept == 0) continue;  // whole batch eliminated; keep pulling
+              batch.resize(kept);
+              return batch;
+            }
+          };
+        },
+        batch_size_);
+  }
+
+  /// Raw batch-level filter/rewrite: `fn` may drop, reorder, or edit the
+  /// elements of the batch in place (the executor uses the analogue of this
+  /// for selection-vector compaction).
+  BatchEnumerable WhereBatch(std::function<void(Batch*)> fn) const {
+    Generator gen = gen_;
+    return BatchEnumerable(
+        [gen, fn]() {
+          Puller pull = gen();
+          return [pull, fn]() mutable -> Batch {
+            for (;;) {
+              Batch batch = pull();
+              if (batch.empty()) return batch;
+              fn(&batch);
+              if (!batch.empty()) return batch;
+            }
+          };
+        },
+        batch_size_);
+  }
+
+  /// Maps each element through a projection (SQL SELECT).
+  template <typename U>
+  BatchEnumerable<U> Select(std::function<U(const T&)> projection) const {
+    Generator gen = gen_;
+    return BatchEnumerable<U>(
+        [gen, projection]() {
+          Puller pull = gen();
+          return [pull, projection]() mutable -> std::vector<U> {
+            Batch batch = pull();
+            std::vector<U> out;
+            out.reserve(batch.size());
+            for (const T& v : batch) out.push_back(projection(v));
+            return out;
+          };
+        },
+        batch_size_);
+  }
+
+  /// Raw batch-level projection: one call transforms a whole input batch.
+  template <typename U>
+  BatchEnumerable<U> SelectBatch(
+      std::function<std::vector<U>(const Batch&)> fn) const {
+    Generator gen = gen_;
+    return BatchEnumerable<U>(
+        [gen, fn]() {
+          Puller pull = gen();
+          return [pull, fn]() mutable -> std::vector<U> {
+            for (;;) {
+              Batch batch = pull();
+              if (batch.empty()) return {};
+              std::vector<U> out = fn(batch);
+              if (!out.empty()) return out;
+            }
+          };
+        },
+        batch_size_);
+  }
+
+  /// Stable sort by a three-way comparator (SQL ORDER BY). The input is
+  /// materialized on the first pull — not at enumeration creation — so an
+  /// enumeration that never pulls (e.g. the unreached side of a Concat)
+  /// costs nothing; output re-emits in batches.
+  BatchEnumerable OrderBy(std::function<int(const T&, const T&)> cmp) const {
+    Generator gen = gen_;
+    size_t batch_size = batch_size_;
+    return BatchEnumerable(
+        [gen, cmp, batch_size]() {
+          Puller pull = gen();
+          auto sorted = std::make_shared<Batch>();
+          bool built = false;
+          size_t pos = 0;
+          return [pull, cmp, sorted, built, batch_size,
+                  pos]() mutable -> Batch {
+            if (!built) {
+              for (;;) {
+                Batch batch = pull();
+                if (batch.empty()) break;
+                for (T& v : batch) sorted->push_back(std::move(v));
+              }
+              std::stable_sort(
+                  sorted->begin(), sorted->end(),
+                  [cmp](const T& a, const T& b) { return cmp(a, b) < 0; });
+              built = true;
+            }
+            size_t n = std::min(batch_size, sorted->size() - pos);
+            Batch batch;
+            batch.reserve(n);
+            for (size_t i = 0; i < n; ++i) {
+              batch.push_back(std::move((*sorted)[pos + i]));
+            }
+            pos += n;
+            return batch;
+          };
+        },
+        batch_size_);
+  }
+
+  /// Skips the first `n` elements, across batch boundaries (SQL OFFSET).
+  BatchEnumerable Skip(size_t n) const {
+    Generator gen = gen_;
+    return BatchEnumerable(
+        [gen, n]() {
+          Puller pull = gen();
+          size_t remaining = n;
+          return [pull, remaining]() mutable -> Batch {
+            for (;;) {
+              Batch batch = pull();
+              if (batch.empty()) return batch;
+              if (remaining == 0) return batch;
+              if (batch.size() <= remaining) {
+                remaining -= batch.size();
+                continue;
+              }
+              batch.erase(batch.begin(),
+                          batch.begin() + static_cast<ptrdiff_t>(remaining));
+              remaining = 0;
+              return batch;
+            }
+          };
+        },
+        batch_size_);
+  }
+
+  /// Takes at most `n` elements (SQL FETCH/LIMIT).
+  BatchEnumerable Take(size_t n) const {
+    Generator gen = gen_;
+    return BatchEnumerable(
+        [gen, n]() {
+          Puller pull = gen();
+          size_t remaining = n;
+          return [pull, remaining]() mutable -> Batch {
+            if (remaining == 0) return {};
+            Batch batch = pull();
+            if (batch.size() > remaining) batch.resize(remaining);
+            remaining -= batch.size();
+            return batch;
+          };
+        },
+        batch_size_);
+  }
+
+  /// Concatenates two batch streams (SQL UNION ALL) without re-batching.
+  BatchEnumerable Concat(const BatchEnumerable& other) const {
+    Generator gen = gen_;
+    Generator other_gen = other.gen_;
+    return BatchEnumerable(
+        [gen, other_gen]() {
+          Puller pull = gen();
+          Puller other_pull = other_gen();
+          bool first_done = false;
+          return [pull, other_pull, first_done]() mutable -> Batch {
+            if (!first_done) {
+              Batch batch = pull();
+              if (!batch.empty()) return batch;
+              first_done = true;
+            }
+            return other_pull();
+          };
+        },
+        batch_size_);
+  }
+
+  /// Removes duplicates under an ordering comparator (SQL DISTINCT); the
+  /// input materializes lazily on first pull.
+  BatchEnumerable Distinct(std::function<int(const T&, const T&)> cmp) const {
+    Generator gen = gen_;
+    size_t batch_size = batch_size_;
+    return BatchEnumerable(
+        [gen, cmp, batch_size]() {
+          Puller pull = gen();
+          auto seen = std::make_shared<Batch>();
+          bool built = false;
+          size_t pos = 0;
+          return [pull, cmp, seen, built, batch_size,
+                  pos]() mutable -> Batch {
+            if (!built) {
+              for (;;) {
+                Batch batch = pull();
+                if (batch.empty()) break;
+                for (T& v : batch) seen->push_back(std::move(v));
+              }
+              std::stable_sort(
+                  seen->begin(), seen->end(),
+                  [cmp](const T& a, const T& b) { return cmp(a, b) < 0; });
+              seen->erase(std::unique(seen->begin(), seen->end(),
+                                      [cmp](const T& a, const T& b) {
+                                        return cmp(a, b) == 0;
+                                      }),
+                          seen->end());
+              built = true;
+            }
+            size_t n = std::min(batch_size, seen->size() - pos);
+            Batch batch(seen->begin() + static_cast<ptrdiff_t>(pos),
+                        seen->begin() + static_cast<ptrdiff_t>(pos + n));
+            pos += n;
+            return batch;
+          };
+        },
+        batch_size_);
+  }
+
+  /// Groups by key, reducing each group to a result (SQL GROUP BY). Input
+  /// is consumed a batch at a time; the key type must be std::map-ordered.
+  template <typename K, typename R>
+  BatchEnumerable<R> GroupBy(std::function<K(const T&)> key_fn,
+                             std::function<R(const K&, const std::vector<T>&)>
+                                 result_fn) const {
+    Generator gen = gen_;
+    size_t batch_size = batch_size_;
+    return BatchEnumerable<R>(
+        [gen, key_fn, result_fn, batch_size]() {
+          Puller pull = gen();
+          auto results = std::make_shared<std::vector<R>>();
+          bool built = false;
+          size_t pos = 0;
+          return [pull, key_fn, result_fn, results, built, batch_size,
+                  pos]() mutable -> std::vector<R> {
+            if (!built) {
+              std::map<K, std::vector<T>> groups;
+              for (;;) {
+                Batch batch = pull();
+                if (batch.empty()) break;
+                for (T& v : batch) groups[key_fn(v)].push_back(std::move(v));
+              }
+              results->reserve(groups.size());
+              for (const auto& [key, values] : groups) {
+                results->push_back(result_fn(key, values));
+              }
+              built = true;
+            }
+            size_t n = std::min(batch_size, results->size() - pos);
+            std::vector<R> batch;
+            batch.reserve(n);
+            for (size_t i = 0; i < n; ++i) {
+              batch.push_back(std::move((*results)[pos + i]));
+            }
+            pos += n;
+            return batch;
+          };
+        },
+        batch_size_);
+  }
+
+  /// Equi-join against another batch stream: hash-build the inner side a
+  /// batch at a time, then probe each outer batch with one pipeline
+  /// dispatch, emitting one output batch per surviving probe batch.
+  template <typename U, typename K, typename R>
+  BatchEnumerable<R> Join(const BatchEnumerable<U>& inner,
+                          std::function<K(const T&)> outer_key,
+                          std::function<K(const U&)> inner_key,
+                          std::function<R(const T&, const U&)> result_fn) const {
+    Generator gen = gen_;
+    typename BatchEnumerable<U>::Generator inner_gen = inner.generator();
+    return BatchEnumerable<R>(
+        [gen, inner_gen, outer_key, inner_key, result_fn]() {
+          auto table = std::make_shared<std::map<K, std::vector<U>>>();
+          auto inner_pull = inner_gen();
+          Puller pull = gen();
+          bool built = false;
+          return [table, inner_pull, pull, inner_key, outer_key, result_fn,
+                  built]() mutable -> std::vector<R> {
+            if (!built) {
+              // Hash-build the inner side on first pull, a batch at a time.
+              for (;;) {
+                std::vector<U> batch = inner_pull();
+                if (batch.empty()) break;
+                for (U& v : batch) {
+                  (*table)[inner_key(v)].push_back(std::move(v));
+                }
+              }
+              built = true;
+            }
+            for (;;) {
+              Batch batch = pull();
+              if (batch.empty()) return {};
+              std::vector<R> out;
+              for (const T& v : batch) {
+                auto it = table->find(outer_key(v));
+                if (it == table->end()) continue;
+                for (const U& u : it->second) {
+                  out.push_back(result_fn(v, u));
+                }
+              }
+              if (!out.empty()) return out;
+            }
+          };
+        },
+        batch_size_);
+  }
+
+  // ------------------------------ terminals -------------------------------
+
+  std::vector<T> ToVector() const {
+    std::vector<T> result;
+    Puller pull = gen_();
+    for (;;) {
+      Batch batch = pull();
+      if (batch.empty()) break;
+      for (T& v : batch) result.push_back(std::move(v));
+    }
+    return result;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    Puller pull = gen_();
+    for (;;) {
+      Batch batch = pull();
+      if (batch.empty()) break;
+      n += batch.size();
+    }
+    return n;
+  }
+
+  bool Any() const {
+    Puller pull = gen_();
+    return !pull().empty();
+  }
+
+  std::optional<T> First() const {
+    Puller pull = gen_();
+    Batch batch = pull();
+    if (batch.empty()) return std::nullopt;
+    return std::move(batch[0]);
+  }
+
+  /// Left fold over elements (SQL aggregate backbone); the fold closure is
+  /// dispatched per element but pulled per batch.
+  template <typename A>
+  A Aggregate(A init, std::function<A(A, const T&)> fold) const {
+    Puller pull = gen_();
+    A acc = std::move(init);
+    for (;;) {
+      Batch batch = pull();
+      if (batch.empty()) break;
+      for (const T& v : batch) acc = fold(std::move(acc), v);
+    }
+    return acc;
+  }
+
+  /// Batch-level fold: one dispatch per batch (e.g. summing a column with a
+  /// vectorizable inner loop).
+  template <typename A>
+  A AggregateBatches(A init, std::function<A(A, const Batch&)> fold) const {
+    Puller pull = gen_();
+    A acc = std::move(init);
+    for (;;) {
+      Batch batch = pull();
+      if (batch.empty()) break;
+      acc = fold(std::move(acc), batch);
+    }
+    return acc;
+  }
+
+ private:
+  Generator gen_;
+  size_t batch_size_;
+};
+
+}  // namespace calcite::linq
+
+#endif  // CALCITE_LINQ_BATCH_ENUMERABLE_H_

@@ -20,6 +20,14 @@ namespace calcite::linq {
 ///
 /// The enumerable calling convention's operators (§5) follow the same
 /// iterator discipline; this template is the user-facing embodiment.
+///
+/// Re-enumeration invariant (audited, enforced by ReenumerationTest): every
+/// combinator keeps its mutable per-enumeration state (positions, skip/take
+/// counters, materialized sort/group buffers) inside the Puller produced by
+/// each Generator call — never in the shared Generator closure — so a
+/// pipeline value can be enumerated repeatedly and concurrently. New
+/// combinators must follow the same pattern: capture only immutable inputs
+/// in the generator; create counters and buffers inside the generator body.
 template <typename T>
 class Enumerable {
  public:

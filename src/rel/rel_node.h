@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "plan/traits.h"
 #include "rex/rex_node.h"
 #include "type/rel_data_type.h"
@@ -117,6 +118,23 @@ class RelNode : public std::enable_shared_from_this<RelNode> {
   virtual Result<std::vector<Row>> Execute() const {
     return Status::PlanError("operator " + op_name() +
                              " is not executable (logical convention)");
+  }
+
+  /// Executes the node as a vectorized pull pipeline: the returned puller
+  /// yields RowBatch chunks of at most `opts.batch_size` rows (an empty
+  /// batch ends the stream). The enumerable convention's operators override
+  /// this with native batch implementations; foreign-convention adapter
+  /// nodes inherit this default, which materializes through Execute() and
+  /// re-chunks — exactly the per-row transfer the EnumerableInterpreter's
+  /// cost model charges for. The returned puller shares ownership of this
+  /// node, so it stays valid after the caller drops its plan reference.
+  virtual Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts) const {
+    auto rows = Execute();
+    if (!rows.ok()) return rows.status();
+    RowBatchPuller puller = ChunkRows(std::move(rows).value(), opts.batch_size);
+    RelNodePtr self = shared_from_this();
+    return RowBatchPuller(
+        [self, puller]() -> Result<RowBatch> { return puller(); });
   }
 
  protected:

@@ -1,6 +1,7 @@
 #ifndef CALCITE_REX_REX_INTERPRETER_H_
 #define CALCITE_REX_REX_INTERPRETER_H_
 
+#include "exec/row_batch.h"
 #include "rex/rex_node.h"
 #include "type/value.h"
 #include "util/status.h"
@@ -22,6 +23,25 @@ class RexInterpreter {
 
   /// Evaluates a predicate for filtering: NULL/UNKNOWN results are false.
   static Result<bool> EvalPredicate(const RexNodePtr& node, const Row& input);
+
+  /// Batch-granularity evaluation: computes `node` for every row of `batch`
+  /// into the column vector `out` (resized to batch.size()). Input refs and
+  /// literals take vectorized fast paths (column copy / broadcast); other
+  /// expressions fall back to a tight per-row Eval loop, still amortizing
+  /// the caller's per-batch dispatch.
+  static Status EvalBatch(const RexNodePtr& node, const RowBatch& batch,
+                          std::vector<Value>* out);
+
+  /// Batch-granularity predicate: fills `sel` (cleared first) with the
+  /// indexes, ascending, of the rows of `batch` for which the predicate
+  /// passes (NULL/UNKNOWN do not pass). Every row of the batch is a
+  /// candidate; callers chaining predicates should AND them into one
+  /// expression, which narrows the selection progressively so later
+  /// conjuncts only evaluate surviving rows. Comparisons and IS [NOT] NULL
+  /// over input refs run as tight loops without per-row dispatch.
+  static Status EvalPredicateBatch(const RexNodePtr& node,
+                                   const RowBatch& batch,
+                                   SelectionVector* sel);
 
   /// Casts a runtime value to the target SQL type (implements CAST
   /// semantics: numeric narrowing/widening, to/from VARCHAR, etc.).

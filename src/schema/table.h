@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "plan/traits.h"
 #include "type/rel_data_type.h"
 #include "type/value.h"
@@ -52,6 +53,19 @@ class Table {
   /// path the enumerable convention uses.
   virtual Result<std::vector<Row>> Scan() const = 0;
 
+  /// Batched scan: yields the table contents as RowBatch chunks of at most
+  /// `batch_size` rows. The default materializes through Scan() and
+  /// re-chunks; tables that physically hold rows override it to slice
+  /// batches out lazily without the intermediate full copy. The returned
+  /// puller captures `this` — the caller (the scan operator) must keep the
+  /// table alive while pulling, which EnumerableTableScan does by holding
+  /// its TablePtr in the pipeline closure.
+  virtual Result<RowBatchPuller> ScanBatched(size_t batch_size) const {
+    auto rows = Scan();
+    if (!rows.ok()) return rows.status();
+    return ChunkRows(std::move(rows).value(), batch_size);
+  }
+
   /// True if this table is a stream (time-ordered, unbounded in principle;
   /// §7.2). STREAM queries are only legal on streaming tables.
   virtual bool IsStream() const { return false; }
@@ -80,6 +94,10 @@ class MemTable : public Table {
   }
 
   Result<std::vector<Row>> Scan() const override { return rows_; }
+
+  Result<RowBatchPuller> ScanBatched(size_t batch_size) const override {
+    return SliceRows(rows_, batch_size);
+  }
 
   /// Mutable access for test/bench setup.
   std::vector<Row>& rows() { return rows_; }

@@ -36,6 +36,11 @@ class StreamTable final : public Table {
 
   Result<std::vector<Row>> Scan() const override { return events_; }
 
+  /// Replays the event log a batch at a time (arrival order preserved).
+  Result<RowBatchPuller> ScanBatched(size_t batch_size) const override {
+    return SliceRows(events_, batch_size);
+  }
+
   bool IsStream() const override { return true; }
 
   int rowtime_column() const { return rowtime_column_; }

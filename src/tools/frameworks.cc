@@ -160,7 +160,11 @@ Result<RelNodePtr> Connection::OptimizePlan(const RelNodePtr& logical) {
 }
 
 Result<QueryResult> Connection::ExecutePlan(const RelNodePtr& physical) {
-  auto rows = physical->Execute();
+  // Pull the plan's batch pipeline to completion; the public QueryResult
+  // surface stays materialized regardless of the configured batch size.
+  auto puller = physical->ExecuteBatched(config_.exec_options);
+  if (!puller.ok()) return puller.status();
+  auto rows = DrainBatches(puller.value());
   if (!rows.ok()) return rows.status();
   return QueryResult{physical->row_type(), std::move(rows).value()};
 }

@@ -47,6 +47,9 @@ class Connection {
     const MaterializationCatalog* materializations = nullptr;
     /// Skip the heuristic logical phase (for experiments).
     bool skip_logical_phase = false;
+    /// Runtime options for the batched enumerable executor (rows per
+    /// RowBatch; batch_size = 1 reproduces row-at-a-time execution).
+    ExecOptions exec_options;
   };
 
   explicit Connection(Config config);

@@ -1,0 +1,430 @@
+// Differential tests of the batched execution engine: for every physical
+// operator of the enumerable convention, the output of the vectorized
+// pipeline at several batch sizes must match `batch_size = 1` (the
+// row-at-a-time degenerate mode) exactly, across empty inputs, NULL-heavy
+// inputs, and cardinalities that straddle the default batch boundary
+// (0 / 1 / 1023 / 1024 / 1025).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapters/enumerable/enumerable_rels.h"
+#include "rel/core.h"
+#include "rex/rex_builder.h"
+#include "test_schema.h"
+#include "tools/frameworks.h"
+
+namespace calcite {
+namespace {
+
+const std::vector<size_t> kCardinalities = {0, 1, 2, 1023, 1024, 1025};
+const std::vector<size_t> kBatchSizes = {2, 3, 64, 1023, 1024, 4096};
+
+/// Four columns: id INT NOT NULL (unique), k INT? (NULL every 3rd row),
+/// s VARCHAR? (NULL every 5th row), d DOUBLE? (NULL every 4th row).
+RelDataTypePtr TestRowType(const TypeFactory& tf) {
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  auto int_null = tf.CreateSqlType(SqlTypeName::kInteger, -1, true);
+  auto str_null = tf.CreateSqlType(SqlTypeName::kVarchar, 20, true);
+  auto dbl_null = tf.CreateSqlType(SqlTypeName::kDouble, -1, true);
+  return tf.CreateStructType({"id", "k", "s", "d"},
+                             {int_t, int_null, str_null, dbl_null});
+}
+
+std::vector<Row> MakeRows(size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(
+        {Value::Int(static_cast<int64_t>(i)),
+         i % 3 == 0 ? Value::Null() : Value::Int(static_cast<int64_t>(i % 7)),
+         i % 5 == 0 ? Value::Null()
+                    : Value::String("s" + std::to_string(i % 11)),
+         i % 4 == 0 ? Value::Null()
+                    : Value::Double(static_cast<double>(i % 13) * 0.5)});
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> RunBatched(const RelNodePtr& node,
+                                    size_t batch_size) {
+  ExecOptions opts;
+  opts.batch_size = batch_size;
+  auto puller = node->ExecuteBatched(opts);
+  if (!puller.ok()) return puller.status();
+  // Drain by hand so the batching discipline itself is checked: every
+  // batch respects the configured cap (joins flush skewed output through a
+  // pending buffer), and an empty batch only ever appears as the
+  // end-of-stream marker (enforced here by breaking on it — a mid-stream
+  // empty batch would truncate the output and fail the row comparison).
+  std::vector<Row> out;
+  for (;;) {
+    auto batch = (puller.value())();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;
+    EXPECT_LE(batch.value().size(), std::max<size_t>(batch_size, 1));
+    for (Row& row : batch.value()) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+/// Runs `node` at batch_size = 1 and asserts every other batch size (and
+/// the materializing Execute() surface) produces identical rows.
+void ExpectParity(const RelNodePtr& node, const std::string& label) {
+  auto base = RunBatched(node, 1);
+  ASSERT_TRUE(base.ok()) << label << ": " << base.status().ToString();
+  for (size_t bs : kBatchSizes) {
+    auto got = RunBatched(node, bs);
+    ASSERT_TRUE(got.ok()) << label << " bs=" << bs << ": "
+                          << got.status().ToString();
+    ASSERT_EQ(got.value().size(), base.value().size())
+        << label << " bs=" << bs;
+    for (size_t i = 0; i < got.value().size(); ++i) {
+      ASSERT_EQ(RowToString(got.value()[i]), RowToString(base.value()[i]))
+          << label << " bs=" << bs << " row " << i;
+    }
+  }
+  auto exec = node->Execute();
+  ASSERT_TRUE(exec.ok()) << label;
+  ASSERT_EQ(exec.value().size(), base.value().size()) << label << " Execute()";
+  for (size_t i = 0; i < exec.value().size(); ++i) {
+    ASSERT_EQ(RowToString(exec.value()[i]), RowToString(base.value()[i]))
+        << label << " Execute() row " << i;
+  }
+}
+
+class BatchParityTest : public ::testing::Test {
+ protected:
+  RelNodePtr Leaf(size_t n) {
+    return EnumerableValues::Create(TestRowType(tf_), MakeRows(n));
+  }
+
+  RexNodePtr Field(const RelDataTypePtr& row_type, int i) {
+    return rex_.MakeInputRef(row_type, i);
+  }
+
+  TypeFactory tf_;
+  RexBuilder rex_;
+};
+
+TEST_F(BatchParityTest, TableScan) {
+  for (size_t n : kCardinalities) {
+    auto table = std::make_shared<MemTable>(TestRowType(tf_), MakeRows(n));
+    auto logical = LogicalTableScan::Create(table, {"t"},
+                                            Convention::Enumerable(), tf_);
+    auto scan = EnumerableTableScan::Create(
+        *static_cast<const TableScan*>(logical.get()));
+    ExpectParity(scan, "TableScan n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, Values) {
+  for (size_t n : kCardinalities) {
+    ExpectParity(Leaf(n), "Values n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, FilterFastPathsAndFallback) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr leaf = Leaf(n);
+    const RelDataTypePtr& rt = leaf->row_type();
+    // Vectorized fast paths: conjunction of comparison + IS NOT NULL.
+    auto cmp = rex_.MakeCall(OpKind::kLessThan,
+                             {Field(rt, 0), rex_.MakeIntLiteral(900)});
+    ASSERT_TRUE(cmp.ok());
+    auto not_null =
+        rex_.MakeCall(OpKind::kIsNotNull, {Field(rt, 1)});
+    ASSERT_TRUE(not_null.ok());
+    RexNodePtr both = rex_.MakeAnd({cmp.value(), not_null.value()});
+    ExpectParity(EnumerableFilter::Create(leaf, both),
+                 "Filter(and) n=" + std::to_string(n));
+
+    // NULL-producing comparison on a nullable column.
+    auto dbl_cmp = rex_.MakeCall(
+        OpKind::kGreaterThan, {Field(rt, 3), rex_.MakeDoubleLiteral(2.0)});
+    ASSERT_TRUE(dbl_cmp.ok());
+    ExpectParity(EnumerableFilter::Create(leaf, dbl_cmp.value()),
+                 "Filter(nullable cmp) n=" + std::to_string(n));
+
+    // Scalar fallback: OR over LIKE and IS NULL.
+    auto like = rex_.MakeCall(
+        OpKind::kLike, {Field(rt, 2), rex_.MakeStringLiteral("s1%")});
+    ASSERT_TRUE(like.ok());
+    auto is_null = rex_.MakeCall(OpKind::kIsNull, {Field(rt, 2)});
+    ASSERT_TRUE(is_null.ok());
+    RexNodePtr either = rex_.MakeOr({like.value(), is_null.value()});
+    ExpectParity(EnumerableFilter::Create(leaf, either),
+                 "Filter(or fallback) n=" + std::to_string(n));
+
+    // A filter that eliminates everything.
+    ExpectParity(EnumerableFilter::Create(leaf, rex_.MakeBoolLiteral(false)),
+                 "Filter(false) n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, Project) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr leaf = Leaf(n);
+    const RelDataTypePtr& rt = leaf->row_type();
+    auto sum = rex_.MakeCall(OpKind::kPlus,
+                             {Field(rt, 0), rex_.MakeIntLiteral(7)});
+    ASSERT_TRUE(sum.ok());
+    auto upper = rex_.MakeCall(OpKind::kUpper, {Field(rt, 2)});
+    ASSERT_TRUE(upper.ok());
+    std::vector<RexNodePtr> exprs = {Field(rt, 0), sum.value(), upper.value(),
+                                     rex_.MakeStringLiteral("const"),
+                                     Field(rt, 3)};
+    auto row_type = DeriveProjectRowType(
+        exprs, {"id", "id7", "us", "c", "d"}, tf_);
+    ExpectParity(EnumerableProject::Create(leaf, exprs, row_type),
+                 "Project n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, HashJoinAllTypes) {
+  const std::vector<JoinType> join_types = {
+      JoinType::kInner, JoinType::kLeft,  JoinType::kRight,
+      JoinType::kFull,  JoinType::kSemi,  JoinType::kAnti};
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1023}, size_t{1025}}) {
+    for (size_t m : {size_t{0}, size_t{37}, size_t{300}}) {
+      RelNodePtr left = Leaf(n);
+      RelNodePtr right = Leaf(m);
+      const RelDataTypePtr& lt = left->row_type();
+      const RelDataTypePtr& rt = right->row_type();
+      // Equi-key on the NULL-heavy k columns ($1 = $5 in join coordinates)
+      // plus a non-equi residual ($0 < $4 + 700).
+      size_t left_width = lt->fields().size();
+      auto equi = rex_.MakeEquals(
+          Field(lt, 1),
+          rex_.MakeInputRef(static_cast<int>(left_width) + 1,
+                            rt->fields()[1].type));
+      auto bound = rex_.MakeCall(
+          OpKind::kPlus,
+          {rex_.MakeInputRef(static_cast<int>(left_width) + 0,
+                             rt->fields()[0].type),
+           rex_.MakeIntLiteral(700)});
+      ASSERT_TRUE(bound.ok());
+      auto residual =
+          rex_.MakeCall(OpKind::kLessThan, {Field(lt, 0), bound.value()});
+      ASSERT_TRUE(residual.ok());
+      RexNodePtr condition = rex_.MakeAnd({equi, residual.value()});
+      for (JoinType jt : join_types) {
+        auto row_type = DeriveJoinRowType(lt, rt, jt, tf_);
+        auto join = EnumerableHashJoin::Create(left, right, condition, jt,
+                                               row_type);
+        ExpectParity(join, std::string("HashJoin ") + JoinTypeName(jt) +
+                               " n=" + std::to_string(n) +
+                               " m=" + std::to_string(m));
+      }
+    }
+  }
+}
+
+TEST_F(BatchParityTest, NestedLoopJoin) {
+  const std::vector<JoinType> join_types = {
+      JoinType::kInner, JoinType::kLeft,  JoinType::kRight,
+      JoinType::kFull,  JoinType::kSemi,  JoinType::kAnti};
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1025}}) {
+    for (size_t m : {size_t{0}, size_t{23}}) {
+      RelNodePtr left = Leaf(n);
+      RelNodePtr right = Leaf(m);
+      const RelDataTypePtr& lt = left->row_type();
+      const RelDataTypePtr& rt = right->row_type();
+      size_t left_width = lt->fields().size();
+      // Pure non-equi condition: left.k > right.k (NULLs never pass).
+      auto cond = rex_.MakeCall(
+          OpKind::kGreaterThan,
+          {Field(lt, 1), rex_.MakeInputRef(static_cast<int>(left_width) + 1,
+                                           rt->fields()[1].type)});
+      ASSERT_TRUE(cond.ok());
+      for (JoinType jt : join_types) {
+        auto row_type = DeriveJoinRowType(lt, rt, jt, tf_);
+        auto join = EnumerableNestedLoopJoin::Create(left, right, cond.value(),
+                                                     jt, row_type);
+        ExpectParity(join, std::string("NestedLoopJoin ") + JoinTypeName(jt) +
+                               " n=" + std::to_string(n) +
+                               " m=" + std::to_string(m));
+      }
+    }
+  }
+}
+
+TEST_F(BatchParityTest, AggregateGlobalAndGrouped) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr leaf = Leaf(n);
+    const RelDataTypePtr& rt = leaf->row_type();
+    std::vector<AggregateCall> calls;
+    {
+      AggregateCall c;
+      c.kind = AggKind::kCountStar;
+      c.name = "cnt";
+      calls.push_back(c);
+      c.kind = AggKind::kCount;
+      c.args = {1};
+      c.name = "cnt_k";
+      calls.push_back(c);
+      c.kind = AggKind::kSum;
+      c.args = {3};
+      c.name = "sum_d";
+      calls.push_back(c);
+      c.kind = AggKind::kAvg;
+      c.args = {0};
+      c.name = "avg_id";
+      calls.push_back(c);
+      c.kind = AggKind::kMin;
+      c.args = {2};
+      c.name = "min_s";
+      calls.push_back(c);
+      c.kind = AggKind::kMax;
+      c.args = {3};
+      c.name = "max_d";
+      calls.push_back(c);
+      c.kind = AggKind::kCount;
+      c.args = {1};
+      c.distinct = true;
+      c.name = "cntd_k";
+      calls.push_back(c);
+    }
+    // Global aggregate (one output row even over empty input).
+    {
+      auto row_type = DeriveAggregateRowType(rt, {}, calls, tf_);
+      ExpectParity(EnumerableAggregate::Create(leaf, {}, calls, row_type),
+                   "Aggregate(global) n=" + std::to_string(n));
+    }
+    // Grouped by the NULL-heavy k column.
+    {
+      auto row_type = DeriveAggregateRowType(rt, {1}, calls, tf_);
+      ExpectParity(EnumerableAggregate::Create(leaf, {1}, calls, row_type),
+                   "Aggregate(k) n=" + std::to_string(n));
+    }
+    // Grouped by two columns.
+    {
+      auto row_type = DeriveAggregateRowType(rt, {1, 2}, calls, tf_);
+      ExpectParity(EnumerableAggregate::Create(leaf, {1, 2}, calls, row_type),
+                   "Aggregate(k,s) n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST_F(BatchParityTest, SortOffsetFetch) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr leaf = Leaf(n);
+    RelCollation by_k_desc_id(
+        {{1, Direction::kDescending}, {0, Direction::kAscending}});
+    ExpectParity(EnumerableSort::Create(leaf, by_k_desc_id, 0, -1),
+                 "Sort n=" + std::to_string(n));
+    ExpectParity(EnumerableSort::Create(leaf, by_k_desc_id, 5, 100),
+                 "Sort offset/fetch n=" + std::to_string(n));
+    ExpectParity(EnumerableSort::Create(leaf, RelCollation(), 3, 1100),
+                 "Limit-only n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, SetOps) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1024}, size_t{1025}}) {
+    // Overlapping inputs: [0, n) and [n/2, n/2 + n) modulo the row pattern
+    // repeating every 3*4*5*7*11 rows, so duplicates exist across inputs.
+    std::vector<Row> a = MakeRows(n);
+    std::vector<Row> b = MakeRows(n == 0 ? 0 : n / 2 + 1);
+    auto row_type = TestRowType(tf_);
+    RelNodePtr left = EnumerableValues::Create(row_type, a);
+    RelNodePtr right = EnumerableValues::Create(row_type, b);
+    for (auto kind : {SetOp::Kind::kUnion, SetOp::Kind::kIntersect,
+                      SetOp::Kind::kMinus}) {
+      for (bool all : {true, false}) {
+        auto setop = EnumerableSetOp::Create({left, right}, kind, all,
+                                             row_type);
+        ExpectParity(setop, "SetOp kind=" + std::to_string(static_cast<int>(
+                                kind)) +
+                                " all=" + std::to_string(all) +
+                                " n=" + std::to_string(n));
+      }
+    }
+    // Three-input union.
+    auto u3 = EnumerableSetOp::Create({left, right, left},
+                                      SetOp::Kind::kUnion, true, row_type);
+    ExpectParity(u3, "Union3 n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, Window) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{200}, size_t{1025}}) {
+    RelNodePtr leaf = Leaf(n);
+    const RelDataTypePtr& rt = leaf->row_type();
+    WindowGroup group;
+    group.partition_keys = {1};
+    group.order = RelCollation::Of({0});
+    group.is_rows = true;
+    group.preceding = 2;
+    group.following = 0;
+    {
+      AggregateCall c;
+      c.kind = AggKind::kSum;
+      c.args = {0};
+      c.name = "running";
+      group.agg_calls.push_back(c);
+    }
+    auto row_type = DeriveWindowRowType(rt, {group}, tf_);
+    ExpectParity(EnumerableWindow::Create(leaf, {group}, row_type),
+                 "Window n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, Interpreter) {
+  for (size_t n : kCardinalities) {
+    ExpectParity(EnumerableInterpreter::Create(Leaf(n)),
+                 "Interpreter n=" + std::to_string(n));
+  }
+}
+
+// ------------------------- SQL-level differential --------------------------
+//
+// Whole optimized plans must produce byte-identical result grids whatever
+// the configured batch size.
+
+TEST(BatchParitySqlTest, QueriesMatchAcrossBatchSizes) {
+  const std::vector<std::string> queries = {
+      "SELECT * FROM sales",
+      "SELECT saleid, units FROM sales WHERE discount IS NOT NULL",
+      "SELECT products.name, COUNT(*) AS c, SUM(sales.units) AS u "
+      "FROM sales JOIN products USING (productId) "
+      "GROUP BY products.name ORDER BY c DESC, products.name",
+      "SELECT deptno, COUNT(*) AS c FROM emps GROUP BY deptno "
+      "ORDER BY deptno",
+      "SELECT name FROM emps WHERE salary > 8000 "
+      "UNION SELECT dept_name FROM depts",
+      "SELECT empid FROM emps ORDER BY salary DESC LIMIT 2 OFFSET 1",
+      "SELECT COUNT(*) AS c, SUM(units) AS s FROM sales",
+  };
+  std::vector<std::string> baseline;
+  {
+    Connection::Config config;
+    config.schema = testing::MakeTestSchema();
+    config.exec_options.batch_size = 1;
+    Connection conn(std::move(config));
+    for (const std::string& sql : queries) {
+      auto result = conn.Query(sql);
+      ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+      baseline.push_back(result.value().ToTable());
+    }
+  }
+  for (size_t bs : {size_t{2}, size_t{3}, size_t{1024}}) {
+    Connection::Config config;
+    config.schema = testing::MakeTestSchema();
+    config.exec_options.batch_size = bs;
+    Connection conn(std::move(config));
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = conn.Query(queries[q]);
+      ASSERT_TRUE(result.ok())
+          << queries[q] << ": " << result.status().ToString();
+      EXPECT_EQ(result.value().ToTable(), baseline[q])
+          << queries[q] << " bs=" << bs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calcite

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "linq/batch_enumerable.h"
+#include "linq/enumerable.h"
+
+namespace calcite {
+namespace {
+
+using linq::BatchEnumerable;
+using linq::Enumerable;
+
+std::vector<int> Ints(int n) {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+int IntCmp(const int& a, const int& b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+// ------------------------- BatchEnumerable units ---------------------------
+
+TEST(BatchEnumerableTest, FromVectorRoundTripsAcrossBatchSizes) {
+  for (size_t bs : {1u, 2u, 3u, 64u, 1024u, 4096u}) {
+    auto e = BatchEnumerable<int>::FromVector(Ints(1025), bs);
+    EXPECT_EQ(e.ToVector(), Ints(1025)) << "batch_size=" << bs;
+    EXPECT_EQ(e.Count(), 1025u);
+  }
+}
+
+TEST(BatchEnumerableTest, EmptyAndSingleton) {
+  EXPECT_TRUE(BatchEnumerable<int>::Empty().ToVector().empty());
+  EXPECT_FALSE(BatchEnumerable<int>::Empty().Any());
+  EXPECT_EQ(BatchEnumerable<int>::Empty().First(), std::nullopt);
+  auto one = BatchEnumerable<int>::FromVector({42}, 7);
+  EXPECT_TRUE(one.Any());
+  EXPECT_EQ(one.First(), 42);
+}
+
+TEST(BatchEnumerableTest, WhereCompactsBatchesInPlace) {
+  auto e = BatchEnumerable<int>::FromVector(Ints(1000), 64)
+               .Where([](const int& v) { return v % 3 == 0; });
+  auto expected = Enumerable<int>::FromVector(Ints(1000))
+                      .Where([](const int& v) { return v % 3 == 0; })
+                      .ToVector();
+  EXPECT_EQ(e.ToVector(), expected);
+}
+
+TEST(BatchEnumerableTest, WhereSkipsFullyEliminatedBatches) {
+  // Only the last element survives; every earlier batch compacts to zero
+  // rows and must not surface as a premature end-of-stream.
+  auto e = BatchEnumerable<int>::FromVector(Ints(1000), 10)
+               .Where([](const int& v) { return v == 999; });
+  EXPECT_EQ(e.ToVector(), std::vector<int>({999}));
+  EXPECT_TRUE(e.Any());
+}
+
+TEST(BatchEnumerableTest, SelectAndSelectBatch) {
+  auto base = BatchEnumerable<int>::FromVector(Ints(100), 9);
+  auto doubled =
+      base.Select<int>([](const int& v) { return v * 2; }).ToVector();
+  ASSERT_EQ(doubled.size(), 100u);
+  EXPECT_EQ(doubled[99], 198);
+  auto via_batch = base.SelectBatch<int>([](const std::vector<int>& batch) {
+                         std::vector<int> out;
+                         out.reserve(batch.size());
+                         for (int v : batch) out.push_back(v * 2);
+                         return out;
+                       })
+                       .ToVector();
+  EXPECT_EQ(via_batch, doubled);
+}
+
+TEST(BatchEnumerableTest, OrderBySkipTakeAcrossBatchBoundaries) {
+  std::vector<int> values;
+  for (int i = 0; i < 500; ++i) values.push_back((i * 37) % 500);
+  auto sorted = BatchEnumerable<int>::FromVector(values, 64)
+                    .OrderBy(IntCmp)
+                    .Skip(10)
+                    .Take(100)
+                    .ToVector();
+  ASSERT_EQ(sorted.size(), 100u);
+  EXPECT_EQ(sorted.front(), 10);
+  EXPECT_EQ(sorted.back(), 109);
+  // Skip spanning several whole batches plus a partial one.
+  auto tail = BatchEnumerable<int>::FromVector(Ints(1000), 16).Skip(997);
+  EXPECT_EQ(tail.ToVector(), std::vector<int>({997, 998, 999}));
+  EXPECT_TRUE(
+      BatchEnumerable<int>::FromVector(Ints(10), 4).Skip(10).ToVector()
+          .empty());
+  EXPECT_TRUE(
+      BatchEnumerable<int>::FromVector(Ints(10), 4).Take(0).ToVector()
+          .empty());
+}
+
+TEST(BatchEnumerableTest, ConcatDistinctGroupByJoin) {
+  auto left = BatchEnumerable<int>::FromVector({1, 2, 3, 2, 1}, 2);
+  auto right = BatchEnumerable<int>::FromVector({4, 5}, 2);
+  EXPECT_EQ(left.Concat(right).ToVector(),
+            std::vector<int>({1, 2, 3, 2, 1, 4, 5}));
+  EXPECT_EQ(left.Distinct(IntCmp).ToVector(), std::vector<int>({1, 2, 3}));
+
+  auto groups =
+      BatchEnumerable<int>::FromVector(Ints(100), 7)
+          .GroupBy<int, std::pair<int, size_t>>(
+              [](const int& v) { return v % 3; },
+              [](const int& k, const std::vector<int>& vs) {
+                return std::make_pair(k, vs.size());
+              })
+          .ToVector();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], std::make_pair(0, size_t{34}));
+
+  auto joined =
+      BatchEnumerable<int>::FromVector({1, 2, 3}, 2)
+          .Join<int, int, int>(
+              BatchEnumerable<int>::FromVector({2, 3, 4}, 2),
+              [](const int& v) { return v; }, [](const int& v) { return v; },
+              [](const int& a, const int& b) { return a + b; })
+          .ToVector();
+  EXPECT_EQ(joined, std::vector<int>({4, 6}));
+}
+
+TEST(BatchEnumerableTest, AggregateAndAggregateBatches) {
+  auto e = BatchEnumerable<int>::FromVector(Ints(101), 8);
+  int sum = e.Aggregate<int>(0, [](int acc, const int& v) { return acc + v; });
+  EXPECT_EQ(sum, 5050);
+  int batch_sum = e.AggregateBatches<int>(
+      0, [](int acc, const std::vector<int>& batch) {
+        for (int v : batch) acc += v;
+        return acc;
+      });
+  EXPECT_EQ(batch_sum, 5050);
+}
+
+TEST(BatchEnumerableTest, BlockingCombinatorsMaterializeLazily) {
+  // The unreached side of a Concat must not be materialized: OrderBy (and
+  // the other blocking combinators) sort on first pull, not when the
+  // enumeration is created.
+  auto touched = std::make_shared<int>(0);
+  auto expensive = BatchEnumerable<int>::FromVector(Ints(100), 8)
+                       .Select<int>([touched](const int& v) {
+                         *touched += 1;
+                         return v;
+                       })
+                       .OrderBy(IntCmp);
+  auto pipeline =
+      BatchEnumerable<int>::FromVector({1, 2, 3}, 2).Concat(expensive);
+  EXPECT_EQ(pipeline.First(), 1);
+  EXPECT_EQ(*touched, 0) << "OrderBy materialized without being pulled";
+  EXPECT_EQ(pipeline.ToVector().size(), 103u);
+  EXPECT_EQ(*touched, 100);
+}
+
+TEST(BatchEnumerableTest, BridgesToAndFromEnumerable) {
+  auto scalar = Enumerable<int>::Range(0, 100, [](int64_t i) {
+    return static_cast<int>(i * 3);
+  });
+  auto batched = BatchEnumerable<int>::FromEnumerable(scalar, 7);
+  EXPECT_EQ(batched.ToVector(), scalar.ToVector());
+  EXPECT_EQ(batched.ToEnumerable().ToVector(), scalar.ToVector());
+  EXPECT_EQ(batched.ToEnumerable().Count(), 100u);
+}
+
+// --------------------- re-enumeration regression tests ---------------------
+//
+// Every combinator must keep its mutable per-enumeration state inside the
+// puller created by each generator call — never in the generator closure
+// itself — so one pipeline value can be enumerated many times (and
+// concurrently). These tests enumerate each combinator's output twice,
+// sequentially and interleaved, for both the scalar and the batched linq.
+
+TEST(ReenumerationTest, EnumerableCombinatorsEnumerateTwice) {
+  auto base = Enumerable<int>::FromVector(Ints(50));
+  std::vector<Enumerable<int>> pipelines = {
+      base,
+      Enumerable<int>::Range(5, 20,
+                             [](int64_t i) { return static_cast<int>(i); }),
+      base.Where([](const int& v) { return v % 2 == 0; }),
+      base.Select<int>([](const int& v) { return v + 1; }),
+      base.OrderBy([](const int& a, const int& b) { return IntCmp(b, a); }),
+      base.Skip(3),
+      base.Take(7),
+      base.Concat(Enumerable<int>::FromVector({100, 101})),
+      Enumerable<int>::FromVector({3, 1, 3, 2, 1}).Distinct(IntCmp),
+      Enumerable<int>::FromVector({1, 2, 3})
+          .Join<int, int, int>(
+              Enumerable<int>::FromVector({2, 3, 4}),
+              [](const int& v) { return v; }, [](const int& v) { return v; },
+              [](const int& a, const int& b) { return a * b; }),
+      base.GroupBy<int, int>(
+          [](const int& v) { return v % 5; },
+          [](const int& k, const std::vector<int>& vs) {
+            return k * 1000 + static_cast<int>(vs.size());
+          }),
+  };
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    auto first = pipelines[i].ToVector();
+    auto second = pipelines[i].ToVector();
+    EXPECT_EQ(first, second) << "pipeline #" << i;
+    EXPECT_EQ(pipelines[i].Count(), first.size()) << "pipeline #" << i;
+  }
+}
+
+TEST(ReenumerationTest, EnumerableInterleavedPullersAreIndependent) {
+  auto e = Enumerable<int>::FromVector(Ints(10))
+               .Where([](const int& v) { return v % 2 == 0; })
+               .Select<int>([](const int& v) { return v * 10; });
+  auto a = e.generator()();
+  auto b = e.generator()();
+  EXPECT_EQ(*a(), 0);
+  EXPECT_EQ(*a(), 20);
+  EXPECT_EQ(*b(), 0);  // a fresh puller starts over
+  EXPECT_EQ(*a(), 40);
+  EXPECT_EQ(*b(), 20);
+}
+
+TEST(ReenumerationTest, BatchEnumerableCombinatorsEnumerateTwice) {
+  auto base = BatchEnumerable<int>::FromVector(Ints(50), 8);
+  std::vector<BatchEnumerable<int>> pipelines = {
+      base,
+      BatchEnumerable<int>::FromBatches({{1, 2}, {3}, {4, 5, 6}}),
+      BatchEnumerable<int>::Range(
+          5, 20, [](int64_t i) { return static_cast<int>(i); }, 3),
+      base.Where([](const int& v) { return v % 2 == 0; }),
+      base.WhereBatch([](std::vector<int>* batch) {
+        batch->erase(std::remove_if(batch->begin(), batch->end(),
+                                    [](int v) { return v % 3 != 0; }),
+                     batch->end());
+      }),
+      base.Select<int>([](const int& v) { return v + 1; }),
+      base.OrderBy([](const int& a, const int& b) { return IntCmp(b, a); }),
+      base.Skip(11),
+      base.Take(13),
+      base.Concat(BatchEnumerable<int>::FromVector({100, 101}, 2)),
+      BatchEnumerable<int>::FromVector({3, 1, 3, 2, 1}, 2).Distinct(IntCmp),
+      BatchEnumerable<int>::FromVector({1, 2, 3}, 2)
+          .Join<int, int, int>(
+              BatchEnumerable<int>::FromVector({2, 3, 4}, 2),
+              [](const int& v) { return v; }, [](const int& v) { return v; },
+              [](const int& a, const int& b) { return a * b; }),
+      base.GroupBy<int, int>(
+          [](const int& v) { return v % 5; },
+          [](const int& k, const std::vector<int>& vs) {
+            return k * 1000 + static_cast<int>(vs.size());
+          }),
+      BatchEnumerable<int>::FromEnumerable(
+          Enumerable<int>::FromVector(Ints(20)), 6),
+  };
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    auto first = pipelines[i].ToVector();
+    auto second = pipelines[i].ToVector();
+    EXPECT_EQ(first, second) << "pipeline #" << i;
+    EXPECT_EQ(pipelines[i].Count(), first.size()) << "pipeline #" << i;
+    EXPECT_EQ(pipelines[i].ToEnumerable().ToVector(), first)
+        << "pipeline #" << i;
+  }
+}
+
+TEST(ReenumerationTest, BatchEnumerableInterleavedPullersAreIndependent) {
+  auto e = BatchEnumerable<int>::FromVector(Ints(10), 2)
+               .Select<int>([](const int& v) { return v * 10; });
+  auto a = e.generator()();
+  auto b = e.generator()();
+  EXPECT_EQ(a(), (std::vector<int>{0, 10}));
+  EXPECT_EQ(a(), (std::vector<int>{20, 30}));
+  EXPECT_EQ(b(), (std::vector<int>{0, 10}));
+  EXPECT_EQ(a(), (std::vector<int>{40, 50}));
+}
+
+}  // namespace
+}  // namespace calcite
