@@ -119,6 +119,66 @@ void BM_BatchSizeSweep(benchmark::State& state) {
 BENCHMARK(BM_BatchSizeSweep)->Arg(1)->Arg(64)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
+// Experiment F1c: the morsel-driven parallel executor's thread sweep. The
+// same scan -> filter -> project -> aggregate pipeline as F1b plus a
+// join-heavy plan, executed at batch_size 1024 with 1 / 2 / 4 / 8 worker
+// threads. num_threads=1 is the serial engine (no scheduler, no exchange);
+// the larger settings run the fragment as morsel-parallel workers feeding
+// a partitioned aggregate / partitioned hash join. The counter reports
+// source rows per second; expect near-linear scaling up to the physical
+// core count and no benefit beyond it.
+void BM_ParallelSweep_Aggregate(benchmark::State& state) {
+  constexpr int kRows = 100000;
+  SchemaPtr schema = bench::MakeSalesSchema(kRows, 50);
+  Connection::Config config;
+  config.schema = schema;
+  config.exec_options.batch_size = 1024;
+  config.exec_options.num_threads = static_cast<size_t>(state.range(0));
+  Connection conn(std::move(config));
+  auto logical = conn.ParseQuery(
+      "SELECT productId, COUNT(*) AS c, SUM(units) AS u, MIN(saleid) AS f, "
+      "MAX(discount) AS m "
+      "FROM sales WHERE discount IS NOT NULL AND units > 2 "
+      "AND saleid >= 0 AND discount < 0.95 "
+      "GROUP BY productId");
+  auto physical = conn.OptimizePlan(logical.value());
+  int64_t rows_processed = 0;
+  for (auto _ : state) {
+    auto result = conn.ExecutePlan(physical.value());
+    benchmark::DoNotOptimize(result);
+    rows_processed += kRows;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_processed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSweep_Aggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ParallelSweep_Join(benchmark::State& state) {
+  constexpr int kRows = 100000;
+  SchemaPtr schema = bench::MakeSalesSchema(kRows, 200);
+  Connection::Config config;
+  config.schema = schema;
+  config.exec_options.batch_size = 1024;
+  config.exec_options.num_threads = static_cast<size_t>(state.range(0));
+  Connection conn(std::move(config));
+  auto logical = conn.ParseQuery(
+      "SELECT products.name, COUNT(*) AS c, SUM(sales.units) AS u "
+      "FROM sales JOIN products USING (productId) "
+      "WHERE sales.units > 1 GROUP BY products.name");
+  auto physical = conn.OptimizePlan(logical.value());
+  int64_t rows_processed = 0;
+  for (auto _ : state) {
+    auto result = conn.ExecutePlan(physical.value());
+    benchmark::DoNotOptimize(result);
+    rows_processed += kRows;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_processed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSweep_Join)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_AltEntry_ExpressionBuilder(benchmark::State& state) {
   // The "own parser" integration path (§3): algebra built directly.
   SchemaPtr schema = bench::MakeSalesSchema(1000, 50);

@@ -1,11 +1,40 @@
 #!/usr/bin/env bash
 # CI entry point: configure -> build -> ctest -> bench smoke-run.
-# Usage: scripts/ci.sh [build-dir]   (default: build)
+# Usage: scripts/ci.sh [build-dir] [sanitizer]
+#   scripts/ci.sh build           # regular build + full test suite + bench smoke
+#   scripts/ci.sh build-tsan thread
+#                                 # ThreadSanitizer build; runs the
+#                                 # concurrency-focused tests (the morsel-driven
+#                                 # parallel executor and the linq exchange
+#                                 # combinator) race-checked
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+SANITIZER="${2:-}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ -n "$SANITIZER" ]]; then
+  echo "=== configure ($SANITIZER sanitizer) ==="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCALCITE_SANITIZE="$SANITIZER"
+
+  echo "=== build ==="
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+
+  echo "=== test (concurrency suites under $SANITIZER) ==="
+  # Sanitizers multiply runtimes ~10x, so this job runs the suites that
+  # exercise the parallel subsystem rather than the whole battery: the
+  # thread-count sweeps drive every parallel operator across thread x batch
+  # combinations, which is exactly the surface a race would hide in.
+  # --no-tests=error: a green race-check that ran zero tests (missing
+  # GTest, filter typo) must fail loudly, not pass silently.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+    -R 'parallel_exec_test|linq_batch_test|batch_parity_test'
+
+  echo "=== done ($SANITIZER) ==="
+  exit 0
+fi
 
 echo "=== configure ==="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -17,11 +46,13 @@ echo "=== test ==="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 echo "=== bench smoke ==="
-# One quick benchmark exercises the batched execution engine end-to-end
-# (parse -> plan -> vectorized pipeline) without turning CI into a perf run.
+# Quick benchmarks exercise the batched execution engine end-to-end
+# (parse -> plan -> vectorized pipeline) and the morsel-driven parallel
+# executor (threaded scan/aggregate/join fragments) without turning CI
+# into a perf run.
 if [[ -x "$BUILD_DIR/bench_architecture" ]]; then
   "$BUILD_DIR/bench_architecture" \
-    --benchmark_filter='BM_BatchSizeSweep|BM_Stage5_Execute' \
+    --benchmark_filter='BM_BatchSizeSweep|BM_Stage5_Execute|BM_ParallelSweep' \
     --benchmark_min_time=0.05
 else
   echo "bench_architecture not built (google-benchmark not found); skipping"

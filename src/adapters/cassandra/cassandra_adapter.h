@@ -30,6 +30,11 @@ class CassandraTable final : public Table {
   Result<std::vector<Row>> Scan() const override;
   Result<RowBatchPuller> ScanBatched(size_t batch_size) const override;
 
+  /// The simulated backend's rows double as stable storage for
+  /// morsel-parallel scans on the enumerable side of the convention
+  /// boundary.
+  const std::vector<Row>* MaterializedRows() const override { return &rows_; }
+
   const std::vector<int>& partition_keys() const { return partition_keys_; }
   const RelCollation& clustering() const { return clustering_; }
 

@@ -35,6 +35,9 @@ class CsvTable final : public Table {
     return SliceRows(rows_, batch_size);
   }
 
+  /// The parsed file doubles as stable storage for morsel-parallel scans.
+  const std::vector<Row>* MaterializedRows() const override { return &rows_; }
+
  private:
   CsvTable(RelDataTypePtr row_type, std::vector<Row> rows)
       : row_type_(std::move(row_type)), rows_(std::move(rows)) {}

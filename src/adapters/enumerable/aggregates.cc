@@ -22,7 +22,10 @@ Status AggAccumulator::Add(const Row& row) {
   if (call_->distinct) {
     if (!distinct_values_.insert(v).second) return Status::OK();
   }
+  return AccumulateValue(v);
+}
 
+Status AggAccumulator::AccumulateValue(const Value& v) {
   switch (call_->kind) {
     case AggKind::kCount:
       ++count_;
@@ -60,6 +63,65 @@ Status AggAccumulator::Add(const Row& row) {
       break;
     case AggKind::kCountStar:
       break;  // handled above
+  }
+  return Status::OK();
+}
+
+Status AggAccumulator::MergeFrom(const AggAccumulator& other) {
+  if (call_->distinct) {
+    // Set union: replay only the values this side has not seen, through the
+    // same post-dedup path Add uses, so counts and sums stay consistent.
+    for (const Value& v : other.distinct_values_) {
+      if (distinct_values_.insert(v).second) {
+        CALCITE_RETURN_IF_ERROR(AccumulateValue(v));
+      }
+    }
+    return Status::OK();
+  }
+  switch (call_->kind) {
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+      count_ += other.count_;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      count_ += other.count_;
+      if (other.sum_is_double_ || sum_is_double_) {
+        if (!sum_is_double_) {
+          sum_double_ = static_cast<double>(sum_int_);
+          sum_is_double_ = true;
+        }
+        sum_double_ += other.sum_is_double_
+                           ? other.sum_double_
+                           : static_cast<double>(other.sum_int_);
+      } else {
+        sum_int_ += other.sum_int_;
+      }
+      break;
+    case AggKind::kMin:
+      if (other.has_value_ &&
+          (!has_value_ || other.min_.Compare(min_) < 0)) {
+        min_ = other.min_;
+      }
+      has_value_ = has_value_ || other.has_value_;
+      break;
+    case AggKind::kMax:
+      if (other.has_value_ &&
+          (!has_value_ || other.max_.Compare(max_) > 0)) {
+        max_ = other.max_;
+      }
+      has_value_ = has_value_ || other.has_value_;
+      break;
+    case AggKind::kSingleValue:
+      if (has_value_ && other.has_value_) {
+        return Status::RuntimeError(
+            "SINGLE_VALUE aggregate saw more than one row");
+      }
+      if (other.has_value_) {
+        single_ = other.single_;
+        has_value_ = true;
+      }
+      break;
   }
   return Status::OK();
 }

@@ -29,7 +29,19 @@ class AggAccumulator {
   /// return 0, the others NULL (SQL semantics).
   Value Finish() const;
 
+  /// Folds another accumulator's partial state into this one — the merge
+  /// step of the partitioned (thread-local build) parallel hash aggregate.
+  /// Both accumulators must have been created for the same AggregateCall.
+  /// DISTINCT states merge by set union (replaying only first-seen values);
+  /// SINGLE_VALUE errors if both sides saw a row, matching what a serial
+  /// pass over the union of their inputs would do.
+  Status MergeFrom(const AggAccumulator& other);
+
  private:
+  /// Applies one non-NULL (and, for DISTINCT, first-seen) value to the
+  /// running state. Shared by Add and the DISTINCT merge path.
+  Status AccumulateValue(const Value& v);
+
   const AggregateCall* call_;
   int64_t count_ = 0;
   double sum_double_ = 0;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "adapters/enumerable/aggregates.h"
+#include "exec/parallel/parallel_exec.h"
 #include "metadata/metadata.h"
 #include "rex/rex_interpreter.h"
 #include "rex/rex_util.h"
@@ -61,11 +62,11 @@ Result<std::vector<Row>> DrainNode(const RelNode& node) {
   return DrainBatches(puller.value());
 }
 
-/// The join key of `row` under one side of the equi-key list, or nullopt if
-/// any key column is NULL (NULL keys never match).
-std::optional<Row> JoinKey(const Row& row,
-                           const std::vector<std::pair<int, int>>& keys,
-                           bool left_side) {
+}  // namespace
+
+std::optional<Row> JoinSideKey(const Row& row,
+                               const std::vector<std::pair<int, int>>& keys,
+                               bool left_side) {
   Row key;
   key.reserve(keys.size());
   for (const auto& [l, r] : keys) {
@@ -76,7 +77,35 @@ std::optional<Row> JoinKey(const Row& row,
   return key;
 }
 
-}  // namespace
+Status ApplyFilterToBatch(const RexNodePtr& condition, RowBatch* batch) {
+  SelectionVector sel;
+  CALCITE_RETURN_IF_ERROR(
+      RexInterpreter::EvalPredicateBatch(condition, *batch, &sel));
+  CompactBatch(batch, sel);
+  return Status::OK();
+}
+
+Status ApplyProjectToBatch(const std::vector<RexNodePtr>& exprs,
+                           RowBatch* batch) {
+  // Evaluate each projection over the whole batch (one column per
+  // expression), then write the columns back into the input rows, which
+  // the caller owns — reusing their allocations instead of materializing a
+  // fresh Row per output row. All columns are computed before any row is
+  // overwritten, so input refs never read a clobbered value.
+  std::vector<std::vector<Value>> columns(exprs.size());
+  for (size_t e = 0; e < exprs.size(); ++e) {
+    CALCITE_RETURN_IF_ERROR(
+        RexInterpreter::EvalBatch(exprs[e], *batch, &columns[e]));
+  }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Row& row = (*batch)[i];
+    row.resize(exprs.size());
+    for (size_t e = 0; e < exprs.size(); ++e) {
+      row[e] = std::move(columns[e][i]);
+    }
+  }
+  return Status::OK();
+}
 
 Row ConcatRows(const Row& left, const Row& right) {
   Row out;
@@ -120,6 +149,9 @@ Result<std::vector<Row>> EnumerableTableScan::Execute() const {
 
 Result<RowBatchPuller> EnumerableTableScan::ExecuteBatched(
     const ExecOptions& opts) const {
+  if (auto parallel = TryExecuteParallel(*this, opts)) {
+    return std::move(*parallel);
+  }
   auto puller = table_->ScanBatched(NormalizedBatchSize(opts));
   if (!puller.ok()) return puller;
   // The table's puller may capture a raw `this`; pin the table here so the
@@ -152,6 +184,9 @@ Result<std::vector<Row>> EnumerableFilter::Execute() const {
 
 Result<RowBatchPuller> EnumerableFilter::ExecuteBatched(
     const ExecOptions& opts) const {
+  if (auto parallel = TryExecuteParallel(*this, opts)) {
+    return std::move(*parallel);
+  }
   auto in = input(0)->ExecuteBatched(opts);
   if (!in.ok()) return in;
   RelNodePtr self = shared_from_this();  // keeps condition_ alive
@@ -163,11 +198,8 @@ Result<RowBatchPuller> EnumerableFilter::ExecuteBatched(
       if (!batch.ok()) return batch;
       RowBatch rows = std::move(batch).value();
       if (rows.empty()) return rows;  // end of stream
-      SelectionVector sel;
-      CALCITE_RETURN_IF_ERROR(
-          RexInterpreter::EvalPredicateBatch(condition, rows, &sel));
-      if (sel.empty()) continue;  // whole batch eliminated; keep pulling
-      CompactBatch(&rows, sel);
+      CALCITE_RETURN_IF_ERROR(ApplyFilterToBatch(condition, &rows));
+      if (rows.empty()) continue;  // whole batch eliminated; keep pulling
       return rows;
     }
   });
@@ -195,35 +227,20 @@ Result<std::vector<Row>> EnumerableProject::Execute() const {
 
 Result<RowBatchPuller> EnumerableProject::ExecuteBatched(
     const ExecOptions& opts) const {
+  if (auto parallel = TryExecuteParallel(*this, opts)) {
+    return std::move(*parallel);
+  }
   auto in = input(0)->ExecuteBatched(opts);
   if (!in.ok()) return in;
   RelNodePtr self = shared_from_this();  // pins exprs_ for the pipeline
   const EnumerableProject* node = this;
   RowBatchPuller pull = std::move(in).value();
   return RowBatchPuller([self, node, pull]() -> Result<RowBatch> {
-    const std::vector<RexNodePtr>& exprs = node->exprs_;
     auto batch = pull();
     if (!batch.ok()) return batch;
     RowBatch rows = std::move(batch).value();
     if (rows.empty()) return rows;
-    // Evaluate each projection over the whole batch (one column per
-    // expression), then write the columns back into the input rows, which
-    // this pipeline owns — reusing their allocations instead of
-    // materializing a fresh Row per output row. All columns are computed
-    // before any row is overwritten, so input refs never read a clobbered
-    // value.
-    std::vector<std::vector<Value>> columns(exprs.size());
-    for (size_t e = 0; e < exprs.size(); ++e) {
-      CALCITE_RETURN_IF_ERROR(
-          RexInterpreter::EvalBatch(exprs[e], rows, &columns[e]));
-    }
-    for (size_t i = 0; i < rows.size(); ++i) {
-      Row& row = rows[i];
-      row.resize(exprs.size());
-      for (size_t e = 0; e < exprs.size(); ++e) {
-        row[e] = std::move(columns[e][i]);
-      }
-    }
+    CALCITE_RETURN_IF_ERROR(ApplyProjectToBatch(node->exprs_, &rows));
     return rows;
   });
 }
@@ -300,9 +317,9 @@ Status DrainRightSide(const RowBatchPuller& right_pull, JoinExecState* state) {
   return Status::OK();
 }
 
-/// True for the join types that emit the concatenated row per match
-/// (SEMI/ANTI decide emission per left row instead).
-bool EmitsCombinedRows(JoinType join_type) {
+}  // namespace
+
+bool JoinEmitsCombinedRows(JoinType join_type) {
   switch (join_type) {
     case JoinType::kInner:
     case JoinType::kLeft:
@@ -316,9 +333,8 @@ bool EmitsCombinedRows(JoinType join_type) {
   return false;
 }
 
-/// Emission decided once per probed left row, after its matches ran.
-void EmitPerLeftRow(JoinType join_type, bool matched, Row&& lrow,
-                    size_t right_width, RowBatch* out) {
+void JoinEmitPerLeftRow(JoinType join_type, bool matched, Row&& lrow,
+                        size_t right_width, RowBatch* out) {
   switch (join_type) {
     case JoinType::kLeft:
     case JoinType::kFull:
@@ -334,6 +350,8 @@ void EmitPerLeftRow(JoinType join_type, bool matched, Row&& lrow,
       break;
   }
 }
+
+namespace {
 
 /// The next batch of NULL-padded unmatched build rows (RIGHT/FULL OUTER),
 /// empty when exhausted or not applicable to the join type.
@@ -357,6 +375,9 @@ RowBatch EmitUnmatchedRight(JoinType join_type, JoinExecState* state,
 
 Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
     const ExecOptions& opts) const {
+  if (auto parallel = TryExecuteParallel(*this, opts)) {
+    return std::move(*parallel);
+  }
   auto keys = std::make_shared<std::vector<std::pair<int, int>>>();
   auto remaining = std::make_shared<std::vector<RexNodePtr>>();
   if (!AnalyzeEquiKeys(keys.get(), remaining.get())) {
@@ -384,7 +405,7 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
       // Build phase: hash the right side on its key columns.
       CALCITE_RETURN_IF_ERROR(DrainRightSide(right_pull, state.get()));
       for (size_t i = 0; i < state->right_data.size(); ++i) {
-        auto key = JoinKey(state->right_data[i], *keys, /*left_side=*/false);
+        auto key = JoinSideKey(state->right_data[i], *keys, /*left_side=*/false);
         if (key.has_value()) {
           state->table[std::move(*key)].push_back(i);
         }
@@ -416,7 +437,7 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
       }
       RowBatch& out = state->pending;
       for (Row& lrow : left_rows) {
-        auto key = JoinKey(lrow, *keys, /*left_side=*/true);
+        auto key = JoinSideKey(lrow, *keys, /*left_side=*/true);
         bool matched = false;
         if (key.has_value()) {
           auto it = state->table.find(*key);
@@ -428,14 +449,14 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
               if (!pass.value()) continue;
               matched = true;
               state->right_matched[ri] = true;
-              if (EmitsCombinedRows(join_type)) {
+              if (JoinEmitsCombinedRows(join_type)) {
                 out.push_back(std::move(combined));
               }
               if (join_type == JoinType::kSemi) break;
             }
           }
         }
-        EmitPerLeftRow(join_type, matched, std::move(lrow), right_width, &out);
+        JoinEmitPerLeftRow(join_type, matched, std::move(lrow), right_width, &out);
       }
       if (!out.empty()) return FlushPending(state.get(), batch_size);
     }
@@ -524,12 +545,12 @@ Result<RowBatchPuller> EnumerableNestedLoopJoin::ExecuteBatched(
           if (!pass.value()) continue;
           matched = true;
           state->right_matched[ri] = true;
-          if (EmitsCombinedRows(join_type)) {
+          if (JoinEmitsCombinedRows(join_type)) {
             out.push_back(std::move(combined));
           }
           if (join_type == JoinType::kSemi) break;
         }
-        EmitPerLeftRow(join_type, matched, std::move(lrow), right_width, &out);
+        JoinEmitPerLeftRow(join_type, matched, std::move(lrow), right_width, &out);
       }
       if (!out.empty()) return FlushPending(state.get(), batch_size);
     }
@@ -582,6 +603,9 @@ struct HashAggState {
 
 Result<RowBatchPuller> EnumerableAggregate::ExecuteBatched(
     const ExecOptions& opts) const {
+  if (auto parallel = TryExecuteParallel(*this, opts)) {
+    return std::move(*parallel);
+  }
   auto in = input(0)->ExecuteBatched(opts);
   if (!in.ok()) return in;
   RelNodePtr self = shared_from_this();  // pins group_keys_ / agg_calls_

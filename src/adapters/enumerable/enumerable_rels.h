@@ -212,6 +212,29 @@ Row ConcatRows(const Row& left, const Row& right);
 Row PadNullRight(const Row& left, size_t right_width);
 Row PadNullLeft(size_t left_width, const Row& right);
 
+/// Batch-granularity operator kernels, shared by the serial pull pipelines
+/// above and the morsel-driven parallel executor (exec/parallel/): a single
+/// implementation of filter/project semantics, whichever thread runs it.
+/// Both transform `batch` in place; a filter may leave it empty.
+Status ApplyFilterToBatch(const RexNodePtr& condition, RowBatch* batch);
+Status ApplyProjectToBatch(const std::vector<RexNodePtr>& exprs,
+                           RowBatch* batch);
+
+/// Join runtime helpers shared by the serial joins and the parallel
+/// partitioned hash join.
+///
+/// The join key of `row` under one side of the equi-key list, or nullopt
+/// if any key column is NULL (NULL keys never match).
+std::optional<Row> JoinSideKey(const Row& row,
+                               const std::vector<std::pair<int, int>>& keys,
+                               bool left_side);
+/// True for the join types that emit the concatenated row per match
+/// (SEMI/ANTI decide emission per left row instead).
+bool JoinEmitsCombinedRows(JoinType join_type);
+/// Emission decided once per probed left row, after its matches ran.
+void JoinEmitPerLeftRow(JoinType join_type, bool matched, Row&& lrow,
+                        size_t right_width, RowBatch* out);
+
 }  // namespace calcite
 
 #endif  // CALCITE_ADAPTERS_ENUMERABLE_ENUMERABLE_RELS_H_

@@ -1,0 +1,645 @@
+#include "exec/parallel/parallel_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "adapters/enumerable/aggregates.h"
+#include "adapters/enumerable/enumerable_rels.h"
+#include "exec/parallel/exchange.h"
+#include "exec/parallel/morsel.h"
+#include "exec/parallel/task_scheduler.h"
+#include "rel/core.h"
+#include "rex/rex_interpreter.h"
+
+namespace calcite {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fragment recognition
+// ---------------------------------------------------------------------------
+
+/// One transform stage of a morsel pipeline: exactly one of {filter,
+/// project} is set. Stages reference expression trees owned by the pinned
+/// plan nodes, so a FragmentSource keeps those nodes alive.
+struct PipelineStage {
+  RexNodePtr filter;
+  const std::vector<RexNodePtr>* project = nullptr;
+};
+
+/// A recognized morsel-parallelizable fragment: a (Filter|Project)* chain
+/// over a TableScan or Values leaf, plus the row storage morsels index
+/// into. Shared read-only by every worker of the fragment.
+struct FragmentSource {
+  std::vector<RelNodePtr> pinned;  // fragment nodes (keep exprs/tuples alive)
+  TablePtr table;                  // set when the leaf is a table scan
+  const std::vector<Row>* rows = nullptr;        // stable leaf storage
+  std::shared_ptr<std::vector<Row>> owned_rows;  // fallback materialization
+  std::vector<PipelineStage> stages;             // applied bottom-up
+
+  /// Ensures `rows` points at the leaf data. Tables without stable row
+  /// storage are materialized through Scan() exactly once, on the consumer
+  /// thread, before any worker starts.
+  Status Materialize() {
+    if (rows != nullptr) return Status::OK();
+    auto scanned = table->Scan();
+    if (!scanned.ok()) return scanned.status();
+    owned_rows =
+        std::make_shared<std::vector<Row>>(std::move(scanned).value());
+    rows = owned_rows.get();
+    return Status::OK();
+  }
+};
+
+/// Matches the fragment shape the morsel executor can run: a chain of
+/// enumerable Filter/Project nodes over an enumerable TableScan or Values
+/// leaf. Converters (EnumerableInterpreter) and every other operator stop
+/// the chain — fragments never cross a calling-convention boundary.
+bool RecognizeMorselPipeline(const RelNode& root, FragmentSource* out) {
+  const RelNode* cur = &root;
+  std::vector<PipelineStage> top_down;
+  for (;;) {
+    if (cur->convention() != Convention::Enumerable()) return false;
+    if (const auto* filter = dynamic_cast<const Filter*>(cur)) {
+      PipelineStage stage;
+      stage.filter = filter->condition();
+      top_down.push_back(std::move(stage));
+      out->pinned.push_back(cur->shared_from_this());
+      cur = filter->input(0).get();
+      continue;
+    }
+    if (const auto* project = dynamic_cast<const Project*>(cur)) {
+      PipelineStage stage;
+      stage.project = &project->exprs();
+      top_down.push_back(std::move(stage));
+      out->pinned.push_back(cur->shared_from_this());
+      cur = project->input(0).get();
+      continue;
+    }
+    if (const auto* scan = dynamic_cast<const TableScan*>(cur)) {
+      // Streams are time-ordered by contract (Table::IsStream) and morsel
+      // workers racing for row ranges would interleave their events, so
+      // stream scans always stay serial.
+      if (scan->table()->IsStream()) return false;
+      out->pinned.push_back(cur->shared_from_this());
+      out->table = scan->table();
+      out->rows = scan->table()->MaterializedRows();
+      break;
+    }
+    if (const auto* values = dynamic_cast<const Values*>(cur)) {
+      out->pinned.push_back(cur->shared_from_this());
+      out->rows = &values->tuples();
+      break;
+    }
+    return false;
+  }
+  out->stages.assign(top_down.rbegin(), top_down.rend());
+  return true;
+}
+
+/// Runs the fragment's filter/project chain over one batch, using the same
+/// batch kernels as the serial pipelines (one implementation of operator
+/// semantics, whichever thread runs it).
+Status ApplyStages(const std::vector<PipelineStage>& stages, RowBatch* batch) {
+  for (const PipelineStage& stage : stages) {
+    if (batch->empty()) return Status::OK();
+    if (stage.filter != nullptr) {
+      CALCITE_RETURN_IF_ERROR(ApplyFilterToBatch(stage.filter, batch));
+    } else {
+      CALCITE_RETURN_IF_ERROR(ApplyProjectToBatch(*stage.project, batch));
+    }
+  }
+  return Status::OK();
+}
+
+/// Rows per morsel: small enough that the tail of a scan still spreads
+/// across the pool, large enough that the atomic claim amortizes.
+size_t PickMorselSize(size_t total_rows, size_t num_threads) {
+  size_t target = total_rows / (num_threads * 4);
+  return std::min(kDefaultMorselSize, std::max<size_t>(256, target));
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel scan -> filter -> project pipeline
+// ---------------------------------------------------------------------------
+
+/// Worker loop of a pipeline fragment: claim a morsel, slice it into
+/// batches, run the stage chain, exchange survivors. Stops at the next
+/// batch boundary once the fragment is cancelled.
+void RunPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
+                       ExchangeQueue* queue, MorselSource* morsels,
+                       size_t batch_size) {
+  const std::vector<Row>& rows = *src.rows;
+  while (!cancel->cancelled()) {
+    auto morsel = morsels->Next();
+    if (!morsel.has_value()) break;
+    size_t pos = morsel->begin;
+    while (pos < morsel->end) {
+      if (cancel->cancelled()) return;
+      size_t n = std::min(batch_size, morsel->end - pos);
+      RowBatch batch(rows.begin() + static_cast<ptrdiff_t>(pos),
+                     rows.begin() + static_cast<ptrdiff_t>(pos + n));
+      pos += n;
+      Status status = ApplyStages(src.stages, &batch);
+      if (!status.ok()) {
+        cancel->Cancel(std::move(status));
+        queue->Cancel();
+        return;
+      }
+      if (batch.empty()) continue;
+      if (!queue->Push(std::move(batch))) return;
+    }
+  }
+}
+
+Result<RowBatchPuller> ExecutePipelineParallel(FragmentSource fragment,
+                                               const ExecOptions& opts) {
+  const size_t threads = opts.num_threads;
+  const size_t batch_size = opts.batch_size;
+  auto src = std::make_shared<FragmentSource>(std::move(fragment));
+  auto cancel = std::make_shared<QueryCancelState>();
+  auto queue = std::make_shared<ExchangeQueue>(threads * 2, threads);
+  auto start = [src, cancel, queue, threads,
+                batch_size]() -> std::shared_ptr<TaskScheduler> {
+    Status status = src->Materialize();
+    if (!status.ok()) {
+      cancel->Cancel(std::move(status));
+      queue->Cancel();
+      return nullptr;
+    }
+    auto morsels = std::make_shared<MorselSource>(
+        src->rows->size(), PickMorselSize(src->rows->size(), threads));
+    auto scheduler = std::make_shared<TaskScheduler>(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      scheduler->Submit([src, cancel, queue, morsels, batch_size]() {
+        RunPipelineWorker(*src, cancel.get(), queue.get(), morsels.get(),
+                          batch_size);
+        queue->ProducerDone();
+      });
+    }
+    return scheduler;
+  };
+  return MakeGatherPuller(std::move(cancel), std::move(queue),
+                          std::move(start));
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash aggregate (thread-local build + merge)
+// ---------------------------------------------------------------------------
+
+/// Thread-local aggregation state: one group table per worker, merged by
+/// the consumer once every morsel has been aggregated. Group output order
+/// is first-seen order across the merge — deterministic for one thread,
+/// unspecified across threads (workers race for morsels).
+struct LocalAggState {
+  std::unordered_map<Row, size_t, RowHash> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<AggAccumulator>> accs;
+};
+
+Status FeedLocalAgg(const std::vector<int>& group_keys,
+                    const std::vector<AggregateCall>& agg_calls,
+                    const RowBatch& batch, LocalAggState* local) {
+  auto new_group = [&](Row key) {
+    local->keys.push_back(std::move(key));
+    std::vector<AggAccumulator> accs;
+    accs.reserve(agg_calls.size());
+    for (const AggregateCall& call : agg_calls) accs.emplace_back(call);
+    local->accs.push_back(std::move(accs));
+  };
+  if (group_keys.empty()) {
+    // Global aggregate: one accumulator set per worker, batch-fed.
+    if (local->accs.empty()) new_group(Row{});
+    for (AggAccumulator& acc : local->accs[0]) {
+      CALCITE_RETURN_IF_ERROR(acc.AddBatch(batch));
+    }
+    return Status::OK();
+  }
+  Row scratch_key;
+  scratch_key.reserve(group_keys.size());
+  for (const Row& row : batch) {
+    scratch_key.clear();
+    for (int k : group_keys) {
+      scratch_key.push_back(row[static_cast<size_t>(k)]);
+    }
+    size_t group;
+    auto it = local->index.find(scratch_key);
+    if (it != local->index.end()) {
+      group = it->second;
+    } else {
+      group = local->accs.size();
+      local->index.emplace(scratch_key, group);
+      new_group(scratch_key);
+    }
+    for (AggAccumulator& acc : local->accs[group]) {
+      CALCITE_RETURN_IF_ERROR(acc.Add(row));
+    }
+  }
+  return Status::OK();
+}
+
+void RunAggWorker(const FragmentSource& src,
+                  const std::vector<int>& group_keys,
+                  const std::vector<AggregateCall>& agg_calls,
+                  QueryCancelState* cancel, MorselSource* morsels,
+                  size_t batch_size, LocalAggState* local) {
+  const std::vector<Row>& rows = *src.rows;
+  while (!cancel->cancelled()) {
+    auto morsel = morsels->Next();
+    if (!morsel.has_value()) break;
+    size_t pos = morsel->begin;
+    while (pos < morsel->end) {
+      if (cancel->cancelled()) return;
+      size_t n = std::min(batch_size, morsel->end - pos);
+      RowBatch batch(rows.begin() + static_cast<ptrdiff_t>(pos),
+                     rows.begin() + static_cast<ptrdiff_t>(pos + n));
+      pos += n;
+      Status status = ApplyStages(src.stages, &batch);
+      if (status.ok() && !batch.empty()) {
+        status = FeedLocalAgg(group_keys, agg_calls, batch, local);
+      }
+      if (!status.ok()) {
+        cancel->Cancel(std::move(status));
+        return;
+      }
+    }
+  }
+}
+
+struct ParallelAggState {
+  bool built = false;
+  std::vector<Row> out_rows;
+  size_t pos = 0;
+};
+
+Result<RowBatchPuller> ExecuteAggregateParallel(const Aggregate& agg,
+                                                FragmentSource fragment,
+                                                const ExecOptions& opts) {
+  const size_t threads = opts.num_threads;
+  const size_t batch_size = opts.batch_size;
+  auto src = std::make_shared<FragmentSource>(std::move(fragment));
+  RelNodePtr self = agg.shared_from_this();  // pins group_keys_/agg_calls_
+  const Aggregate* node = &agg;
+  auto state = std::make_shared<ParallelAggState>();
+
+  return RowBatchPuller([src, self, node, state, threads,
+                         batch_size]() -> Result<RowBatch> {
+    const std::vector<int>& group_keys = node->group_keys();
+    const std::vector<AggregateCall>& agg_calls = node->agg_calls();
+    if (!state->built) {
+      // Build phase: thread-local aggregation over morsels, then a serial
+      // merge. The scheduler lives only for this phase; its destructor
+      // joins the workers, so locals are safe to read afterwards.
+      CALCITE_RETURN_IF_ERROR(src->Materialize());
+      auto cancel = std::make_shared<QueryCancelState>();
+      std::vector<LocalAggState> locals(threads);
+      {
+        MorselSource morsels(src->rows->size(),
+                             PickMorselSize(src->rows->size(), threads));
+        TaskScheduler scheduler(threads);
+        for (size_t t = 0; t < threads; ++t) {
+          LocalAggState* local = &locals[t];
+          scheduler.Submit([src, &group_keys, &agg_calls, cancel, &morsels,
+                            batch_size, local]() {
+            RunAggWorker(*src, group_keys, agg_calls, cancel.get(), &morsels,
+                         batch_size, local);
+          });
+        }
+        scheduler.WaitIdle();
+      }
+      CALCITE_RETURN_IF_ERROR(cancel->status());
+
+      // Merge: accumulate worker-local groups into one table, combining
+      // accumulators (partial-state merge, not re-aggregation).
+      std::unordered_map<Row, size_t, RowHash> merged_index;
+      std::vector<Row> merged_keys;
+      std::vector<std::vector<AggAccumulator>> merged_accs;
+      for (LocalAggState& local : locals) {
+        for (size_t g = 0; g < local.keys.size(); ++g) {
+          auto it = merged_index.find(local.keys[g]);
+          if (it == merged_index.end()) {
+            merged_index.emplace(local.keys[g], merged_keys.size());
+            merged_keys.push_back(std::move(local.keys[g]));
+            merged_accs.push_back(std::move(local.accs[g]));
+          } else {
+            std::vector<AggAccumulator>& into = merged_accs[it->second];
+            for (size_t a = 0; a < into.size(); ++a) {
+              CALCITE_RETURN_IF_ERROR(into[a].MergeFrom(local.accs[g][a]));
+            }
+          }
+        }
+      }
+      // Global aggregate over empty input still produces one row.
+      if (group_keys.empty() && merged_keys.empty()) {
+        merged_keys.push_back(Row{});
+        std::vector<AggAccumulator> accs;
+        for (const AggregateCall& call : agg_calls) accs.emplace_back(call);
+        merged_accs.push_back(std::move(accs));
+      }
+      state->out_rows.reserve(merged_keys.size());
+      for (size_t g = 0; g < merged_keys.size(); ++g) {
+        Row result = std::move(merged_keys[g]);
+        result.reserve(result.size() + agg_calls.size());
+        for (const AggAccumulator& acc : merged_accs[g]) {
+          result.push_back(acc.Finish());
+        }
+        state->out_rows.push_back(std::move(result));
+      }
+      state->built = true;
+    }
+    RowBatch out;
+    size_t n = std::min(batch_size, state->out_rows.size() - state->pos);
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(state->out_rows[state->pos + i]));
+    }
+    state->pos += n;
+    return out;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash join
+// ---------------------------------------------------------------------------
+
+/// Shared read-only state of a parallel join probe: the drained build side,
+/// the per-partition hash tables (each written by exactly one build task,
+/// read by every probe worker), and the matched flags outer joins need.
+struct ParallelJoinShared {
+  FragmentSource probe;
+  RelNodePtr self;        // pins condition / row types
+  RelNodePtr build_node;  // right input, drained serially
+  std::vector<std::pair<int, int>> keys;
+  std::vector<RexNodePtr> remaining;
+  JoinType join_type;
+  size_t left_width = 0;
+  size_t right_width = 0;
+  size_t partitions = 0;
+  std::vector<Row> right_data;
+  std::vector<std::unordered_map<Row, std::vector<size_t>, RowHash>> tables;
+  /// Matched flags are racy-by-design across probe workers: only ever set
+  /// to true, read after the workers have been joined.
+  std::unique_ptr<std::atomic<bool>[]> right_matched;
+};
+
+/// Drains the build side through its own (possibly itself parallel) batch
+/// pipeline and builds the partitioned hash table: one classify pass over
+/// morsels of the build rows, then one insert task per partition — no two
+/// tasks ever touch the same partition, so the build is lock-free.
+Status BuildPartitionedTable(ParallelJoinShared* shared,
+                             TaskScheduler* scheduler,
+                             const ExecOptions& opts) {
+  auto build = shared->build_node->ExecuteBatched(opts);
+  if (!build.ok()) return build.status();
+  const RowBatchPuller& pull = build.value();
+  for (;;) {
+    auto batch = pull();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;
+    for (Row& row : batch.value()) {
+      shared->right_data.push_back(std::move(row));
+    }
+  }
+
+  const size_t threads = opts.num_threads;
+  const size_t partitions = shared->partitions;
+  // Classify pass: workers claim morsels of the build rows and bucket
+  // (key, row index) pairs by key partition, so the insert pass moves the
+  // already-built keys instead of recomputing them. NULL keys never match
+  // and are skipped — for RIGHT/FULL they surface through the unmatched
+  // tail.
+  using KeyedIndex = std::pair<Row, size_t>;
+  std::vector<std::vector<std::vector<KeyedIndex>>> buckets(
+      threads, std::vector<std::vector<KeyedIndex>>(partitions));
+  {
+    MorselSource morsels(shared->right_data.size(),
+                         PickMorselSize(shared->right_data.size(), threads));
+    for (size_t t = 0; t < threads; ++t) {
+      std::vector<std::vector<KeyedIndex>>* mine = &buckets[t];
+      ParallelJoinShared* sh = shared;
+      scheduler->Submit([sh, mine, &morsels, partitions]() {
+        while (auto morsel = morsels.Next()) {
+          for (size_t i = morsel->begin; i < morsel->end; ++i) {
+            auto key = JoinSideKey(sh->right_data[i], sh->keys,
+                                   /*left_side=*/false);
+            if (!key.has_value()) continue;
+            size_t p = RowHash{}(*key) % partitions;
+            (*mine)[p].emplace_back(std::move(*key), i);
+          }
+        }
+      });
+    }
+    scheduler->WaitIdle();
+  }
+  // Insert pass: partition p is owned by exactly one task.
+  shared->tables.resize(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    ParallelJoinShared* sh = shared;
+    std::vector<std::vector<std::vector<KeyedIndex>>>* all = &buckets;
+    scheduler->Submit([sh, all, p]() {
+      auto& table = sh->tables[p];
+      for (auto& worker_buckets : *all) {
+        for (KeyedIndex& entry : worker_buckets[p]) {
+          table[std::move(entry.first)].push_back(entry.second);
+        }
+      }
+    });
+  }
+  scheduler->WaitIdle();
+
+  shared->right_matched =
+      std::make_unique<std::atomic<bool>[]>(shared->right_data.size());
+  for (size_t i = 0; i < shared->right_data.size(); ++i) {
+    shared->right_matched[i].store(false, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+/// Probe worker: stream left morsels through the fragment's filter/project
+/// chain, probe the read-only partition tables, emit per the join type.
+void RunProbeWorker(const ParallelJoinShared& shared, QueryCancelState* cancel,
+                    ExchangeQueue* queue, MorselSource* morsels,
+                    size_t batch_size) {
+  const std::vector<Row>& rows = *shared.probe.rows;
+  RowBatch out;
+  // Hands accumulated output to the exchange in <= batch_size chunks.
+  auto flush = [&]() -> bool {
+    size_t pos = 0;
+    while (pos < out.size()) {
+      size_t n = std::min(batch_size, out.size() - pos);
+      auto first = out.begin() + static_cast<ptrdiff_t>(pos);
+      RowBatch chunk(std::make_move_iterator(first),
+                     std::make_move_iterator(first + static_cast<ptrdiff_t>(n)));
+      pos += n;
+      if (!queue->Push(std::move(chunk))) return false;
+    }
+    out.clear();
+    return true;
+  };
+  while (!cancel->cancelled()) {
+    auto morsel = morsels->Next();
+    if (!morsel.has_value()) break;
+    size_t pos = morsel->begin;
+    while (pos < morsel->end) {
+      if (cancel->cancelled()) return;
+      size_t n = std::min(batch_size, morsel->end - pos);
+      RowBatch batch(rows.begin() + static_cast<ptrdiff_t>(pos),
+                     rows.begin() + static_cast<ptrdiff_t>(pos + n));
+      pos += n;
+      Status status = ApplyStages(shared.probe.stages, &batch);
+      if (!status.ok()) {
+        cancel->Cancel(std::move(status));
+        queue->Cancel();
+        return;
+      }
+      for (Row& lrow : batch) {
+        auto key = JoinSideKey(lrow, shared.keys, /*left_side=*/true);
+        bool matched = false;
+        if (key.has_value()) {
+          size_t p = RowHash{}(*key) % shared.partitions;
+          auto it = shared.tables[p].find(*key);
+          if (it != shared.tables[p].end()) {
+            for (size_t ri : it->second) {
+              Row combined = ConcatRows(lrow, shared.right_data[ri]);
+              bool pass = true;
+              for (const RexNodePtr& pred : shared.remaining) {
+                auto result = RexInterpreter::EvalPredicate(pred, combined);
+                if (!result.ok()) {
+                  cancel->Cancel(result.status());
+                  queue->Cancel();
+                  return;
+                }
+                if (!result.value()) {
+                  pass = false;
+                  break;
+                }
+              }
+              if (!pass) continue;
+              matched = true;
+              shared.right_matched[ri].store(true, std::memory_order_relaxed);
+              if (JoinEmitsCombinedRows(shared.join_type)) {
+                out.push_back(std::move(combined));
+              }
+              if (shared.join_type == JoinType::kSemi) break;
+            }
+          }
+        }
+        JoinEmitPerLeftRow(shared.join_type, matched, std::move(lrow),
+                           shared.right_width, &out);
+      }
+      if (!flush()) return;
+    }
+  }
+}
+
+/// Consumer-side tail of a RIGHT/FULL join: emitted after the gather
+/// reports end-of-stream, i.e. after every probe worker has been joined
+/// (which orders their matched-flag writes before these reads).
+struct JoinTailState {
+  bool in_tail = false;
+  size_t pos = 0;
+};
+
+Result<RowBatchPuller> ExecuteHashJoinParallel(
+    const Join& join, std::vector<std::pair<int, int>> keys,
+    std::vector<RexNodePtr> remaining, FragmentSource probe,
+    const ExecOptions& opts) {
+  const size_t threads = opts.num_threads;
+  const size_t batch_size = opts.batch_size;
+  auto shared = std::make_shared<ParallelJoinShared>();
+  shared->probe = std::move(probe);
+  shared->self = join.shared_from_this();
+  shared->build_node = join.input(1);
+  shared->keys = std::move(keys);
+  shared->remaining = std::move(remaining);
+  shared->join_type = join.join_type();
+  shared->left_width = join.input(0)->row_type()->fields().size();
+  shared->right_width = join.input(1)->row_type()->fields().size();
+  shared->partitions = threads;
+
+  auto cancel = std::make_shared<QueryCancelState>();
+  auto queue = std::make_shared<ExchangeQueue>(threads * 2, threads);
+  ExecOptions opts_copy = opts;
+  auto start = [shared, cancel, queue, threads, batch_size,
+                opts_copy]() -> std::shared_ptr<TaskScheduler> {
+    auto scheduler = std::make_shared<TaskScheduler>(threads);
+    Status status = shared->probe.Materialize();
+    if (status.ok()) {
+      status = BuildPartitionedTable(shared.get(), scheduler.get(), opts_copy);
+    }
+    if (!status.ok()) {
+      cancel->Cancel(std::move(status));
+      queue->Cancel();
+      return scheduler;  // idle; the gather still joins it
+    }
+    auto morsels = std::make_shared<MorselSource>(
+        shared->probe.rows->size(),
+        PickMorselSize(shared->probe.rows->size(), threads));
+    for (size_t t = 0; t < threads; ++t) {
+      scheduler->Submit([shared, cancel, queue, morsels, batch_size]() {
+        RunProbeWorker(*shared, cancel.get(), queue.get(), morsels.get(),
+                       batch_size);
+        queue->ProducerDone();
+      });
+    }
+    return scheduler;
+  };
+
+  RowBatchPuller gather = MakeGatherPuller(cancel, queue, std::move(start));
+  auto tail = std::make_shared<JoinTailState>();
+  return RowBatchPuller([gather, shared, tail,
+                         batch_size]() -> Result<RowBatch> {
+    if (!tail->in_tail) {
+      auto batch = gather();
+      if (!batch.ok()) return batch;
+      if (!batch.value().empty()) return batch;
+      tail->in_tail = true;
+    }
+    if (shared->join_type == JoinType::kRight ||
+        shared->join_type == JoinType::kFull) {
+      RowBatch out;
+      while (tail->pos < shared->right_data.size() &&
+             out.size() < batch_size) {
+        size_t i = tail->pos++;
+        if (!shared->right_matched[i].load(std::memory_order_relaxed)) {
+          out.push_back(
+              PadNullLeft(shared->left_width, shared->right_data[i]));
+        }
+      }
+      if (!out.empty()) return out;
+    }
+    return RowBatch{};
+  });
+}
+
+}  // namespace
+
+std::optional<Result<RowBatchPuller>> TryExecuteParallel(
+    const RelNode& node, const ExecOptions& raw_opts) {
+  ExecOptions opts = raw_opts.Normalized();
+  if (opts.num_threads < 2) return std::nullopt;
+
+  if (const auto* agg = dynamic_cast<const Aggregate*>(&node)) {
+    FragmentSource src;
+    if (!RecognizeMorselPipeline(*agg->input(0), &src)) return std::nullopt;
+    return ExecuteAggregateParallel(*agg, std::move(src), opts);
+  }
+  if (const auto* join = dynamic_cast<const Join*>(&node)) {
+    std::vector<std::pair<int, int>> keys;
+    std::vector<RexNodePtr> remaining;
+    if (!join->AnalyzeEquiKeys(&keys, &remaining)) return std::nullopt;
+    FragmentSource src;
+    if (!RecognizeMorselPipeline(*join->input(0), &src)) return std::nullopt;
+    return ExecuteHashJoinParallel(*join, std::move(keys),
+                                   std::move(remaining), std::move(src), opts);
+  }
+  FragmentSource src;
+  if (!RecognizeMorselPipeline(node, &src)) return std::nullopt;
+  return ExecutePipelineParallel(std::move(src), opts);
+}
+
+}  // namespace calcite

@@ -1,0 +1,99 @@
+#ifndef CALCITE_EXEC_PARALLEL_TASK_SCHEDULER_H_
+#define CALCITE_EXEC_PARALLEL_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace calcite {
+
+/// Morsel-driven parallel execution runtime (the multi-threaded sibling of
+/// the RowBatch pipeline protocol in exec/row_batch.h). A query fragment
+/// that parallelizes — a morsel-driven scan pipeline, a partitioned hash
+/// aggregate or join — runs its workers as tasks on a TaskScheduler and
+/// reports failures through a shared QueryCancelState, which cancels every
+/// other worker of the fragment (cancellation-on-error: the first Status
+/// wins and is the one surfaced to the query).
+
+/// First-error-wins cancellation state shared by the workers of one
+/// parallel query fragment. Workers poll `cancelled()` between morsels and
+/// call `Cancel(status)` when they fail; the consumer reads `status()` once
+/// all workers have stopped to decide whether the stream ended or aborted.
+class QueryCancelState {
+ public:
+  /// True once any worker failed (or the consumer abandoned the fragment).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Requests cancellation. The first non-OK status recorded is the one
+  /// `status()` reports; later calls only keep the flag set.
+  void Cancel(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status_.ok() && !status.ok()) status_ = std::move(status);
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// The first recorded error, or OK when cancellation was benign (e.g. the
+  /// consumer stopped pulling) or never happened.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status status_;
+};
+
+/// A fixed pool of worker threads draining a FIFO work queue. Parallel
+/// operators submit one long-running task per desired degree of
+/// parallelism (each task is a worker loop claiming morsels until its
+/// MorselSource runs dry or its QueryCancelState fires); the scheduler
+/// itself stays policy-free. Destruction waits for every submitted task to
+/// finish — tasks must therefore observe their fragment's cancellation
+/// state rather than run unbounded.
+class TaskScheduler {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit TaskScheduler(size_t num_threads);
+
+  /// Completes all submitted tasks, then joins the workers.
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; fallible work reports through
+  /// its fragment's QueryCancelState instead.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers: work available / shutdown
+  std::condition_variable idle_cv_;   // WaitIdle: everything drained
+  size_t running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_EXEC_PARALLEL_TASK_SCHEDULER_H_

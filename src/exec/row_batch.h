@@ -28,6 +28,26 @@ inline constexpr size_t kDefaultBatchSize = 1024;
 /// Runtime options threaded from the Connection down to the leaf scans.
 struct ExecOptions {
   size_t batch_size = kDefaultBatchSize;
+  /// Degree of parallelism for the morsel-driven executor
+  /// (src/exec/parallel/): eligible plan fragments — scan→filter→project
+  /// pipelines, hash aggregates, hash joins — run on this many worker
+  /// threads, exchanged back into the single-consumer pull protocol by a
+  /// gather operator. 1 (the default) keeps today's fully serial execution
+  /// and its exact row ordering; > 1 trades deterministic row order within
+  /// unordered fragments for throughput.
+  size_t num_threads = 1;
+
+  /// Both knobs clamped to their valid range: a zero batch_size would make
+  /// every puller yield the empty batch that means end-of-stream (hanging
+  /// or truncating pipelines), and zero worker threads could never pull
+  /// anything, so both clamp to 1. Every execution entry point normalizes
+  /// its options before building pipelines.
+  ExecOptions Normalized() const {
+    ExecOptions out = *this;
+    if (out.batch_size == 0) out.batch_size = 1;
+    if (out.num_threads == 0) out.num_threads = 1;
+    return out;
+  }
 };
 
 /// Pulls the next batch of an operator's output. An empty batch marks the

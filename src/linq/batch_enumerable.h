@@ -2,10 +2,14 @@
 #define CALCITE_LINQ_BATCH_ENUMERABLE_H_
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "linq/enumerable.h"
@@ -217,6 +221,110 @@ class BatchEnumerable {
           };
         },
         batch_size_);
+  }
+
+  /// Parallel projection: `num_threads` workers pull input batches (the
+  /// upstream puller is shared under a mutex — batches, not elements, are
+  /// the unit of contention), map them, and exchange the results through a
+  /// bounded queue back to the enumerating thread. The linq analogue of
+  /// the executor's morsel-driven exchange (exec/parallel/), kept
+  /// self-contained here. Batch order is NOT preserved: workers race, so
+  /// use only when downstream consumption is order-insensitive.
+  /// `num_threads <= 1` degenerates to Select.
+  template <typename U>
+  BatchEnumerable<U> SelectParallel(std::function<U(const T&)> projection,
+                                    size_t num_threads) const {
+    if (num_threads <= 1) return Select<U>(projection);
+    Generator gen = gen_;
+    size_t batch_size = batch_size_;
+    return BatchEnumerable<U>(
+        [gen, projection, num_threads, batch_size]() {
+          // All shared state lives behind one shared_ptr so an enumeration
+          // that is dropped mid-stream still joins its workers (the state's
+          // destructor runs on the consumer thread that owns the puller).
+          struct State {
+            /// Guards the upstream puller only, so claiming the next input
+            /// batch never blocks the consumer's pop or another worker's
+            /// push — production and exchange contend on separate locks.
+            std::mutex pull_mu;
+            /// Guards the ready queue and its condition variables.
+            std::mutex mu;
+            std::condition_variable not_empty;
+            std::condition_variable not_full;
+            Puller pull;
+            std::deque<std::vector<U>> ready;
+            size_t capacity;
+            size_t producers;
+            /// Atomic so the pull side can read it under pull_mu alone;
+            /// written under mu so cv waiters cannot miss the wakeup.
+            std::atomic<bool> stop{false};
+            std::vector<std::thread> workers;
+
+            ~State() {
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                stop = true;
+              }
+              not_full.notify_all();
+              for (std::thread& w : workers) w.join();
+            }
+          };
+          auto state = std::make_shared<State>();
+          state->pull = gen();
+          state->capacity = num_threads * 2;
+          state->producers = num_threads;
+          for (size_t t = 0; t < num_threads; ++t) {
+            // Workers hold a raw pointer, not a shared_ptr: the state's
+            // destructor joins them before any member is torn down, and a
+            // shared reference here would keep the state alive forever
+            // (worker -> state -> worker cycle).
+            State* s = state.get();
+            state->workers.emplace_back([s, projection] {
+              for (;;) {
+                Batch batch;
+                {
+                  // Claim the next input batch; pulling under pull_mu
+                  // serializes the upstream (which is single-consumer by
+                  // contract) while the projection below runs unlocked.
+                  std::lock_guard<std::mutex> lock(s->pull_mu);
+                  if (!s->stop.load(std::memory_order_acquire)) {
+                    batch = s->pull();
+                  }
+                }
+                if (batch.empty()) break;  // end of stream or stopped
+                std::vector<U> out;
+                out.reserve(batch.size());
+                for (const T& v : batch) out.push_back(projection(v));
+                std::unique_lock<std::mutex> lock(s->mu);
+                s->not_full.wait(lock, [s] {
+                  return s->stop || s->ready.size() < s->capacity;
+                });
+                if (s->stop) break;
+                s->ready.push_back(std::move(out));
+                lock.unlock();
+                s->not_empty.notify_one();
+              }
+              {
+                std::lock_guard<std::mutex> lock(s->mu);
+                --s->producers;
+              }
+              s->not_empty.notify_all();
+            });
+          }
+          return [state]() mutable -> std::vector<U> {
+            std::unique_lock<std::mutex> lock(state->mu);
+            state->not_empty.wait(lock, [&state] {
+              return !state->ready.empty() || state->producers == 0;
+            });
+            if (state->ready.empty()) return {};
+            std::vector<U> batch = std::move(state->ready.front());
+            state->ready.pop_front();
+            lock.unlock();
+            state->not_full.notify_one();
+            return batch;
+          };
+        },
+        batch_size);
   }
 
   /// Raw batch-level projection: one call transforms a whole input batch.

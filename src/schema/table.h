@@ -66,6 +66,16 @@ class Table {
     return ChunkRows(std::move(rows).value(), batch_size);
   }
 
+  /// The table's rows as stable in-memory storage, or nullptr when the
+  /// table does not physically hold materialized rows. This is the access
+  /// path of the morsel-driven parallel executor (src/exec/parallel/):
+  /// workers claim row-range morsels of the returned vector directly, with
+  /// no intermediate copy. The storage must stay alive and unchanged while
+  /// scans are in flight (same pinning contract as ScanBatched); tables
+  /// that return nullptr are materialized through Scan() once before
+  /// parallel workers start.
+  virtual const std::vector<Row>* MaterializedRows() const { return nullptr; }
+
   /// True if this table is a stream (time-ordered, unbounded in principle;
   /// §7.2). STREAM queries are only legal on streaming tables.
   virtual bool IsStream() const { return false; }
@@ -98,6 +108,8 @@ class MemTable : public Table {
   Result<RowBatchPuller> ScanBatched(size_t batch_size) const override {
     return SliceRows(rows_, batch_size);
   }
+
+  const std::vector<Row>* MaterializedRows() const override { return &rows_; }
 
   /// Mutable access for test/bench setup.
   std::vector<Row>& rows() { return rows_; }

@@ -162,7 +162,9 @@ Result<RelNodePtr> Connection::OptimizePlan(const RelNodePtr& logical) {
 Result<QueryResult> Connection::ExecutePlan(const RelNodePtr& physical) {
   // Pull the plan's batch pipeline to completion; the public QueryResult
   // surface stays materialized regardless of the configured batch size.
-  auto puller = physical->ExecuteBatched(config_.exec_options);
+  // Options are normalized here so invalid settings (batch_size = 0,
+  // num_threads = 0) clamp once at the engine boundary.
+  auto puller = physical->ExecuteBatched(config_.exec_options.Normalized());
   if (!puller.ok()) return puller.status();
   auto rows = DrainBatches(puller.value());
   if (!rows.ok()) return rows.status();

@@ -47,8 +47,12 @@ class Connection {
     const MaterializationCatalog* materializations = nullptr;
     /// Skip the heuristic logical phase (for experiments).
     bool skip_logical_phase = false;
-    /// Runtime options for the batched enumerable executor (rows per
-    /// RowBatch; batch_size = 1 reproduces row-at-a-time execution).
+    /// Runtime options for the batched enumerable executor: rows per
+    /// RowBatch (batch_size = 1 reproduces row-at-a-time execution) and the
+    /// worker-thread count of the morsel-driven parallel executor
+    /// (num_threads = 1, the default, keeps execution fully serial and
+    /// deterministic; > 1 parallelizes eligible scan/aggregate/join
+    /// fragments at the cost of row-order determinism within them).
     ExecOptions exec_options;
   };
 

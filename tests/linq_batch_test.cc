@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -257,6 +258,44 @@ TEST(ReenumerationTest, BatchEnumerableCombinatorsEnumerateTwice) {
     EXPECT_EQ(pipelines[i].Count(), first.size()) << "pipeline #" << i;
     EXPECT_EQ(pipelines[i].ToEnumerable().ToVector(), first)
         << "pipeline #" << i;
+  }
+}
+
+TEST(BatchEnumerableTest, SelectParallelMatchesSelectAsMultiset) {
+  auto source = BatchEnumerable<int>::FromVector(Ints(10000), 64);
+  std::vector<int> expected =
+      source.Select<int>([](const int& v) { return v * 3 + 1; }).ToVector();
+  std::sort(expected.begin(), expected.end());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<int> got =
+        source
+            .SelectParallel<int>([](const int& v) { return v * 3 + 1; },
+                                 threads)
+            .ToVector();
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(BatchEnumerableTest, SelectParallelAbandonedMidStreamJoinsWorkers) {
+  auto e = BatchEnumerable<int>::FromVector(Ints(100000), 128)
+               .SelectParallel<int>([](const int& v) { return v + 1; }, 4);
+  auto pull = e.generator()();
+  // Take one batch, then drop the puller: the enumeration's teardown must
+  // stop and join the workers (no deadlock on the bounded queue, no leak).
+  EXPECT_FALSE(pull().empty());
+}
+
+TEST(BatchEnumerableTest, SelectParallelEnumeratesTwice) {
+  auto e = BatchEnumerable<int>::FromVector(Ints(500), 32)
+               .SelectParallel<int>([](const int& v) { return v * 2; }, 3);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<int> got = e.ToVector();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got.size(), 500u) << "round " << round;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<int>(i) * 2) << "round " << round;
+    }
   }
 }
 
