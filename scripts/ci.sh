@@ -7,6 +7,12 @@
 #                                 # concurrency-focused tests (the morsel-driven
 #                                 # parallel executor and the linq exchange
 #                                 # combinator) race-checked
+#   scripts/ci.sh build-asan address,undefined
+#                                 # ASan+UBSan build; runs the batch-engine,
+#                                 # parity, and expression-kernel fuzz suites —
+#                                 # selection-vector indexing and the fused
+#                                 # batch kernels are exactly where
+#                                 # out-of-bounds reads would hide
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,15 +28,24 @@ if [[ -n "$SANITIZER" ]]; then
   echo "=== build ==="
   cmake --build "$BUILD_DIR" -j "$JOBS"
 
-  echo "=== test (concurrency suites under $SANITIZER) ==="
-  # Sanitizers multiply runtimes ~10x, so this job runs the suites that
-  # exercise the parallel subsystem rather than the whole battery: the
-  # thread-count sweeps drive every parallel operator across thread x batch
-  # combinations, which is exactly the surface a race would hide in.
-  # --no-tests=error: a green race-check that ran zero tests (missing
-  # GTest, filter typo) must fail loudly, not pass silently.
+  echo "=== test (focused suites under $SANITIZER) ==="
+  # Sanitizers multiply runtimes ~10x, so each job runs the suites aimed at
+  # the bug class it detects rather than the whole battery.
+  # - thread: the thread-count sweeps drive every parallel operator across
+  #   thread x batch combinations, exactly the surface a race hides in.
+  # - address/undefined: the batch-engine unit tests, the batch/row parity
+  #   sweeps, and the randomized expression-kernel fuzz harness hammer
+  #   selection-vector indexing and the fused kernels, exactly the surface
+  #   an out-of-bounds access or overflow hides in.
+  # --no-tests=error: a green sanitizer run that executed zero tests
+  # (missing GTest, filter typo) must fail loudly, not pass silently.
+  if [[ "$SANITIZER" == *thread* ]]; then
+    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test'
+  else
+    FILTER='row_batch_test|rex_kernel_fuzz_test|batch_parity_test|linq_batch_test|parallel_exec_test'
+  fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
-    -R 'parallel_exec_test|linq_batch_test|batch_parity_test'
+    -R "$FILTER"
 
   echo "=== done ($SANITIZER) ==="
   exit 0
@@ -52,7 +67,7 @@ echo "=== bench smoke ==="
 # into a perf run.
 if [[ -x "$BUILD_DIR/bench_architecture" ]]; then
   "$BUILD_DIR/bench_architecture" \
-    --benchmark_filter='BM_BatchSizeSweep|BM_Stage5_Execute|BM_ParallelSweep' \
+    --benchmark_filter='BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep' \
     --benchmark_min_time=0.05
 else
   echo "bench_architecture not built (google-benchmark not found); skipping"

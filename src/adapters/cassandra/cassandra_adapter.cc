@@ -46,6 +46,14 @@ Result<RowBatchPuller> CassandraTable::ScanBatched(size_t batch_size) const {
   return SliceRows(rows_, batch_size);
 }
 
+Result<RowBatchPuller> CassandraTable::ScanBatchedFiltered(
+    size_t batch_size, ScanPredicateList predicates) const {
+  // The simulated backend filters its stored rows before materializing
+  // them; partition/clustering order is preserved (pushdown only drops
+  // rows, never reorders them).
+  return FilterSliceRows(rows_, batch_size, std::move(predicates));
+}
+
 const Convention* CassandraSchema::CassandraConvention() {
   static const Convention* kConvention = new Convention("CASSANDRA", 0.9);
   return kConvention;

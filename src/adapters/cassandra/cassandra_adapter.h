@@ -29,6 +29,8 @@ class CassandraTable final : public Table {
   Statistic GetStatistic() const override;
   Result<std::vector<Row>> Scan() const override;
   Result<RowBatchPuller> ScanBatched(size_t batch_size) const override;
+  Result<RowBatchPuller> ScanBatchedFiltered(
+      size_t batch_size, ScanPredicateList predicates) const override;
 
   /// The simulated backend's rows double as stable storage for
   /// morsel-parallel scans on the enumerable side of the convention

@@ -35,6 +35,12 @@ class CsvTable final : public Table {
     return SliceRows(rows_, batch_size);
   }
 
+  /// Pushed predicates filter the parsed rows before any copy.
+  Result<RowBatchPuller> ScanBatchedFiltered(
+      size_t batch_size, ScanPredicateList predicates) const override {
+    return FilterSliceRows(rows_, batch_size, std::move(predicates));
+  }
+
   /// The parsed file doubles as stable storage for morsel-parallel scans.
   const std::vector<Row>* MaterializedRows() const override { return &rows_; }
 

@@ -25,6 +25,11 @@ class AggAccumulator {
   /// addition per batch.
   Status AddBatch(const std::vector<Row>& rows);
 
+  /// Selection-aware AddBatch: feeds only the rows named by `sel` (all rows
+  /// when nullptr), so a filter's un-compacted batch feeds the accumulator
+  /// directly. COUNT(*) degenerates to one addition of the selection size.
+  Status AddBatchSel(const std::vector<Row>& rows, const SelectionVector* sel);
+
   /// Produces the aggregate result. For empty input: COUNT-like functions
   /// return 0, the others NULL (SQL semantics).
   Value Finish() const;

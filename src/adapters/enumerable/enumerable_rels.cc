@@ -17,8 +17,9 @@ namespace calcite {
 // The operators below execute as vectorized pull pipelines: ExecuteBatched
 // wires a chain of RowBatchPullers that exchange RowBatch chunks, so the
 // per-call closure dispatch the old row-at-a-time discipline paid on every
-// tuple is amortized over a whole batch (filters compact batches in place
-// through selection vectors, the hash operators probe a batch per dispatch).
+// tuple is amortized over a whole batch (filters hand selection vectors to
+// their consumer instead of compacting — see ExecuteSelBatched — and the
+// hash operators probe a batch per dispatch).
 // Execute() is the materializing wrapper over the same pipeline, so there is
 // a single implementation of each operator's semantics; `batch_size = 1`
 // reproduces the old row-at-a-time behavior exactly (see the parity tests).
@@ -77,34 +78,132 @@ std::optional<Row> JoinSideKey(const Row& row,
   return key;
 }
 
-Status ApplyFilterToBatch(const RexNodePtr& condition, RowBatch* batch) {
-  SelectionVector sel;
-  CALCITE_RETURN_IF_ERROR(
-      RexInterpreter::EvalPredicateBatch(condition, *batch, &sel));
-  CompactBatch(batch, sel);
-  return Status::OK();
-}
-
-Status ApplyProjectToBatch(const std::vector<RexNodePtr>& exprs,
-                           RowBatch* batch) {
-  // Evaluate each projection over the whole batch (one column per
-  // expression), then write the columns back into the input rows, which
-  // the caller owns — reusing their allocations instead of materializing a
-  // fresh Row per output row. All columns are computed before any row is
-  // overwritten, so input refs never read a clobbered value.
+Status ApplyProjectToSelBatch(const std::vector<RexNodePtr>& exprs,
+                              SelBatch* batch) {
+  // Evaluate each projection over the live rows only (one column per
+  // expression, one entry per selected row), then write the columns back
+  // into the batch's leading rows, which the caller owns — reusing their
+  // allocations instead of materializing a fresh Row per output row. All
+  // columns are computed before any row is overwritten, so input refs
+  // never read a clobbered value; because output row k overwrites input
+  // row k (<= the k-th selected index), projection compacts the batch as a
+  // side effect.
+  const SelectionVector* sel = batch->has_sel ? &batch->sel : nullptr;
+  const size_t n_out = batch->ActiveCount();
   std::vector<std::vector<Value>> columns(exprs.size());
   for (size_t e = 0; e < exprs.size(); ++e) {
     CALCITE_RETURN_IF_ERROR(
-        RexInterpreter::EvalBatch(exprs[e], *batch, &columns[e]));
+        RexInterpreter::EvalBatchSel(exprs[e], batch->rows, sel, &columns[e]));
   }
-  for (size_t i = 0; i < batch->size(); ++i) {
-    Row& row = (*batch)[i];
+  for (size_t i = 0; i < n_out; ++i) {
+    Row& row = batch->rows[i];
     row.resize(exprs.size());
     for (size_t e = 0; e < exprs.size(); ++e) {
       row[e] = std::move(columns[e][i]);
     }
   }
+  batch->rows.resize(n_out);
+  batch->sel.clear();
+  batch->has_sel = false;
   return Status::OK();
+}
+
+bool ExtractScanPredicates(const RexNodePtr& condition, int scan_width,
+                           ScanPredicateList* pushed,
+                           std::vector<RexNodePtr>* residual) {
+  // Flatten the top-level conjunction (nested ANDs included, mirroring the
+  // interpreter's recursive narrowing).
+  std::vector<RexNodePtr> conjuncts;
+  std::vector<RexNodePtr> stack = {condition};
+  while (!stack.empty()) {
+    RexNodePtr node = std::move(stack.back());
+    stack.pop_back();
+    const RexCall* call = AsCall(node);
+    if (call != nullptr && call->op() == OpKind::kAnd) {
+      // Preserve left-to-right conjunct order: the stack is LIFO.
+      for (auto it = call->operands().rbegin(); it != call->operands().rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+      continue;
+    }
+    conjuncts.push_back(std::move(node));
+  }
+
+  auto ref_index = [scan_width](const RexNodePtr& node) -> int {
+    const RexInputRef* ref = AsInputRef(node);
+    if (ref == nullptr || ref->index() < 0 || ref->index() >= scan_width) {
+      return -1;
+    }
+    return ref->index();
+  };
+  auto comparison_kind =
+      [](OpKind op, bool flipped) -> std::optional<ScanPredicate::Kind> {
+    switch (op) {
+      case OpKind::kEquals:
+        return ScanPredicate::Kind::kEquals;
+      case OpKind::kNotEquals:
+        return ScanPredicate::Kind::kNotEquals;
+      case OpKind::kLessThan:
+        return flipped ? ScanPredicate::Kind::kGreaterThan
+                       : ScanPredicate::Kind::kLessThan;
+      case OpKind::kLessThanOrEqual:
+        return flipped ? ScanPredicate::Kind::kGreaterThanOrEqual
+                       : ScanPredicate::Kind::kLessThanOrEqual;
+      case OpKind::kGreaterThan:
+        return flipped ? ScanPredicate::Kind::kLessThan
+                       : ScanPredicate::Kind::kGreaterThan;
+      case OpKind::kGreaterThanOrEqual:
+        return flipped ? ScanPredicate::Kind::kLessThanOrEqual
+                       : ScanPredicate::Kind::kGreaterThanOrEqual;
+      default:
+        return std::nullopt;
+    }
+  };
+
+  bool any = false;
+  for (RexNodePtr& conjunct : conjuncts) {
+    const RexCall* call = AsCall(conjunct);
+    if (call != nullptr && call->operands().size() == 1 &&
+        (call->op() == OpKind::kIsNull || call->op() == OpKind::kIsNotNull)) {
+      int col = ref_index(call->operand(0));
+      if (col >= 0) {
+        ScanPredicate pred;
+        pred.kind = call->op() == OpKind::kIsNull
+                        ? ScanPredicate::Kind::kIsNull
+                        : ScanPredicate::Kind::kIsNotNull;
+        pred.column = col;
+        pushed->push_back(std::move(pred));
+        any = true;
+        continue;
+      }
+    }
+    if (call != nullptr && call->operands().size() == 2) {
+      const RexLiteral* lhs_lit = AsLiteral(call->operand(0));
+      const RexLiteral* rhs_lit = AsLiteral(call->operand(1));
+      int lhs_col = ref_index(call->operand(0));
+      int rhs_col = ref_index(call->operand(1));
+      std::optional<ScanPredicate::Kind> kind;
+      ScanPredicate pred;
+      if (lhs_col >= 0 && rhs_lit != nullptr) {
+        kind = comparison_kind(call->op(), /*flipped=*/false);
+        pred.column = lhs_col;
+        pred.literal = rhs_lit->value();
+      } else if (lhs_lit != nullptr && rhs_col >= 0) {
+        kind = comparison_kind(call->op(), /*flipped=*/true);
+        pred.column = rhs_col;
+        pred.literal = lhs_lit->value();
+      }
+      if (kind.has_value()) {
+        pred.kind = *kind;
+        pushed->push_back(std::move(pred));
+        any = true;
+        continue;
+      }
+    }
+    residual->push_back(std::move(conjunct));
+  }
+  return any;
 }
 
 Row ConcatRows(const Row& left, const Row& right) {
@@ -184,23 +283,71 @@ Result<std::vector<Row>> EnumerableFilter::Execute() const {
 
 Result<RowBatchPuller> EnumerableFilter::ExecuteBatched(
     const ExecOptions& opts) const {
+  // Compacting bridge over the native selection-aware pipeline (which also
+  // owns the parallel dispatch), for consumers that need dense batches.
+  auto sel = ExecuteSelBatched(opts);
+  if (!sel.ok()) return sel.status();
+  return CompactSelBatches(std::move(sel).value());
+}
+
+Result<SelBatchPuller> EnumerableFilter::ExecuteSelBatched(
+    const ExecOptions& opts) const {
   if (auto parallel = TryExecuteParallel(*this, opts)) {
-    return std::move(*parallel);
+    if (!parallel->ok()) return parallel->status();
+    return LiftToSelBatches(std::move(*parallel).value());
   }
-  auto in = input(0)->ExecuteBatched(opts);
-  if (!in.ok()) return in;
-  RelNodePtr self = shared_from_this();  // keeps condition_ alive
-  RexNodePtr condition = condition_;
-  RowBatchPuller pull = std::move(in).value();
-  return RowBatchPuller([self, condition, pull]() -> Result<RowBatch> {
+  RelNodePtr self = shared_from_this();  // keeps condition_ / the scan alive
+
+  // Leaf pushdown: when the input is an enumerable table scan, the simple
+  // conjuncts of the condition run inside the scan, before rows are
+  // materialized; only the residual conjuncts are evaluated here, and only
+  // against the survivors.
+  std::vector<RexNodePtr> residual;
+  SelBatchPuller pull;
+  const auto* scan = dynamic_cast<const EnumerableTableScan*>(input(0).get());
+  ScanPredicateList pushed;
+  if (scan != nullptr) {
+    ExtractScanPredicates(
+        condition_, static_cast<int>(scan->row_type()->fields().size()),
+        &pushed, &residual);
+  }
+  if (!pushed.empty()) {
+    auto puller = scan->table()->ScanBatchedFiltered(NormalizedBatchSize(opts),
+                                                     std::move(pushed));
+    if (!puller.ok()) return puller.status();
+    // Pin the table for the lifetime of the pipeline (its puller may
+    // capture a raw `this`), mirroring EnumerableTableScan::ExecuteBatched.
+    TablePtr table = scan->table();
+    RowBatchPuller raw = std::move(puller).value();
+    pull = LiftToSelBatches(
+        RowBatchPuller([table, raw]() -> Result<RowBatch> { return raw(); }));
+  } else {
+    residual.assign(1, condition_);
+    auto in = input(0)->ExecuteSelBatched(opts);
+    if (!in.ok()) return in.status();
+    pull = std::move(in).value();
+  }
+
+  auto conjuncts =
+      std::make_shared<std::vector<RexNodePtr>>(std::move(residual));
+  return SelBatchPuller([self, conjuncts, pull]() -> Result<SelBatch> {
     for (;;) {
       auto batch = pull();
       if (!batch.ok()) return batch;
-      RowBatch rows = std::move(batch).value();
-      if (rows.empty()) return rows;  // end of stream
-      CALCITE_RETURN_IF_ERROR(ApplyFilterToBatch(condition, &rows));
-      if (rows.empty()) continue;  // whole batch eliminated; keep pulling
-      return rows;
+      SelBatch sel_batch = std::move(batch).value();
+      if (sel_batch.AtEnd()) return sel_batch;
+      if (!conjuncts->empty()) {
+        sel_batch.EnsureSelection();
+        for (const RexNodePtr& pred : *conjuncts) {
+          if (sel_batch.sel.empty()) break;
+          CALCITE_RETURN_IF_ERROR(RexInterpreter::NarrowSelection(
+              pred, sel_batch.rows, &sel_batch.sel));
+        }
+      }
+      // Whole batch eliminated: keep pulling (mid-stream batches always
+      // carry at least one live row).
+      if (sel_batch.ActiveCount() == 0) continue;
+      return sel_batch;
     }
   });
 }
@@ -230,18 +377,21 @@ Result<RowBatchPuller> EnumerableProject::ExecuteBatched(
   if (auto parallel = TryExecuteParallel(*this, opts)) {
     return std::move(*parallel);
   }
-  auto in = input(0)->ExecuteBatched(opts);
-  if (!in.ok()) return in;
+  // Selection-aware consumer: a filter below hands over its selection
+  // vector and the projection evaluates only the live rows, compacting as
+  // it writes — the compaction the filter skipped happens here for free.
+  auto in = input(0)->ExecuteSelBatched(opts);
+  if (!in.ok()) return in.status();
   RelNodePtr self = shared_from_this();  // pins exprs_ for the pipeline
   const EnumerableProject* node = this;
-  RowBatchPuller pull = std::move(in).value();
+  SelBatchPuller pull = std::move(in).value();
   return RowBatchPuller([self, node, pull]() -> Result<RowBatch> {
     auto batch = pull();
-    if (!batch.ok()) return batch;
-    RowBatch rows = std::move(batch).value();
-    if (rows.empty()) return rows;
-    CALCITE_RETURN_IF_ERROR(ApplyProjectToBatch(node->exprs_, &rows));
-    return rows;
+    if (!batch.ok()) return batch.status();
+    SelBatch rows = std::move(batch).value();
+    if (rows.AtEnd()) return std::move(rows.rows);
+    CALCITE_RETURN_IF_ERROR(ApplyProjectToSelBatch(node->exprs_, &rows));
+    return std::move(rows.rows);
   });
 }
 
@@ -384,10 +534,14 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
     return Status::PlanError(
         "EnumerableHashJoin requires at least one equi-join key");
   }
-  auto left = input(0)->ExecuteBatched(opts);
-  if (!left.ok()) return left;
+  // The probe side pulls selection-aware batches: a filter below the probe
+  // input hands over its selection and only live rows are probed, without
+  // an intermediate compaction. The build side needs every row anyway, so
+  // it drains through the compacting protocol.
+  auto left = input(0)->ExecuteSelBatched(opts);
+  if (!left.ok()) return left.status();
   auto right = input(1)->ExecuteBatched(opts);
-  if (!right.ok()) return right;
+  if (!right.ok()) return right.status();
 
   RelNodePtr self = shared_from_this();
   const JoinType join_type = join_type_;
@@ -395,7 +549,7 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
   const size_t right_width = input(1)->row_type()->fields().size();
   const size_t batch_size = NormalizedBatchSize(opts);
   auto state = std::make_shared<JoinExecState>();
-  RowBatchPuller left_pull = std::move(left).value();
+  SelBatchPuller left_pull = std::move(left).value();
   RowBatchPuller right_pull = std::move(right).value();
 
   return RowBatchPuller([self, keys, remaining, state, left_pull, right_pull,
@@ -429,14 +583,16 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
     // Probe phase: a whole left batch per dispatch.
     while (!state->left_done) {
       auto batch = left_pull();
-      if (!batch.ok()) return batch;
-      RowBatch left_rows = std::move(batch).value();
-      if (left_rows.empty()) {
+      if (!batch.ok()) return batch.status();
+      SelBatch left_rows = std::move(batch).value();
+      if (left_rows.AtEnd()) {
         state->left_done = true;
         break;
       }
       RowBatch& out = state->pending;
-      for (Row& lrow : left_rows) {
+      const size_t active = left_rows.ActiveCount();
+      for (size_t k = 0; k < active; ++k) {
+        Row& lrow = left_rows.ActiveRow(k);
         auto key = JoinSideKey(lrow, *keys, /*left_side=*/true);
         bool matched = false;
         if (key.has_value()) {
@@ -500,8 +656,9 @@ Result<std::vector<Row>> EnumerableNestedLoopJoin::Execute() const {
 
 Result<RowBatchPuller> EnumerableNestedLoopJoin::ExecuteBatched(
     const ExecOptions& opts) const {
-  auto left = input(0)->ExecuteBatched(opts);
-  if (!left.ok()) return left;
+  // Probe side is selection-aware, like the hash join.
+  auto left = input(0)->ExecuteSelBatched(opts);
+  if (!left.ok()) return left.status();
   auto right = input(1)->ExecuteBatched(opts);
   if (!right.ok()) return right;
 
@@ -512,7 +669,7 @@ Result<RowBatchPuller> EnumerableNestedLoopJoin::ExecuteBatched(
   const size_t right_width = input(1)->row_type()->fields().size();
   const size_t batch_size = NormalizedBatchSize(opts);
   auto state = std::make_shared<JoinExecState>();
-  RowBatchPuller left_pull = std::move(left).value();
+  SelBatchPuller left_pull = std::move(left).value();
   RowBatchPuller right_pull = std::move(right).value();
 
   return RowBatchPuller([self, condition, state, left_pull, right_pull,
@@ -529,14 +686,16 @@ Result<RowBatchPuller> EnumerableNestedLoopJoin::ExecuteBatched(
 
     while (!state->left_done) {
       auto batch = left_pull();
-      if (!batch.ok()) return batch;
-      RowBatch left_rows = std::move(batch).value();
-      if (left_rows.empty()) {
+      if (!batch.ok()) return batch.status();
+      SelBatch left_rows = std::move(batch).value();
+      if (left_rows.AtEnd()) {
         state->left_done = true;
         break;
       }
       RowBatch& out = state->pending;
-      for (Row& lrow : left_rows) {
+      const size_t active = left_rows.ActiveCount();
+      for (size_t k = 0; k < active; ++k) {
+        Row& lrow = left_rows.ActiveRow(k);
         bool matched = false;
         for (size_t ri = 0; ri < state->right_data.size(); ++ri) {
           Row combined = ConcatRows(lrow, state->right_data[ri]);
@@ -606,13 +765,15 @@ Result<RowBatchPuller> EnumerableAggregate::ExecuteBatched(
   if (auto parallel = TryExecuteParallel(*this, opts)) {
     return std::move(*parallel);
   }
-  auto in = input(0)->ExecuteBatched(opts);
-  if (!in.ok()) return in;
+  // Selection-aware consumer: only the live rows of each input batch feed
+  // the accumulators, so a filter below never compacts.
+  auto in = input(0)->ExecuteSelBatched(opts);
+  if (!in.ok()) return in.status();
   RelNodePtr self = shared_from_this();  // pins group_keys_ / agg_calls_
   const EnumerableAggregate* node = this;
   const size_t batch_size = NormalizedBatchSize(opts);
   auto state = std::make_shared<HashAggState>();
-  RowBatchPuller pull = std::move(in).value();
+  SelBatchPuller pull = std::move(in).value();
 
   return RowBatchPuller([self, node, state, pull,
                          batch_size]() -> Result<RowBatch> {
@@ -630,23 +791,26 @@ Result<RowBatchPuller> EnumerableAggregate::ExecuteBatched(
       };
       for (;;) {
         auto batch = pull();
-        if (!batch.ok()) return batch;
-        RowBatch rows = std::move(batch).value();
-        if (rows.empty()) break;
+        if (!batch.ok()) return batch.status();
+        SelBatch rows = std::move(batch).value();
+        if (rows.AtEnd()) break;
+        const size_t active = rows.ActiveCount();
         if (group_keys.empty()) {
           // Global aggregate: the whole batch feeds one accumulator set —
-          // one AddBatch dispatch per accumulator per batch.
+          // one AddBatchSel dispatch per accumulator per batch.
           if (state->group_accs.empty()) new_group(Row{});
+          const SelectionVector* sel = rows.has_sel ? &rows.sel : nullptr;
           for (AggAccumulator& acc : state->group_accs[0]) {
-            CALCITE_RETURN_IF_ERROR(acc.AddBatch(rows));
+            CALCITE_RETURN_IF_ERROR(acc.AddBatchSel(rows.rows, sel));
           }
           continue;
         }
-        // Grouped: probe the hash table with each row of the batch,
+        // Grouped: probe the hash table with each live row of the batch,
         // preserving first-seen key order for deterministic output.
         if (group_keys.size() == 1) {
           const size_t k = static_cast<size_t>(group_keys[0]);
-          for (const Row& row : rows) {
+          for (size_t i = 0; i < active; ++i) {
+            const Row& row = rows.ActiveRow(i);
             const Value& key = row[k];
             size_t group;
             auto it = state->single_index.find(key);
@@ -668,7 +832,8 @@ Result<RowBatchPuller> EnumerableAggregate::ExecuteBatched(
         // is inserted.
         Row scratch_key;
         scratch_key.reserve(group_keys.size());
-        for (const Row& row : rows) {
+        for (size_t i = 0; i < active; ++i) {
+          const Row& row = rows.ActiveRow(i);
           scratch_key.clear();
           for (int k : group_keys) {
             scratch_key.push_back(row[static_cast<size_t>(k)]);
@@ -742,15 +907,17 @@ struct SortState {
 
 Result<RowBatchPuller> EnumerableSort::ExecuteBatched(
     const ExecOptions& opts) const {
-  auto in = input(0)->ExecuteBatched(opts);
-  if (!in.ok()) return in;
+  // Selection-aware consumer: only live rows are spilled into the sort
+  // buffer, so a filter below never compacts.
+  auto in = input(0)->ExecuteSelBatched(opts);
+  if (!in.ok()) return in.status();
   RelNodePtr self = shared_from_this();  // pins collation_
   const EnumerableSort* node = this;
   const int64_t offset = offset_;
   const int64_t fetch = fetch_;
   const size_t batch_size = NormalizedBatchSize(opts);
   auto state = std::make_shared<SortState>();
-  RowBatchPuller pull = std::move(in).value();
+  SelBatchPuller pull = std::move(in).value();
 
   return RowBatchPuller([self, node, offset, fetch, state, pull,
                          batch_size]() -> Result<RowBatch> {
@@ -758,9 +925,13 @@ Result<RowBatchPuller> EnumerableSort::ExecuteBatched(
     if (!state->built) {
       for (;;) {
         auto batch = pull();
-        if (!batch.ok()) return batch;
-        if (batch.value().empty()) break;
-        for (Row& row : batch.value()) state->data.push_back(std::move(row));
+        if (!batch.ok()) return batch.status();
+        SelBatch rows = std::move(batch).value();
+        if (rows.AtEnd()) break;
+        const size_t active = rows.ActiveCount();
+        for (size_t k = 0; k < active; ++k) {
+          state->data.push_back(std::move(rows.ActiveRow(k)));
+        }
       }
       if (!collation.empty()) {
         std::stable_sort(state->data.begin(), state->data.end(),

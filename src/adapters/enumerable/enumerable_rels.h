@@ -31,6 +31,13 @@ class EnumerableTableScan final : public TableScan {
   using TableScan::TableScan;
 };
 
+/// Filter with selection-vector pushdown: its native surface is
+/// ExecuteSelBatched, which narrows each input batch's selection vector
+/// instead of compacting it, and — when the input is a table scan — splits
+/// the condition so that simple `column <op> literal` / NULL-test conjuncts
+/// run inside the leaf scan before rows are materialized
+/// (Table::ScanBatchedFiltered). ExecuteBatched is the compacting bridge
+/// for consumers that need dense batches.
 class EnumerableFilter final : public Filter {
  public:
   static RelNodePtr Create(RelNodePtr input, RexNodePtr condition);
@@ -40,6 +47,8 @@ class EnumerableFilter final : public Filter {
                   std::vector<RelNodePtr> inputs) const override;
   Result<std::vector<Row>> Execute() const override;
   Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
+      const override;
+  Result<SelBatchPuller> ExecuteSelBatched(const ExecOptions& opts)
       const override;
 
  private:
@@ -215,10 +224,24 @@ Row PadNullLeft(size_t left_width, const Row& right);
 /// Batch-granularity operator kernels, shared by the serial pull pipelines
 /// above and the morsel-driven parallel executor (exec/parallel/): a single
 /// implementation of filter/project semantics, whichever thread runs it.
-/// Both transform `batch` in place; a filter may leave it empty.
-Status ApplyFilterToBatch(const RexNodePtr& condition, RowBatch* batch);
-Status ApplyProjectToBatch(const std::vector<RexNodePtr>& exprs,
-                           RowBatch* batch);
+/// Filter semantics live in RexInterpreter::NarrowSelection (selection
+/// narrowing); the project kernel below consumes the selection.
+///
+/// Projects the *selected* rows of `batch` in place. Projection writes one
+/// fresh output row per live input row, so it compacts as a side effect:
+/// on return the batch is dense (has_sel false) with ActiveCount() rows.
+Status ApplyProjectToSelBatch(const std::vector<RexNodePtr>& exprs,
+                              SelBatch* batch);
+
+/// Splits a filter condition into conjuncts a leaf scan can evaluate
+/// before materializing rows (`$i <op> literal`, `literal <op> $i` — the
+/// operator is mirrored — and `IS [NOT] NULL($i)`, with `i` inside
+/// [0, scan_width)) and the residual conjuncts that must still run above
+/// the scan. Non-AND conditions are treated as a single conjunct. Returns
+/// true if at least one predicate was extracted.
+bool ExtractScanPredicates(const RexNodePtr& condition, int scan_width,
+                           ScanPredicateList* pushed,
+                           std::vector<RexNodePtr>* residual);
 
 /// Join runtime helpers shared by the serial joins and the parallel
 /// partitioned hash join.

@@ -102,15 +102,22 @@ bool RecognizeMorselPipeline(const RelNode& root, FragmentSource* out) {
 }
 
 /// Runs the fragment's filter/project chain over one batch, using the same
-/// batch kernels as the serial pipelines (one implementation of operator
-/// semantics, whichever thread runs it).
-Status ApplyStages(const std::vector<PipelineStage>& stages, RowBatch* batch) {
+/// selection-aware kernels as the serial pipelines (one implementation of
+/// operator semantics, whichever thread runs it). Filters narrow the
+/// batch's selection vector instead of compacting; a project consumes the
+/// selection (compacting as it writes). The batch is left possibly still
+/// carrying a selection — consumers either iterate ActiveRow() or call
+/// Compact() once before handing rows on.
+Status ApplyStagesSel(const std::vector<PipelineStage>& stages,
+                      SelBatch* batch) {
   for (const PipelineStage& stage : stages) {
-    if (batch->empty()) return Status::OK();
+    if (batch->ActiveCount() == 0) return Status::OK();
     if (stage.filter != nullptr) {
-      CALCITE_RETURN_IF_ERROR(ApplyFilterToBatch(stage.filter, batch));
+      batch->EnsureSelection();
+      CALCITE_RETURN_IF_ERROR(RexInterpreter::NarrowSelection(
+          stage.filter, batch->rows, &batch->sel));
     } else {
-      CALCITE_RETURN_IF_ERROR(ApplyProjectToBatch(*stage.project, batch));
+      CALCITE_RETURN_IF_ERROR(ApplyProjectToSelBatch(*stage.project, batch));
     }
   }
   return Status::OK();
@@ -141,17 +148,21 @@ void RunPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
     while (pos < morsel->end) {
       if (cancel->cancelled()) return;
       size_t n = std::min(batch_size, morsel->end - pos);
-      RowBatch batch(rows.begin() + static_cast<ptrdiff_t>(pos),
-                     rows.begin() + static_cast<ptrdiff_t>(pos + n));
+      SelBatch batch;
+      batch.rows.assign(rows.begin() + static_cast<ptrdiff_t>(pos),
+                        rows.begin() + static_cast<ptrdiff_t>(pos + n));
       pos += n;
-      Status status = ApplyStages(src.stages, &batch);
+      Status status = ApplyStagesSel(src.stages, &batch);
       if (!status.ok()) {
         cancel->Cancel(std::move(status));
         queue->Cancel();
         return;
       }
-      if (batch.empty()) continue;
-      if (!queue->Push(std::move(batch))) return;
+      if (batch.ActiveCount() == 0) continue;
+      // The exchange carries dense RowBatches: compact once, at the very
+      // end of the stage chain (a trailing project already did).
+      batch.Compact();
+      if (!queue->Push(std::move(batch.rows))) return;
     }
   }
 }
@@ -203,7 +214,7 @@ struct LocalAggState {
 
 Status FeedLocalAgg(const std::vector<int>& group_keys,
                     const std::vector<AggregateCall>& agg_calls,
-                    const RowBatch& batch, LocalAggState* local) {
+                    const SelBatch& batch, LocalAggState* local) {
   auto new_group = [&](Row key) {
     local->keys.push_back(std::move(key));
     std::vector<AggAccumulator> accs;
@@ -212,16 +223,20 @@ Status FeedLocalAgg(const std::vector<int>& group_keys,
     local->accs.push_back(std::move(accs));
   };
   if (group_keys.empty()) {
-    // Global aggregate: one accumulator set per worker, batch-fed.
+    // Global aggregate: one accumulator set per worker, batch-fed through
+    // the selection (an upstream filter stage never compacted).
     if (local->accs.empty()) new_group(Row{});
+    const SelectionVector* sel = batch.has_sel ? &batch.sel : nullptr;
     for (AggAccumulator& acc : local->accs[0]) {
-      CALCITE_RETURN_IF_ERROR(acc.AddBatch(batch));
+      CALCITE_RETURN_IF_ERROR(acc.AddBatchSel(batch.rows, sel));
     }
     return Status::OK();
   }
   Row scratch_key;
   scratch_key.reserve(group_keys.size());
-  for (const Row& row : batch) {
+  const size_t active = batch.ActiveCount();
+  for (size_t i = 0; i < active; ++i) {
+    const Row& row = batch.ActiveRow(i);
     scratch_key.clear();
     for (int k : group_keys) {
       scratch_key.push_back(row[static_cast<size_t>(k)]);
@@ -255,11 +270,12 @@ void RunAggWorker(const FragmentSource& src,
     while (pos < morsel->end) {
       if (cancel->cancelled()) return;
       size_t n = std::min(batch_size, morsel->end - pos);
-      RowBatch batch(rows.begin() + static_cast<ptrdiff_t>(pos),
-                     rows.begin() + static_cast<ptrdiff_t>(pos + n));
+      SelBatch batch;
+      batch.rows.assign(rows.begin() + static_cast<ptrdiff_t>(pos),
+                        rows.begin() + static_cast<ptrdiff_t>(pos + n));
       pos += n;
-      Status status = ApplyStages(src.stages, &batch);
-      if (status.ok() && !batch.empty()) {
+      Status status = ApplyStagesSel(src.stages, &batch);
+      if (status.ok() && batch.ActiveCount() > 0) {
         status = FeedLocalAgg(group_keys, agg_calls, batch, local);
       }
       if (!status.ok()) {
@@ -487,16 +503,21 @@ void RunProbeWorker(const ParallelJoinShared& shared, QueryCancelState* cancel,
     while (pos < morsel->end) {
       if (cancel->cancelled()) return;
       size_t n = std::min(batch_size, morsel->end - pos);
-      RowBatch batch(rows.begin() + static_cast<ptrdiff_t>(pos),
-                     rows.begin() + static_cast<ptrdiff_t>(pos + n));
+      SelBatch batch;
+      batch.rows.assign(rows.begin() + static_cast<ptrdiff_t>(pos),
+                        rows.begin() + static_cast<ptrdiff_t>(pos + n));
       pos += n;
-      Status status = ApplyStages(shared.probe.stages, &batch);
+      Status status = ApplyStagesSel(shared.probe.stages, &batch);
       if (!status.ok()) {
         cancel->Cancel(std::move(status));
         queue->Cancel();
         return;
       }
-      for (Row& lrow : batch) {
+      // Probe only the live rows — the selection an upstream filter stage
+      // left behind is consumed here, with no compaction in between.
+      const size_t active = batch.ActiveCount();
+      for (size_t k = 0; k < active; ++k) {
+        Row& lrow = batch.ActiveRow(k);
         auto key = JoinSideKey(lrow, shared.keys, /*left_side=*/true);
         bool matched = false;
         if (key.has_value()) {

@@ -53,4 +53,91 @@ void CompactBatch(RowBatch* batch, const SelectionVector& sel) {
   batch->resize(sel.size());
 }
 
+void SelBatch::Compact() {
+  if (!has_sel) return;
+  CompactBatch(&rows, sel);
+  sel.clear();
+  has_sel = false;
+}
+
+SelBatchPuller LiftToSelBatches(RowBatchPuller puller) {
+  return [puller]() -> Result<SelBatch> {
+    auto batch = puller();
+    if (!batch.ok()) return batch.status();
+    SelBatch out;
+    out.rows = std::move(batch).value();
+    return out;
+  };
+}
+
+RowBatchPuller CompactSelBatches(SelBatchPuller puller) {
+  return [puller]() -> Result<RowBatch> {
+    auto batch = puller();
+    if (!batch.ok()) return batch.status();
+    SelBatch sel_batch = std::move(batch).value();
+    sel_batch.Compact();
+    return std::move(sel_batch.rows);
+  };
+}
+
+bool ScanPredicate::Matches(const Row& row) const {
+  // Width mismatches cannot arise from well-formed tables (every stored row
+  // has the table's row type); treat a short row as not matching rather
+  // than reading out of bounds.
+  if (column < 0 || static_cast<size_t>(column) >= row.size()) return false;
+  const Value& v = row[static_cast<size_t>(column)];
+  switch (kind) {
+    case Kind::kIsNull:
+      return v.IsNull();
+    case Kind::kIsNotNull:
+      return !v.IsNull();
+    default:
+      break;
+  }
+  // SQL comparison: NULL on either side yields UNKNOWN, which a filter
+  // treats as not passing — identical to the interpreter's fast path.
+  if (v.IsNull() || literal.IsNull()) return false;
+  int c = v.Compare(literal);
+  switch (kind) {
+    case Kind::kEquals:
+      return c == 0;
+    case Kind::kNotEquals:
+      return c != 0;
+    case Kind::kLessThan:
+      return c < 0;
+    case Kind::kLessThanOrEqual:
+      return c <= 0;
+    case Kind::kGreaterThan:
+      return c > 0;
+    case Kind::kGreaterThanOrEqual:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+bool ScanPredicatesMatch(const ScanPredicateList& predicates, const Row& row) {
+  for (const ScanPredicate& pred : predicates) {
+    if (!pred.Matches(row)) return false;
+  }
+  return true;
+}
+
+RowBatchPuller FilterSliceRows(const std::vector<Row>& rows, size_t batch_size,
+                               ScanPredicateList predicates) {
+  if (batch_size == 0) batch_size = 1;
+  if (predicates.empty()) return SliceRows(rows, batch_size);
+  const std::vector<Row>* data = &rows;
+  auto preds = std::make_shared<ScanPredicateList>(std::move(predicates));
+  size_t pos = 0;
+  return [data, preds, batch_size, pos]() mutable -> Result<RowBatch> {
+    RowBatch batch;
+    while (pos < data->size() && batch.size() < batch_size) {
+      const Row& row = (*data)[pos++];
+      if (ScanPredicatesMatch(*preds, row)) batch.push_back(row);
+    }
+    return batch;
+  };
+}
+
 }  // namespace calcite

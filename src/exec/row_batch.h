@@ -57,9 +57,106 @@ struct ExecOptions {
 using RowBatchPuller = std::function<Result<RowBatch>()>;
 
 /// Indexes of the rows of a batch that satisfy a predicate, ascending.
-/// The batch-granularity analogue of a boolean column: filters compact
-/// their batch through it without per-row branching in the caller.
+/// The batch-granularity analogue of a boolean column: filters narrow it
+/// (RexInterpreter::NarrowSelection) and hand it downstream in a SelBatch
+/// instead of compacting, so survivors are only ever moved once.
 using SelectionVector = std::vector<uint32_t>;
+
+/// A batch plus an optional selection vector naming its live rows. This is
+/// the currency of the selection-aware pipeline (ExecuteSelBatched): a
+/// filter narrows `sel` instead of physically compacting `rows`, and the
+/// downstream operator (project, aggregate, join probe, exchange) iterates
+/// only the selected indexes. Compaction — the per-row moves the selection
+/// vector exists to avoid — happens at most once per batch, at the first
+/// consumer that needs physically dense rows.
+///
+/// Invariants: when `has_sel` is true, `sel` holds strictly ascending,
+/// in-range indexes into `rows`; when false, every row is live. End of
+/// stream is `rows.empty()`; like the RowBatchPuller contract, producers
+/// never yield a mid-stream batch with zero live rows (a filter that kills
+/// a whole chunk keeps pulling).
+struct SelBatch {
+  RowBatch rows;
+  SelectionVector sel;
+  bool has_sel = false;
+
+  size_t ActiveCount() const { return has_sel ? sel.size() : rows.size(); }
+  bool AtEnd() const { return rows.empty(); }
+
+  /// The k-th live row (k < ActiveCount()).
+  Row& ActiveRow(size_t k) {
+    return has_sel ? rows[sel[k]] : rows[k];
+  }
+  const Row& ActiveRow(size_t k) const {
+    return has_sel ? rows[sel[k]] : rows[k];
+  }
+
+  /// Makes an identity selection explicit so a filter can narrow it.
+  void EnsureSelection() {
+    if (has_sel) return;
+    sel.resize(rows.size());
+    for (uint32_t i = 0; i < rows.size(); ++i) sel[i] = i;
+    has_sel = true;
+  }
+
+  /// Physically keeps only the selected rows and drops the selection.
+  void Compact();
+};
+
+/// Selection-aware analogue of RowBatchPuller. An AtEnd() batch marks end
+/// of stream; errors abort the stream.
+using SelBatchPuller = std::function<Result<SelBatch>()>;
+
+/// Bridges a compact batch stream into the selection-aware protocol (every
+/// batch arrives with all rows live).
+SelBatchPuller LiftToSelBatches(RowBatchPuller puller);
+
+/// Bridges back: compacts each selection-carrying batch into a plain
+/// RowBatch stream honouring the producers-never-yield-empty contract.
+RowBatchPuller CompactSelBatches(SelBatchPuller puller);
+
+/// A predicate simple enough for a leaf scan to evaluate on its stored rows
+/// *before* materializing them into a batch: `column <op> literal` or a
+/// NULL test. Comparison semantics match the Rex interpreter exactly
+/// (Value::Compare three-way ordering; a comparison involving NULL — on
+/// either side — never passes), so each pushed predicate accepts exactly
+/// the rows the post-scan filter would have. Note that pushdown evaluates
+/// pushed conjuncts before residual ones regardless of their position in
+/// the original AND: result rows are identical (AND is commutative), but a
+/// residual conjunct that would have raised an evaluation error (e.g.
+/// division by zero) on a row a *later* pushed conjunct eliminates no
+/// longer sees that row — the same conjunct-reordering latitude SQL
+/// engines generally take, and that the selection-narrowing filter already
+/// takes between stacked conjuncts.
+struct ScanPredicate {
+  enum class Kind {
+    kEquals,
+    kNotEquals,
+    kLessThan,
+    kLessThanOrEqual,
+    kGreaterThan,
+    kGreaterThanOrEqual,
+    kIsNull,
+    kIsNotNull,
+  };
+  Kind kind = Kind::kEquals;
+  int column = 0;
+  Value literal;  // ignored by the NULL tests
+
+  bool Matches(const Row& row) const;
+};
+
+using ScanPredicateList = std::vector<ScanPredicate>;
+
+/// True iff every predicate passes (empty list passes everything).
+bool ScanPredicatesMatch(const ScanPredicateList& predicates, const Row& row);
+
+/// Batch stream over caller-owned rows that applies `predicates` before
+/// copying a row into the output batch — the leaf-scan pushdown path: rows
+/// failing the predicates are never materialized. Same lifetime contract as
+/// SliceRows.
+RowBatchPuller FilterSliceRows(const std::vector<Row>& rows, size_t batch_size,
+                               ScanPredicateList predicates);
 
 /// Wraps already-materialized rows as a batch stream (the bridge used by
 /// operators and tables that have not been converted to native batching).

@@ -137,6 +137,22 @@ class RelNode : public std::enable_shared_from_this<RelNode> {
         [self, puller]() -> Result<RowBatch> { return puller(); });
   }
 
+  /// Selection-aware batch execution: like ExecuteBatched, but each yielded
+  /// batch may carry a selection vector naming its live rows, so a filter
+  /// can hand its selection to the consumer instead of physically
+  /// compacting the batch. Selection-aware consumers (project, aggregate,
+  /// join probes, the morsel-parallel exchange) iterate only the selected
+  /// indexes; everything else bridges through CompactSelBatches. The
+  /// default lifts ExecuteBatched's compact batches (all rows live), so
+  /// only operators that benefit — today the enumerable Filter — override
+  /// it. Same ownership contract as ExecuteBatched.
+  virtual Result<SelBatchPuller> ExecuteSelBatched(
+      const ExecOptions& opts) const {
+    auto batched = ExecuteBatched(opts);
+    if (!batched.ok()) return batched.status();
+    return LiftToSelBatches(std::move(batched).value());
+  }
+
  protected:
   RelNode(RelTraitSet traits, RelDataTypePtr row_type,
           std::vector<RelNodePtr> inputs)

@@ -605,17 +605,50 @@ Status FilterSelection(const RexNodePtr& node, const RowBatch& batch,
   return Status::OK();
 }
 
+/// The number of rows EvalBatchSel will touch.
+size_t ActiveCount(const RowBatch& batch, const SelectionVector* sel) {
+  return sel != nullptr ? sel->size() : batch.size();
+}
+
+/// The k-th row under the (possibly absent) selection.
+const Row& ActiveRow(const RowBatch& batch, const SelectionVector* sel,
+                     size_t k) {
+  return sel != nullptr ? batch[(*sel)[k]] : batch[k];
+}
+
+bool IsArithmeticOp(OpKind op) {
+  switch (op) {
+    case OpKind::kPlus:
+    case OpKind::kMinus:
+    case OpKind::kTimes:
+    case OpKind::kDivide:
+    case OpKind::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 Status RexInterpreter::EvalBatch(const RexNodePtr& node, const RowBatch& batch,
                                  std::vector<Value>* out) {
+  return EvalBatchSel(node, batch, /*sel=*/nullptr, out);
+}
+
+Status RexInterpreter::EvalBatchSel(const RexNodePtr& node,
+                                    const RowBatch& batch,
+                                    const SelectionVector* sel,
+                                    std::vector<Value>* out) {
+  const size_t n = ActiveCount(batch, sel);
   out->clear();
-  out->reserve(batch.size());
+  out->reserve(n);
   switch (node->node_kind()) {
     case RexNode::NodeKind::kInputRef: {
       const auto* ref = static_cast<const RexInputRef*>(node.get());
       const int col = ref->index();
-      for (const Row& row : batch) {
+      for (size_t k = 0; k < n; ++k) {
+        const Row& row = ActiveRow(batch, sel, k);
         if (col < 0 || static_cast<size_t>(col) >= row.size()) {
           return TypeError("input ref $" + std::to_string(col) +
                            " out of range for row of " +
@@ -627,26 +660,127 @@ Status RexInterpreter::EvalBatch(const RexNodePtr& node, const RowBatch& batch,
     }
     case RexNode::NodeKind::kLiteral: {
       const Value& value = static_cast<const RexLiteral*>(node.get())->value();
-      out->assign(batch.size(), value);
+      out->assign(n, value);
       return Status::OK();
     }
     case RexNode::NodeKind::kCall:
       break;
   }
-  for (const Row& row : batch) {
-    auto v = Eval(node, row);
+  const auto* call = static_cast<const RexCall*>(node.get());
+  const OpKind op = call->op();
+  const std::vector<RexNodePtr>& operands = call->operands();
+
+  // Fused binary kernels: arithmetic / comparison over two operands that
+  // are each an input column or a literal. One batch loop, no per-row tree
+  // dispatch; NULL-strict semantics and error behaviour identical to Eval
+  // (FetchOperand raises the same range error, EvalArithmetic the same
+  // division-by-zero / type errors, on the same first offending row).
+  if (operands.size() == 2 && (IsArithmeticOp(op) || IsComparisonOp(op))) {
+    ColumnOrConst lhs = Classify(operands[0]);
+    ColumnOrConst rhs = Classify(operands[1]);
+    if (lhs.ok && rhs.ok) {
+      const bool is_arith = IsArithmeticOp(op);
+      for (size_t k = 0; k < n; ++k) {
+        const Row& row = ActiveRow(batch, sel, k);
+        auto a = FetchOperand(lhs, row);
+        if (!a.ok()) return a.status();
+        auto b = FetchOperand(rhs, row);
+        if (!b.ok()) return b.status();
+        if (a.value()->IsNull() || b.value()->IsNull()) {
+          out->push_back(Value::Null());
+          continue;
+        }
+        if (is_arith) {
+          auto v = EvalArithmetic(op, *a.value(), *b.value());
+          if (!v.ok()) return v.status();
+          out->push_back(std::move(v).value());
+        } else {
+          out->push_back(
+              Value::Bool(ComparisonPasses(op, a.value()->Compare(*b.value()))));
+        }
+      }
+      return Status::OK();
+    }
+  }
+
+  // Fused unary kernels: NULL tests, NOT, unary minus, and single-step
+  // CASTs whose operand is an input column or literal.
+  if (operands.size() == 1) {
+    ColumnOrConst arg = Classify(operands[0]);
+    bool fused_unary = arg.ok;
+    switch (op) {
+      case OpKind::kIsNull:
+      case OpKind::kIsNotNull:
+      case OpKind::kIsTrue:
+      case OpKind::kIsFalse:
+      case OpKind::kNot:
+      case OpKind::kUnaryMinus:
+      case OpKind::kCast:
+        break;
+      default:
+        fused_unary = false;
+        break;
+    }
+    if (fused_unary) {
+      for (size_t k = 0; k < n; ++k) {
+        auto v = FetchOperand(arg, ActiveRow(batch, sel, k));
+        if (!v.ok()) return v.status();
+        const Value& value = *v.value();
+        switch (op) {
+          case OpKind::kIsNull:
+            out->push_back(Value::Bool(value.IsNull()));
+            break;
+          case OpKind::kIsNotNull:
+            out->push_back(Value::Bool(!value.IsNull()));
+            break;
+          case OpKind::kIsTrue:
+            out->push_back(Value::Bool(!value.IsNull() && value.AsBool()));
+            break;
+          case OpKind::kIsFalse:
+            out->push_back(Value::Bool(!value.IsNull() && !value.AsBool()));
+            break;
+          case OpKind::kNot:
+            out->push_back(value.IsNull() ? Value::Null()
+                                          : Value::Bool(!value.AsBool()));
+            break;
+          case OpKind::kUnaryMinus:
+            if (value.IsNull()) {
+              out->push_back(Value::Null());
+            } else if (value.is_int()) {
+              out->push_back(Value::Int(-value.AsInt()));
+            } else if (value.is_double()) {
+              out->push_back(Value::Double(-value.AsDouble()));
+            } else {
+              return TypeError("non-numeric operand to unary minus");
+            }
+            break;
+          case OpKind::kCast: {
+            auto cast = CastValue(value, *node->type());
+            if (!cast.ok()) return cast.status();
+            out->push_back(std::move(cast).value());
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      return Status::OK();
+    }
+  }
+
+  // General fallback: per-row tree interpretation over the selected rows
+  // only — rows outside the selection are never evaluated.
+  for (size_t k = 0; k < n; ++k) {
+    auto v = Eval(node, ActiveRow(batch, sel, k));
     if (!v.ok()) return v.status();
     out->push_back(std::move(v).value());
   }
   return Status::OK();
 }
 
-Status RexInterpreter::EvalPredicateBatch(const RexNodePtr& node,
-                                          const RowBatch& batch,
-                                          SelectionVector* sel) {
-  sel->clear();
-  sel->reserve(batch.size());
-  for (uint32_t i = 0; i < batch.size(); ++i) sel->push_back(i);
+Status RexInterpreter::NarrowSelection(const RexNodePtr& node,
+                                       const RowBatch& batch,
+                                       SelectionVector* sel) {
   return FilterSelection(node, batch, sel);
 }
 

@@ -66,6 +66,25 @@ class Table {
     return ChunkRows(std::move(rows).value(), batch_size);
   }
 
+  /// Batched scan with leaf-level predicate pushdown: yields only the rows
+  /// matching every ScanPredicate (simple `column <op> literal` / NULL-test
+  /// shapes — see exec/row_batch.h), chunked like ScanBatched. Tables that
+  /// physically hold rows override this to test each stored row *before*
+  /// copying it into a batch, so filtered-out rows are never materialized;
+  /// the default filters after the generic batched scan, which is
+  /// semantically identical. Same lifetime contract as ScanBatched.
+  virtual Result<RowBatchPuller> ScanBatchedFiltered(
+      size_t batch_size, ScanPredicateList predicates) const {
+    if (predicates.empty()) return ScanBatched(batch_size);
+    auto rows = Scan();
+    if (!rows.ok()) return rows.status();
+    std::vector<Row> kept;
+    for (Row& row : rows.value()) {
+      if (ScanPredicatesMatch(predicates, row)) kept.push_back(std::move(row));
+    }
+    return ChunkRows(std::move(kept), batch_size);
+  }
+
   /// The table's rows as stable in-memory storage, or nullptr when the
   /// table does not physically hold materialized rows. This is the access
   /// path of the morsel-driven parallel executor (src/exec/parallel/):
@@ -107,6 +126,13 @@ class MemTable : public Table {
 
   Result<RowBatchPuller> ScanBatched(size_t batch_size) const override {
     return SliceRows(rows_, batch_size);
+  }
+
+  /// Pushed predicates run against the stored rows directly; rows that fail
+  /// are never copied.
+  Result<RowBatchPuller> ScanBatchedFiltered(
+      size_t batch_size, ScanPredicateList predicates) const override {
+    return FilterSliceRows(rows_, batch_size, std::move(predicates));
   }
 
   const std::vector<Row>* MaterializedRows() const override { return &rows_; }

@@ -41,6 +41,13 @@ class StreamTable final : public Table {
     return SliceRows(events_, batch_size);
   }
 
+  /// Predicate pushdown only drops events, never reorders them, so the
+  /// stream's arrival-order contract survives.
+  Result<RowBatchPuller> ScanBatchedFiltered(
+      size_t batch_size, ScanPredicateList predicates) const override {
+    return FilterSliceRows(events_, batch_size, std::move(predicates));
+  }
+
   bool IsStream() const override { return true; }
 
   int rowtime_column() const { return rowtime_column_; }

@@ -14,6 +14,7 @@
 #include "adapters/enumerable/enumerable_rels.h"
 #include "rel/core.h"
 #include "rex/rex_builder.h"
+#include "rex/rex_interpreter.h"
 #include "test_schema.h"
 #include "tools/frameworks.h"
 
@@ -378,6 +379,295 @@ TEST_F(BatchParityTest, Interpreter) {
     ExpectParity(EnumerableInterpreter::Create(Leaf(n)),
                  "Interpreter n=" + std::to_string(n));
   }
+}
+
+// --------------------- selection-pushdown parity ----------------------------
+//
+// The selection-aware pipeline (filters narrow a SelectionVector, leaf
+// scans evaluate pushed predicates before materializing rows) must be
+// byte-identical to the compacting path. Each case is checked two ways:
+// ExpectParity sweeps batch sizes against the row-at-a-time degenerate
+// mode, and an explicit per-row EvalPredicate oracle reproduces what the
+// old compact-after-every-filter pipeline produced.
+
+/// Rows of `rows` passing all `conditions` under the per-row interpreter —
+/// the compacting pipeline's semantics, computed independently of the
+/// batch engine.
+std::vector<Row> RowAtATimeFilter(const std::vector<Row>& rows,
+                                  const std::vector<RexNodePtr>& conditions) {
+  std::vector<Row> out;
+  for (const Row& row : rows) {
+    bool pass = true;
+    for (const RexNodePtr& cond : conditions) {
+      auto got = RexInterpreter::EvalPredicate(cond, row);
+      EXPECT_TRUE(got.ok()) << got.status().ToString();
+      if (!got.ok() || !got.value()) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.push_back(row);
+  }
+  return out;
+}
+
+void ExpectSameRows(const std::vector<Row>& got, const std::vector<Row>& want,
+                    const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(RowToString(got[i]), RowToString(want[i]))
+        << label << " row " << i;
+  }
+}
+
+TEST_F(BatchParityTest, StackedFiltersSelectionParity) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr leaf = Leaf(n);
+    const RelDataTypePtr& rt = leaf->row_type();
+    // Three stacked filters: a fused comparison, a NULL test, and a
+    // fallback OR — the selection narrows through all three without an
+    // intermediate compaction.
+    auto c1 = rex_.MakeCall(OpKind::kLessThan,
+                            {Field(rt, 0), rex_.MakeIntLiteral(900)});
+    ASSERT_TRUE(c1.ok());
+    auto c2 = rex_.MakeCall(OpKind::kIsNotNull, {Field(rt, 1)});
+    ASSERT_TRUE(c2.ok());
+    auto like = rex_.MakeCall(
+        OpKind::kLike, {Field(rt, 2), rex_.MakeStringLiteral("s1%")});
+    ASSERT_TRUE(like.ok());
+    auto dgt = rex_.MakeCall(OpKind::kGreaterThan,
+                             {Field(rt, 3), rex_.MakeDoubleLiteral(1.0)});
+    ASSERT_TRUE(dgt.ok());
+    RexNodePtr c3 = rex_.MakeOr({like.value(), dgt.value()});
+
+    RelNodePtr stacked = EnumerableFilter::Create(
+        EnumerableFilter::Create(
+            EnumerableFilter::Create(leaf, c1.value()), c2.value()),
+        c3);
+    ExpectParity(stacked, "StackedFilters n=" + std::to_string(n));
+
+    // Independent row-at-a-time oracle (the compacting path's output).
+    auto got = RunBatched(stacked, 1024);
+    ASSERT_TRUE(got.ok());
+    ExpectSameRows(got.value(),
+                   RowAtATimeFilter(MakeRows(n), {c1.value(), c2.value(), c3}),
+                   "StackedFilters oracle n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, FilterUnderJoinSelectionParity) {
+  // Both join inputs sit under filters, so the probe side consumes a
+  // selection-carrying stream; every join type must stay byte-identical.
+  const std::vector<JoinType> join_types = {
+      JoinType::kInner, JoinType::kLeft,  JoinType::kRight,
+      JoinType::kFull,  JoinType::kSemi,  JoinType::kAnti};
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1023}, size_t{1025}}) {
+    RelNodePtr left_leaf = Leaf(n);
+    RelNodePtr right_leaf = Leaf(97);
+    const RelDataTypePtr& lt = left_leaf->row_type();
+    const RelDataTypePtr& rt = right_leaf->row_type();
+    auto lcond = rex_.MakeCall(OpKind::kGreaterThanOrEqual,
+                               {Field(lt, 0), rex_.MakeIntLiteral(3)});
+    ASSERT_TRUE(lcond.ok());
+    auto rcond = rex_.MakeCall(OpKind::kIsNotNull, {Field(rt, 1)});
+    ASSERT_TRUE(rcond.ok());
+    RelNodePtr left = EnumerableFilter::Create(left_leaf, lcond.value());
+    RelNodePtr right = EnumerableFilter::Create(right_leaf, rcond.value());
+    size_t left_width = lt->fields().size();
+    auto equi = rex_.MakeEquals(
+        Field(lt, 1), rex_.MakeInputRef(static_cast<int>(left_width) + 1,
+                                        rt->fields()[1].type));
+    for (JoinType jt : join_types) {
+      auto row_type = DeriveJoinRowType(lt, rt, jt, tf_);
+      ExpectParity(EnumerableHashJoin::Create(left, right, equi, jt, row_type),
+                   std::string("FilterUnderHashJoin ") + JoinTypeName(jt) +
+                       " n=" + std::to_string(n));
+    }
+    // Nested loop probe is selection-aware too.
+    auto nl_cond = rex_.MakeCall(
+        OpKind::kGreaterThan,
+        {Field(lt, 1), rex_.MakeInputRef(static_cast<int>(left_width) + 1,
+                                         rt->fields()[1].type)});
+    ASSERT_TRUE(nl_cond.ok());
+    auto nl_type = DeriveJoinRowType(lt, rt, JoinType::kInner, tf_);
+    ExpectParity(EnumerableNestedLoopJoin::Create(left, right, nl_cond.value(),
+                                                  JoinType::kInner, nl_type),
+                 "FilterUnderNestedLoop n=" + std::to_string(n));
+  }
+}
+
+TEST_F(BatchParityTest, FilterUnderAggregateSelectionParity) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr leaf = Leaf(n);
+    const RelDataTypePtr& rt = leaf->row_type();
+    auto cond = rex_.MakeCall(OpKind::kLessThan,
+                              {Field(rt, 0), rex_.MakeIntLiteral(777)});
+    ASSERT_TRUE(cond.ok());
+    RelNodePtr filtered = EnumerableFilter::Create(leaf, cond.value());
+    std::vector<AggregateCall> calls;
+    {
+      AggregateCall c;
+      c.kind = AggKind::kCountStar;
+      c.name = "cnt";
+      calls.push_back(c);
+      c.kind = AggKind::kSum;
+      c.args = {3};
+      c.name = "sum_d";
+      calls.push_back(c);
+      c.kind = AggKind::kCount;
+      c.args = {1};
+      c.distinct = true;
+      c.name = "cntd_k";
+      calls.push_back(c);
+    }
+    // Global: COUNT(*) must count only the selected rows (AddBatchSel).
+    {
+      auto row_type = DeriveAggregateRowType(rt, {}, calls, tf_);
+      ExpectParity(EnumerableAggregate::Create(filtered, {}, calls, row_type),
+                   "FilterUnderAggregate(global) n=" + std::to_string(n));
+    }
+    // Grouped by the NULL-heavy column.
+    {
+      auto row_type = DeriveAggregateRowType(rt, {1}, calls, tf_);
+      ExpectParity(
+          EnumerableAggregate::Create(filtered, {1}, calls, row_type),
+          "FilterUnderAggregate(k) n=" + std::to_string(n));
+    }
+  }
+}
+
+namespace {
+
+/// A table without physical row storage: exercises the default
+/// ScanBatchedFiltered (filter *after* the generic batched scan) as the
+/// reference for the pushdown overrides.
+class PostFilterTable : public Table {
+ public:
+  PostFilterTable(RelDataTypePtr row_type, std::vector<Row> rows)
+      : row_type_(std::move(row_type)), rows_(std::move(rows)) {}
+  RelDataTypePtr GetRowType(const TypeFactory&) const override {
+    return row_type_;
+  }
+  Result<std::vector<Row>> Scan() const override { return rows_; }
+
+ private:
+  RelDataTypePtr row_type_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace
+
+TEST_F(BatchParityTest, ScanPredicatePushdownParity) {
+  // The same filter over (a) a MemTable scan — predicates pushed into the
+  // leaf, rows filtered before materialization — (b) a storage-less table
+  // using the default post-scan filtering, and (c) a Values leaf — no
+  // pushdown, selection narrowing only — must produce byte-identical rows.
+  for (size_t n : kCardinalities) {
+    std::vector<Row> rows = MakeRows(n);
+    auto row_type = TestRowType(tf_);
+
+    // Mixed condition: two pushable conjuncts ($0 < 900, $1 IS NOT NULL,
+    // and the mirrored literal-first 700 > $0) plus a fallback residual.
+    auto c1 = rex_.MakeCall(OpKind::kLessThan,
+                            {Field(row_type, 0), rex_.MakeIntLiteral(900)});
+    ASSERT_TRUE(c1.ok());
+    auto c2 = rex_.MakeCall(OpKind::kIsNotNull, {Field(row_type, 1)});
+    ASSERT_TRUE(c2.ok());
+    auto c3 = rex_.MakeCall(OpKind::kGreaterThan,
+                            {rex_.MakeIntLiteral(700), Field(row_type, 0)});
+    ASSERT_TRUE(c3.ok());
+    auto like = rex_.MakeCall(
+        OpKind::kLike, {Field(row_type, 2), rex_.MakeStringLiteral("s%")});
+    ASSERT_TRUE(like.ok());
+    const std::vector<RexNodePtr> conditions = {
+        rex_.MakeAnd({c1.value(), c2.value(), c3.value(), like.value()}),
+        rex_.MakeAnd({c1.value(), c2.value()}),  // fully pushable
+        like.value(),                            // nothing pushable
+    };
+
+    for (size_t ci = 0; ci < conditions.size(); ++ci) {
+      const RexNodePtr& cond = conditions[ci];
+      auto make_scan_plan = [&](TablePtr table) {
+        auto logical = LogicalTableScan::Create(table, {"t"},
+                                                Convention::Enumerable(), tf_);
+        auto scan = EnumerableTableScan::Create(
+            *static_cast<const TableScan*>(logical.get()));
+        return EnumerableFilter::Create(scan, cond);
+      };
+      RelNodePtr pushdown =
+          make_scan_plan(std::make_shared<MemTable>(row_type, rows));
+      RelNodePtr post_filter =
+          make_scan_plan(std::make_shared<PostFilterTable>(row_type, rows));
+      RelNodePtr values_plan = EnumerableFilter::Create(
+          EnumerableValues::Create(row_type, rows), cond);
+
+      std::string label = "ScanPushdown n=" + std::to_string(n) +
+                          " cond=" + std::to_string(ci);
+      ExpectParity(pushdown, label);
+      std::vector<Row> oracle = RowAtATimeFilter(rows, {cond});
+      for (size_t bs : {size_t{1}, size_t{3}, size_t{1024}}) {
+        auto a = RunBatched(pushdown, bs);
+        ASSERT_TRUE(a.ok()) << label;
+        auto b = RunBatched(post_filter, bs);
+        ASSERT_TRUE(b.ok()) << label;
+        auto c = RunBatched(values_plan, bs);
+        ASSERT_TRUE(c.ok()) << label;
+        ExpectSameRows(a.value(), oracle, label + " pushdown bs=" +
+                                              std::to_string(bs));
+        ExpectSameRows(b.value(), oracle, label + " post-filter bs=" +
+                                              std::to_string(bs));
+        ExpectSameRows(c.value(), oracle, label + " values bs=" +
+                                              std::to_string(bs));
+      }
+    }
+  }
+}
+
+TEST_F(BatchParityTest, ExtractScanPredicatesSplitsConjunction) {
+  auto row_type = TestRowType(tf_);
+  auto c1 = rex_.MakeCall(OpKind::kLessThan,
+                          {Field(row_type, 0), rex_.MakeIntLiteral(10)});
+  ASSERT_TRUE(c1.ok());
+  auto c2 = rex_.MakeCall(OpKind::kGreaterThanOrEqual,
+                          {rex_.MakeDoubleLiteral(0.5), Field(row_type, 3)});
+  ASSERT_TRUE(c2.ok());
+  auto c3 = rex_.MakeCall(OpKind::kIsNull, {Field(row_type, 1)});
+  ASSERT_TRUE(c3.ok());
+  auto like = rex_.MakeCall(
+      OpKind::kLike, {Field(row_type, 2), rex_.MakeStringLiteral("s%")});
+  ASSERT_TRUE(like.ok());
+  // Nested AND: ((c1 AND c2) AND (c3 AND like)).
+  RexNodePtr cond = rex_.MakeAnd(
+      {rex_.MakeAnd({c1.value(), c2.value()}),
+       rex_.MakeAnd({c3.value(), like.value()})});
+  ScanPredicateList pushed;
+  std::vector<RexNodePtr> residual;
+  ASSERT_TRUE(ExtractScanPredicates(cond, 4, &pushed, &residual));
+  ASSERT_EQ(pushed.size(), 3u);
+  EXPECT_EQ(pushed[0].kind, ScanPredicate::Kind::kLessThan);
+  EXPECT_EQ(pushed[0].column, 0);
+  // `0.5 >= $3` must arrive mirrored as `$3 <= 0.5`.
+  EXPECT_EQ(pushed[1].kind, ScanPredicate::Kind::kLessThanOrEqual);
+  EXPECT_EQ(pushed[1].column, 3);
+  EXPECT_EQ(pushed[2].kind, ScanPredicate::Kind::kIsNull);
+  EXPECT_EQ(pushed[2].column, 1);
+  ASSERT_EQ(residual.size(), 1u);
+  EXPECT_EQ(residual[0]->ToString(), like.value()->ToString());
+
+  // A ref-vs-ref comparison or an out-of-range column is not pushable.
+  auto refs = rex_.MakeCall(OpKind::kEquals,
+                            {Field(row_type, 0), Field(row_type, 1)});
+  ASSERT_TRUE(refs.ok());
+  pushed.clear();
+  residual.clear();
+  EXPECT_FALSE(ExtractScanPredicates(refs.value(), 4, &pushed, &residual));
+  EXPECT_TRUE(pushed.empty());
+  ASSERT_EQ(residual.size(), 1u);
+  pushed.clear();
+  residual.clear();
+  EXPECT_FALSE(ExtractScanPredicates(c1.value(), /*scan_width=*/0, &pushed,
+                                     &residual));
+  ASSERT_EQ(residual.size(), 1u);
 }
 
 // ------------------------- SQL-level differential --------------------------
