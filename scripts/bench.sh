@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Perf-trajectory capture: runs the architecture benchmark suite and writes
+# its JSON output to BENCH_<git-sha>.json at the repo root, so every PR can
+# check in a before/after pair measured on the same machine.
+#
+# Usage: scripts/bench.sh [build-dir] [benchmark-filter]
+#   scripts/bench.sh                 # default build dir, trajectory filter
+#   scripts/bench.sh build all       # run every benchmark in the binary
+#
+# The default filter covers the hot-path sweeps the perf acceptance criteria
+# track (BM_BatchSizeSweep, BM_FilterPushdownSweep) plus the end-to-end
+# stage and parallel sweeps for context.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+FILTER="${2:-BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep}"
+if [[ "$FILTER" == "all" ]]; then FILTER='.'; fi
+
+if [[ ! -x "$BUILD_DIR/bench_architecture" ]]; then
+  echo "=== configure + build ($BUILD_DIR) ==="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target bench_architecture
+fi
+
+SHA="$(git rev-parse --short HEAD)"
+DIRTY=""
+git diff --quiet HEAD -- ':!BENCH_*.json' 2>/dev/null || DIRTY="-dirty"
+OUT="BENCH_${SHA}${DIRTY}.json"
+
+echo "=== bench -> $OUT (filter: $FILTER) ==="
+"$BUILD_DIR/bench_architecture" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  > "$OUT"
+
+echo "=== summary ==="
+python3 - "$OUT" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for b in doc.get("benchmarks", []):
+    if b.get("aggregate_name") not in (None, "median"):
+        continue
+    rps = b.get("counters", {}).get("rows_per_sec")
+    extra = f"  rows/s={rps:,.0f}" if isinstance(rps, (int, float)) else ""
+    print(f"{b['name']:<55} {b['real_time']:>12.3f} {b.get('time_unit','ns')}{extra}")
+EOF
+echo "=== done ==="

@@ -39,10 +39,16 @@ if [[ -n "$SANITIZER" ]]; then
   #   an out-of-bounds access or overflow hides in.
   # --no-tests=error: a green sanitizer run that executed zero tests
   # (missing GTest, filter typo) must fail loudly, not pass silently.
+  # The columnar differential suite runs under both: its parallel sweeps
+  # ship arena-backed ColumnBatches across the exchange (TSan: the arena
+  # recycling and zero-copy pin lifetimes), and its kernels index raw typed
+  # columns through selection vectors (ASan/UBSan). alloc_count_test is
+  # excluded everywhere: it overrides global operator new, which fights the
+  # sanitizer allocators.
   if [[ "$SANITIZER" == *thread* ]]; then
-    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test'
+    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test|columnar_parity_test'
   else
-    FILTER='row_batch_test|rex_kernel_fuzz_test|batch_parity_test|linq_batch_test|parallel_exec_test'
+    FILTER='row_batch_test|rex_kernel_fuzz_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test'
   fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
     -R "$FILTER"

@@ -37,6 +37,12 @@ class CassandraTable final : public Table {
   /// boundary.
   const std::vector<Row>* MaterializedRows() const override { return &rows_; }
 
+  /// The simulated backend is immutable after construction, so the columnar
+  /// decomposition is built once and cached.
+  TableColumnsPtr MaterializedColumns(const TypeFactory&) const override {
+    return columnar_.Get(rows_, row_type_);
+  }
+
   const std::vector<int>& partition_keys() const { return partition_keys_; }
   const RelCollation& clustering() const { return clustering_; }
 
@@ -45,6 +51,7 @@ class CassandraTable final : public Table {
   std::vector<Row> rows_;
   std::vector<int> partition_keys_;
   RelCollation clustering_;
+  ColumnarCache columnar_;
 };
 
 class CassandraSchema final : public Schema {

@@ -44,12 +44,19 @@ class CsvTable final : public Table {
   /// The parsed file doubles as stable storage for morsel-parallel scans.
   const std::vector<Row>* MaterializedRows() const override { return &rows_; }
 
+  /// The parsed file is immutable, so the columnar decomposition is built
+  /// once and never invalidated.
+  TableColumnsPtr MaterializedColumns(const TypeFactory&) const override {
+    return columnar_.Get(rows_, row_type_);
+  }
+
  private:
   CsvTable(RelDataTypePtr row_type, std::vector<Row> rows)
       : row_type_(std::move(row_type)), rows_(std::move(rows)) {}
 
   RelDataTypePtr row_type_;
   std::vector<Row> rows_;
+  ColumnarCache columnar_;
 };
 
 /// The schema factory of Figure 3: "the schema factory component acquires

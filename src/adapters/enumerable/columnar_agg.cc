@@ -1,0 +1,196 @@
+#include "adapters/enumerable/columnar_agg.h"
+
+#include <string>
+#include <utility>
+
+namespace calcite {
+
+std::unique_ptr<ColumnarAggBuilder> ColumnarAggBuilder::TryCreate(
+    const std::vector<int>& group_keys,
+    const std::vector<AggregateCall>& calls) {
+  if (group_keys.size() > 1) return nullptr;
+  return std::unique_ptr<ColumnarAggBuilder>(
+      new ColumnarAggBuilder(group_keys, calls));
+}
+
+uint32_t ColumnarAggBuilder::NewGroup(Value key) {
+  uint32_t gid = static_cast<uint32_t>(group_key_values_.size());
+  group_key_values_.push_back(std::move(key));
+  accs_.reserve(accs_.size() + calls_.size());
+  for (const AggregateCall& call : calls_) {
+    accs_.emplace_back(call);
+  }
+  return gid;
+}
+
+uint32_t ColumnarAggBuilder::GroupIdForValue(const Value& key) {
+  auto it = group_index_.find(key);
+  if (it != group_index_.end()) return it->second;
+  uint32_t gid = NewGroup(key);
+  group_index_.emplace(key, gid);
+  return gid;
+}
+
+void ColumnarAggBuilder::ResolveGroups(const ColumnBatch& batch) {
+  const size_t active = batch.ActiveCount();
+  gids_.clear();
+  gids_.reserve(active);
+  if (group_keys_.empty()) {
+    if (group_key_values_.empty()) NewGroup(Value::Null());
+    gids_.assign(active, 0);
+    return;
+  }
+  const ColumnVector& key = batch.cols[static_cast<size_t>(group_keys_[0])];
+  if (key.type == PhysType::kInt64) {
+    // Raw-int probe first; the boxed table stays authoritative so an
+    // Int(2) group opened here still unifies with a later Double(2.0).
+    for (size_t k = 0; k < active; ++k) {
+      const size_t i = batch.ActiveIndex(k);
+      if (key.nulls != nullptr && key.nulls[i] != 0) {
+        gids_.push_back(GroupIdForValue(Value::Null()));
+        continue;
+      }
+      const int64_t raw = key.i64[i];
+      auto it = int_cache_.find(raw);
+      if (it != int_cache_.end()) {
+        gids_.push_back(it->second);
+        continue;
+      }
+      uint32_t gid = GroupIdForValue(Value::Int(raw));
+      int_cache_.emplace(raw, gid);
+      gids_.push_back(gid);
+    }
+    return;
+  }
+  for (size_t k = 0; k < active; ++k) {
+    gids_.push_back(GroupIdForValue(key.GetValue(batch.ActiveIndex(k))));
+  }
+}
+
+Status ColumnarAggBuilder::FeedCall(const ColumnBatch& batch,
+                                    size_t call_idx) {
+  const AggregateCall& call = calls_[call_idx];
+  const size_t stride = calls_.size();
+  const size_t active = batch.ActiveCount();
+
+  if (call.kind == AggKind::kCountStar) {
+    if (group_keys_.empty()) {
+      accs_[call_idx].AddCountStarN(static_cast<int64_t>(active));
+    } else {
+      for (size_t k = 0; k < active; ++k) {
+        accs_[gids_[k] * stride + call_idx].AddCountStarN(1);
+      }
+    }
+    return Status::OK();
+  }
+  if (call.args.empty()) {
+    return Status::RuntimeError("aggregate " + call.ToString() +
+                                " has no argument");
+  }
+  const int arg = call.args[0];
+  if (arg < 0 || static_cast<size_t>(arg) >= batch.cols.size()) {
+    return Status::RuntimeError("aggregate argument $" + std::to_string(arg) +
+                                " out of range");
+  }
+  const ColumnVector& col = batch.cols[static_cast<size_t>(arg)];
+  auto acc = [&](size_t k) -> AggAccumulator& {
+    return accs_[gids_[k] * stride + call_idx];
+  };
+
+  // DISTINCT dedups on the boxed value, so it always takes the boxed path.
+  if (call.distinct || col.type == PhysType::kValue) {
+    for (size_t k = 0; k < active; ++k) {
+      const size_t i = batch.ActiveIndex(k);
+      if (col.IsNullAt(i)) continue;  // SQL aggregates ignore NULLs.
+      CALCITE_RETURN_IF_ERROR(acc(k).AddNonNullValue(col.GetValue(i)));
+    }
+    return Status::OK();
+  }
+  switch (col.type) {
+    case PhysType::kInt64:
+      for (size_t k = 0; k < active; ++k) {
+        const size_t i = batch.ActiveIndex(k);
+        if (col.nulls != nullptr && col.nulls[i] != 0) continue;
+        CALCITE_RETURN_IF_ERROR(acc(k).AddNonNullInt64(col.i64[i]));
+      }
+      return Status::OK();
+    case PhysType::kDouble:
+      for (size_t k = 0; k < active; ++k) {
+        const size_t i = batch.ActiveIndex(k);
+        if (col.nulls != nullptr && col.nulls[i] != 0) continue;
+        CALCITE_RETURN_IF_ERROR(acc(k).AddNonNullDouble(col.f64[i]));
+      }
+      return Status::OK();
+    case PhysType::kString:
+      for (size_t k = 0; k < active; ++k) {
+        const size_t i = batch.ActiveIndex(k);
+        if (col.nulls != nullptr && col.nulls[i] != 0) continue;
+        CALCITE_RETURN_IF_ERROR(acc(k).AddNonNullStringView(col.str[i].view()));
+      }
+      return Status::OK();
+    case PhysType::kBool:
+      for (size_t k = 0; k < active; ++k) {
+        const size_t i = batch.ActiveIndex(k);
+        if (col.nulls != nullptr && col.nulls[i] != 0) continue;
+        CALCITE_RETURN_IF_ERROR(
+            acc(k).AddNonNullValue(Value::Bool(col.b8[i] != 0)));
+      }
+      return Status::OK();
+    case PhysType::kValue:
+      break;  // handled above
+  }
+  return Status::OK();
+}
+
+Status ColumnarAggBuilder::Feed(const ColumnBatch& batch) {
+  ResolveGroups(batch);
+  for (size_t j = 0; j < calls_.size(); ++j) {
+    CALCITE_RETURN_IF_ERROR(FeedCall(batch, j));
+  }
+  return Status::OK();
+}
+
+Status ColumnarAggBuilder::MergeFrom(const ColumnarAggBuilder& other) {
+  const size_t stride = calls_.size();
+  for (size_t og = 0; og < other.group_key_values_.size(); ++og) {
+    uint32_t gid;
+    if (group_keys_.empty()) {
+      if (group_key_values_.empty()) NewGroup(Value::Null());
+      gid = 0;
+    } else {
+      gid = GroupIdForValue(other.group_key_values_[og]);
+    }
+    for (size_t j = 0; j < stride; ++j) {
+      CALCITE_RETURN_IF_ERROR(
+          accs_[gid * stride + j].MergeFrom(other.accs_[og * stride + j]));
+    }
+  }
+  return Status::OK();
+}
+
+RowBatch ColumnarAggBuilder::EmitBatch(size_t batch_size) {
+  if (!finalized_) {
+    // Global aggregate over empty input still produces one row.
+    if (group_keys_.empty() && group_key_values_.empty()) {
+      NewGroup(Value::Null());
+    }
+    finalized_ = true;
+  }
+  const size_t stride = calls_.size();
+  RowBatch out;
+  while (emit_pos_ < group_key_values_.size() && out.size() < batch_size) {
+    const size_t g = emit_pos_++;
+    Row result;
+    result.reserve(group_keys_.size() + stride);
+    if (!group_keys_.empty()) {
+      result.push_back(std::move(group_key_values_[g]));
+    }
+    for (size_t j = 0; j < stride; ++j) {
+      result.push_back(accs_[g * stride + j].Finish());
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace calcite

@@ -1,0 +1,89 @@
+#ifndef CALCITE_ADAPTERS_ENUMERABLE_COLUMNAR_AGG_H_
+#define CALCITE_ADAPTERS_ENUMERABLE_COLUMNAR_AGG_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "adapters/enumerable/aggregates.h"
+#include "exec/column_batch.h"
+#include "rel/rel_node.h"
+#include "type/value.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Columnar hash-aggregate state: consumes ColumnBatches straight off the
+/// columnar hot path, resolving group ids and feeding the typed adders of
+/// AggAccumulator without boxing non-NULL cells. Covers the global
+/// (ungrouped) case and single-column group keys — wider keys stay on the
+/// row path (TryCreate returns nullptr).
+///
+/// The produced groups match the row-path hash aggregate exactly: first-seen
+/// key order, Value-equality group unification (Int(2) and Double(2.0) land
+/// in the same group), NULLs form their own group, and accumulator state is
+/// bit-for-bit what the per-row Add() calls would have built (the parity
+/// suite enforces this).
+class ColumnarAggBuilder {
+ public:
+  /// Returns a builder when the grouping shape is supported (zero or one
+  /// group key), else nullptr. `calls` are copied; the builder is
+  /// self-contained after construction.
+  static std::unique_ptr<ColumnarAggBuilder> TryCreate(
+      const std::vector<int>& group_keys,
+      const std::vector<AggregateCall>& calls);
+
+  ColumnarAggBuilder(const ColumnarAggBuilder&) = delete;
+  ColumnarAggBuilder& operator=(const ColumnarAggBuilder&) = delete;
+
+  /// Feeds the active rows of one batch.
+  Status Feed(const ColumnBatch& batch);
+
+  /// Folds another builder's groups into this one (parallel merge step).
+  /// Both builders must have been created with the same keys and calls.
+  Status MergeFrom(const ColumnarAggBuilder& other);
+
+  /// Emits up to `batch_size` result rows (group key columns then one value
+  /// per aggregate call, in first-seen group order). The first call
+  /// finalizes: a global aggregate over empty input materializes its one
+  /// row here. An empty batch means all groups have been emitted.
+  RowBatch EmitBatch(size_t batch_size);
+
+ private:
+  ColumnarAggBuilder(std::vector<int> group_keys,
+                     std::vector<AggregateCall> calls)
+      : group_keys_(std::move(group_keys)), calls_(std::move(calls)) {}
+
+  /// Appends a new group keyed by `key` and returns its id.
+  uint32_t NewGroup(Value key);
+
+  /// Group id for boxed key `key`, creating the group on first sight.
+  uint32_t GroupIdForValue(const Value& key);
+
+  /// Resolves the group id of every active row of `batch` into gids_.
+  void ResolveGroups(const ColumnBatch& batch);
+
+  /// Feeds call `call_idx` for every active row of `batch`, using the group
+  /// ids already resolved into gids_.
+  Status FeedCall(const ColumnBatch& batch, size_t call_idx);
+
+  std::vector<int> group_keys_;  // empty (global) or exactly one index
+  std::vector<AggregateCall> calls_;
+
+  // Authoritative group table, keyed by boxed key value (Value hash/equality
+  // unifies numerically-equal ints and doubles, and gives NULL one group).
+  std::unordered_map<Value, uint32_t, ValueHash> group_index_;
+  // Fast path for int64 key columns: raw int64 -> group id. Populated
+  // lazily from the authoritative table so both stay consistent.
+  std::unordered_map<int64_t, uint32_t> int_cache_;
+
+  std::vector<Value> group_key_values_;         // per group, first-seen order
+  std::vector<AggAccumulator> accs_;            // groups x calls, row-major
+  std::vector<uint32_t> gids_;                  // per-Feed scratch
+  size_t emit_pos_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_ADAPTERS_ENUMERABLE_COLUMNAR_AGG_H_

@@ -7,8 +7,12 @@
 #include <utility>
 
 #include "adapters/enumerable/aggregates.h"
+#include "adapters/enumerable/columnar_agg.h"
+#include "exec/arena.h"
+#include "exec/column_batch.h"
 #include "exec/parallel/parallel_exec.h"
 #include "metadata/metadata.h"
+#include "rex/rex_columnar.h"
 #include "rex/rex_interpreter.h"
 #include "rex/rex_util.h"
 
@@ -54,6 +58,25 @@ struct RowLess {
 
 size_t NormalizedBatchSize(const ExecOptions& opts) {
   return opts.batch_size == 0 ? 1 : opts.batch_size;
+}
+
+/// Gate for the columnar fast path. The morsel-parallel executor has its own
+/// columnar pipeline (checked before any serial path), so the serial
+/// columnar operators only engage for single-threaded execution.
+bool ColumnarEnabled(const ExecOptions& opts) {
+  return opts.enable_columnar && opts.num_threads <= 1;
+}
+
+/// Bridges a columnar pipeline back to dense RowBatches (the conversion
+/// boundary for row-path consumers: sort, set ops, QueryResult).
+RowBatchPuller ColumnarToRowPuller(RelNodePtr self, ColumnBatchPuller pull) {
+  return RowBatchPuller([self, pull]() -> Result<RowBatch> {
+    auto batch = pull();
+    if (!batch.ok()) return batch.status();
+    RowBatch out;
+    ColumnsToRows(batch.value(), &out);
+    return out;
+  });
 }
 
 /// Materializes a node's full output through its batch pipeline.
@@ -261,6 +284,20 @@ Result<RowBatchPuller> EnumerableTableScan::ExecuteBatched(
       [table, pull]() -> Result<RowBatch> { return pull(); });
 }
 
+std::optional<Result<ColumnBatchPuller>>
+EnumerableTableScan::TryExecuteColumnar(const ExecOptions& opts) const {
+  if (!ColumnarEnabled(opts)) return std::nullopt;
+  TypeFactory type_factory;
+  TableColumnsPtr columns = table_->MaterializedColumns(type_factory);
+  if (columns == nullptr) return std::nullopt;
+  // The batches are zero-copy views into the table's cached decomposition;
+  // pinning the node (which owns the table) keeps that storage alive for as
+  // long as the pipeline is pulled.
+  return Result<ColumnBatchPuller>(
+      ScanTableColumns(std::move(columns), NormalizedBatchSize(opts),
+                       ScanPredicateList{}, shared_from_this()));
+}
+
 // --------------------------------- Filter ---------------------------------
 
 RelNodePtr EnumerableFilter::Create(RelNodePtr input, RexNodePtr condition) {
@@ -295,6 +332,15 @@ Result<SelBatchPuller> EnumerableFilter::ExecuteSelBatched(
   if (auto parallel = TryExecuteParallel(*this, opts)) {
     if (!parallel->ok()) return parallel->status();
     return LiftToSelBatches(std::move(*parallel).value());
+  }
+  if (auto columnar = TryExecuteColumnar(opts)) {
+    // Row-path consumer above a columnar filter: survivors are boxed into
+    // dense batches at this boundary (the selection was already applied on
+    // raw column storage).
+    if (!columnar->ok()) return columnar->status();
+    ColumnBatchPuller pull = std::move(*columnar).value();
+    return LiftToSelBatches(
+        ColumnarToRowPuller(shared_from_this(), std::move(pull)));
   }
   RelNodePtr self = shared_from_this();  // keeps condition_ / the scan alive
 
@@ -352,6 +398,70 @@ Result<SelBatchPuller> EnumerableFilter::ExecuteSelBatched(
   });
 }
 
+std::optional<Result<ColumnBatchPuller>> EnumerableFilter::TryExecuteColumnar(
+    const ExecOptions& opts) const {
+  if (!ColumnarEnabled(opts)) return std::nullopt;
+  RelNodePtr self = shared_from_this();
+  const size_t batch_size = NormalizedBatchSize(opts);
+
+  // Mirror of the row path's pushdown split: simple conjuncts run inside
+  // the columnar leaf scan (typed loops over the table's raw column
+  // storage), the residual narrows the selection via the columnar kernels.
+  std::vector<RexNodePtr> residual;
+  ColumnBatchPuller pull;
+  const auto* scan = dynamic_cast<const EnumerableTableScan*>(input(0).get());
+  if (scan != nullptr) {
+    TypeFactory type_factory;
+    TableColumnsPtr columns = scan->table()->MaterializedColumns(type_factory);
+    if (columns == nullptr) return std::nullopt;
+    ScanPredicateList pushed;
+    ExtractScanPredicates(
+        condition_, static_cast<int>(scan->row_type()->fields().size()),
+        &pushed, &residual);
+    if (pushed.empty()) residual.assign(1, condition_);
+    pull = ScanTableColumns(std::move(columns), batch_size, std::move(pushed),
+                            self);
+  } else {
+    auto in = input(0)->TryExecuteColumnar(opts);
+    if (!in.has_value()) return std::nullopt;
+    if (!in->ok()) return in;
+    residual.assign(1, condition_);
+    pull = std::move(*in).value();
+  }
+
+  auto conjuncts =
+      std::make_shared<std::vector<RexNodePtr>>(std::move(residual));
+  // Scratch arenas for residual predicate evaluation; recycled batch to
+  // batch (nothing the predicate allocates outlives the narrowing).
+  auto pool = std::make_shared<ArenaPool>();
+  return Result<ColumnBatchPuller>(ColumnBatchPuller(
+      [self, conjuncts, pull, pool]() -> Result<ColumnBatch> {
+        for (;;) {
+          auto batch = pull();
+          if (!batch.ok()) return batch;
+          ColumnBatch cols = std::move(batch).value();
+          if (cols.AtEnd()) return cols;
+          if (!conjuncts->empty()) {
+            if (!cols.has_sel) {
+              cols.sel.resize(cols.num_rows);
+              for (size_t i = 0; i < cols.num_rows; ++i) {
+                cols.sel[i] = static_cast<uint32_t>(i);
+              }
+              cols.has_sel = true;
+            }
+            ArenaPtr scratch = pool->Acquire();
+            for (const RexNodePtr& pred : *conjuncts) {
+              if (cols.sel.empty()) break;
+              CALCITE_RETURN_IF_ERROR(
+                  RexColumnar::NarrowSelection(pred, cols, scratch, &cols.sel));
+            }
+          }
+          if (cols.ActiveCount() == 0) continue;
+          return cols;
+        }
+      }));
+}
+
 // --------------------------------- Project --------------------------------
 
 RelNodePtr EnumerableProject::Create(RelNodePtr input,
@@ -377,6 +487,13 @@ Result<RowBatchPuller> EnumerableProject::ExecuteBatched(
   if (auto parallel = TryExecuteParallel(*this, opts)) {
     return std::move(*parallel);
   }
+  if (auto columnar = TryExecuteColumnar(opts)) {
+    // The projected columns are boxed into rows only here, at the top of
+    // the columnar pipeline.
+    if (!columnar->ok()) return columnar->status();
+    return ColumnarToRowPuller(shared_from_this(),
+                               std::move(*columnar).value());
+  }
   // Selection-aware consumer: a filter below hands over its selection
   // vector and the projection evaluates only the live rows, compacting as
   // it writes — the compaction the filter skipped happens here for free.
@@ -393,6 +510,38 @@ Result<RowBatchPuller> EnumerableProject::ExecuteBatched(
     CALCITE_RETURN_IF_ERROR(ApplyProjectToSelBatch(node->exprs_, &rows));
     return std::move(rows.rows);
   });
+}
+
+std::optional<Result<ColumnBatchPuller>> EnumerableProject::TryExecuteColumnar(
+    const ExecOptions& opts) const {
+  if (!ColumnarEnabled(opts)) return std::nullopt;
+  auto in = input(0)->TryExecuteColumnar(opts);
+  if (!in.has_value()) return std::nullopt;
+  if (!in->ok()) return in;
+  RelNodePtr self = shared_from_this();  // pins exprs_ for the pipeline
+  const EnumerableProject* node = this;
+  ColumnBatchPuller pull = std::move(*in).value();
+  // Output columns are bump-allocated; each batch's arena is recycled once
+  // the consumer drops the batch.
+  auto pool = std::make_shared<ArenaPool>();
+  return Result<ColumnBatchPuller>(ColumnBatchPuller(
+      [self, node, pull, pool]() -> Result<ColumnBatch> {
+        auto batch = pull();
+        if (!batch.ok()) return batch;
+        ColumnBatch in_cols = std::move(batch).value();
+        if (in_cols.AtEnd()) return ColumnBatch{};
+        // The output is dense: one entry per active input row, selection
+        // consumed by the projection kernels (gather on write).
+        ColumnBatch out;
+        out.arena = pool->Acquire();
+        out.num_rows = in_cols.ActiveCount();
+        out.ShareStorage(in_cols);
+        for (const RexNodePtr& expr : node->exprs_) {
+          CALCITE_RETURN_IF_ERROR(
+              RexColumnar::AppendEvalColumn(expr, in_cols, &out));
+        }
+        return out;
+      }));
 }
 
 // -------------------------------- HashJoin --------------------------------
@@ -534,12 +683,6 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
     return Status::PlanError(
         "EnumerableHashJoin requires at least one equi-join key");
   }
-  // The probe side pulls selection-aware batches: a filter below the probe
-  // input hands over its selection and only live rows are probed, without
-  // an intermediate compaction. The build side needs every row anyway, so
-  // it drains through the compacting protocol.
-  auto left = input(0)->ExecuteSelBatched(opts);
-  if (!left.ok()) return left.status();
   auto right = input(1)->ExecuteBatched(opts);
   if (!right.ok()) return right.status();
 
@@ -549,8 +692,126 @@ Result<RowBatchPuller> EnumerableHashJoin::ExecuteBatched(
   const size_t right_width = input(1)->row_type()->fields().size();
   const size_t batch_size = NormalizedBatchSize(opts);
   auto state = std::make_shared<JoinExecState>();
-  SelBatchPuller left_pull = std::move(left).value();
   RowBatchPuller right_pull = std::move(right).value();
+
+  // Columnar probe: when the probe side runs columnar, the join key is read
+  // straight off the raw columns and the full left row is boxed lazily —
+  // only probe rows that actually emit output pay the row gather.
+  if (auto left_columnar = input(0)->TryExecuteColumnar(opts)) {
+    if (!left_columnar->ok()) return left_columnar->status();
+    ColumnBatchPuller left_pull = std::move(*left_columnar).value();
+    return RowBatchPuller([self, keys, remaining, state, left_pull,
+                           right_pull, join_type, left_width, right_width,
+                           batch_size]() -> Result<RowBatch> {
+      if (!state->built) {
+        CALCITE_RETURN_IF_ERROR(DrainRightSide(right_pull, state.get()));
+        for (size_t i = 0; i < state->right_data.size(); ++i) {
+          auto key =
+              JoinSideKey(state->right_data[i], *keys, /*left_side=*/false);
+          if (key.has_value()) {
+            state->table[std::move(*key)].push_back(i);
+          }
+        }
+        state->built = true;
+      }
+      if (!state->pending.empty()) {
+        return FlushPending(state.get(), batch_size);
+      }
+
+      auto residual_passes = [&](const Row& combined) -> Result<bool> {
+        for (const RexNodePtr& pred : *remaining) {
+          auto pass = RexInterpreter::EvalPredicate(pred, combined);
+          if (!pass.ok()) return pass;
+          if (!pass.value()) return false;
+        }
+        return true;
+      };
+
+      while (!state->left_done) {
+        auto batch = left_pull();
+        if (!batch.ok()) return batch.status();
+        ColumnBatch cols = std::move(batch).value();
+        if (cols.AtEnd()) {
+          state->left_done = true;
+          break;
+        }
+        RowBatch& out = state->pending;
+        const size_t active = cols.ActiveCount();
+        Row probe_key;  // reused across the batch
+        for (size_t k = 0; k < active; ++k) {
+          const size_t i = cols.ActiveIndex(k);
+          probe_key.clear();
+          bool null_key = false;
+          for (const auto& [l, r] : *keys) {
+            (void)r;
+            const ColumnVector& c = cols.cols[static_cast<size_t>(l)];
+            if (c.IsNullAt(i)) {
+              null_key = true;  // NULL keys never match
+              break;
+            }
+            probe_key.push_back(c.GetValue(i));
+          }
+          bool matched = false;
+          Row lrow;
+          bool have_lrow = false;
+          auto lrow_ref = [&]() -> Row& {
+            if (!have_lrow) {
+              lrow = cols.GatherRow(i);
+              have_lrow = true;
+            }
+            return lrow;
+          };
+          if (!null_key) {
+            auto it = state->table.find(probe_key);
+            if (it != state->table.end()) {
+              for (size_t ri : it->second) {
+                Row combined = ConcatRows(lrow_ref(), state->right_data[ri]);
+                auto pass = residual_passes(combined);
+                if (!pass.ok()) return pass.status();
+                if (!pass.value()) continue;
+                matched = true;
+                state->right_matched[ri] = true;
+                if (JoinEmitsCombinedRows(join_type)) {
+                  out.push_back(std::move(combined));
+                }
+                if (join_type == JoinType::kSemi) break;
+              }
+            }
+          }
+          switch (join_type) {
+            case JoinType::kLeft:
+            case JoinType::kFull:
+              if (!matched) {
+                out.push_back(PadNullRight(lrow_ref(), right_width));
+              }
+              break;
+            case JoinType::kSemi:
+              if (matched) out.push_back(std::move(lrow_ref()));
+              break;
+            case JoinType::kAnti:
+              if (!matched) out.push_back(std::move(lrow_ref()));
+              break;
+            default:
+              break;  // inner/right need no per-left-row emission
+          }
+        }
+        if (!out.empty()) return FlushPending(state.get(), batch_size);
+      }
+
+      RowBatch out =
+          EmitUnmatchedRight(join_type, state.get(), left_width, batch_size);
+      if (!out.empty()) return out;
+      return RowBatch{};
+    });
+  }
+
+  // The probe side pulls selection-aware batches: a filter below the probe
+  // input hands over its selection and only live rows are probed, without
+  // an intermediate compaction. The build side needs every row anyway, so
+  // it drains through the compacting protocol.
+  auto left = input(0)->ExecuteSelBatched(opts);
+  if (!left.ok()) return left.status();
+  SelBatchPuller left_pull = std::move(left).value();
 
   return RowBatchPuller([self, keys, remaining, state, left_pull, right_pull,
                          join_type, left_width, right_width,
@@ -764,6 +1025,33 @@ Result<RowBatchPuller> EnumerableAggregate::ExecuteBatched(
     const ExecOptions& opts) const {
   if (auto parallel = TryExecuteParallel(*this, opts)) {
     return std::move(*parallel);
+  }
+  // Columnar consumer: batches feed the typed accumulator adders straight
+  // from raw column storage — group-key probing and NULL skipping never box
+  // a cell unless the group key is genuinely new.
+  if (auto builder = std::shared_ptr<ColumnarAggBuilder>(
+          ColumnarAggBuilder::TryCreate(group_keys_, agg_calls_))) {
+    if (auto columnar = input(0)->TryExecuteColumnar(opts)) {
+      if (!columnar->ok()) return columnar->status();
+      ColumnBatchPuller pull = std::move(*columnar).value();
+      RelNodePtr self = shared_from_this();
+      const size_t batch_size = NormalizedBatchSize(opts);
+      auto built = std::make_shared<bool>(false);
+      return RowBatchPuller(
+          [self, builder, pull, built, batch_size]() -> Result<RowBatch> {
+            if (!*built) {
+              for (;;) {
+                auto batch = pull();
+                if (!batch.ok()) return batch.status();
+                const ColumnBatch& cols = batch.value();
+                if (cols.AtEnd()) break;
+                CALCITE_RETURN_IF_ERROR(builder->Feed(cols));
+              }
+              *built = true;
+            }
+            return builder->EmitBatch(batch_size);
+          });
+    }
   }
   // Selection-aware consumer: only the live rows of each input batch feed
   // the accumulators, so a filter below never compacts.

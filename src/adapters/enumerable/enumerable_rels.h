@@ -26,6 +26,10 @@ class EnumerableTableScan final : public TableScan {
   Result<std::vector<Row>> Execute() const override;
   Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
       const override;
+  /// Zero-copy columnar scan over the table's cached column decomposition
+  /// (when the table exposes one).
+  std::optional<Result<ColumnBatchPuller>> TryExecuteColumnar(
+      const ExecOptions& opts) const override;
 
  private:
   using TableScan::TableScan;
@@ -50,6 +54,12 @@ class EnumerableFilter final : public Filter {
       const override;
   Result<SelBatchPuller> ExecuteSelBatched(const ExecOptions& opts)
       const override;
+  /// Columnar filter: pushes simple conjuncts into the columnar leaf scan
+  /// (typed loops over raw column storage) and narrows each batch's
+  /// selection vector with the columnar kernels for the residual — rows are
+  /// never materialized, only the selection shrinks.
+  std::optional<Result<ColumnBatchPuller>> TryExecuteColumnar(
+      const ExecOptions& opts) const override;
 
  private:
   using Filter::Filter;
@@ -66,6 +76,12 @@ class EnumerableProject final : public Project {
   Result<std::vector<Row>> Execute() const override;
   Result<RowBatchPuller> ExecuteBatched(const ExecOptions& opts)
       const override;
+  /// Columnar projection: each expression becomes one dense output column
+  /// computed by a fused typed kernel over the input's active rows
+  /// (RexColumnar::AppendEvalColumn); input columns referenced verbatim are
+  /// aliased, not copied, when no selection is in play.
+  std::optional<Result<ColumnBatchPuller>> TryExecuteColumnar(
+      const ExecOptions& opts) const override;
 
  private:
   using Project::Project;

@@ -1,0 +1,66 @@
+#include "exec/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace calcite {
+
+namespace {
+constexpr size_t kAlign = 16;
+
+size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+}  // namespace
+
+void Arena::AddChunk(size_t min_bytes) {
+  Chunk chunk;
+  chunk.size = std::max(min_bytes, chunk_bytes_);
+  chunk.data.reset(new char[chunk.size]);
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::Allocate(size_t bytes) {
+  bytes = AlignUp(bytes == 0 ? 1 : bytes);
+  if (chunks_.empty() || offset_ + bytes > chunks_[active_].size) {
+    // Try the next already-held chunk (after a Reset) before growing.
+    if (!chunks_.empty() && active_ + 1 < chunks_.size() &&
+        bytes <= chunks_[active_ + 1].size) {
+      ++active_;
+      offset_ = 0;
+    } else {
+      AddChunk(bytes);
+    }
+  }
+  char* ptr = chunks_[active_].data.get() + offset_;
+  offset_ += bytes;
+  bytes_used_ += bytes;
+  return ptr;
+}
+
+void Arena::Reset() {
+  if (chunks_.size() > 1) {
+    // Coalesce so the steady state after warm-up is one right-sized chunk.
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    chunks_.clear();
+    AddChunk(total);
+  }
+  active_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+ArenaPtr ArenaPool::Acquire() {
+  for (ArenaPtr& arena : pool_) {
+    if (arena.use_count() == 1) {
+      arena->Reset();
+      return arena;
+    }
+  }
+  ArenaPtr fresh = std::make_shared<Arena>(chunk_bytes_);
+  if (pool_.size() < kMaxPooled) pool_.push_back(fresh);
+  return fresh;
+}
+
+}  // namespace calcite

@@ -1,0 +1,101 @@
+#ifndef CALCITE_EXEC_ARENA_H_
+#define CALCITE_EXEC_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace calcite {
+
+/// Bump allocator backing ColumnBatch storage. Batch memory is carved out of
+/// large chunks with a pointer increment per allocation and released
+/// wholesale: a batch never frees individual columns, it drops (or recycles)
+/// its whole arena. Only trivially-destructible payloads may live here —
+/// int64/double/bool columns, StringRef spans and the character data they
+/// point into, null bytemaps — because Reset() reclaims the memory without
+/// running any destructors. Boxed Values (non-trivial) are stored outside the
+/// arena (see ColumnBatch::boxed_pool).
+///
+/// Not thread-safe: an Arena belongs to one producer at a time. Parallel
+/// workers each draw from their own ArenaPool.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 1u << 18;  // 256 KiB
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned for any scalar column payload
+  /// (16-byte alignment). Never returns nullptr; bytes==0 yields a valid
+  /// unique pointer.
+  void* Allocate(size_t bytes);
+
+  /// Typed convenience: uninitialized array of `n` Ts. T must be trivially
+  /// destructible (nothing in the arena is ever destroyed).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena payloads must not need destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T)));
+  }
+
+  /// Rewinds the arena so its memory can be reused by the next batch.
+  /// Previously returned pointers become dangling. If allocation spilled
+  /// into multiple chunks, they are coalesced into one larger chunk so the
+  /// steady state is a single chunk sized to the workload.
+  void Reset();
+
+  /// Bytes handed out since construction/Reset (diagnostics and tests).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Number of backing chunks currently held.
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void AddChunk(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;      // index of the chunk being bumped
+  size_t offset_ = 0;      // bump offset within the active chunk
+  size_t chunk_bytes_;
+  size_t bytes_used_ = 0;
+};
+
+using ArenaPtr = std::shared_ptr<Arena>;
+
+/// Per-query arena recycler. Batches own their arena via shared_ptr; once the
+/// consumer drops a batch, the arena's use count falls back to 1 (the pool's
+/// reference) and the next Acquire() resets and reuses it instead of mapping
+/// fresh memory. A pipeline that keeps at most k batches in flight therefore
+/// touches at most k+1 arenas total, regardless of row count.
+///
+/// Not thread-safe: one pool per producer thread. Consumers on other threads
+/// only *release* arenas (by dropping shared_ptrs), which is safe — a stale
+/// use_count read merely makes Acquire allocate a fresh arena.
+class ArenaPool {
+ public:
+  explicit ArenaPool(size_t chunk_bytes = Arena::kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  /// Returns an arena owned jointly by the pool and the caller. Reuses a
+  /// pooled arena when its only remaining owner is the pool.
+  ArenaPtr Acquire();
+
+ private:
+  static constexpr size_t kMaxPooled = 8;
+
+  size_t chunk_bytes_;
+  std::vector<ArenaPtr> pool_;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_EXEC_ARENA_H_

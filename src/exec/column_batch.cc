@@ -1,0 +1,404 @@
+#include "exec/column_batch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace calcite {
+
+PhysType PhysTypeForSql(SqlTypeName name) {
+  switch (name) {
+    case SqlTypeName::kBoolean:
+      return PhysType::kBool;
+    case SqlTypeName::kTinyInt:
+    case SqlTypeName::kSmallInt:
+    case SqlTypeName::kInteger:
+    case SqlTypeName::kBigInt:
+    case SqlTypeName::kDate:
+    case SqlTypeName::kTime:
+    case SqlTypeName::kTimestamp:
+    case SqlTypeName::kIntervalDay:
+      return PhysType::kInt64;
+    case SqlTypeName::kFloat:
+    case SqlTypeName::kDouble:
+    case SqlTypeName::kDecimal:
+      return PhysType::kDouble;
+    case SqlTypeName::kChar:
+    case SqlTypeName::kVarchar:
+      return PhysType::kString;
+    default:
+      return PhysType::kValue;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (type == PhysType::kValue) return boxed[i];
+  if (nulls != nullptr && nulls[i] != 0) return Value::Null();
+  switch (type) {
+    case PhysType::kInt64:
+      return Value::Int(i64[i]);
+    case PhysType::kDouble:
+      return Value::Double(f64[i]);
+    case PhysType::kBool:
+      return Value::Bool(b8[i] != 0);
+    case PhysType::kString:
+      return Value::String(std::string(str[i].view()));
+    case PhysType::kValue:
+      break;
+  }
+  return Value::Null();
+}
+
+void ColumnBatch::ShareStorage(const ColumnBatch& other) {
+  if (other.arena != nullptr && other.arena != arena) {
+    pins.push_back(other.arena);
+  }
+  pins.insert(pins.end(), other.pins.begin(), other.pins.end());
+  boxed_pool.insert(boxed_pool.end(), other.boxed_pool.begin(),
+                    other.boxed_pool.end());
+}
+
+Row ColumnBatch::GatherRow(size_t row) const {
+  Row out;
+  out.reserve(cols.size());
+  for (const ColumnVector& col : cols) out.push_back(col.GetValue(row));
+  return out;
+}
+
+std::shared_ptr<const TableColumns> TableColumns::Build(
+    const std::vector<Row>& rows, const RelDataType& row_type) {
+  const auto& fields = row_type.fields();
+  const size_t width = fields.size();
+  for (const Row& row : rows) {
+    if (row.size() != width) return nullptr;  // ragged: stay on the row path
+  }
+
+  auto out = std::make_shared<TableColumns>();
+  out->num_rows = rows.size();
+  out->cols.resize(width);
+  const size_t n = rows.size();
+
+  for (size_t c = 0; c < width; ++c) {
+    Col& col = out->cols[c];
+    PhysType declared = PhysTypeForRel(*fields[c].type);
+
+    // Pass 1: check that every stored value fits the declared physical
+    // class (degrading to boxed otherwise) and size the string blob.
+    bool any_null = false;
+    size_t blob_bytes = 0;
+    PhysType phys = declared;
+    if (phys != PhysType::kValue) {
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = rows[i][c];
+        if (v.IsNull()) {
+          any_null = true;
+          continue;
+        }
+        bool fits = false;
+        switch (phys) {
+          case PhysType::kInt64:
+            fits = v.is_int();
+            break;
+          case PhysType::kDouble:
+            fits = v.is_double();
+            break;
+          case PhysType::kBool:
+            fits = v.is_bool();
+            break;
+          case PhysType::kString:
+            fits = v.is_string();
+            if (fits) blob_bytes += v.AsString().size();
+            break;
+          case PhysType::kValue:
+            break;
+        }
+        if (!fits) {
+          phys = PhysType::kValue;
+          break;
+        }
+      }
+    }
+    col.type = phys;
+
+    // Pass 2: fill the typed storage.
+    if (phys == PhysType::kValue) {
+      col.boxed.reserve(n);
+      for (size_t i = 0; i < n; ++i) col.boxed.push_back(rows[i][c]);
+      continue;
+    }
+    if (any_null) col.nulls.assign(n, 0);
+    switch (phys) {
+      case PhysType::kInt64: {
+        col.i64.assign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = rows[i][c];
+          if (v.IsNull()) {
+            col.nulls[i] = 1;
+          } else {
+            col.i64[i] = v.AsInt();
+          }
+        }
+        break;
+      }
+      case PhysType::kDouble: {
+        col.f64.assign(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = rows[i][c];
+          if (v.IsNull()) {
+            col.nulls[i] = 1;
+          } else {
+            col.f64[i] = v.AsDouble();
+          }
+        }
+        break;
+      }
+      case PhysType::kBool: {
+        col.b8.assign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = rows[i][c];
+          if (v.IsNull()) {
+            col.nulls[i] = 1;
+          } else {
+            col.b8[i] = v.AsBool() ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case PhysType::kString: {
+        // Two passes over the blob: append every string's bytes recording
+        // offsets, then resolve spans once the blob's address is final.
+        col.str_blob.reserve(blob_bytes);
+        std::vector<std::pair<size_t, uint32_t>> spans(n, {0, 0});
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = rows[i][c];
+          if (v.IsNull()) {
+            col.nulls[i] = 1;
+            continue;
+          }
+          const std::string& s = v.AsString();
+          spans[i] = {col.str_blob.size(), static_cast<uint32_t>(s.size())};
+          col.str_blob.append(s);
+        }
+        col.str.assign(n, StringRef{});
+        const char* base = col.str_blob.data();
+        for (size_t i = 0; i < n; ++i) {
+          col.str[i] = StringRef{base + spans[i].first, spans[i].second};
+        }
+        break;
+      }
+      case PhysType::kValue:
+        break;
+    }
+  }
+  return out;
+}
+
+ColumnVector TableColumns::View(size_t col, size_t offset) const {
+  const Col& c = cols[col];
+  ColumnVector v;
+  v.type = c.type;
+  switch (c.type) {
+    case PhysType::kInt64:
+      v.i64 = c.i64.data() + offset;
+      break;
+    case PhysType::kDouble:
+      v.f64 = c.f64.data() + offset;
+      break;
+    case PhysType::kBool:
+      v.b8 = c.b8.data() + offset;
+      break;
+    case PhysType::kString:
+      v.str = c.str.data() + offset;
+      break;
+    case PhysType::kValue:
+      v.boxed = c.boxed.data() + offset;
+      break;
+  }
+  if (!c.nulls.empty()) v.nulls = c.nulls.data() + offset;
+  return v;
+}
+
+TableColumnsPtr ColumnarCache::Get(const std::vector<Row>& rows,
+                                   const RelDataTypePtr& row_type) const {
+  if (row_type == nullptr || !row_type->is_struct()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (columns_ == nullptr) columns_ = TableColumns::Build(rows, *row_type);
+  return columns_;
+}
+
+void ColumnarCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  columns_.reset();
+}
+
+ColumnBatch SliceTableColumns(const TableColumnsPtr& columns, size_t begin,
+                              size_t count, std::shared_ptr<const void> pin) {
+  ColumnBatch batch;
+  batch.num_rows = count;
+  batch.cols.reserve(columns->cols.size());
+  for (size_t c = 0; c < columns->cols.size(); ++c) {
+    batch.cols.push_back(columns->View(c, begin));
+  }
+  batch.pins.push_back(columns);
+  if (pin != nullptr) batch.pins.push_back(std::move(pin));
+  return batch;
+}
+
+namespace {
+
+/// Keeps the selected indexes for which `pass` holds.
+template <typename Pass>
+void NarrowWith(SelectionVector* sel, Pass pass) {
+  size_t out = 0;
+  for (uint32_t idx : *sel) {
+    if (pass(idx)) (*sel)[out++] = idx;
+  }
+  sel->resize(out);
+}
+
+bool ComparisonKindPasses(ScanPredicate::Kind kind, int c) {
+  switch (kind) {
+    case ScanPredicate::Kind::kEquals:
+      return c == 0;
+    case ScanPredicate::Kind::kNotEquals:
+      return c != 0;
+    case ScanPredicate::Kind::kLessThan:
+      return c < 0;
+    case ScanPredicate::Kind::kLessThanOrEqual:
+      return c <= 0;
+    case ScanPredicate::Kind::kGreaterThan:
+      return c > 0;
+    case ScanPredicate::Kind::kGreaterThanOrEqual:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+int Cmp3(T a, T b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+}  // namespace
+
+void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
+                           SelectionVector* sel) {
+  if (pred.column < 0 ||
+      static_cast<size_t>(pred.column) >= batch.cols.size()) {
+    sel->clear();
+    return;
+  }
+  const ColumnVector& col = batch.cols[static_cast<size_t>(pred.column)];
+  const uint8_t* nulls = col.nulls;
+
+  switch (pred.kind) {
+    case ScanPredicate::Kind::kIsNull:
+      NarrowWith(sel, [&](uint32_t i) { return col.IsNullAt(i); });
+      return;
+    case ScanPredicate::Kind::kIsNotNull:
+      NarrowWith(sel, [&](uint32_t i) { return !col.IsNullAt(i); });
+      return;
+    default:
+      break;
+  }
+  // SQL comparison: NULL on either side never passes.
+  if (pred.literal.IsNull()) {
+    sel->clear();
+    return;
+  }
+
+  const ScanPredicate::Kind kind = pred.kind;
+  if (col.type == PhysType::kInt64 && pred.literal.is_int()) {
+    const int64_t lit = pred.literal.AsInt();
+    const int64_t* v = col.i64;
+    NarrowWith(sel, [&](uint32_t i) {
+      if (nulls != nullptr && nulls[i]) return false;
+      return ComparisonKindPasses(kind, Cmp3(v[i], lit));
+    });
+  } else if ((col.type == PhysType::kInt64 && pred.literal.is_double()) ||
+             (col.type == PhysType::kDouble && pred.literal.is_numeric())) {
+    // Cross-representation numeric comparison happens in double, exactly as
+    // Value::Compare does.
+    const double lit = pred.literal.AsDouble();
+    NarrowWith(sel, [&](uint32_t i) {
+      if (nulls != nullptr && nulls[i]) return false;
+      double v = col.type == PhysType::kInt64
+                     ? static_cast<double>(col.i64[i])
+                     : col.f64[i];
+      return ComparisonKindPasses(kind, Cmp3(v, lit));
+    });
+  } else if (col.type == PhysType::kString && pred.literal.is_string()) {
+    const std::string_view lit = pred.literal.AsString();
+    const StringRef* v = col.str;
+    NarrowWith(sel, [&](uint32_t i) {
+      if (nulls != nullptr && nulls[i]) return false;
+      int c = v[i].view().compare(lit);
+      return ComparisonKindPasses(kind, c);
+    });
+  } else if (col.type == PhysType::kBool && pred.literal.is_bool()) {
+    const int lit = pred.literal.AsBool() ? 1 : 0;
+    const uint8_t* v = col.b8;
+    NarrowWith(sel, [&](uint32_t i) {
+      if (nulls != nullptr && nulls[i]) return false;
+      return ComparisonKindPasses(kind, static_cast<int>(v[i]) - lit);
+    });
+  } else {
+    // Mixed or boxed representations: box per candidate row and use the
+    // Value comparison the row path uses.
+    NarrowWith(sel, [&](uint32_t i) {
+      Value v = col.GetValue(i);
+      if (v.IsNull()) return false;
+      return ComparisonKindPasses(kind, v.Compare(pred.literal));
+    });
+  }
+}
+
+ColumnBatchPuller ScanTableColumns(TableColumnsPtr columns, size_t batch_size,
+                                   ScanPredicateList predicates,
+                                   std::shared_ptr<const void> pin) {
+  if (batch_size == 0) batch_size = 1;
+  auto preds = std::make_shared<ScanPredicateList>(std::move(predicates));
+  size_t pos = 0;
+  return [columns, batch_size, preds, pin, pos]() mutable -> Result<ColumnBatch> {
+    while (pos < columns->num_rows) {
+      const size_t count = std::min(batch_size, columns->num_rows - pos);
+      ColumnBatch batch = SliceTableColumns(columns, pos, count, pin);
+      pos += count;
+      if (!preds->empty()) {
+        SelectionVector sel(count);
+        for (size_t i = 0; i < count; ++i) sel[i] = static_cast<uint32_t>(i);
+        for (const ScanPredicate& pred : *preds) {
+          NarrowByScanPredicate(pred, batch, &sel);
+          if (sel.empty()) break;
+        }
+        if (sel.empty()) continue;  // never yield an empty batch mid-stream
+        if (sel.size() < count) {
+          batch.sel = std::move(sel);
+          batch.has_sel = true;
+        }
+      }
+      return batch;
+    }
+    return ColumnBatch{};
+  };
+}
+
+void ColumnsToRows(const ColumnBatch& batch, RowBatch* out) {
+  out->clear();
+  const size_t active = batch.ActiveCount();
+  out->reserve(active);
+  for (size_t k = 0; k < active; ++k) {
+    out->push_back(batch.GatherRow(batch.ActiveIndex(k)));
+  }
+}
+
+Result<ColumnBatch> RowsToColumns(const RowBatch& rows,
+                                  const RelDataType& row_type) {
+  TableColumnsPtr columns = TableColumns::Build(rows, row_type);
+  if (columns == nullptr) {
+    return Status::Internal("cannot decompose ragged rows into columns");
+  }
+  return SliceTableColumns(columns, 0, rows.size(), nullptr);
+}
+
+}  // namespace calcite

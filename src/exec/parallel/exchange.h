@@ -7,29 +7,37 @@
 #include <mutex>
 #include <optional>
 
+#include "exec/column_batch.h"
 #include "exec/parallel/task_scheduler.h"
 #include "exec/row_batch.h"
 
 namespace calcite {
 
 /// The exchange operator of the parallel subsystem: a bounded
-/// multi-producer single-consumer queue of RowBatches. Parallel workers
+/// multi-producer single-consumer queue of batches. Parallel workers
 /// Push the batches their pipeline fragment produces; the Gather side pops
 /// them from the consumer thread, re-entering the ordinary single-threaded
-/// RowBatchPuller protocol. The bound applies backpressure so a fast
+/// puller protocol. The bound applies backpressure so a fast
 /// producer fleet cannot materialize an unbounded result ahead of a slow
 /// consumer.
-class ExchangeQueue {
+///
+/// The batch type is a template parameter because the exchange ships
+/// whatever the fragment's workers produce: dense RowBatches on the row
+/// path, or ColumnBatches on the columnar path — the latter move only
+/// column pointers and shared storage owners through the queue (zero-copy);
+/// cells are first materialized on the consumer side, if at all.
+template <typename BatchT>
+class BasicExchangeQueue {
  public:
   /// `capacity` bounds the number of buffered batches; `num_producers` is
   /// the number of workers that will each call ProducerDone() exactly once.
-  ExchangeQueue(size_t capacity, size_t num_producers)
+  BasicExchangeQueue(size_t capacity, size_t num_producers)
       : capacity_(capacity == 0 ? 1 : capacity),
         producers_remaining_(num_producers) {}
 
   /// Enqueues a batch, blocking while the queue is full. Returns false if
   /// the exchange was cancelled (the producer should stop producing).
-  bool Push(RowBatch batch) {
+  bool Push(BatchT batch) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_cv_.wait(lock, [this] {
       return cancelled_ || queue_.size() < capacity_;
@@ -54,13 +62,13 @@ class ExchangeQueue {
   /// Dequeues the next batch (consumer side). Returns nullopt when every
   /// producer has finished and the buffer is empty, or when cancelled —
   /// the caller distinguishes the two through its QueryCancelState.
-  std::optional<RowBatch> Pop() {
+  std::optional<BatchT> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_cv_.wait(lock, [this] {
       return cancelled_ || !queue_.empty() || producers_remaining_ == 0;
     });
     if (!queue_.empty() && !cancelled_) {
-      RowBatch batch = std::move(queue_.front());
+      BatchT batch = std::move(queue_.front());
       queue_.pop_front();
       lock.unlock();
       not_full_cv_.notify_one();
@@ -84,13 +92,18 @@ class ExchangeQueue {
 
  private:
   const size_t capacity_;
-  std::deque<RowBatch> queue_;
+  std::deque<BatchT> queue_;
   size_t producers_remaining_;
   bool cancelled_ = false;
   std::mutex mu_;
   std::condition_variable not_empty_cv_;
   std::condition_variable not_full_cv_;
 };
+
+/// The row exchange (dense RowBatches) and the columnar exchange, which
+/// ships (columns, selection) pairs without touching cell data.
+using ExchangeQueue = BasicExchangeQueue<RowBatch>;
+using ColumnExchangeQueue = BasicExchangeQueue<ColumnBatch>;
 
 /// The gather operator: wraps a parallel fragment — its cancel state,
 /// exchange queue, and worker fleet — as an ordinary RowBatchPuller.
@@ -104,6 +117,15 @@ class ExchangeQueue {
 RowBatchPuller MakeGatherPuller(
     std::shared_ptr<QueryCancelState> cancel,
     std::shared_ptr<ExchangeQueue> queue,
+    std::function<std::shared_ptr<TaskScheduler>()> start);
+
+/// Columnar gather: identical protocol over a ColumnExchangeQueue. The
+/// popped batches' surviving rows are boxed into dense RowBatches here, on
+/// the consumer thread — the one row materialization point of a columnar
+/// parallel fragment.
+RowBatchPuller MakeColumnarGatherPuller(
+    std::shared_ptr<QueryCancelState> cancel,
+    std::shared_ptr<ColumnExchangeQueue> queue,
     std::function<std::shared_ptr<TaskScheduler>()> start);
 
 }  // namespace calcite

@@ -8,11 +8,15 @@
 #include <vector>
 
 #include "adapters/enumerable/aggregates.h"
+#include "adapters/enumerable/columnar_agg.h"
 #include "adapters/enumerable/enumerable_rels.h"
+#include "exec/arena.h"
+#include "exec/column_batch.h"
 #include "exec/parallel/exchange.h"
 #include "exec/parallel/morsel.h"
 #include "exec/parallel/task_scheduler.h"
 #include "rel/core.h"
+#include "rex/rex_columnar.h"
 #include "rex/rex_interpreter.h"
 
 namespace calcite {
@@ -40,6 +44,10 @@ struct FragmentSource {
   const std::vector<Row>* rows = nullptr;        // stable leaf storage
   std::shared_ptr<std::vector<Row>> owned_rows;  // fallback materialization
   std::vector<PipelineStage> stages;             // applied bottom-up
+  /// Columnar decomposition of the leaf, set once on the consumer thread
+  /// before workers start (see PrepareColumnar). When set, workers slice
+  /// zero-copy ColumnBatches out of it instead of copying rows.
+  TableColumnsPtr columns;
 
   /// Ensures `rows` points at the leaf data. Tables without stable row
   /// storage are materialized through Scan() exactly once, on the consumer
@@ -52,6 +60,16 @@ struct FragmentSource {
         std::make_shared<std::vector<Row>>(std::move(scanned).value());
     rows = owned_rows.get();
     return Status::OK();
+  }
+
+  /// Fetches the leaf table's cached columnar decomposition (building it if
+  /// this is its first use), when the fragment is eligible for the columnar
+  /// path. Must run on the consumer thread, before any worker starts —
+  /// workers then share the immutable snapshot read-only.
+  void PrepareColumnar(const ExecOptions& opts) {
+    if (!opts.enable_columnar || table == nullptr) return;
+    TypeFactory type_factory;
+    columns = table->MaterializedColumns(type_factory);
   }
 };
 
@@ -123,6 +141,44 @@ Status ApplyStagesSel(const std::vector<PipelineStage>& stages,
   return Status::OK();
 }
 
+/// Columnar counterpart of ApplyStagesSel, one implementation of stage
+/// semantics on raw columns whichever worker thread runs it: filter stages
+/// narrow the batch's selection via the columnar kernels, project stages
+/// rebuild the batch densely (selection consumed on write). `scratch_pool`
+/// recycles filter-scratch arenas; it is worker-local, so acquire/release
+/// stays on one thread. Project outputs get a *fresh* arena each time:
+/// those batches cross the exchange to the consumer thread, and an arena
+/// must never be recycled by one thread while another still reads it.
+Status ApplyStagesColumnar(const std::vector<PipelineStage>& stages,
+                           ArenaPool* scratch_pool, ColumnBatch* batch) {
+  for (const PipelineStage& stage : stages) {
+    if (batch->ActiveCount() == 0) return Status::OK();
+    if (stage.filter != nullptr) {
+      if (!batch->has_sel) {
+        batch->sel.resize(batch->num_rows);
+        for (size_t i = 0; i < batch->num_rows; ++i) {
+          batch->sel[i] = static_cast<uint32_t>(i);
+        }
+        batch->has_sel = true;
+      }
+      ArenaPtr scratch = scratch_pool->Acquire();
+      CALCITE_RETURN_IF_ERROR(RexColumnar::NarrowSelection(
+          stage.filter, *batch, scratch, &batch->sel));
+    } else {
+      ColumnBatch out;
+      out.arena = std::make_shared<Arena>();
+      out.num_rows = batch->ActiveCount();
+      out.ShareStorage(*batch);
+      for (const RexNodePtr& expr : *stage.project) {
+        CALCITE_RETURN_IF_ERROR(
+            RexColumnar::AppendEvalColumn(expr, *batch, &out));
+      }
+      *batch = std::move(out);
+    }
+  }
+  return Status::OK();
+}
+
 /// Rows per morsel: small enough that the tail of a scan still spreads
 /// across the pool, large enough that the atomic claim amortizes.
 size_t PickMorselSize(size_t total_rows, size_t num_threads) {
@@ -167,12 +223,65 @@ void RunPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
   }
 }
 
+/// Columnar worker loop: claim a morsel, slice zero-copy column views out
+/// of the table's decomposition, run the stage chain on raw columns, ship
+/// the surviving (columns, selection) pairs through the exchange without
+/// materializing a single row.
+void RunColumnarPipelineWorker(const std::shared_ptr<FragmentSource>& src,
+                               QueryCancelState* cancel,
+                               ColumnExchangeQueue* queue,
+                               MorselSource* morsels, size_t batch_size) {
+  ArenaPool scratch_pool;
+  while (!cancel->cancelled()) {
+    auto morsel = morsels->Next();
+    if (!morsel.has_value()) break;
+    size_t pos = morsel->begin;
+    while (pos < morsel->end) {
+      if (cancel->cancelled()) return;
+      size_t n = std::min(batch_size, morsel->end - pos);
+      ColumnBatch batch = SliceTableColumns(src->columns, pos, n, src);
+      pos += n;
+      Status status = ApplyStagesColumnar(src->stages, &scratch_pool, &batch);
+      if (!status.ok()) {
+        cancel->Cancel(std::move(status));
+        queue->Cancel();
+        return;
+      }
+      if (batch.ActiveCount() == 0) continue;
+      if (!queue->Push(std::move(batch))) return;
+    }
+  }
+}
+
 Result<RowBatchPuller> ExecutePipelineParallel(FragmentSource fragment,
                                                const ExecOptions& opts) {
   const size_t threads = opts.num_threads;
   const size_t batch_size = opts.batch_size;
   auto src = std::make_shared<FragmentSource>(std::move(fragment));
   auto cancel = std::make_shared<QueryCancelState>();
+
+  src->PrepareColumnar(opts);
+  if (src->columns != nullptr) {
+    auto queue = std::make_shared<ColumnExchangeQueue>(threads * 2, threads);
+    auto start = [src, cancel, queue, threads,
+                  batch_size]() -> std::shared_ptr<TaskScheduler> {
+      auto morsels = std::make_shared<MorselSource>(
+          src->columns->num_rows,
+          PickMorselSize(src->columns->num_rows, threads));
+      auto scheduler = std::make_shared<TaskScheduler>(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        scheduler->Submit([src, cancel, queue, morsels, batch_size]() {
+          RunColumnarPipelineWorker(src, cancel.get(), queue.get(),
+                                    morsels.get(), batch_size);
+          queue->ProducerDone();
+        });
+      }
+      return scheduler;
+    };
+    return MakeColumnarGatherPuller(std::move(cancel), std::move(queue),
+                                    std::move(start));
+  }
+
   auto queue = std::make_shared<ExchangeQueue>(threads * 2, threads);
   auto start = [src, cancel, queue, threads,
                 batch_size]() -> std::shared_ptr<TaskScheduler> {
@@ -286,8 +395,39 @@ void RunAggWorker(const FragmentSource& src,
   }
 }
 
+/// Columnar aggregation worker: morsels are sliced as zero-copy column
+/// views, run through the columnar stage chain, and fed to a worker-local
+/// ColumnarAggBuilder via the typed accumulator adders — no cell is boxed
+/// unless it opens a new group.
+void RunColumnarAggWorker(const std::shared_ptr<FragmentSource>& src,
+                          QueryCancelState* cancel, MorselSource* morsels,
+                          size_t batch_size, ColumnarAggBuilder* local) {
+  ArenaPool scratch_pool;
+  while (!cancel->cancelled()) {
+    auto morsel = morsels->Next();
+    if (!morsel.has_value()) break;
+    size_t pos = morsel->begin;
+    while (pos < morsel->end) {
+      if (cancel->cancelled()) return;
+      size_t n = std::min(batch_size, morsel->end - pos);
+      ColumnBatch batch = SliceTableColumns(src->columns, pos, n, src);
+      pos += n;
+      Status status = ApplyStagesColumnar(src->stages, &scratch_pool, &batch);
+      if (status.ok() && batch.ActiveCount() > 0) {
+        status = local->Feed(batch);
+      }
+      if (!status.ok()) {
+        cancel->Cancel(std::move(status));
+        return;
+      }
+    }
+  }
+}
+
 struct ParallelAggState {
   bool built = false;
+  /// Set on the columnar path: the merged builder emits directly.
+  std::unique_ptr<ColumnarAggBuilder> merged;
   std::vector<Row> out_rows;
   size_t pos = 0;
 };
@@ -302,10 +442,48 @@ Result<RowBatchPuller> ExecuteAggregateParallel(const Aggregate& agg,
   const Aggregate* node = &agg;
   auto state = std::make_shared<ParallelAggState>();
 
-  return RowBatchPuller([src, self, node, state, threads,
-                         batch_size]() -> Result<RowBatch> {
+  ExecOptions opts_copy = opts;
+  return RowBatchPuller([src, self, node, state, threads, batch_size,
+                         opts_copy]() -> Result<RowBatch> {
     const std::vector<int>& group_keys = node->group_keys();
     const std::vector<AggregateCall>& agg_calls = node->agg_calls();
+    if (!state->built && state->merged == nullptr) {
+      // Columnar build phase: worker-local ColumnarAggBuilders over column
+      // morsels, merged serially once the workers are joined.
+      if (auto merged = ColumnarAggBuilder::TryCreate(group_keys, agg_calls)) {
+        src->PrepareColumnar(opts_copy);
+        if (src->columns != nullptr) {
+          auto cancel = std::make_shared<QueryCancelState>();
+          std::vector<std::unique_ptr<ColumnarAggBuilder>> locals(threads);
+          for (size_t t = 0; t < threads; ++t) {
+            locals[t] = ColumnarAggBuilder::TryCreate(group_keys, agg_calls);
+          }
+          {
+            MorselSource morsels(
+                src->columns->num_rows,
+                PickMorselSize(src->columns->num_rows, threads));
+            TaskScheduler scheduler(threads);
+            for (size_t t = 0; t < threads; ++t) {
+              ColumnarAggBuilder* local = locals[t].get();
+              scheduler.Submit([src, cancel, &morsels, batch_size, local]() {
+                RunColumnarAggWorker(src, cancel.get(), &morsels, batch_size,
+                                     local);
+              });
+            }
+            scheduler.WaitIdle();
+          }
+          CALCITE_RETURN_IF_ERROR(cancel->status());
+          for (const auto& local : locals) {
+            CALCITE_RETURN_IF_ERROR(merged->MergeFrom(*local));
+          }
+          state->merged = std::move(merged);
+          state->built = true;
+        }
+      }
+    }
+    if (state->merged != nullptr) {
+      return state->merged->EmitBatch(batch_size);
+    }
     if (!state->built) {
       // Build phase: thread-local aggregation over morsels, then a serial
       // merge. The scheduler lives only for this phase; its destructor

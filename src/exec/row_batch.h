@@ -25,6 +25,12 @@ using RowBatch = std::vector<Row>;
 /// cache-resident while still amortizing per-batch dispatch overhead.
 inline constexpr size_t kDefaultBatchSize = 1024;
 
+/// Upper clamp for batch_size. Columnar arena chunks are sized for batches,
+/// so a pathological batch_size (e.g. SIZE_MAX from a config typo) must not
+/// translate into a single giant allocation attempt; 64Ki rows is far past
+/// the point where larger batches stop paying.
+inline constexpr size_t kMaxBatchSize = 1u << 16;
+
 /// Runtime options threaded from the Connection down to the leaf scans.
 struct ExecOptions {
   size_t batch_size = kDefaultBatchSize;
@@ -37,14 +43,26 @@ struct ExecOptions {
   /// unordered fragments for throughput.
   size_t num_threads = 1;
 
+  /// When true (the default), eligible serial plan fragments run on the
+  /// column-major ColumnBatch path (exec/column_batch.h): leaf scans
+  /// produce typed column views, filters/projections run the columnar
+  /// kernels, and rows are only materialized at the conversion boundary.
+  /// Turning it off forces the row-major path everywhere; the differential
+  /// parity suite executes every query both ways.
+  bool enable_columnar = true;
+
   /// Both knobs clamped to their valid range: a zero batch_size would make
   /// every puller yield the empty batch that means end-of-stream (hanging
   /// or truncating pipelines), and zero worker threads could never pull
-  /// anything, so both clamp to 1. Every execution entry point normalizes
-  /// its options before building pipelines.
+  /// anything, so both clamp to 1. batch_size additionally clamps to
+  /// kMaxBatchSize: arena chunk sizing scales with the batch, so a
+  /// pathological upper bound must not become a giant allocation. Every
+  /// execution entry point normalizes its options before building
+  /// pipelines.
   ExecOptions Normalized() const {
     ExecOptions out = *this;
     if (out.batch_size == 0) out.batch_size = 1;
+    if (out.batch_size > kMaxBatchSize) out.batch_size = kMaxBatchSize;
     if (out.num_threads == 0) out.num_threads = 1;
     return out;
   }
@@ -54,6 +72,19 @@ struct ExecOptions {
 /// end of the stream; producers never yield empty batches mid-stream (a
 /// filter that eliminates a whole input chunk keeps pulling until it has at
 /// least one surviving row or its input ends). Errors abort the stream.
+///
+/// RowBatch is no longer the only batch currency: the hot path ships
+/// column-major ColumnBatch (exec/column_batch.h) — typed column vectors
+/// plus null bytemaps, bump-allocated from a per-query arena and freed
+/// wholesale — between converted operators (scan, filter, project,
+/// hash-aggregate, hash-join probe, the morsel-parallel exchange). A
+/// RowBatchPuller is the *conversion boundary*: operators that still think
+/// in rows (sort, outer-join emit, set ops, window, QueryResult) pull row
+/// batches, and a columnar producer boxes its active rows through
+/// ColumnsToRows exactly once at that boundary. Arena lifetime rule: a
+/// ColumnBatch shares ownership of everything its columns point into
+/// (arena, boxed pool, pinned table caches), so a row batch built from it
+/// owns plain Values and has no lifetime ties.
 using RowBatchPuller = std::function<Result<RowBatch>()>;
 
 /// Indexes of the rows of a batch that satisfy a predicate, ascending.

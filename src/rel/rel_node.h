@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/column_batch.h"
 #include "exec/row_batch.h"
 #include "plan/traits.h"
 #include "rex/rex_node.h"
@@ -151,6 +152,23 @@ class RelNode : public std::enable_shared_from_this<RelNode> {
     auto batched = ExecuteBatched(opts);
     if (!batched.ok()) return batched.status();
     return LiftToSelBatches(std::move(batched).value());
+  }
+
+  /// Columnar batch execution: when this operator can produce its output as
+  /// column-major ColumnBatch streams natively (zero row materialization),
+  /// it returns a puller; nullopt means "no native columnar path" and the
+  /// caller stays on the row protocol. Only the converted enumerable
+  /// operators (table scan over columnar-capable tables, filter, project)
+  /// override this; consumers (aggregate, join probe, the conversion
+  /// boundary) probe their input with it. Implementations must respect
+  /// opts.enable_columnar and return nullopt when it is off. Same ownership
+  /// contract as ExecuteBatched: the puller shares ownership of the node,
+  /// and each yielded batch owns (or pins) everything its columns point
+  /// into.
+  virtual std::optional<Result<ColumnBatchPuller>> TryExecuteColumnar(
+      const ExecOptions& opts) const {
+    (void)opts;
+    return std::nullopt;
   }
 
  protected:

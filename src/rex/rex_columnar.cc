@@ -1,0 +1,733 @@
+#include "rex/rex_columnar.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "rex/operator.h"
+#include "rex/rex_interpreter.h"
+
+namespace calcite {
+namespace {
+
+bool IsArithOp(OpKind op) {
+  switch (op) {
+    case OpKind::kPlus:
+    case OpKind::kMinus:
+    case OpKind::kTimes:
+    case OpKind::kDivide:
+    case OpKind::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNumericPhys(PhysType t) {
+  return t == PhysType::kInt64 || t == PhysType::kDouble;
+}
+
+/// Physical class of a literal column; nullopt when no typed layout exists.
+std::optional<PhysType> LiteralPhys(const RexLiteral& lit) {
+  const Value& v = lit.value();
+  if (v.IsNull()) {
+    PhysType t = PhysTypeForRel(*lit.type());
+    if (t == PhysType::kValue) return std::nullopt;
+    return t;  // typed all-null column
+  }
+  if (v.is_int()) return PhysType::kInt64;
+  if (v.is_double()) return PhysType::kDouble;
+  if (v.is_bool()) return PhysType::kBool;
+  if (v.is_string()) return PhysType::kString;
+  return std::nullopt;
+}
+
+bool CmpPasses(OpKind op, int c) {
+  switch (op) {
+    case OpKind::kEquals:
+      return c == 0;
+    case OpKind::kNotEquals:
+      return c != 0;
+    case OpKind::kLessThan:
+      return c < 0;
+    case OpKind::kLessThanOrEqual:
+      return c <= 0;
+    case OpKind::kGreaterThan:
+      return c > 0;
+    case OpKind::kGreaterThanOrEqual:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+/// Evaluation context: `in` supplies the active rows, `out` owns all result
+/// storage (arena for typed data, boxed_pool for Value columns, pins for
+/// aliased inputs).
+struct Ctx {
+  const ColumnBatch& in;
+  ColumnBatch* out;
+  size_t n;  // active row count; every dense column has exactly n entries
+
+  Arena& arena() { return *out->arena; }
+
+  template <typename T>
+  T* AllocZeroed() {
+    T* p = out->arena->AllocateArray<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return p;
+  }
+};
+
+Status EvalDense(Ctx& ctx, const RexNodePtr& node, ColumnVector* res);
+
+/// Materializes an input-ref column densely over the active rows: a
+/// zero-copy alias when the batch has no selection, a typed gather when it
+/// does. Handles every physical class, including boxed.
+Status RefDense(Ctx& ctx, const RexInputRef& ref, ColumnVector* res) {
+  const size_t idx = static_cast<size_t>(ref.index());
+  if (idx >= ctx.in.cols.size()) {
+    return Status::RuntimeError("input reference $" + std::to_string(idx) +
+                                " out of range");
+  }
+  const ColumnVector& src = ctx.in.cols[idx];
+  if (!ctx.in.has_sel) {
+    *res = src;
+    return Status::OK();
+  }
+  const SelectionVector& sel = ctx.in.sel;
+  const size_t n = ctx.n;
+  res->type = src.type;
+  uint8_t* nn = nullptr;
+  if (src.type != PhysType::kValue && src.nulls != nullptr) {
+    nn = ctx.AllocZeroed<uint8_t>();
+    for (size_t k = 0; k < n; ++k) nn[k] = src.nulls[sel[k]];
+    res->nulls = nn;
+  }
+  switch (src.type) {
+    case PhysType::kInt64: {
+      int64_t* d = ctx.AllocZeroed<int64_t>();
+      for (size_t k = 0; k < n; ++k) d[k] = src.i64[sel[k]];
+      res->i64 = d;
+      break;
+    }
+    case PhysType::kDouble: {
+      double* d = ctx.AllocZeroed<double>();
+      for (size_t k = 0; k < n; ++k) d[k] = src.f64[sel[k]];
+      res->f64 = d;
+      break;
+    }
+    case PhysType::kBool: {
+      uint8_t* d = ctx.AllocZeroed<uint8_t>();
+      for (size_t k = 0; k < n; ++k) d[k] = src.b8[sel[k]];
+      res->b8 = d;
+      break;
+    }
+    case PhysType::kString: {
+      // Gathered spans keep pointing into the source blob, which the output
+      // batch pins via ShareStorage.
+      StringRef* d = ctx.AllocZeroed<StringRef>();
+      for (size_t k = 0; k < n; ++k) d[k] = src.str[sel[k]];
+      res->str = d;
+      break;
+    }
+    case PhysType::kValue: {
+      auto vals = std::make_shared<std::vector<Value>>();
+      vals->reserve(n);
+      for (size_t k = 0; k < n; ++k) vals->push_back(src.boxed[sel[k]]);
+      ctx.out->boxed_pool.push_back(vals);
+      res->boxed = vals->data();
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+/// Broadcasts a literal to a dense column.
+Status LiteralDense(Ctx& ctx, const RexLiteral& lit, ColumnVector* res) {
+  const Value& v = lit.value();
+  const size_t n = ctx.n;
+  if (v.IsNull()) {
+    auto phys = LiteralPhys(lit);
+    assert(phys.has_value());
+    res->type = *phys;
+    uint8_t* nn = ctx.AllocZeroed<uint8_t>();
+    std::memset(nn, 1, n);
+    res->nulls = nn;
+    switch (*phys) {
+      case PhysType::kInt64:
+        res->i64 = ctx.AllocZeroed<int64_t>();
+        break;
+      case PhysType::kDouble:
+        res->f64 = ctx.AllocZeroed<double>();
+        break;
+      case PhysType::kBool:
+        res->b8 = ctx.AllocZeroed<uint8_t>();
+        break;
+      case PhysType::kString:
+        res->str = ctx.AllocZeroed<StringRef>();
+        break;
+      case PhysType::kValue:
+        break;
+    }
+    return Status::OK();
+  }
+  if (v.is_int()) {
+    int64_t* d = ctx.arena().AllocateArray<int64_t>(n);
+    for (size_t k = 0; k < n; ++k) d[k] = v.AsInt();
+    res->type = PhysType::kInt64;
+    res->i64 = d;
+  } else if (v.is_double()) {
+    double* d = ctx.arena().AllocateArray<double>(n);
+    for (size_t k = 0; k < n; ++k) d[k] = v.AsDouble();
+    res->type = PhysType::kDouble;
+    res->f64 = d;
+  } else if (v.is_bool()) {
+    uint8_t* d = ctx.arena().AllocateArray<uint8_t>(n);
+    std::memset(d, v.AsBool() ? 1 : 0, n);
+    res->type = PhysType::kBool;
+    res->b8 = d;
+  } else if (v.is_string()) {
+    const std::string& s = v.AsString();
+    char* bytes = ctx.arena().AllocateArray<char>(s.size());
+    std::memcpy(bytes, s.data(), s.size());
+    StringRef span{bytes, static_cast<uint32_t>(s.size())};
+    StringRef* d = ctx.arena().AllocateArray<StringRef>(n);
+    for (size_t k = 0; k < n; ++k) d[k] = span;
+    res->type = PhysType::kString;
+    res->str = d;
+  } else {
+    auto vals = std::make_shared<std::vector<Value>>(n, v);
+    ctx.out->boxed_pool.push_back(vals);
+    res->type = PhysType::kValue;
+    res->boxed = vals->data();
+  }
+  return Status::OK();
+}
+
+/// Binary arithmetic over dense numeric columns. NULL-strict with the NULL
+/// check strictly before the division-by-zero check, like EvalArithmetic.
+/// Data slots of NULL rows are zero, so blind stores stay defined.
+Status ArithDense(Ctx& ctx, OpKind op, const ColumnVector& a,
+                  const ColumnVector& b, ColumnVector* res) {
+  const size_t n = ctx.n;
+  const uint8_t* an = a.nulls;
+  const uint8_t* bn = b.nulls;
+  uint8_t* rn = nullptr;
+  if (an != nullptr || bn != nullptr) {
+    rn = ctx.AllocZeroed<uint8_t>();
+    for (size_t i = 0; i < n; ++i) {
+      rn[i] = static_cast<uint8_t>((an != nullptr && an[i]) ||
+                                   (bn != nullptr && bn[i]));
+    }
+    res->nulls = rn;
+  }
+  const bool integral = a.type == PhysType::kInt64 && b.type == PhysType::kInt64;
+  if (integral) {
+    const int64_t* x = a.i64;
+    const int64_t* y = b.i64;
+    int64_t* d = ctx.AllocZeroed<int64_t>();
+    res->type = PhysType::kInt64;
+    res->i64 = d;
+    switch (op) {
+      case OpKind::kPlus:
+        for (size_t i = 0; i < n; ++i) d[i] = x[i] + y[i];
+        break;
+      case OpKind::kMinus:
+        for (size_t i = 0; i < n; ++i) d[i] = x[i] - y[i];
+        break;
+      case OpKind::kTimes:
+        for (size_t i = 0; i < n; ++i) d[i] = x[i] * y[i];
+        break;
+      case OpKind::kDivide:
+      case OpKind::kMod:
+        for (size_t i = 0; i < n; ++i) {
+          if (rn != nullptr && rn[i]) continue;
+          if (y[i] == 0) return Status::RuntimeError("division by zero");
+          d[i] = op == OpKind::kDivide ? x[i] / y[i] : x[i] % y[i];
+        }
+        break;
+      default:
+        return Status::Internal("unexpected arithmetic operator");
+    }
+    // Blind +-* computed on NULL rows used zeroed slots; re-zero so every
+    // NULL row's data slot stays canonical.
+    if (rn != nullptr && op != OpKind::kDivide && op != OpKind::kMod) {
+      for (size_t i = 0; i < n; ++i) {
+        if (rn[i]) d[i] = 0;
+      }
+    }
+    return Status::OK();
+  }
+  const auto xv = [&](size_t i) {
+    return a.type == PhysType::kInt64 ? static_cast<double>(a.i64[i])
+                                      : a.f64[i];
+  };
+  const auto yv = [&](size_t i) {
+    return b.type == PhysType::kInt64 ? static_cast<double>(b.i64[i])
+                                      : b.f64[i];
+  };
+  double* d = ctx.AllocZeroed<double>();
+  res->type = PhysType::kDouble;
+  res->f64 = d;
+  switch (op) {
+    case OpKind::kPlus:
+      for (size_t i = 0; i < n; ++i) d[i] = xv(i) + yv(i);
+      break;
+    case OpKind::kMinus:
+      for (size_t i = 0; i < n; ++i) d[i] = xv(i) - yv(i);
+      break;
+    case OpKind::kTimes:
+      for (size_t i = 0; i < n; ++i) d[i] = xv(i) * yv(i);
+      break;
+    case OpKind::kDivide:
+    case OpKind::kMod:
+      for (size_t i = 0; i < n; ++i) {
+        if (rn != nullptr && rn[i]) continue;
+        double y = yv(i);
+        if (y == 0) return Status::RuntimeError("division by zero");
+        d[i] = op == OpKind::kDivide ? xv(i) / y : std::fmod(xv(i), y);
+      }
+      break;
+    default:
+      return Status::Internal("unexpected arithmetic operator");
+  }
+  if (rn != nullptr && op != OpKind::kDivide && op != OpKind::kMod) {
+    for (size_t i = 0; i < n; ++i) {
+      if (rn[i]) d[i] = 0;
+    }
+  }
+  return Status::OK();
+}
+
+/// Comparison over dense columns of compatible classes; result is a BOOLEAN
+/// column, NULL where either side is NULL (three-valued logic).
+Status CompareDense(Ctx& ctx, OpKind op, const ColumnVector& a,
+                    const ColumnVector& b, ColumnVector* res) {
+  const size_t n = ctx.n;
+  const uint8_t* an = a.nulls;
+  const uint8_t* bn = b.nulls;
+  uint8_t* rn = nullptr;
+  if (an != nullptr || bn != nullptr) {
+    rn = ctx.AllocZeroed<uint8_t>();
+    for (size_t i = 0; i < n; ++i) {
+      rn[i] = static_cast<uint8_t>((an != nullptr && an[i]) ||
+                                   (bn != nullptr && bn[i]));
+    }
+    res->nulls = rn;
+  }
+  uint8_t* d = ctx.AllocZeroed<uint8_t>();
+  res->type = PhysType::kBool;
+  res->b8 = d;
+  if (a.type == PhysType::kInt64 && b.type == PhysType::kInt64) {
+    const int64_t* x = a.i64;
+    const int64_t* y = b.i64;
+    for (size_t i = 0; i < n; ++i) {
+      d[i] = CmpPasses(op, x[i] < y[i] ? -1 : (x[i] > y[i] ? 1 : 0));
+    }
+  } else if (IsNumericPhys(a.type) && IsNumericPhys(b.type)) {
+    const auto xv = [&](size_t i) {
+      return a.type == PhysType::kInt64 ? static_cast<double>(a.i64[i])
+                                        : a.f64[i];
+    };
+    const auto yv = [&](size_t i) {
+      return b.type == PhysType::kInt64 ? static_cast<double>(b.i64[i])
+                                        : b.f64[i];
+    };
+    for (size_t i = 0; i < n; ++i) {
+      double x = xv(i), y = yv(i);
+      d[i] = CmpPasses(op, x < y ? -1 : (x > y ? 1 : 0));
+    }
+  } else if (a.type == PhysType::kString && b.type == PhysType::kString) {
+    for (size_t i = 0; i < n; ++i) {
+      if (rn != nullptr && rn[i]) continue;
+      d[i] = CmpPasses(op, a.str[i].view().compare(b.str[i].view()));
+    }
+  } else if (a.type == PhysType::kBool && b.type == PhysType::kBool) {
+    for (size_t i = 0; i < n; ++i) {
+      d[i] = CmpPasses(op, static_cast<int>(a.b8[i]) -
+                               static_cast<int>(b.b8[i]));
+    }
+  } else {
+    return Status::Internal("incomparable columnar operand classes");
+  }
+  if (rn != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (rn[i]) d[i] = 0;
+    }
+  }
+  return Status::OK();
+}
+
+Status CallDense(Ctx& ctx, const RexCall& call, const RelDataTypePtr& type,
+                 ColumnVector* res) {
+  const OpKind op = call.op();
+  const size_t n = ctx.n;
+
+  if (IsArithOp(op)) {
+    ColumnVector a, b;
+    Status s = EvalDense(ctx, call.operand(0), &a);
+    if (!s.ok()) return s;
+    s = EvalDense(ctx, call.operand(1), &b);
+    if (!s.ok()) return s;
+    return ArithDense(ctx, op, a, b, res);
+  }
+  if (IsComparison(op)) {
+    ColumnVector a, b;
+    Status s = EvalDense(ctx, call.operand(0), &a);
+    if (!s.ok()) return s;
+    s = EvalDense(ctx, call.operand(1), &b);
+    if (!s.ok()) return s;
+    return CompareDense(ctx, op, a, b, res);
+  }
+
+  switch (op) {
+    case OpKind::kIsNull:
+    case OpKind::kIsNotNull: {
+      ColumnVector a;
+      Status s = EvalDense(ctx, call.operand(0), &a);
+      if (!s.ok()) return s;
+      uint8_t* d = ctx.AllocZeroed<uint8_t>();
+      const bool want_null = op == OpKind::kIsNull;
+      if (a.nulls == nullptr) {
+        std::memset(d, want_null ? 0 : 1, n);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          d[i] = (a.nulls[i] != 0) == want_null;
+        }
+      }
+      res->type = PhysType::kBool;
+      res->b8 = d;
+      return Status::OK();
+    }
+    case OpKind::kIsTrue:
+    case OpKind::kIsFalse: {
+      ColumnVector a;
+      Status s = EvalDense(ctx, call.operand(0), &a);
+      if (!s.ok()) return s;
+      uint8_t* d = ctx.AllocZeroed<uint8_t>();
+      const bool want = op == OpKind::kIsTrue;
+      for (size_t i = 0; i < n; ++i) {
+        bool is_null = a.nulls != nullptr && a.nulls[i];
+        d[i] = !is_null && (a.b8[i] != 0) == want;
+      }
+      res->type = PhysType::kBool;
+      res->b8 = d;
+      return Status::OK();
+    }
+    case OpKind::kNot: {
+      ColumnVector a;
+      Status s = EvalDense(ctx, call.operand(0), &a);
+      if (!s.ok()) return s;
+      uint8_t* d = ctx.AllocZeroed<uint8_t>();
+      for (size_t i = 0; i < n; ++i) d[i] = a.b8[i] == 0;
+      if (a.nulls != nullptr) {
+        for (size_t i = 0; i < n; ++i) {
+          if (a.nulls[i]) d[i] = 0;
+        }
+      }
+      res->type = PhysType::kBool;
+      res->b8 = d;
+      res->nulls = a.nulls;  // NULL-strict: NOT NULL is NULL
+      return Status::OK();
+    }
+    case OpKind::kUnaryMinus: {
+      ColumnVector a;
+      Status s = EvalDense(ctx, call.operand(0), &a);
+      if (!s.ok()) return s;
+      res->nulls = a.nulls;
+      if (a.type == PhysType::kInt64) {
+        int64_t* d = ctx.AllocZeroed<int64_t>();
+        for (size_t i = 0; i < n; ++i) d[i] = -a.i64[i];
+        res->type = PhysType::kInt64;
+        res->i64 = d;
+      } else {
+        double* d = ctx.AllocZeroed<double>();
+        for (size_t i = 0; i < n; ++i) d[i] = -a.f64[i];
+        res->type = PhysType::kDouble;
+        res->f64 = d;
+      }
+      return Status::OK();
+    }
+    case OpKind::kCast: {
+      ColumnVector a;
+      Status s = EvalDense(ctx, call.operand(0), &a);
+      if (!s.ok()) return s;
+      const PhysType target = PhysTypeForRel(*type);
+      if (target == a.type) {
+        *res = a;  // numeric identity cast: alias the operand
+        return Status::OK();
+      }
+      res->nulls = a.nulls;
+      if (target == PhysType::kInt64) {
+        int64_t* d = ctx.AllocZeroed<int64_t>();
+        for (size_t i = 0; i < n; ++i) {
+          if (a.nulls != nullptr && a.nulls[i]) continue;
+          d[i] = static_cast<int64_t>(a.f64[i]);
+        }
+        res->type = PhysType::kInt64;
+        res->i64 = d;
+      } else {
+        double* d = ctx.AllocZeroed<double>();
+        for (size_t i = 0; i < n; ++i) d[i] = static_cast<double>(a.i64[i]);
+        res->type = PhysType::kDouble;
+        res->f64 = d;
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("unsupported columnar operator");
+  }
+}
+
+Status EvalDense(Ctx& ctx, const RexNodePtr& node, ColumnVector* res) {
+  switch (node->node_kind()) {
+    case RexNode::NodeKind::kInputRef:
+      return RefDense(ctx, *static_cast<const RexInputRef*>(node.get()), res);
+    case RexNode::NodeKind::kLiteral:
+      return LiteralDense(ctx, *static_cast<const RexLiteral*>(node.get()),
+                          res);
+    case RexNode::NodeKind::kCall:
+      return CallDense(ctx, *static_cast<const RexCall*>(node.get()),
+                       node->type(), res);
+  }
+  return Status::Internal("unknown rex node kind");
+}
+
+/// Gathers the active rows and evaluates per-row — the semantic anchor for
+/// everything the typed kernels do not cover.
+Status FallbackDense(Ctx& ctx, const RexNodePtr& node, ColumnVector* res) {
+  auto vals = std::make_shared<std::vector<Value>>();
+  vals->reserve(ctx.n);
+  for (size_t k = 0; k < ctx.n; ++k) {
+    Row row = ctx.in.GatherRow(ctx.in.ActiveIndex(k));
+    auto v = RexInterpreter::Eval(node, row);
+    if (!v.ok()) return v.status();
+    vals->push_back(std::move(v).value());
+  }
+  ctx.out->boxed_pool.push_back(vals);
+  res->type = PhysType::kValue;
+  res->boxed = vals->data();
+  return Status::OK();
+}
+
+/// Recognizes `node` as a pushdown-shaped predicate (`$col <op> literal`,
+/// `literal <op> $col`, `$col IS [NOT] NULL`) and converts it, so narrowing
+/// reuses the typed leaf-predicate loops.
+std::optional<ScanPredicate> AsScanPredicateShape(const RexNodePtr& node) {
+  const RexCall* call = AsCall(node);
+  if (call == nullptr) return std::nullopt;
+  const OpKind op = call->op();
+  if (op == OpKind::kIsNull || op == OpKind::kIsNotNull) {
+    const RexInputRef* ref = AsInputRef(call->operand(0));
+    if (ref == nullptr) return std::nullopt;
+    ScanPredicate pred;
+    pred.kind = op == OpKind::kIsNull ? ScanPredicate::Kind::kIsNull
+                                      : ScanPredicate::Kind::kIsNotNull;
+    pred.column = ref->index();
+    return pred;
+  }
+  if (!IsComparison(op)) return std::nullopt;
+  const RexInputRef* ref = AsInputRef(call->operand(0));
+  const RexLiteral* lit = AsLiteral(call->operand(1));
+  OpKind effective = op;
+  if (ref == nullptr || lit == nullptr) {
+    ref = AsInputRef(call->operand(1));
+    lit = AsLiteral(call->operand(0));
+    if (ref == nullptr || lit == nullptr) return std::nullopt;
+    effective = ReverseComparison(op);
+  }
+  ScanPredicate pred;
+  switch (effective) {
+    case OpKind::kEquals:
+      pred.kind = ScanPredicate::Kind::kEquals;
+      break;
+    case OpKind::kNotEquals:
+      pred.kind = ScanPredicate::Kind::kNotEquals;
+      break;
+    case OpKind::kLessThan:
+      pred.kind = ScanPredicate::Kind::kLessThan;
+      break;
+    case OpKind::kLessThanOrEqual:
+      pred.kind = ScanPredicate::Kind::kLessThanOrEqual;
+      break;
+    case OpKind::kGreaterThan:
+      pred.kind = ScanPredicate::Kind::kGreaterThan;
+      break;
+    case OpKind::kGreaterThanOrEqual:
+      pred.kind = ScanPredicate::Kind::kGreaterThanOrEqual;
+      break;
+    default:
+      return std::nullopt;
+  }
+  pred.column = ref->index();
+  pred.literal = lit->value();
+  return pred;
+}
+
+}  // namespace
+
+std::optional<PhysType> RexColumnar::ColumnarPhys(
+    const RexNodePtr& node, const std::vector<PhysType>& input_phys) {
+  if (node == nullptr) return std::nullopt;
+  switch (node->node_kind()) {
+    case RexNode::NodeKind::kInputRef: {
+      const auto* ref = static_cast<const RexInputRef*>(node.get());
+      const size_t idx = static_cast<size_t>(ref->index());
+      if (ref->index() < 0 || idx >= input_phys.size()) return std::nullopt;
+      if (input_phys[idx] == PhysType::kValue) return std::nullopt;
+      return input_phys[idx];
+    }
+    case RexNode::NodeKind::kLiteral:
+      return LiteralPhys(*static_cast<const RexLiteral*>(node.get()));
+    case RexNode::NodeKind::kCall:
+      break;
+  }
+  const auto* call = static_cast<const RexCall*>(node.get());
+  const OpKind op = call->op();
+  if (IsArithOp(op)) {
+    if (call->operands().size() != 2) return std::nullopt;
+    auto a = ColumnarPhys(call->operand(0), input_phys);
+    auto b = ColumnarPhys(call->operand(1), input_phys);
+    if (!a || !b || !IsNumericPhys(*a) || !IsNumericPhys(*b)) {
+      return std::nullopt;
+    }
+    return (*a == PhysType::kInt64 && *b == PhysType::kInt64)
+               ? PhysType::kInt64
+               : PhysType::kDouble;
+  }
+  if (IsComparison(op)) {
+    if (call->operands().size() != 2) return std::nullopt;
+    auto a = ColumnarPhys(call->operand(0), input_phys);
+    auto b = ColumnarPhys(call->operand(1), input_phys);
+    if (!a || !b) return std::nullopt;
+    const bool compatible = (IsNumericPhys(*a) && IsNumericPhys(*b)) ||
+                            (*a == PhysType::kString && *b == PhysType::kString) ||
+                            (*a == PhysType::kBool && *b == PhysType::kBool);
+    if (!compatible) return std::nullopt;
+    return PhysType::kBool;
+  }
+  switch (op) {
+    case OpKind::kIsNull:
+    case OpKind::kIsNotNull: {
+      if (call->operands().size() != 1) return std::nullopt;
+      if (!ColumnarPhys(call->operand(0), input_phys)) return std::nullopt;
+      return PhysType::kBool;
+    }
+    case OpKind::kIsTrue:
+    case OpKind::kIsFalse:
+    case OpKind::kNot: {
+      if (call->operands().size() != 1) return std::nullopt;
+      auto a = ColumnarPhys(call->operand(0), input_phys);
+      if (!a || *a != PhysType::kBool) return std::nullopt;
+      return PhysType::kBool;
+    }
+    case OpKind::kUnaryMinus: {
+      if (call->operands().size() != 1) return std::nullopt;
+      auto a = ColumnarPhys(call->operand(0), input_phys);
+      if (!a || !IsNumericPhys(*a)) return std::nullopt;
+      return *a;
+    }
+    case OpKind::kCast: {
+      if (call->operands().size() != 1) return std::nullopt;
+      auto a = ColumnarPhys(call->operand(0), input_phys);
+      if (!a || !IsNumericPhys(*a)) return std::nullopt;
+      const PhysType target = PhysTypeForRel(*node->type());
+      if (!IsNumericPhys(target)) return std::nullopt;
+      return target;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<PhysType> RexColumnar::ColumnarPhys(const RexNodePtr& node,
+                                                  const ColumnBatch& in) {
+  std::vector<PhysType> phys;
+  phys.reserve(in.cols.size());
+  for (const ColumnVector& col : in.cols) phys.push_back(col.type);
+  return ColumnarPhys(node, phys);
+}
+
+Status RexColumnar::AppendEvalColumn(const RexNodePtr& node,
+                                     const ColumnBatch& in, ColumnBatch* out) {
+  Ctx ctx{in, out, in.ActiveCount()};
+  ColumnVector res;
+  Status s;
+  if (const RexInputRef* ref = AsInputRef(node)) {
+    // Plain column references alias (or gather) regardless of class.
+    s = RefDense(ctx, *ref, &res);
+  } else if (ColumnarPhys(node, in).has_value()) {
+    s = EvalDense(ctx, node, &res);
+  } else {
+    s = FallbackDense(ctx, node, &res);
+  }
+  if (!s.ok()) return s;
+  out->cols.push_back(res);
+  return Status::OK();
+}
+
+Status RexColumnar::NarrowSelection(const RexNodePtr& node,
+                                    const ColumnBatch& batch,
+                                    const ArenaPtr& scratch,
+                                    SelectionVector* sel) {
+  if (sel->empty()) return Status::OK();
+
+  // Conjunctions narrow progressively: later conjuncts only see earlier
+  // survivors, so their evaluation errors on dropped rows are suppressed —
+  // identical to RexInterpreter::NarrowSelection.
+  if (const RexCall* call = AsCall(node)) {
+    if (call->op() == OpKind::kAnd) {
+      for (const RexNodePtr& operand : call->operands()) {
+        Status s = NarrowSelection(operand, batch, scratch, sel);
+        if (!s.ok()) return s;
+        if (sel->empty()) break;
+      }
+      return Status::OK();
+    }
+  }
+
+  // Fused typed loops for pushdown-shaped predicates on the raw columns.
+  if (auto pred = AsScanPredicateShape(node)) {
+    NarrowByScanPredicate(*pred, batch, sel);
+    return Status::OK();
+  }
+
+  // Dense-evaluable boolean expression: evaluate over the candidate rows
+  // into scratch storage, then keep rows whose result is TRUE.
+  if (ColumnarPhys(node, batch) == PhysType::kBool) {
+    ColumnBatch view = batch;  // shallow: shares column storage
+    view.sel = *sel;
+    view.has_sel = true;
+    ColumnBatch tmp;
+    tmp.arena = scratch != nullptr ? scratch : std::make_shared<Arena>();
+    tmp.num_rows = sel->size();
+    tmp.ShareStorage(view);
+    Ctx ctx{view, &tmp, sel->size()};
+    ColumnVector res;
+    Status s = EvalDense(ctx, node, &res);
+    if (!s.ok()) return s;
+    size_t out = 0;
+    for (size_t k = 0; k < sel->size(); ++k) {
+      const bool is_null = res.nulls != nullptr && res.nulls[k];
+      if (!is_null && res.b8[k]) (*sel)[out++] = (*sel)[k];
+    }
+    sel->resize(out);
+    return Status::OK();
+  }
+
+  // Row-oracle fallback over the candidate rows only.
+  size_t out = 0;
+  for (size_t k = 0; k < sel->size(); ++k) {
+    Row row = batch.GatherRow((*sel)[k]);
+    auto pass = RexInterpreter::EvalPredicate(node, row);
+    if (!pass.ok()) return pass.status();
+    if (pass.value()) (*sel)[out++] = (*sel)[k];
+  }
+  sel->resize(out);
+  return Status::OK();
+}
+
+}  // namespace calcite

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/column_batch.h"
 #include "exec/row_batch.h"
 #include "plan/traits.h"
 #include "type/rel_data_type.h"
@@ -95,6 +96,18 @@ class Table {
   /// parallel workers start.
   virtual const std::vector<Row>* MaterializedRows() const { return nullptr; }
 
+  /// The table's contents decomposed into column-major typed storage
+  /// (exec/column_batch.h), or nullptr when the table cannot provide it.
+  /// This is the access path of the columnar hot path: scans slice
+  /// zero-copy column views out of the returned decomposition and evaluate
+  /// pushed predicates on the raw columns before any row materialization.
+  /// Tables that physically hold rows build the decomposition lazily on
+  /// first use and cache it (ColumnarCache); the shared_ptr keeps it alive
+  /// for in-flight scans even if the cache is invalidated by a mutation.
+  virtual TableColumnsPtr MaterializedColumns(const TypeFactory&) const {
+    return nullptr;
+  }
+
   /// True if this table is a stream (time-ordered, unbounded in principle;
   /// §7.2). STREAM queries are only legal on streaming tables.
   virtual bool IsStream() const { return false; }
@@ -137,14 +150,24 @@ class MemTable : public Table {
 
   const std::vector<Row>* MaterializedRows() const override { return &rows_; }
 
-  /// Mutable access for test/bench setup.
-  std::vector<Row>& rows() { return rows_; }
+  TableColumnsPtr MaterializedColumns(const TypeFactory&) const override {
+    return columnar_.Get(rows_, row_type_);
+  }
+
+  /// Mutable access for test/bench setup. Conservatively drops the cached
+  /// columnar decomposition — the caller may mutate the rows through the
+  /// returned reference.
+  std::vector<Row>& rows() {
+    columnar_.Invalidate();
+    return rows_;
+  }
   void set_statistic(Statistic statistic) { statistic_ = std::move(statistic); }
 
  private:
   RelDataTypePtr row_type_;
   std::vector<Row> rows_;
   Statistic statistic_;
+  ColumnarCache columnar_;
 };
 
 /// A view: a table defined by a SQL query over other tables. The validator

@@ -34,6 +34,7 @@ Status StreamTable::Append(Row event) {
     }
   }
   events_.push_back(std::move(event));
+  columnar_.Invalidate();
   return Status::OK();
 }
 

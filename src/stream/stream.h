@@ -50,6 +50,12 @@ class StreamTable final : public Table {
 
   bool IsStream() const override { return true; }
 
+  /// Columnar replay of the log so far. Append() invalidates the cached
+  /// decomposition; scans already in flight keep their snapshot alive.
+  TableColumnsPtr MaterializedColumns(const TypeFactory&) const override {
+    return columnar_.Get(events_, row_type_);
+  }
+
   int rowtime_column() const { return rowtime_column_; }
   const std::vector<Row>& events() const { return events_; }
 
@@ -60,6 +66,7 @@ class StreamTable final : public Table {
   RelDataTypePtr row_type_;
   int rowtime_column_;
   std::vector<Row> events_;
+  ColumnarCache columnar_;
 };
 
 /// Executes a STREAM query incrementally: events are delivered to the query

@@ -1,0 +1,663 @@
+// Differential tests of the columnar execution path: every operator that
+// was converted to the ColumnBatch currency (scan, filter, project,
+// hash aggregate, hash join probe, and the morsel-parallel pipelines) must
+// produce byte-identical results with `enable_columnar` on and off, across
+// cardinalities that straddle the batch boundary (0 / 1 / 1023 / 1024 /
+// 1025), NULL-heavy data, and num_threads ∈ {1, 4} (parallel plans compare
+// as multisets — unordered fragments do not promise an order). A SQL-level
+// differential runs whole optimized plans both ways, and unit packs cover
+// the arena allocator, the table column decomposition, leaf predicate
+// pushdown on raw columns, the row/column conversion boundary, and the
+// ExecOptions normalization clamps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapters/enumerable/enumerable_rels.h"
+#include "exec/arena.h"
+#include "exec/column_batch.h"
+#include "rel/core.h"
+#include "rex/rex_builder.h"
+#include "test_schema.h"
+#include "tools/frameworks.h"
+
+namespace calcite {
+namespace {
+
+const std::vector<size_t> kCardinalities = {0, 1, 1023, 1024, 1025};
+
+/// Five columns spanning every physical column class: id INT NOT NULL
+/// (unique), k INT? (NULL every 3rd row), s VARCHAR? (NULL every 5th row),
+/// d DOUBLE? (NULL every 4th row), f BOOLEAN? (NULL every 6th row).
+RelDataTypePtr TestRowType(const TypeFactory& tf) {
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  auto int_null = tf.CreateSqlType(SqlTypeName::kInteger, -1, true);
+  auto str_null = tf.CreateSqlType(SqlTypeName::kVarchar, 20, true);
+  auto dbl_null = tf.CreateSqlType(SqlTypeName::kDouble, -1, true);
+  auto bool_null = tf.CreateSqlType(SqlTypeName::kBoolean, -1, true);
+  return tf.CreateStructType({"id", "k", "s", "d", "f"},
+                             {int_t, int_null, str_null, dbl_null, bool_null});
+}
+
+std::vector<Row> MakeRows(size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(
+        {Value::Int(static_cast<int64_t>(i)),
+         i % 3 == 0 ? Value::Null() : Value::Int(static_cast<int64_t>(i % 7)),
+         i % 5 == 0 ? Value::Null()
+                    : Value::String("s" + std::to_string(i % 11)),
+         i % 4 == 0 ? Value::Null()
+                    : Value::Double(static_cast<double>(i % 13) * 0.5),
+         i % 6 == 0 ? Value::Null() : Value::Bool(i % 2 == 0)});
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> RunPlan(const RelNodePtr& node, const ExecOptions& opts) {
+  auto puller = node->ExecuteBatched(opts);
+  if (!puller.ok()) return puller.status();
+  std::vector<Row> out;
+  for (;;) {
+    auto batch = (puller.value())();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;
+    for (Row& row : batch.value()) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::string> Strings(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(RowToString(row));
+  return out;
+}
+
+/// Runs `node` with the columnar path disabled (the row engine, the
+/// reference) and asserts the columnar path produces identical rows at
+/// several batch sizes, then that 4-way parallel execution — columnar and
+/// row — produces the same multiset of rows.
+void ExpectColumnarParity(const RelNodePtr& node, const std::string& label) {
+  ExecOptions row_opts;
+  row_opts.enable_columnar = false;
+  auto base = RunPlan(node, row_opts);
+  ASSERT_TRUE(base.ok()) << label << ": " << base.status().ToString();
+  std::vector<std::string> want = Strings(base.value());
+
+  for (size_t bs : {size_t{1}, size_t{3}, size_t{1023}, size_t{1024}}) {
+    ExecOptions col_opts;
+    col_opts.enable_columnar = true;
+    col_opts.batch_size = bs;
+    auto got = RunPlan(node, col_opts);
+    ASSERT_TRUE(got.ok()) << label << " bs=" << bs << ": "
+                          << got.status().ToString();
+    std::vector<std::string> got_s = Strings(got.value());
+    ASSERT_EQ(got_s.size(), want.size()) << label << " bs=" << bs;
+    for (size_t i = 0; i < got_s.size(); ++i) {
+      ASSERT_EQ(got_s[i], want[i]) << label << " bs=" << bs << " row " << i;
+    }
+  }
+
+  std::vector<std::string> want_sorted = want;
+  std::sort(want_sorted.begin(), want_sorted.end());
+  for (bool columnar : {true, false}) {
+    ExecOptions par_opts;
+    par_opts.enable_columnar = columnar;
+    par_opts.num_threads = 4;
+    auto got = RunPlan(node, par_opts);
+    ASSERT_TRUE(got.ok()) << label << " threads=4 columnar=" << columnar
+                          << ": " << got.status().ToString();
+    std::vector<std::string> got_s = Strings(got.value());
+    std::sort(got_s.begin(), got_s.end());
+    ASSERT_EQ(got_s, want_sorted)
+        << label << " threads=4 columnar=" << columnar;
+  }
+}
+
+class ColumnarParityTest : public ::testing::Test {
+ protected:
+  /// A scan over a MemTable — the leaf shape that exposes a columnar
+  /// decomposition, so plans above it take the ColumnBatch path.
+  RelNodePtr Scan(size_t n) {
+    auto table = std::make_shared<MemTable>(TestRowType(tf_), MakeRows(n));
+    return ScanOf(table);
+  }
+
+  RelNodePtr ScanOf(const TablePtr& table) {
+    auto logical =
+        LogicalTableScan::Create(table, {"t"}, Convention::Enumerable(), tf_);
+    return EnumerableTableScan::Create(
+        *static_cast<const TableScan*>(logical.get()));
+  }
+
+  RexNodePtr Field(const RelDataTypePtr& row_type, int i) {
+    return rex_.MakeInputRef(row_type, i);
+  }
+
+  TypeFactory tf_;
+  RexBuilder rex_;
+};
+
+TEST_F(ColumnarParityTest, TableScan) {
+  for (size_t n : kCardinalities) {
+    ExpectColumnarParity(Scan(n), "Scan n=" + std::to_string(n));
+  }
+}
+
+TEST_F(ColumnarParityTest, Filter) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr scan = Scan(n);
+    const RelDataTypePtr& rt = scan->row_type();
+    // Fully pushable: runs on the raw columns inside the leaf scan.
+    auto lt = rex_.MakeCall(OpKind::kLessThan,
+                            {Field(rt, 0), rex_.MakeIntLiteral(900)});
+    ASSERT_TRUE(lt.ok());
+    auto nn = rex_.MakeCall(OpKind::kIsNotNull, {Field(rt, 1)});
+    ASSERT_TRUE(nn.ok());
+    ExpectColumnarParity(
+        EnumerableFilter::Create(scan, rex_.MakeAnd({lt.value(), nn.value()})),
+        "Filter(pushed) n=" + std::to_string(n));
+
+    // Pushed conjuncts plus a typed residual over two column refs.
+    auto refs = rex_.MakeCall(OpKind::kGreaterThan,
+                              {Field(rt, 0), Field(rt, 1)});
+    ASSERT_TRUE(refs.ok());
+    ExpectColumnarParity(
+        EnumerableFilter::Create(
+            scan, rex_.MakeAnd({lt.value(), refs.value()})),
+        "Filter(residual) n=" + std::to_string(n));
+
+    // Row-oracle fallback: LIKE is outside the typed kernel set.
+    auto like = rex_.MakeCall(
+        OpKind::kLike, {Field(rt, 2), rex_.MakeStringLiteral("s1%")});
+    ASSERT_TRUE(like.ok());
+    auto dgt = rex_.MakeCall(OpKind::kGreaterThan,
+                             {Field(rt, 3), rex_.MakeDoubleLiteral(2.0)});
+    ASSERT_TRUE(dgt.ok());
+    ExpectColumnarParity(
+        EnumerableFilter::Create(scan,
+                                 rex_.MakeOr({like.value(), dgt.value()})),
+        "Filter(fallback) n=" + std::to_string(n));
+
+    // A nullable BOOLEAN column used directly as the condition.
+    ExpectColumnarParity(EnumerableFilter::Create(scan, Field(rt, 4)),
+                         "Filter(bool col) n=" + std::to_string(n));
+
+    // Eliminates everything (columnar batches are skipped, never empty).
+    ExpectColumnarParity(
+        EnumerableFilter::Create(scan, rex_.MakeBoolLiteral(false)),
+        "Filter(false) n=" + std::to_string(n));
+  }
+}
+
+TEST_F(ColumnarParityTest, Project) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr scan = Scan(n);
+    const RelDataTypePtr& rt = scan->row_type();
+    auto sum = rex_.MakeCall(OpKind::kPlus,
+                             {Field(rt, 0), rex_.MakeIntLiteral(7)});
+    ASSERT_TRUE(sum.ok());
+    auto prod = rex_.MakeCall(OpKind::kTimes,
+                              {Field(rt, 3), rex_.MakeDoubleLiteral(2.0)});
+    ASSERT_TRUE(prod.ok());
+    auto upper = rex_.MakeCall(OpKind::kUpper, {Field(rt, 2)});  // fallback
+    ASSERT_TRUE(upper.ok());
+    std::vector<RexNodePtr> exprs = {Field(rt, 0), sum.value(), prod.value(),
+                                     upper.value(), Field(rt, 4),
+                                     rex_.MakeStringLiteral("const")};
+    auto row_type = DeriveProjectRowType(
+        exprs, {"id", "id7", "d2", "us", "f", "c"}, tf_);
+    ExpectColumnarParity(EnumerableProject::Create(scan, exprs, row_type),
+                         "Project n=" + std::to_string(n));
+
+    // Project over a filter: the projection consumes a selection-carrying
+    // columnar stream.
+    auto cond = rex_.MakeCall(OpKind::kGreaterThanOrEqual,
+                              {Field(rt, 0), rex_.MakeIntLiteral(5)});
+    ASSERT_TRUE(cond.ok());
+    ExpectColumnarParity(
+        EnumerableProject::Create(EnumerableFilter::Create(scan, cond.value()),
+                                  exprs, row_type),
+        "Project(filtered) n=" + std::to_string(n));
+  }
+}
+
+TEST_F(ColumnarParityTest, Aggregate) {
+  for (size_t n : kCardinalities) {
+    RelNodePtr scan = Scan(n);
+    const RelDataTypePtr& rt = scan->row_type();
+    std::vector<AggregateCall> calls;
+    {
+      AggregateCall c;
+      c.kind = AggKind::kCountStar;
+      c.name = "cnt";
+      calls.push_back(c);
+      c.kind = AggKind::kCount;
+      c.args = {1};
+      c.name = "cnt_k";
+      calls.push_back(c);
+      c.kind = AggKind::kSum;
+      c.args = {3};
+      c.name = "sum_d";
+      calls.push_back(c);
+      c.kind = AggKind::kAvg;
+      c.args = {0};
+      c.name = "avg_id";
+      calls.push_back(c);
+      c.kind = AggKind::kMin;
+      c.args = {2};
+      c.name = "min_s";
+      calls.push_back(c);
+      c.kind = AggKind::kMax;
+      c.args = {3};
+      c.name = "max_d";
+      calls.push_back(c);
+      c.kind = AggKind::kCount;
+      c.args = {1};
+      c.distinct = true;
+      c.name = "cntd_k";
+      calls.push_back(c);
+    }
+    // Global (one output row even over empty input).
+    {
+      auto row_type = DeriveAggregateRowType(rt, {}, calls, tf_);
+      ExpectColumnarParity(
+          EnumerableAggregate::Create(scan, {}, calls, row_type),
+          "Aggregate(global) n=" + std::to_string(n));
+    }
+    // Grouped by the NULL-heavy int column (the typed group-key fast path).
+    {
+      auto row_type = DeriveAggregateRowType(rt, {1}, calls, tf_);
+      ExpectColumnarParity(
+          EnumerableAggregate::Create(scan, {1}, calls, row_type),
+          "Aggregate(k) n=" + std::to_string(n));
+    }
+    // Grouped by the string column (boxed group keys).
+    {
+      auto row_type = DeriveAggregateRowType(rt, {2}, calls, tf_);
+      ExpectColumnarParity(
+          EnumerableAggregate::Create(scan, {2}, calls, row_type),
+          "Aggregate(s) n=" + std::to_string(n));
+    }
+    // Two group keys: the columnar builder declines, row path runs.
+    {
+      auto row_type = DeriveAggregateRowType(rt, {1, 2}, calls, tf_);
+      ExpectColumnarParity(
+          EnumerableAggregate::Create(scan, {1, 2}, calls, row_type),
+          "Aggregate(k,s) n=" + std::to_string(n));
+    }
+    // Aggregate over a filter (selection-carrying columnar input).
+    {
+      auto cond = rex_.MakeCall(OpKind::kLessThan,
+                                {Field(rt, 0), rex_.MakeIntLiteral(777)});
+      ASSERT_TRUE(cond.ok());
+      auto row_type = DeriveAggregateRowType(rt, {1}, calls, tf_);
+      ExpectColumnarParity(
+          EnumerableAggregate::Create(
+              EnumerableFilter::Create(scan, cond.value()), {1}, calls,
+              row_type),
+          "Aggregate(filtered) n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST_F(ColumnarParityTest, HashJoinAllTypes) {
+  const std::vector<JoinType> join_types = {
+      JoinType::kInner, JoinType::kLeft,  JoinType::kRight,
+      JoinType::kFull,  JoinType::kSemi,  JoinType::kAnti};
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1023}, size_t{1025}}) {
+    RelNodePtr left = Scan(n);
+    RelNodePtr right = Scan(97);
+    const RelDataTypePtr& lt = left->row_type();
+    const RelDataTypePtr& rt = right->row_type();
+    size_t left_width = lt->fields().size();
+    // Equi-key on the NULL-heavy k columns plus a non-equi residual.
+    auto equi = rex_.MakeEquals(
+        Field(lt, 1), rex_.MakeInputRef(static_cast<int>(left_width) + 1,
+                                        rt->fields()[1].type));
+    auto bound = rex_.MakeCall(
+        OpKind::kPlus,
+        {rex_.MakeInputRef(static_cast<int>(left_width) + 0,
+                           rt->fields()[0].type),
+         rex_.MakeIntLiteral(700)});
+    ASSERT_TRUE(bound.ok());
+    auto residual =
+        rex_.MakeCall(OpKind::kLessThan, {Field(lt, 0), bound.value()});
+    ASSERT_TRUE(residual.ok());
+    RexNodePtr condition = rex_.MakeAnd({equi, residual.value()});
+    for (JoinType jt : join_types) {
+      auto row_type = DeriveJoinRowType(lt, rt, jt, tf_);
+      ExpectColumnarParity(
+          EnumerableHashJoin::Create(left, right, condition, jt, row_type),
+          std::string("HashJoin ") + JoinTypeName(jt) +
+              " n=" + std::to_string(n));
+    }
+    // Probe side under a filter: the probe consumes a selection-carrying
+    // columnar stream.
+    auto lcond = rex_.MakeCall(OpKind::kGreaterThanOrEqual,
+                               {Field(lt, 0), rex_.MakeIntLiteral(3)});
+    ASSERT_TRUE(lcond.ok());
+    auto inner_type = DeriveJoinRowType(lt, rt, JoinType::kInner, tf_);
+    ExpectColumnarParity(
+        EnumerableHashJoin::Create(EnumerableFilter::Create(left,
+                                                            lcond.value()),
+                                   right, equi, JoinType::kInner, inner_type),
+        "HashJoin(filtered probe) n=" + std::to_string(n));
+  }
+}
+
+TEST_F(ColumnarParityTest, PipelineScanFilterProjectAggregate) {
+  // The full converted pipeline in one plan, the hot-path shape the
+  // benchmark sweeps measure.
+  for (size_t n : kCardinalities) {
+    RelNodePtr scan = Scan(n);
+    const RelDataTypePtr& rt = scan->row_type();
+    auto cond = rex_.MakeCall(OpKind::kLessThan,
+                              {Field(rt, 0), rex_.MakeIntLiteral(999)});
+    ASSERT_TRUE(cond.ok());
+    RelNodePtr filtered = EnumerableFilter::Create(scan, cond.value());
+    auto twice = rex_.MakeCall(OpKind::kTimes,
+                               {Field(rt, 0), rex_.MakeIntLiteral(2)});
+    ASSERT_TRUE(twice.ok());
+    std::vector<RexNodePtr> exprs = {Field(rt, 1), twice.value(),
+                                     Field(rt, 3)};
+    auto proj_type = DeriveProjectRowType(exprs, {"k", "id2", "d"}, tf_);
+    RelNodePtr projected =
+        EnumerableProject::Create(filtered, exprs, proj_type);
+    std::vector<AggregateCall> calls;
+    {
+      AggregateCall c;
+      c.kind = AggKind::kCountStar;
+      c.name = "cnt";
+      calls.push_back(c);
+      c.kind = AggKind::kSum;
+      c.args = {1};
+      c.name = "sum_id2";
+      calls.push_back(c);
+      c.kind = AggKind::kAvg;
+      c.args = {2};
+      c.name = "avg_d";
+      calls.push_back(c);
+    }
+    auto agg_type = DeriveAggregateRowType(proj_type, {0}, calls, tf_);
+    ExpectColumnarParity(
+        EnumerableAggregate::Create(projected, {0}, calls, agg_type),
+        "Pipeline n=" + std::to_string(n));
+  }
+}
+
+TEST_F(ColumnarParityTest, MutationInvalidatesColumnarCache) {
+  auto table = std::make_shared<MemTable>(TestRowType(tf_), MakeRows(10));
+  RelNodePtr scan = ScanOf(table);
+  ExecOptions opts;  // columnar on
+  auto before = RunPlan(scan, opts);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().size(), 10u);
+
+  // Mutate through rows(): the cached decomposition must be dropped, so the
+  // next columnar scan sees the new data.
+  table->rows()[0][0] = Value::Int(4242);
+  table->rows().push_back(MakeRows(11).back());
+  auto after = RunPlan(scan, opts);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().size(), 11u);
+  EXPECT_EQ(after.value()[0][0].ToString(), Value::Int(4242).ToString());
+}
+
+// ------------------------------ arena pack ----------------------------------
+
+TEST(ArenaTest, AlignmentAndBytesUsed) {
+  Arena arena;
+  for (size_t bytes : {size_t{1}, size_t{3}, size_t{17}, size_t{160}}) {
+    void* p = arena.Allocate(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u) << bytes;
+  }
+  EXPECT_GE(arena.bytes_used(), 1u + 3u + 17u + 160u);
+  int64_t* col = arena.AllocateArray<int64_t>(100);
+  col[0] = 7;
+  col[99] = -7;
+  EXPECT_EQ(col[0] + col[99], 0);
+}
+
+TEST(ArenaTest, ResetCoalescesChunks) {
+  Arena arena(/*chunk_bytes=*/128);
+  // Spill across several chunks.
+  for (int i = 0; i < 10; ++i) arena.Allocate(100);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  size_t used = arena.bytes_used();
+  EXPECT_GE(used, 1000u);
+  arena.Reset();
+  // Coalesced into one chunk large enough for the whole workload, counters
+  // rewound.
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  for (int i = 0; i < 10; ++i) arena.Allocate(100);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(ArenaTest, PoolRecyclesFreedArenas) {
+  ArenaPool pool;
+  ArenaPtr a = pool.Acquire();
+  Arena* raw = a.get();
+  a->Allocate(64);
+  // Still referenced by the caller: the pool must hand out a fresh arena.
+  ArenaPtr b = pool.Acquire();
+  EXPECT_NE(b.get(), raw);
+  // Released: the next Acquire reuses the arena, reset.
+  a.reset();
+  ArenaPtr c = pool.Acquire();
+  EXPECT_EQ(c.get(), raw);
+  EXPECT_EQ(c->bytes_used(), 0u);
+}
+
+// -------------------------- column batch pack -------------------------------
+
+class ColumnBatchTest : public ::testing::Test {
+ protected:
+  TypeFactory tf_;
+};
+
+TEST_F(ColumnBatchTest, BuildProducesTypedColumnsWithNullMaps) {
+  auto row_type = TestRowType(tf_);
+  std::vector<Row> rows = MakeRows(30);
+  auto cols = TableColumns::Build(rows, *row_type);
+  ASSERT_NE(cols, nullptr);
+  ASSERT_EQ(cols->num_rows, 30u);
+  ASSERT_EQ(cols->cols.size(), 5u);
+  EXPECT_EQ(cols->cols[0].type, PhysType::kInt64);
+  EXPECT_EQ(cols->cols[1].type, PhysType::kInt64);
+  EXPECT_EQ(cols->cols[2].type, PhysType::kString);
+  EXPECT_EQ(cols->cols[3].type, PhysType::kDouble);
+  EXPECT_EQ(cols->cols[4].type, PhysType::kBool);
+  EXPECT_TRUE(cols->cols[0].nulls.empty());   // NOT NULL column
+  EXPECT_FALSE(cols->cols[1].nulls.empty());  // has NULLs
+  // Cell-level parity with the source rows, via the column views.
+  for (size_t c = 0; c < 5; ++c) {
+    ColumnVector view = cols->View(c, 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(view.GetValue(i).ToString(), rows[i][c].ToString())
+          << "col " << c << " row " << i;
+    }
+  }
+}
+
+TEST_F(ColumnBatchTest, BuildDegradesMistypedColumnToBoxed) {
+  auto row_type = TestRowType(tf_);
+  std::vector<Row> rows = MakeRows(5);
+  rows[2][0] = Value::String("not an int");  // declared INT
+  auto cols = TableColumns::Build(rows, *row_type);
+  ASSERT_NE(cols, nullptr);
+  EXPECT_EQ(cols->cols[0].type, PhysType::kValue);
+  ColumnVector view = cols->View(0, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(view.GetValue(i).ToString(), rows[i][0].ToString());
+  }
+  // Ragged rows cannot be decomposed at all.
+  rows[3].pop_back();
+  EXPECT_EQ(TableColumns::Build(rows, *row_type), nullptr);
+}
+
+TEST_F(ColumnBatchTest, ScanTableColumnsMatchesRowPredicates) {
+  auto row_type = TestRowType(tf_);
+  std::vector<Row> rows = MakeRows(2050);
+  auto cols = TableColumns::Build(rows, *row_type);
+  ASSERT_NE(cols, nullptr);
+
+  ScanPredicateList preds;
+  {
+    ScanPredicate p;
+    p.kind = ScanPredicate::Kind::kLessThan;
+    p.column = 0;
+    p.literal = Value::Int(1900);
+    preds.push_back(p);
+    p.kind = ScanPredicate::Kind::kIsNotNull;
+    p.column = 1;
+    p.literal = Value();
+    preds.push_back(p);
+    p.kind = ScanPredicate::Kind::kGreaterThanOrEqual;
+    p.column = 3;
+    p.literal = Value::Double(1.0);
+    preds.push_back(p);
+  }
+  std::vector<Row> want;
+  for (const Row& row : rows) {
+    if (ScanPredicatesMatch(preds, row)) want.push_back(row);
+  }
+  ASSERT_FALSE(want.empty());
+
+  for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+    auto pull = ScanTableColumns(cols, bs, preds, cols);
+    std::vector<Row> got;
+    for (;;) {
+      auto batch = pull();
+      ASSERT_TRUE(batch.ok());
+      if (batch.value().AtEnd()) break;
+      // Never an empty batch mid-stream; physical rows respect the cap.
+      ASSERT_GT(batch.value().ActiveCount(), 0u);
+      ASSERT_LE(batch.value().num_rows, bs);
+      RowBatch boxed;
+      ColumnsToRows(batch.value(), &boxed);
+      for (Row& row : boxed) got.push_back(std::move(row));
+    }
+    ASSERT_EQ(got.size(), want.size()) << "bs=" << bs;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(RowToString(got[i]), RowToString(want[i]))
+          << "bs=" << bs << " row " << i;
+    }
+  }
+}
+
+TEST_F(ColumnBatchTest, RowColumnRoundTrip) {
+  auto row_type = TestRowType(tf_);
+  RowBatch rows = MakeRows(97);
+  auto cols = RowsToColumns(rows, *row_type);
+  ASSERT_TRUE(cols.ok()) << cols.status().ToString();
+  RowBatch back;
+  ColumnsToRows(cols.value(), &back);
+  ASSERT_EQ(back.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(RowToString(back[i]), RowToString(rows[i])) << "row " << i;
+  }
+  // With a selection, only the active rows are boxed, in order.
+  ColumnBatch selected = cols.value();
+  selected.sel = {0, 13, 96};
+  selected.has_sel = true;
+  RowBatch live;
+  ColumnsToRows(selected, &live);
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(RowToString(live[0]), RowToString(rows[0]));
+  EXPECT_EQ(RowToString(live[1]), RowToString(rows[13]));
+  EXPECT_EQ(RowToString(live[2]), RowToString(rows[96]));
+  // GatherRow boxes one physical row.
+  EXPECT_EQ(RowToString(cols.value().GatherRow(42)), RowToString(rows[42]));
+}
+
+TEST(ExecOptionsTest, NormalizedClampsBothKnobs) {
+  ExecOptions opts;
+  opts.batch_size = 0;
+  opts.num_threads = 0;
+  ExecOptions norm = opts.Normalized();
+  EXPECT_EQ(norm.batch_size, 1u);
+  EXPECT_EQ(norm.num_threads, 1u);
+
+  opts.batch_size = SIZE_MAX;  // config typo must not become a huge alloc
+  opts.num_threads = 8;
+  norm = opts.Normalized();
+  EXPECT_EQ(norm.batch_size, kMaxBatchSize);
+  EXPECT_EQ(norm.num_threads, 8u);
+
+  opts.batch_size = kMaxBatchSize;  // boundary passes through untouched
+  norm = opts.Normalized();
+  EXPECT_EQ(norm.batch_size, kMaxBatchSize);
+
+  opts.batch_size = 777;  // in-range values pass through untouched
+  norm = opts.Normalized();
+  EXPECT_EQ(norm.batch_size, 777u);
+  EXPECT_TRUE(norm.enable_columnar);  // default stays on
+}
+
+// ------------------------- SQL-level differential ---------------------------
+//
+// Whole optimized plans must produce identical result grids with the
+// columnar path on and off, serial and 4-way parallel. Every query is
+// fully ordered (ORDER BY over a unique prefix, or a single aggregate
+// row), so even parallel grids compare byte-identically.
+
+TEST(ColumnarSqlTest, QueriesMatchWithColumnarOnAndOff) {
+  const std::vector<std::string> queries = {
+      "SELECT * FROM sales ORDER BY saleid",
+      "SELECT saleid, units FROM sales WHERE discount IS NOT NULL "
+      "ORDER BY saleid",
+      "SELECT saleid, units * 2 AS u2 FROM sales WHERE units > 2 "
+      "ORDER BY saleid",
+      "SELECT products.name, COUNT(*) AS c, SUM(sales.units) AS u "
+      "FROM sales JOIN products USING (productId) "
+      "GROUP BY products.name ORDER BY c DESC, products.name",
+      "SELECT deptno, COUNT(*) AS c FROM emps GROUP BY deptno "
+      "ORDER BY deptno",
+      "SELECT COUNT(*) AS c, SUM(units) AS s, AVG(discount) AS a FROM sales",
+      "SELECT empid FROM emps ORDER BY salary DESC LIMIT 2 OFFSET 1",
+  };
+  std::vector<std::string> baseline;
+  {
+    Connection::Config config;
+    config.schema = testing::MakeTestSchema();
+    config.exec_options.enable_columnar = false;
+    Connection conn(std::move(config));
+    for (const std::string& sql : queries) {
+      auto result = conn.Query(sql);
+      ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+      baseline.push_back(result.value().ToTable());
+    }
+  }
+  struct Config {
+    bool columnar;
+    size_t threads;
+  };
+  for (Config cfg : {Config{true, 1}, Config{true, 4}, Config{false, 4}}) {
+    Connection::Config config;
+    config.schema = testing::MakeTestSchema();
+    config.exec_options.enable_columnar = cfg.columnar;
+    config.exec_options.num_threads = cfg.threads;
+    Connection conn(std::move(config));
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = conn.Query(queries[q]);
+      ASSERT_TRUE(result.ok())
+          << queries[q] << ": " << result.status().ToString();
+      EXPECT_EQ(result.value().ToTable(), baseline[q])
+          << queries[q] << " columnar=" << cfg.columnar
+          << " threads=" << cfg.threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calcite

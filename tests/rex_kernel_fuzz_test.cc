@@ -1,10 +1,14 @@
 // Randomized differential tests of the fused batch expression kernels
-// (RexInterpreter::EvalBatchSel / NarrowSelection): a small seeded random
-// generator builds typed expression trees — arithmetic, comparison, logic,
-// casts over columns with ~20% NULLs — and checks the batch kernels
-// byte-identical against the per-row tree interpreter (RexInterpreter::Eval,
-// the oracle) across batch sizes {1, 1023, 1024} and selection vectors of
-// every shape (absent, empty, singleton, dense, sparse). A directed
+// (RexInterpreter::EvalBatchSel / NarrowSelection) and their columnar
+// counterparts (RexColumnar::AppendEvalColumn / NarrowSelection): a small
+// seeded random generator builds typed expression trees — arithmetic,
+// comparison, logic, casts over columns with ~20% NULLs — and checks the
+// batch kernels byte-identical against the per-row tree interpreter
+// (RexInterpreter::Eval, the oracle) across batch sizes {1, 1023, 1024} and
+// selection vectors of every shape (absent, empty, singleton, dense,
+// sparse). The columnar checks run the same trees over the typed column
+// decomposition of the same rows, so typed fast paths and the boxed
+// fallback are both diffed against row semantics. A directed
 // ternary-NULL-semantics regression pack locks in the three-valued-logic
 // corners the kernels must preserve.
 //
@@ -20,7 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "exec/arena.h"
+#include "exec/column_batch.h"
 #include "rex/rex_builder.h"
+#include "rex/rex_columnar.h"
 #include "rex/rex_interpreter.h"
 #include "type/rel_data_type.h"
 #include "type/value.h"
@@ -279,6 +286,61 @@ class RexKernelFuzzTest : public ::testing::Test {
     ASSERT_EQ(got, want) << label << " pred " << pred->ToString();
   }
 
+  /// Decomposes `batch` into a typed ColumnBatch (the columnar engine's
+  /// native input) using the fixture row type.
+  ColumnBatch ToColumns(const RowBatch& batch) {
+    auto cols = RowsToColumns(batch, *row_type_);
+    EXPECT_TRUE(cols.ok()) << cols.status().ToString();
+    return std::move(cols.value());
+  }
+
+  /// RexColumnar::AppendEvalColumn vs per-row Eval over the active rows.
+  void CheckColumnarEval(const RexNodePtr& expr, const ColumnBatch& base,
+                         const RowBatch& rows, const SelectionVector* sel,
+                         const std::string& label) {
+    ColumnBatch in = base;  // shallow: shares the typed column storage
+    if (sel != nullptr) {
+      in.sel = *sel;
+      in.has_sel = true;
+    }
+    ColumnBatch out;
+    out.arena = std::make_shared<Arena>();
+    out.ShareStorage(in);
+    out.num_rows = in.ActiveCount();
+    Status status = RexColumnar::AppendEvalColumn(expr, in, &out);
+    ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+    ASSERT_EQ(out.cols.size(), 1u) << label;
+    const size_t n = in.ActiveCount();
+    for (size_t k = 0; k < n; ++k) {
+      const Row& row = rows[in.ActiveIndex(k)];
+      auto want = RexInterpreter::Eval(expr, row);
+      ASSERT_TRUE(want.ok()) << label << ": " << want.status().ToString();
+      ASSERT_EQ(out.cols[0].GetValue(k).ToString(),
+                want.value().ToString())
+          << label << " row " << k << " expr " << expr->ToString();
+    }
+  }
+
+  /// RexColumnar::NarrowSelection vs per-row EvalPredicate over the same
+  /// candidates.
+  void CheckColumnarNarrow(const RexNodePtr& pred, const ColumnBatch& base,
+                           const RowBatch& rows,
+                           const SelectionVector& candidates,
+                           const std::string& label) {
+    SelectionVector got = candidates;
+    ArenaPtr scratch = std::make_shared<Arena>();
+    Status status =
+        RexColumnar::NarrowSelection(pred, base, scratch, &got);
+    ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+    SelectionVector want;
+    for (uint32_t idx : candidates) {
+      auto pass = RexInterpreter::EvalPredicate(pred, rows[idx]);
+      ASSERT_TRUE(pass.ok()) << label << ": " << pass.status().ToString();
+      if (pass.value()) want.push_back(idx);
+    }
+    ASSERT_EQ(got, want) << label << " pred " << pred->ToString();
+  }
+
   TypeFactory tf_;
   RexBuilder rex_;
   RelDataTypePtr int_t_, int_null_, dbl_null_, str_null_, bool_null_;
@@ -320,6 +382,50 @@ TEST_F(RexKernelFuzzTest, NarrowSelectionMatchesPerRowOracle) {
         CheckNarrow(pred, batch, candidates,
                     "n=" + std::to_string(n) + " iter=" +
                         std::to_string(iter) + " sel=" + std::to_string(s));
+      }
+    }
+  }
+}
+
+TEST_F(RexKernelFuzzTest, ColumnarEvalMatchesPerRowOracle) {
+  std::mt19937 rng(20260807);
+  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}}) {
+    RowBatch batch = MakeBatch(n, &rng);
+    ColumnBatch cols = ToColumns(batch);
+    auto shapes = SelectionShapes(n);
+    for (int iter = 0; iter < 60; ++iter) {
+      RexNodePtr expr = GenAny(&rng, 3);
+      for (size_t s = 0; s < shapes.size(); ++s) {
+        const SelectionVector* sel =
+            shapes[s].has_value() ? &*shapes[s] : nullptr;
+        CheckColumnarEval(expr, cols, batch, sel,
+                          "n=" + std::to_string(n) + " iter=" +
+                              std::to_string(iter) + " sel=" +
+                              std::to_string(s));
+      }
+    }
+  }
+}
+
+TEST_F(RexKernelFuzzTest, ColumnarNarrowSelectionMatchesPerRowOracle) {
+  std::mt19937 rng(135792468);
+  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}}) {
+    RowBatch batch = MakeBatch(n, &rng);
+    ColumnBatch cols = ToColumns(batch);
+    auto shapes = SelectionShapes(n);
+    for (int iter = 0; iter < 60; ++iter) {
+      RexNodePtr pred = GenBool(&rng, 3);
+      for (size_t s = 0; s < shapes.size(); ++s) {
+        SelectionVector candidates;
+        if (shapes[s].has_value()) {
+          candidates = *shapes[s];
+        } else {
+          for (uint32_t i = 0; i < n; ++i) candidates.push_back(i);
+        }
+        CheckColumnarNarrow(pred, cols, batch, candidates,
+                            "n=" + std::to_string(n) + " iter=" +
+                                std::to_string(iter) + " sel=" +
+                                std::to_string(s));
       }
     }
   }
