@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Perf-trajectory capture: runs the architecture benchmark suite and writes
-# its JSON output to BENCH_<git-sha>.json at the repo root, so every PR can
+# its JSON output to BENCH_<label>.json at the repo root, so every PR can
 # check in a before/after pair measured on the same machine.
 #
-# Usage: scripts/bench.sh [build-dir] [benchmark-filter]
-#   scripts/bench.sh                 # default build dir, trajectory filter
-#   scripts/bench.sh build all       # run every benchmark in the binary
+# Usage: scripts/bench.sh [build-dir] [benchmark-filter] [--out LABEL]
+#   scripts/bench.sh                         # default build dir + filter
+#   scripts/bench.sh build all               # every benchmark in the binary
+#   scripts/bench.sh build all --out after   # -> BENCH_after.json
+#
+# Without --out, the label is the short git SHA plus a -dirty suffix when
+# the working tree has changes. That default collides when a PR captures
+# both its "before" (clean seed) and "after" (same commit, now dirty —
+# or worse, two captures at the same SHA): the second run silently
+# overwrites the first. Passing an explicit --out label keeps both.
 #
 # The default filter covers the hot-path sweeps the perf acceptance criteria
 # track (BM_BatchSizeSweep, BM_FilterPushdownSweep) plus the end-to-end
@@ -13,8 +20,28 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-FILTER="${2:-BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep}"
+
+LABEL=""
+ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out)
+      [[ $# -ge 2 ]] || { echo "error: --out needs a label" >&2; exit 2; }
+      LABEL="$2"
+      shift 2
+      ;;
+    --out=*)
+      LABEL="${1#--out=}"
+      shift
+      ;;
+    *)
+      ARGS+=("$1")
+      shift
+      ;;
+  esac
+done
+BUILD_DIR="${ARGS[0]:-build}"
+FILTER="${ARGS[1]:-BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep|BM_IndexScanVsFullScan}"
 if [[ "$FILTER" == "all" ]]; then FILTER='.'; fi
 
 if [[ ! -x "$BUILD_DIR/bench_architecture" ]]; then
@@ -24,10 +51,13 @@ if [[ ! -x "$BUILD_DIR/bench_architecture" ]]; then
     --target bench_architecture
 fi
 
-SHA="$(git rev-parse --short HEAD)"
-DIRTY=""
-git diff --quiet HEAD -- ':!BENCH_*.json' 2>/dev/null || DIRTY="-dirty"
-OUT="BENCH_${SHA}${DIRTY}.json"
+if [[ -z "$LABEL" ]]; then
+  SHA="$(git rev-parse --short HEAD)"
+  DIRTY=""
+  git diff --quiet HEAD -- ':!BENCH_*.json' 2>/dev/null || DIRTY="-dirty"
+  LABEL="${SHA}${DIRTY}"
+fi
+OUT="BENCH_${LABEL}.json"
 
 echo "=== bench -> $OUT (filter: $FILTER) ==="
 "$BUILD_DIR/bench_architecture" \

@@ -223,6 +223,50 @@ void RunPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
   }
 }
 
+/// Paged worker loop for out-of-core leaves (tables that expose a scan-unit
+/// surface instead of MaterializedRows): claim one scan unit — for a disk
+/// table, a run of heap pages — per morsel, materialize just that unit into
+/// a worker-local buffer, run the stage chain, exchange survivors. Memory
+/// stays bounded by units-in-flight (one per worker), never the whole
+/// table.
+void RunPagedPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
+                            ExchangeQueue* queue, MorselSource* morsels,
+                            size_t batch_size) {
+  while (!cancel->cancelled()) {
+    auto morsel = morsels->Next();
+    if (!morsel.has_value()) break;
+    for (size_t unit = morsel->begin; unit < morsel->end; ++unit) {
+      if (cancel->cancelled()) return;
+      auto unit_rows = src.table->ScanUnitRows(unit);
+      if (!unit_rows.ok()) {
+        cancel->Cancel(unit_rows.status());
+        queue->Cancel();
+        return;
+      }
+      std::vector<Row>& rows = unit_rows.value();
+      size_t pos = 0;
+      while (pos < rows.size()) {
+        if (cancel->cancelled()) return;
+        size_t n = std::min(batch_size, rows.size() - pos);
+        SelBatch batch;
+        auto first = rows.begin() + static_cast<ptrdiff_t>(pos);
+        batch.rows.assign(std::make_move_iterator(first),
+                          std::make_move_iterator(first + static_cast<ptrdiff_t>(n)));
+        pos += n;
+        Status status = ApplyStagesSel(src.stages, &batch);
+        if (!status.ok()) {
+          cancel->Cancel(std::move(status));
+          queue->Cancel();
+          return;
+        }
+        if (batch.ActiveCount() == 0) continue;
+        batch.Compact();
+        if (!queue->Push(std::move(batch.rows))) return;
+      }
+    }
+  }
+}
+
 /// Columnar worker loop: claim a morsel, slice zero-copy column views out
 /// of the table's decomposition, run the stage chain on raw columns, ship
 /// the surviving (columns, selection) pairs through the exchange without
@@ -280,6 +324,33 @@ Result<RowBatchPuller> ExecutePipelineParallel(FragmentSource fragment,
     };
     return MakeColumnarGatherPuller(std::move(cancel), std::move(queue),
                                     std::move(start));
+  }
+
+  // Out-of-core leaves: no stable row storage, but a paged scan surface.
+  // Workers claim whole scan units as morsels instead of row ranges of a
+  // materialized copy that would defeat the point of out-of-core storage.
+  const size_t scan_units =
+      (src->rows == nullptr && src->table != nullptr)
+          ? src->table->ScanUnitCount()
+          : 0;
+  if (scan_units > 0) {
+    auto queue = std::make_shared<ExchangeQueue>(threads * 2, threads);
+    auto start = [src, cancel, queue, threads, batch_size,
+                  scan_units]() -> std::shared_ptr<TaskScheduler> {
+      auto morsels =
+          std::make_shared<MorselSource>(scan_units, /*morsel_size=*/1);
+      auto scheduler = std::make_shared<TaskScheduler>(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        scheduler->Submit([src, cancel, queue, morsels, batch_size]() {
+          RunPagedPipelineWorker(*src, cancel.get(), queue.get(),
+                                 morsels.get(), batch_size);
+          queue->ProducerDone();
+        });
+      }
+      return scheduler;
+    };
+    return MakeGatherPuller(std::move(cancel), std::move(queue),
+                            std::move(start));
   }
 
   auto queue = std::make_shared<ExchangeQueue>(threads * 2, threads);

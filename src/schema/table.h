@@ -96,6 +96,24 @@ class Table {
   /// parallel workers start.
   virtual const std::vector<Row>* MaterializedRows() const { return nullptr; }
 
+  /// Paged scan surface for tables whose rows live out-of-core and so have
+  /// no MaterializedRows(): the table partitions itself into independently
+  /// scannable units — for a disk table, a run of heap pages — and the
+  /// morsel-driven parallel executor claims whole units as morsels, each
+  /// worker materializing only the unit it claimed (bounded memory instead
+  /// of a whole-table copy before workers start). 0 (the default) means no
+  /// paged surface; the executor then falls back to MaterializedRows() or a
+  /// one-shot Scan(). Units must tile the table: concatenating
+  /// ScanUnitRows(0..ScanUnitCount()-1) yields exactly Scan()'s rows.
+  virtual size_t ScanUnitCount() const { return 0; }
+
+  /// Materializes one scan unit. Thread-safe for distinct units (parallel
+  /// workers call it concurrently); only valid for unit < ScanUnitCount().
+  virtual Result<std::vector<Row>> ScanUnitRows(size_t unit) const {
+    (void)unit;
+    return Status::Internal("table has no paged scan surface");
+  }
+
   /// The table's contents decomposed into column-major typed storage
   /// (exec/column_batch.h), or nullptr when the table cannot provide it.
   /// This is the access path of the columnar hot path: scans slice

@@ -1,0 +1,321 @@
+#include "storage/btree.h"
+
+#include <cstring>
+
+namespace calcite::storage {
+
+using calcite::Result;
+using calcite::Status;
+
+namespace {
+
+// ----------------------------- leaf layout ---------------------------------
+
+constexpr size_t kLeafEntrySize = 14;  // int64 key + uint32 page + uint16 slot
+constexpr size_t kLeafEntriesOffset = kPageHeaderSize;
+constexpr size_t kLeafCapacity =
+    (kPageSize - kLeafEntriesOffset) / kLeafEntrySize;
+
+int64_t LeafKey(const char* page, size_t i) {
+  return LoadAt<int64_t>(page, kLeafEntriesOffset + i * kLeafEntrySize);
+}
+
+Rid LeafRid(const char* page, size_t i) {
+  size_t base = kLeafEntriesOffset + i * kLeafEntrySize;
+  Rid rid;
+  rid.page_id = LoadAt<uint32_t>(page, base + 8);
+  rid.slot = LoadAt<uint16_t>(page, base + 12);
+  return rid;
+}
+
+void LeafSetEntry(char* page, size_t i, int64_t key, Rid rid) {
+  size_t base = kLeafEntriesOffset + i * kLeafEntrySize;
+  StoreAt<int64_t>(page, base, key);
+  StoreAt<uint32_t>(page, base + 8, rid.page_id);
+  StoreAt<uint16_t>(page, base + 12, rid.slot);
+}
+
+/// First index with key >= probe (== count when all keys are smaller).
+size_t LeafLowerBound(const char* page, int64_t probe) {
+  size_t lo = 0, hi = GetPageCount(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < probe) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// --------------------------- internal layout -------------------------------
+
+constexpr size_t kInternalEntrySize = 12;  // int64 key + uint32 child
+constexpr size_t kInternalChild0Offset = kPageHeaderSize;
+constexpr size_t kInternalEntriesOffset = kPageHeaderSize + 4;
+constexpr size_t kInternalCapacity =
+    (kPageSize - kInternalEntriesOffset) / kInternalEntrySize;
+
+int64_t InternalKey(const char* page, size_t i) {
+  return LoadAt<int64_t>(page, kInternalEntriesOffset + i * kInternalEntrySize);
+}
+
+PageId InternalChild(const char* page, size_t i) {
+  if (i == 0) return LoadAt<uint32_t>(page, kInternalChild0Offset);
+  return LoadAt<uint32_t>(
+      page, kInternalEntriesOffset + (i - 1) * kInternalEntrySize + 8);
+}
+
+void InternalSetEntry(char* page, size_t i, int64_t key, PageId child) {
+  size_t base = kInternalEntriesOffset + i * kInternalEntrySize;
+  StoreAt<int64_t>(page, base, key);
+  StoreAt<uint32_t>(page, base + 8, child);
+}
+
+/// Child slot for `probe`: the child after the last separator <= probe.
+size_t InternalChildIndex(const char* page, int64_t probe) {
+  size_t lo = 0, hi = GetPageCount(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) <= probe) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void InitNode(char* page, PageType type) {
+  std::memset(page, 0, kPageSize);
+  SetPageType(page, type);
+  SetPageCount(page, 0);
+  SetNextPage(page, kInvalidPageId);
+}
+
+}  // namespace
+
+Result<PageId> BTree::CreateEmpty(BufferPool* pool) {
+  PageId root;
+  CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool->New(&root));
+  InitNode(guard.data(), PageType::kBTreeLeaf);
+  guard.MarkDirty();
+  return root;
+}
+
+Result<PageId> BTree::DescendToLeaf(int64_t key) const {
+  PageId node = root_;
+  for (;;) {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+    if (GetPageType(guard.data()) == PageType::kBTreeLeaf) return node;
+    node = InternalChild(guard.data(),
+                         InternalChildIndex(guard.data(), key));
+  }
+}
+
+Result<std::optional<Rid>> BTree::Lookup(int64_t key) const {
+  CALCITE_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(key));
+  CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf));
+  const char* page = guard.data();
+  size_t i = LeafLowerBound(page, key);
+  if (i < GetPageCount(page) && LeafKey(page, i) == key) {
+    return std::optional<Rid>(LeafRid(page, i));
+  }
+  return std::optional<Rid>(std::nullopt);
+}
+
+Result<BTree::Cursor> BTree::SeekFirst(int64_t lo) const {
+  CALCITE_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(lo));
+  CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(leaf));
+  const char* page = guard.data();
+  size_t i = LeafLowerBound(page, lo);
+  Cursor cursor;
+  if (i < GetPageCount(page)) {
+    cursor.leaf = leaf;
+    cursor.index = static_cast<uint16_t>(i);
+  } else {
+    // All keys on this leaf are < lo; the first candidate (if any) starts
+    // the right sibling.
+    cursor.leaf = GetNextPage(page);
+    cursor.index = 0;
+  }
+  return cursor;
+}
+
+Status BTree::NextRange(Cursor* cursor, int64_t hi, size_t max_entries,
+                        std::vector<Entry>* out) const {
+  while (!cursor->AtEnd() && out->size() < max_entries) {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(cursor->leaf));
+    const char* page = guard.data();
+    uint16_t count = GetPageCount(page);
+    while (cursor->index < count && out->size() < max_entries) {
+      int64_t key = LeafKey(page, cursor->index);
+      if (key > hi) {
+        cursor->leaf = kInvalidPageId;
+        return Status::OK();
+      }
+      out->push_back(Entry{key, LeafRid(page, cursor->index)});
+      ++cursor->index;
+    }
+    if (cursor->index >= count) {
+      cursor->leaf = GetNextPage(page);
+      cursor->index = 0;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BTree::Entry>> BTree::ScanRange(int64_t lo,
+                                                   int64_t hi) const {
+  std::vector<Entry> out;
+  if (lo > hi) return out;
+  CALCITE_ASSIGN_OR_RETURN(Cursor cursor, SeekFirst(lo));
+  while (!cursor.AtEnd()) {
+    CALCITE_RETURN_IF_ERROR(NextRange(&cursor, hi, out.size() + 1024, &out));
+  }
+  return out;
+}
+
+Status BTree::Insert(int64_t key, Rid rid) {
+  CALCITE_ASSIGN_OR_RETURN(SplitResult result, InsertRec(root_, key, rid));
+  if (result.split) {
+    // Root split: grow the tree by one level. The old root becomes the
+    // leftmost child of a fresh internal root.
+    PageId new_root;
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(&new_root));
+    char* page = guard.data();
+    InitNode(page, PageType::kBTreeInternal);
+    StoreAt<uint32_t>(page, kInternalChild0Offset, root_);
+    InternalSetEntry(page, 0, result.up_key, result.right);
+    SetPageCount(page, 1);
+    guard.MarkDirty();
+    root_ = new_root;
+  }
+  return Status::OK();
+}
+
+Result<BTree::SplitResult> BTree::InsertRec(PageId node, int64_t key,
+                                            Rid rid) {
+  CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(node));
+  char* page = guard.data();
+
+  if (GetPageType(page) == PageType::kBTreeLeaf) {
+    size_t count = GetPageCount(page);
+    size_t pos = LeafLowerBound(page, key);
+    if (pos < count && LeafKey(page, pos) == key) {
+      return Status::InvalidArgument("duplicate primary key " +
+                                     std::to_string(key));
+    }
+    if (count < kLeafCapacity) {
+      char* base = page + kLeafEntriesOffset;
+      std::memmove(base + (pos + 1) * kLeafEntrySize,
+                   base + pos * kLeafEntrySize,
+                   (count - pos) * kLeafEntrySize);
+      LeafSetEntry(page, pos, key, rid);
+      SetPageCount(page, static_cast<uint16_t>(count + 1));
+      guard.MarkDirty();
+      return SplitResult{};
+    }
+    // Full leaf: materialize all entries plus the new one in order, keep
+    // the lower half here, move the upper half to a new right sibling.
+    // Splits are rare enough that the copy-out keeps the code simple.
+    std::vector<Entry> entries;
+    entries.reserve(count + 1);
+    for (size_t i = 0; i < count; ++i) {
+      entries.push_back(Entry{LeafKey(page, i), LeafRid(page, i)});
+    }
+    entries.insert(entries.begin() + static_cast<ptrdiff_t>(pos),
+                   Entry{key, rid});
+    size_t left_count = entries.size() / 2;
+
+    PageId right_id;
+    CALCITE_ASSIGN_OR_RETURN(PageGuard right_guard, pool_->New(&right_id));
+    char* right = right_guard.data();
+    InitNode(right, PageType::kBTreeLeaf);
+    for (size_t i = left_count; i < entries.size(); ++i) {
+      LeafSetEntry(right, i - left_count, entries[i].key, entries[i].rid);
+    }
+    SetPageCount(right, static_cast<uint16_t>(entries.size() - left_count));
+    SetNextPage(right, GetNextPage(page));
+    right_guard.MarkDirty();
+
+    for (size_t i = 0; i < left_count; ++i) {
+      LeafSetEntry(page, i, entries[i].key, entries[i].rid);
+    }
+    SetPageCount(page, static_cast<uint16_t>(left_count));
+    SetNextPage(page, right_id);
+    guard.MarkDirty();
+
+    SplitResult result;
+    result.split = true;
+    result.up_key = entries[left_count].key;
+    result.right = right_id;
+    return result;
+  }
+
+  // Internal node: descend, then absorb a child split if one happened.
+  size_t child_idx = InternalChildIndex(page, key);
+  PageId child = InternalChild(page, child_idx);
+  // The guard stays pinned across the recursion (pins = tree height), so
+  // `page` remains valid when the child's split result comes back.
+  CALCITE_ASSIGN_OR_RETURN(SplitResult child_split,
+                           InsertRec(child, key, rid));
+  if (!child_split.split) return SplitResult{};
+
+  size_t count = GetPageCount(page);
+  if (count < kInternalCapacity) {
+    char* base = page + kInternalEntriesOffset;
+    std::memmove(base + (child_idx + 1) * kInternalEntrySize,
+                 base + child_idx * kInternalEntrySize,
+                 (count - child_idx) * kInternalEntrySize);
+    InternalSetEntry(page, child_idx, child_split.up_key, child_split.right);
+    SetPageCount(page, static_cast<uint16_t>(count + 1));
+    guard.MarkDirty();
+    return SplitResult{};
+  }
+
+  // Full internal node: materialize separators + children, insert the
+  // promoted entry, split around the middle separator (which moves up, not
+  // sideways).
+  struct Sep {
+    int64_t key;
+    PageId child;
+  };
+  std::vector<Sep> seps;
+  seps.reserve(count + 1);
+  for (size_t i = 0; i < count; ++i) {
+    seps.push_back(Sep{InternalKey(page, i), InternalChild(page, i + 1)});
+  }
+  seps.insert(seps.begin() + static_cast<ptrdiff_t>(child_idx),
+              Sep{child_split.up_key, child_split.right});
+  PageId child0 = InternalChild(page, 0);
+
+  size_t mid = seps.size() / 2;
+  PageId right_id;
+  CALCITE_ASSIGN_OR_RETURN(PageGuard right_guard, pool_->New(&right_id));
+  char* right = right_guard.data();
+  InitNode(right, PageType::kBTreeInternal);
+  StoreAt<uint32_t>(right, kInternalChild0Offset, seps[mid].child);
+  for (size_t i = mid + 1; i < seps.size(); ++i) {
+    InternalSetEntry(right, i - (mid + 1), seps[i].key, seps[i].child);
+  }
+  SetPageCount(right, static_cast<uint16_t>(seps.size() - mid - 1));
+  right_guard.MarkDirty();
+
+  std::memset(page + kPageHeaderSize, 0, kPageSize - kPageHeaderSize);
+  StoreAt<uint32_t>(page, kInternalChild0Offset, child0);
+  for (size_t i = 0; i < mid; ++i) {
+    InternalSetEntry(page, i, seps[i].key, seps[i].child);
+  }
+  SetPageCount(page, static_cast<uint16_t>(mid));
+  guard.MarkDirty();
+
+  SplitResult result;
+  result.split = true;
+  result.up_key = seps[mid].key;
+  result.right = right_id;
+  return result;
+}
+
+}  // namespace calcite::storage

@@ -1,0 +1,92 @@
+#ifndef CALCITE_STORAGE_BTREE_H_
+#define CALCITE_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace calcite::storage {
+
+/// A disk-resident B+-tree mapping int64 primary keys to record addresses
+/// (Rid), with all nodes stored as pages behind the buffer pool. Leaves are
+/// chained left-to-right, so a range scan is one seek plus a bounded leaf
+/// walk — the physical access path the planner's pushed `$key <op> literal`
+/// predicates route to.
+///
+/// Node layouts (inside the common 12-byte page header; count = entries):
+///   leaf:      entries of {int64 key, uint32 page, uint16 slot} (14 B)
+///              starting at offset 12; header `next` chains to the right
+///              sibling.
+///   internal:  leftmost child id (uint32) at offset 12, then entries of
+///              {int64 key, uint32 child} (12 B) at offset 16. Key i is the
+///              smallest key in the subtree of child i+1, so descending
+///              takes the child after the last key <= the probe.
+///
+/// Keys are unique (primary index). Writes are single-threaded (same
+/// contract as table mutation); concurrent reads are safe — they share the
+/// buffer pool's internal lock and only pin one node at a time.
+class BTree {
+ public:
+  struct Entry {
+    int64_t key;
+    Rid rid;
+  };
+
+  /// A position in the leaf chain: the streaming handle of an index range
+  /// scan. `leaf == kInvalidPageId` means end-of-range.
+  struct Cursor {
+    PageId leaf = kInvalidPageId;
+    uint16_t index = 0;
+
+    bool AtEnd() const { return leaf == kInvalidPageId; }
+  };
+
+  /// Allocates an empty root leaf and returns its page id.
+  static calcite::Result<PageId> CreateEmpty(BufferPool* pool);
+
+  BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  /// The current root page id. Changes when the root splits — the owner
+  /// persists it (DiskTable's meta page) after mutations.
+  PageId root() const { return root_; }
+
+  /// Inserts a key → record address mapping; duplicate keys are rejected
+  /// (primary index).
+  calcite::Status Insert(int64_t key, Rid rid);
+
+  /// Point lookup; nullopt when the key is absent.
+  calcite::Result<std::optional<Rid>> Lookup(int64_t key) const;
+
+  /// Positions a cursor at the first entry with key >= lo.
+  calcite::Result<Cursor> SeekFirst(int64_t lo) const;
+
+  /// Copies out up to `max_entries` entries with key <= hi, advancing the
+  /// cursor; the cursor reads AtEnd() once the range (or the tree) is
+  /// exhausted. Entries are appended to `out` in key order.
+  calcite::Status NextRange(Cursor* cursor, int64_t hi, size_t max_entries,
+                            std::vector<Entry>* out) const;
+
+  /// Materializes a whole [lo, hi] range (tests and small lookups).
+  calcite::Result<std::vector<Entry>> ScanRange(int64_t lo, int64_t hi) const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    int64_t up_key = 0;     // separator promoted to the parent
+    PageId right = kInvalidPageId;  // new right sibling
+  };
+
+  calcite::Result<SplitResult> InsertRec(PageId node, int64_t key, Rid rid);
+  calcite::Result<PageId> DescendToLeaf(int64_t key) const;
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace calcite::storage
+
+#endif  // CALCITE_STORAGE_BTREE_H_

@@ -1,0 +1,146 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace calcite::storage {
+
+using calcite::Result;
+using calcite::Status;
+
+void PageGuard::MarkDirty() {
+  if (pool_ != nullptr) pool_->MarkDirty(frame_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
+  if (capacity == 0) capacity = 1;
+  frames_.resize(capacity);
+  for (Frame& f : frames_) {
+    f.data = std::make_unique<char[]>(kPageSize);
+  }
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+Result<size_t> BufferPool::FindVictim() {
+  // Free frame first, then the least-recently-used unpinned frame.
+  size_t victim = frames_.size();
+  uint64_t best_tick = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.id == kInvalidPageId) return i;
+    if (f.pin_count == 0 &&
+        (victim == frames_.size() || f.lru_tick < best_tick)) {
+      victim = i;
+      best_tick = f.lru_tick;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::RuntimeError(
+        "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+        " frames are pinned");
+  }
+  return victim;
+}
+
+Status BufferPool::EvictFrame(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.id == kInvalidPageId) return Status::OK();
+  if (f.dirty) {
+    CALCITE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+    ++writes_;
+    f.dirty = false;
+  }
+  page_table_.erase(f.id);
+  f.id = kInvalidPageId;
+  return Status::OK();
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> guard(lock_);
+  auto it = page_table_.find(id);
+  size_t frame;
+  if (it != page_table_.end()) {
+    frame = it->second;
+  } else {
+    CALCITE_ASSIGN_OR_RETURN(frame, FindVictim());
+    CALCITE_RETURN_IF_ERROR(EvictFrame(frame));
+    CALCITE_RETURN_IF_ERROR(disk_->ReadPage(id, frames_[frame].data.get()));
+    ++reads_;
+    frames_[frame].id = id;
+    frames_[frame].dirty = false;
+    page_table_.emplace(id, frame);
+  }
+  Frame& f = frames_[frame];
+  ++f.pin_count;
+  f.lru_tick = ++tick_;
+  return PageGuard(this, frame, f.data.get(), id);
+}
+
+Result<PageGuard> BufferPool::New(PageId* out_id) {
+  std::lock_guard<std::mutex> guard(lock_);
+  size_t frame;
+  CALCITE_ASSIGN_OR_RETURN(frame, FindVictim());
+  CALCITE_RETURN_IF_ERROR(EvictFrame(frame));
+  PageId id = disk_->Allocate();
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.id = id;
+  f.dirty = true;  // a fresh page must reach disk even if never touched
+  ++f.pin_count;
+  f.lru_tick = ++tick_;
+  page_table_.emplace(id, frame);
+  *out_id = id;
+  return PageGuard(this, frame, f.data.get(), id);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      CALCITE_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+      ++writes_;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+uint64_t BufferPool::disk_reads() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return reads_;
+}
+
+uint64_t BufferPool::disk_writes() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return writes_;
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> guard(lock_);
+  Frame& f = frames_[frame];
+  if (f.pin_count > 0) --f.pin_count;
+}
+
+void BufferPool::MarkDirty(size_t frame) {
+  std::lock_guard<std::mutex> guard(lock_);
+  frames_[frame].dirty = true;
+}
+
+}  // namespace calcite::storage

@@ -1,0 +1,134 @@
+#ifndef CALCITE_STORAGE_BUFFER_POOL_H_
+#define CALCITE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace calcite::storage {
+
+class BufferPool;
+
+/// RAII pin on one buffer frame. While a guard is alive its frame cannot be
+/// evicted, so the data pointer stays valid; dropping the guard unpins.
+/// Move-only — a copied pin would double-unpin.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      data_ = o.data_;
+      id_ = o.id_;
+      o.pool_ = nullptr;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Marks the frame dirty: its bytes will be written back before the
+  /// frame is reused and at FlushAll. Call after any mutation through
+  /// data().
+  void MarkDirty();
+
+  /// Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, char* data, PageId id)
+      : pool_(pool), frame_(frame), data_(data), id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  char* data_ = nullptr;
+  PageId id_ = kInvalidPageId;
+};
+
+/// Fixed-capacity page cache between the execution engine and the disk
+/// manager: pin/unpin discipline, LRU eviction of unpinned frames, dirty
+/// write-back. All bookkeeping (page table, pin counts, LRU ticks, disk
+/// transfers into/out of frames) happens under one mutex, so concurrent
+/// morsel workers can Fetch/unpin freely; pinned frame bytes are only ever
+/// written while the frame is being loaded (under the mutex), so readers
+/// holding pins race with nothing.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  /// Flushes every dirty frame; write errors here are unreportable, so
+  /// callers that care about durability call FlushAll() first.
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss. Fails when every
+  /// frame is pinned (pool too small for the working set of pins).
+  calcite::Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page id, pins a zeroed frame for it (already marked
+  /// dirty), and reports the id through `out_id`.
+  calcite::Result<PageGuard> New(PageId* out_id);
+
+  /// Writes every dirty frame back to disk (pages stay cached).
+  calcite::Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+
+  /// Currently pinned frames — the pin-leak observability hook: after all
+  /// guards are dropped this must read 0.
+  size_t pinned_frames() const;
+
+  /// Cumulative disk transfers, for tests asserting eviction really
+  /// happened (reads ≫ capacity when data ≫ pool).
+  uint64_t disk_reads() const;
+  uint64_t disk_writes() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    uint64_t lru_tick = 0;
+    std::unique_ptr<char[]> data;
+  };
+
+  /// Both require lock_ held.
+  calcite::Result<size_t> FindVictim();
+  calcite::Status EvictFrame(size_t frame);
+
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame);
+
+  DiskManager* disk_;
+  mutable std::mutex lock_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  uint64_t tick_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace calcite::storage
+
+#endif  // CALCITE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,88 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace calcite::storage {
+
+using calcite::Result;
+using calcite::Status;
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
+                                                       bool truncate) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::RuntimeError("open(" + path +
+                                ") failed: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::RuntimeError("fstat(" + path +
+                                ") failed: " + std::strerror(err));
+  }
+  size_t pages = static_cast<size_t>(st.st_size) / kPageSize;
+  return std::unique_ptr<DiskManager>(
+      new DiskManager(path, fd, pages));
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) const {
+  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, out + done, kPageSize - done,
+                        offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::RuntimeError("pread(" + path_ + ", page " +
+                                  std::to_string(id) +
+                                  ") failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      // Past EOF: the page was allocated but never written back yet —
+      // zero-fill the remainder (see class comment).
+      std::memset(out + done, 0, kPageSize - done);
+      return Status::OK();
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd_, data + done, kPageSize - done,
+                         offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::RuntimeError("pwrite(" + path_ + ", page " +
+                                  std::to_string(id) +
+                                  ") failed: " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::RuntimeError("fsync(" + path_ +
+                                ") failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace calcite::storage

@@ -1,0 +1,64 @@
+#ifndef CALCITE_STORAGE_DISK_MANAGER_H_
+#define CALCITE_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace calcite::storage {
+
+/// Page-granular file I/O: the single owner of the table file descriptor.
+/// Reads and writes whole kPageSize pages at page-aligned offsets via
+/// pread/pwrite, so concurrent reads of distinct pages need no locking;
+/// page allocation is a lock-free counter seeded from the file size.
+///
+/// A page id allocated but never written reads back as zeros (reads past
+/// EOF zero-fill) — the buffer pool writes every new page back before the
+/// frame is reused, so in practice only crash-truncated files hit this.
+class DiskManager {
+ public:
+  /// Opens (or creates) the page file. `truncate` starts it empty.
+  static calcite::Result<std::unique_ptr<DiskManager>> Open(
+      const std::string& path, bool truncate);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Reads page `id` into `out` (exactly kPageSize bytes).
+  calcite::Status ReadPage(PageId id, char* out) const;
+
+  /// Writes page `id` from `data` (exactly kPageSize bytes), extending the
+  /// file as needed.
+  calcite::Status WritePage(PageId id, const char* data);
+
+  /// Reserves a fresh page id. The page materializes on first WritePage.
+  PageId Allocate() {
+    return page_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Pages allocated so far (includes allocated-but-unwritten ids).
+  size_t page_count() const {
+    return page_count_.load(std::memory_order_relaxed);
+  }
+
+  calcite::Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskManager(std::string path, int fd, size_t pages)
+      : path_(std::move(path)), fd_(fd), page_count_(pages) {}
+
+  std::string path_;
+  int fd_;
+  std::atomic<size_t> page_count_;
+};
+
+}  // namespace calcite::storage
+
+#endif  // CALCITE_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,495 @@
+#include "storage/disk_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "storage/row_codec.h"
+
+namespace calcite::storage {
+
+using calcite::Result;
+using calcite::Status;
+
+namespace {
+
+// Meta page (page 0) layout, after the common 12-byte header:
+//   offset 12  uint32  magic
+//   offset 16  uint32  format version
+//   offset 20  uint32  B-tree root page id
+//   offset 24  uint32  first heap page id (kInvalidPageId when empty)
+//   offset 28  uint32  last heap page id
+//   offset 32  uint64  row count
+//   offset 40  int32   primary-key column ordinal
+constexpr uint32_t kMetaMagic = 0x43414C54;  // "CALT"
+constexpr uint32_t kMetaVersion = 1;
+constexpr PageId kMetaPageId = 0;
+
+// A B-tree insert pins one node per level plus the sibling pages a split
+// allocates, and a scan holds a heap pin while walking a leaf. This floor
+// keeps even deliberately tiny test pools (pool ≪ table) deadlock-free.
+constexpr size_t kMinPoolPages = 8;
+
+// The bounds the pushed conjuncts place on the integer primary key.
+// Conservative by construction: the derived [lo, hi] may admit rows a
+// predicate rejects (every predicate is re-applied to fetched rows), but
+// must never exclude a row that passes them all.
+struct KeyRange {
+  bool usable = false;  // at least one conjunct bounded the key
+  bool empty = false;   // conjuncts are provably unsatisfiable on the key
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+};
+
+constexpr double kTwoPow63 = 9223372036854775808.0;  // 2^63, exact in double
+
+KeyRange DeriveKeyRange(const ScanPredicateList& predicates, int key_column) {
+  KeyRange r;
+  // Tightens r.lo to "key >= b" / r.hi to "key <= b" for an integral-valued
+  // double bound, saturating at the int64 range.
+  auto apply_lo = [&r](double b) {
+    r.usable = true;
+    if (b >= kTwoPow63) {
+      r.empty = true;
+    } else if (b >= -kTwoPow63) {
+      r.lo = std::max(r.lo, static_cast<int64_t>(b));
+    }
+  };
+  auto apply_hi = [&r](double b) {
+    r.usable = true;
+    if (b < -kTwoPow63) {
+      r.empty = true;
+    } else if (b < kTwoPow63) {
+      r.hi = std::min(r.hi, static_cast<int64_t>(b));
+    }
+  };
+
+  using Kind = ScanPredicate::Kind;
+  for (const ScanPredicate& pred : predicates) {
+    if (pred.column != key_column) continue;
+    if (pred.kind == Kind::kIsNull) {
+      // Primary keys are never NULL.
+      r.usable = true;
+      r.empty = true;
+      continue;
+    }
+    if (pred.kind == Kind::kIsNotNull || pred.kind == Kind::kNotEquals) {
+      continue;  // no useful contiguous bound
+    }
+    const Value& lit = pred.literal;
+    if (lit.IsNull()) {
+      // A comparison against NULL never passes.
+      r.usable = true;
+      r.empty = true;
+      continue;
+    }
+    if (lit.is_int()) {
+      int64_t v = lit.AsInt();
+      switch (pred.kind) {
+        case Kind::kEquals:
+          r.usable = true;
+          r.lo = std::max(r.lo, v);
+          r.hi = std::min(r.hi, v);
+          break;
+        case Kind::kLessThan:
+          r.usable = true;
+          if (v == std::numeric_limits<int64_t>::min()) r.empty = true;
+          else r.hi = std::min(r.hi, v - 1);
+          break;
+        case Kind::kLessThanOrEqual:
+          r.usable = true;
+          r.hi = std::min(r.hi, v);
+          break;
+        case Kind::kGreaterThan:
+          r.usable = true;
+          if (v == std::numeric_limits<int64_t>::max()) r.empty = true;
+          else r.lo = std::max(r.lo, v + 1);
+          break;
+        case Kind::kGreaterThanOrEqual:
+          r.usable = true;
+          r.lo = std::max(r.lo, v);
+          break;
+        default:
+          break;
+      }
+      continue;
+    }
+    if (lit.is_double()) {
+      double d = lit.AsDouble();
+      if (std::isnan(d)) continue;  // leave NaN semantics to the re-check
+      switch (pred.kind) {
+        case Kind::kEquals:
+          if (d != std::floor(d)) {
+            r.usable = true;
+            r.empty = true;  // an integer key never equals a fractional value
+          } else {
+            apply_lo(d);
+            apply_hi(d);
+          }
+          break;
+        case Kind::kLessThan:
+          apply_hi(std::ceil(d) - 1.0);
+          break;
+        case Kind::kLessThanOrEqual:
+          apply_hi(std::floor(d));
+          break;
+        case Kind::kGreaterThan:
+          apply_lo(std::floor(d) + 1.0);
+          break;
+        case Kind::kGreaterThanOrEqual:
+          apply_lo(std::ceil(d));
+          break;
+        default:
+          break;
+      }
+      continue;
+    }
+    // Non-numeric literal: no bound; the heap path (or the re-check, if
+    // another conjunct made the range usable) handles it.
+  }
+  if (r.lo > r.hi) r.empty = true;
+  return r;
+}
+
+}  // namespace
+
+DiskTable::DiskTable(RelDataTypePtr row_type, int key_column,
+                     DiskTableOptions options,
+                     std::unique_ptr<DiskManager> disk,
+                     std::unique_ptr<BufferPool> pool)
+    : row_type_(std::move(row_type)),
+      key_column_(key_column),
+      options_(options),
+      disk_(std::move(disk)),
+      pool_(std::move(pool)) {}
+
+Result<std::shared_ptr<DiskTable>> DiskTable::Create(const std::string& path,
+                                                     RelDataTypePtr row_type,
+                                                     int key_column,
+                                                     DiskTableOptions options) {
+  if (key_column < 0) {
+    return Status::InvalidArgument("primary-key column ordinal is negative");
+  }
+  if (options.pages_per_run == 0) options.pages_per_run = 1;
+  options.pool_pages = std::max(options.pool_pages, kMinPoolPages);
+  CALCITE_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
+                           DiskManager::Open(path, /*truncate=*/true));
+  auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages);
+  BufferPool* pool_raw = pool.get();
+  std::shared_ptr<DiskTable> table(new DiskTable(
+      std::move(row_type), key_column, options, std::move(disk),
+      std::move(pool)));
+  {
+    PageId meta_id = kInvalidPageId;
+    CALCITE_ASSIGN_OR_RETURN(PageGuard meta, pool_raw->New(&meta_id));
+    if (meta_id != kMetaPageId) {
+      return Status::Internal("fresh table file did not start at page 0");
+    }
+    SetPageType(meta.data(), PageType::kMeta);
+    meta.MarkDirty();
+  }
+  CALCITE_ASSIGN_OR_RETURN(PageId root, BTree::CreateEmpty(pool_raw));
+  table->index_ = std::make_unique<BTree>(pool_raw, root);
+  CALCITE_RETURN_IF_ERROR(table->Flush());
+  return table;
+}
+
+Result<std::shared_ptr<DiskTable>> DiskTable::Open(const std::string& path,
+                                                   RelDataTypePtr row_type,
+                                                   DiskTableOptions options) {
+  if (options.pages_per_run == 0) options.pages_per_run = 1;
+  options.pool_pages = std::max(options.pool_pages, kMinPoolPages);
+  CALCITE_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
+                           DiskManager::Open(path, /*truncate=*/false));
+  auto pool = std::make_unique<BufferPool>(disk.get(), options.pool_pages);
+  std::shared_ptr<DiskTable> table(new DiskTable(
+      std::move(row_type), /*key_column=*/0, options, std::move(disk),
+      std::move(pool)));
+  CALCITE_RETURN_IF_ERROR(table->LoadMeta());
+  return table;
+}
+
+Status DiskTable::WriteMeta() {
+  CALCITE_ASSIGN_OR_RETURN(PageGuard meta, pool_->Fetch(kMetaPageId));
+  char* p = meta.data();
+  SetPageType(p, PageType::kMeta);
+  StoreAt<uint32_t>(p, 12, kMetaMagic);
+  StoreAt<uint32_t>(p, 16, kMetaVersion);
+  StoreAt<uint32_t>(p, 20, index_ ? index_->root() : kInvalidPageId);
+  StoreAt<uint32_t>(p, 24,
+                    heap_pages_.empty() ? kInvalidPageId : heap_pages_.front());
+  StoreAt<uint32_t>(p, 28,
+                    heap_pages_.empty() ? kInvalidPageId : heap_pages_.back());
+  StoreAt<uint64_t>(p, 32, static_cast<uint64_t>(row_count_));
+  StoreAt<int32_t>(p, 40, static_cast<int32_t>(key_column_));
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Status DiskTable::LoadMeta() {
+  PageId root;
+  PageId first_heap;
+  {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard meta, pool_->Fetch(kMetaPageId));
+    const char* p = meta.data();
+    if (GetPageType(p) != PageType::kMeta ||
+        LoadAt<uint32_t>(p, 12) != kMetaMagic) {
+      return Status::InvalidArgument(disk_->path() +
+                                     " is not a disk-table file");
+    }
+    if (LoadAt<uint32_t>(p, 16) != kMetaVersion) {
+      return Status::Unsupported("disk-table format version mismatch");
+    }
+    root = LoadAt<uint32_t>(p, 20);
+    first_heap = LoadAt<uint32_t>(p, 24);
+    row_count_ = static_cast<size_t>(LoadAt<uint64_t>(p, 32));
+    key_column_ = static_cast<int>(LoadAt<int32_t>(p, 40));
+  }
+  index_ = std::make_unique<BTree>(pool_.get(), root);
+  heap_pages_.clear();
+  for (PageId id = first_heap; id != kInvalidPageId;) {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
+    if (GetPageType(guard.data()) != PageType::kHeap) {
+      return Status::RuntimeError("heap chain reaches a non-heap page");
+    }
+    heap_pages_.push_back(id);
+    if (heap_pages_.size() > disk_->page_count()) {
+      return Status::RuntimeError("heap chain cycle");
+    }
+    id = GetNextPage(guard.data());
+  }
+  return Status::OK();
+}
+
+Status DiskTable::InsertRows(const std::vector<Row>& rows) {
+  auto insert_one = [this](const Row& row) -> Status {
+    if (static_cast<size_t>(key_column_) >= row.size()) {
+      return Status::InvalidArgument("row narrower than the key column");
+    }
+    const Value& key_value = row[key_column_];
+    if (!key_value.is_int()) {
+      return Status::InvalidArgument(
+          "primary-key value must be a non-NULL integer; got " +
+          key_value.ToString());
+    }
+    int64_t key = key_value.AsInt();
+    CALCITE_ASSIGN_OR_RETURN(std::optional<Rid> existing, index_->Lookup(key));
+    if (existing.has_value()) {
+      return Status::InvalidArgument("duplicate primary key " +
+                                     std::to_string(key));
+    }
+    std::string encoded;
+    CALCITE_RETURN_IF_ERROR(EncodeRow(row, &encoded));
+    if (encoded.size() > SlottedPage::MaxRecordSize()) {
+      return Status::InvalidArgument("row exceeds the page record limit");
+    }
+    // Append into the last heap page, chaining a fresh one when it is full.
+    Rid rid;
+    std::optional<uint16_t> slot;
+    if (!heap_pages_.empty()) {
+      CALCITE_ASSIGN_OR_RETURN(PageGuard last, pool_->Fetch(heap_pages_.back()));
+      SlottedPage page(last.data());
+      slot = page.Insert(encoded.data(), encoded.size());
+      if (slot.has_value()) {
+        last.MarkDirty();
+        rid = Rid{heap_pages_.back(), *slot};
+      }
+    }
+    if (!slot.has_value()) {
+      PageId new_id = kInvalidPageId;
+      CALCITE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New(&new_id));
+      SlottedPage page(fresh.data());
+      page.Init(PageType::kHeap);
+      slot = page.Insert(encoded.data(), encoded.size());
+      if (!slot.has_value()) {
+        return Status::Internal("empty heap page rejected a record");
+      }
+      fresh.MarkDirty();
+      fresh.Release();
+      if (!heap_pages_.empty()) {
+        CALCITE_ASSIGN_OR_RETURN(PageGuard prev, pool_->Fetch(heap_pages_.back()));
+        SetNextPage(prev.data(), new_id);
+        prev.MarkDirty();
+      }
+      heap_pages_.push_back(new_id);
+      rid = Rid{new_id, *slot};
+    }
+    CALCITE_RETURN_IF_ERROR(index_->Insert(key, rid));
+    ++row_count_;
+    return Status::OK();
+  };
+
+  Status st = Status::OK();
+  for (const Row& row : rows) {
+    st = insert_one(row);
+    if (!st.ok()) break;
+  }
+  // Persist the meta even on a partial failure — the rows before the
+  // offender are inserted and must stay reachable.
+  Status meta = WriteMeta();
+  return st.ok() ? meta : st;
+}
+
+Status DiskTable::Flush() {
+  CALCITE_RETURN_IF_ERROR(WriteMeta());
+  CALCITE_RETURN_IF_ERROR(pool_->FlushAll());
+  return disk_->Sync();
+}
+
+Statistic DiskTable::GetStatistic() const {
+  Statistic stat;
+  stat.row_count = static_cast<double>(row_count_);
+  stat.unique_keys = {{key_column_}};
+  return stat;
+}
+
+Status DiskTable::DecodePages(size_t first_page_index, size_t last_page_index,
+                              const ScanPredicateList* predicates,
+                              std::vector<Row>* out) const {
+  last_page_index = std::min(last_page_index, heap_pages_.size());
+  for (size_t i = first_page_index; i < last_page_index; ++i) {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(heap_pages_[i]));
+    SlottedPage page(const_cast<char*>(guard.data()));
+    uint16_t slots = page.slot_count();
+    for (uint16_t s = 0; s < slots; ++s) {
+      size_t len = 0;
+      const char* bytes = page.Get(s, &len);
+      CALCITE_ASSIGN_OR_RETURN(Row row, DecodeRow(bytes, len));
+      if (predicates == nullptr || ScanPredicatesMatch(*predicates, row)) {
+        out->push_back(std::move(row));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> DiskTable::Scan() const {
+  std::vector<Row> out;
+  out.reserve(row_count_);
+  CALCITE_RETURN_IF_ERROR(
+      DecodePages(0, heap_pages_.size(), nullptr, &out));
+  return out;
+}
+
+size_t DiskTable::ScanUnitCount() const {
+  return (heap_pages_.size() + options_.pages_per_run - 1) /
+         options_.pages_per_run;
+}
+
+Result<std::vector<Row>> DiskTable::ScanUnitRows(size_t unit) const {
+  size_t first = unit * options_.pages_per_run;
+  if (first >= heap_pages_.size()) {
+    return Status::InvalidArgument("scan unit out of range");
+  }
+  std::vector<Row> out;
+  CALCITE_RETURN_IF_ERROR(
+      DecodePages(first, first + options_.pages_per_run, nullptr, &out));
+  return out;
+}
+
+RowBatchPuller DiskTable::MakeHeapPuller(size_t batch_size,
+                                         ScanPredicateList predicates) const {
+  struct State {
+    size_t next_page = 0;
+    std::vector<Row> buffer;
+    size_t pos = 0;
+  };
+  auto state = std::make_shared<State>();
+  auto preds = std::make_shared<ScanPredicateList>(std::move(predicates));
+  return [this, batch_size, state, preds]() -> Result<RowBatch> {
+    RowBatch batch;
+    // Producers never yield an empty batch mid-stream: keep pulling page
+    // runs until at least one row survives or the chain ends.
+    while (batch.size() < batch_size) {
+      if (state->pos == state->buffer.size()) {
+        state->buffer.clear();
+        state->pos = 0;
+        if (state->next_page >= heap_pages_.size()) break;
+        size_t last = state->next_page + options_.pages_per_run;
+        CALCITE_RETURN_IF_ERROR(DecodePages(
+            state->next_page, last, preds->empty() ? nullptr : preds.get(),
+            &state->buffer));
+        state->next_page = std::min(last, heap_pages_.size());
+        continue;
+      }
+      size_t take = std::min(batch_size - batch.size(),
+                             state->buffer.size() - state->pos);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(state->buffer[state->pos + i]));
+      }
+      state->pos += take;
+    }
+    return batch;
+  };
+}
+
+RowBatchPuller DiskTable::MakeIndexPuller(int64_t lo, int64_t hi,
+                                          size_t batch_size,
+                                          ScanPredicateList predicates) const {
+  struct State {
+    BTree::Cursor cursor;
+    bool seeked = false;
+  };
+  auto state = std::make_shared<State>();
+  auto preds = std::make_shared<ScanPredicateList>(std::move(predicates));
+  return [this, lo, hi, batch_size, state, preds]() -> Result<RowBatch> {
+    if (!state->seeked) {
+      CALCITE_ASSIGN_OR_RETURN(state->cursor, index_->SeekFirst(lo));
+      state->seeked = true;
+    }
+    RowBatch batch;
+    std::vector<BTree::Entry> entries;
+    while (batch.size() < batch_size && !state->cursor.AtEnd()) {
+      entries.clear();
+      CALCITE_RETURN_IF_ERROR(index_->NextRange(
+          &state->cursor, hi, batch_size - batch.size(), &entries));
+      // Entries arrive in key order, so consecutive rids often share a heap
+      // page; hold one pin across the run of same-page fetches.
+      PageGuard guard;
+      for (const BTree::Entry& entry : entries) {
+        if (!guard.valid() || guard.id() != entry.rid.page_id) {
+          guard.Release();
+          CALCITE_ASSIGN_OR_RETURN(guard, pool_->Fetch(entry.rid.page_id));
+          if (GetPageType(guard.data()) != PageType::kHeap) {
+            return Status::RuntimeError("index entry points at a non-heap page");
+          }
+        }
+        SlottedPage page(const_cast<char*>(guard.data()));
+        if (entry.rid.slot >= page.slot_count()) {
+          return Status::RuntimeError("index entry points past the slot count");
+        }
+        size_t len = 0;
+        const char* bytes = page.Get(entry.rid.slot, &len);
+        CALCITE_ASSIGN_OR_RETURN(Row row, DecodeRow(bytes, len));
+        // The key range is conservative; the pushed predicates decide.
+        if (ScanPredicatesMatch(*preds, row)) batch.push_back(std::move(row));
+      }
+    }
+    return batch;
+  };
+}
+
+Result<RowBatchPuller> DiskTable::ScanBatched(size_t batch_size) const {
+  if (batch_size == 0) batch_size = 1;
+  return MakeHeapPuller(batch_size, ScanPredicateList{});
+}
+
+Result<RowBatchPuller> DiskTable::ScanBatchedFiltered(
+    size_t batch_size, ScanPredicateList predicates) const {
+  if (batch_size == 0) batch_size = 1;
+  if (index_scan_enabled_ && !predicates.empty()) {
+    KeyRange range = DeriveKeyRange(predicates, key_column_);
+    if (range.usable) {
+      last_scan_used_index_ = true;
+      if (range.empty) return ChunkRows({}, batch_size);
+      return MakeIndexPuller(range.lo, range.hi, batch_size,
+                             std::move(predicates));
+    }
+  }
+  last_scan_used_index_ = false;
+  return MakeHeapPuller(batch_size, std::move(predicates));
+}
+
+}  // namespace calcite::storage

@@ -1,0 +1,154 @@
+#ifndef CALCITE_STORAGE_DISK_TABLE_H_
+#define CALCITE_STORAGE_DISK_TABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schema/table.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace calcite::storage {
+
+/// Tuning knobs of a disk table.
+struct DiskTableOptions {
+  /// Buffer pool capacity in pages. Clamped up to a small minimum — B-tree
+  /// inserts pin one node per level plus the pages a split allocates, so a
+  /// pool smaller than that could deadlock on its own pins.
+  size_t pool_pages = 64;
+  /// Heap pages per scan unit ("page run") — the morsel granularity of
+  /// parallel scans and the read granularity of serial ones.
+  size_t pages_per_run = 8;
+};
+
+/// An out-of-core table: rows live in slotted heap pages on disk, cached
+/// through a pin/unpin buffer pool, with a B+-tree primary index on one
+/// int64 key column. Participates in the execution stack end-to-end:
+///
+///  - ScanBatched streams the heap page chain one page run at a time, so a
+///    table far larger than the buffer pool scans in bounded memory.
+///  - ScanBatchedFiltered routes pushed `$key <op> literal` conjuncts to an
+///    index range scan (B-tree seek + bounded leaf walk) when they bound
+///    the primary key; every pushed predicate is still re-checked on the
+///    fetched rows, so the index path is a pure access-path change.
+///  - MaterializedRows()/MaterializedColumns() return nullptr: the columnar
+///    cache is bypassed for disk tables (it would pin the whole table in
+///    RAM), and the morsel-parallel executor uses the paged scan-unit
+///    surface (ScanUnitCount/ScanUnitRows — a page run = a morsel) instead
+///    of row-range morsels.
+///
+/// Mutation (InsertRows) is single-writer and must not run concurrently
+/// with scans — the MemTable contract. Readers may run concurrently with
+/// each other (the buffer pool is internally locked).
+class DiskTable : public Table {
+ public:
+  /// Creates a fresh table file at `path` (truncating any existing file).
+  /// `key_column` must name an int64 (INTEGER/BIGINT) field of `row_type`;
+  /// its values must be non-NULL and unique.
+  static calcite::Result<std::shared_ptr<DiskTable>> Create(
+      const std::string& path, RelDataTypePtr row_type, int key_column,
+      DiskTableOptions options = {});
+
+  /// Reopens an existing table file; `row_type` must match the one the
+  /// file was created with (the codec is self-describing, so mismatches
+  /// surface as decode/type errors, not corruption).
+  static calcite::Result<std::shared_ptr<DiskTable>> Open(
+      const std::string& path, RelDataTypePtr row_type,
+      DiskTableOptions options = {});
+
+  /// Appends rows: encodes each into the heap, indexes its key. Duplicate
+  /// or NULL/non-integer keys fail the batch partway — rows before the
+  /// offender stay inserted (no rollback; this is a storage engine, not a
+  /// transaction manager).
+  calcite::Status InsertRows(const std::vector<Row>& rows);
+
+  /// Writes all dirty pages and the meta page back and fsyncs, so a
+  /// subsequent Open() sees everything.
+  calcite::Status Flush();
+
+  // ------------------------------ Table ------------------------------
+
+  RelDataTypePtr GetRowType(const TypeFactory&) const override {
+    return row_type_;
+  }
+
+  Statistic GetStatistic() const override;
+
+  calcite::Result<std::vector<Row>> Scan() const override;
+
+  calcite::Result<RowBatchPuller> ScanBatched(size_t batch_size) const override;
+
+  calcite::Result<RowBatchPuller> ScanBatchedFiltered(
+      size_t batch_size, ScanPredicateList predicates) const override;
+
+  size_t ScanUnitCount() const override;
+  calcite::Result<std::vector<Row>> ScanUnitRows(size_t unit) const override;
+
+  // --------------------------- observability --------------------------
+
+  /// Disables the B-tree routing in ScanBatchedFiltered (full heap scans
+  /// only) — the parity switch the differential tests flip.
+  void set_index_scan_enabled(bool enabled) { index_scan_enabled_ = enabled; }
+  bool index_scan_enabled() const { return index_scan_enabled_; }
+
+  int key_column() const { return key_column_; }
+  size_t row_count() const { return row_count_; }
+  size_t heap_page_count() const { return heap_pages_.size(); }
+  const BufferPool& buffer_pool() const { return *pool_; }
+
+  /// True if the last ScanBatchedFiltered stream was served by the index
+  /// path (bench/test introspection; races with concurrent scans are
+  /// benign).
+  bool last_scan_used_index() const {
+    return last_scan_used_index_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  DiskTable(RelDataTypePtr row_type, int key_column, DiskTableOptions options,
+            std::unique_ptr<DiskManager> disk,
+            std::unique_ptr<BufferPool> pool);
+
+  calcite::Status WriteMeta();
+  calcite::Status LoadMeta();
+
+  /// Batch stream over the heap page chain, applying `predicates` (possibly
+  /// empty) to each decoded row; reads one page run ahead, so concurrent
+  /// pins stay ~1 regardless of table size.
+  RowBatchPuller MakeHeapPuller(size_t batch_size,
+                                ScanPredicateList predicates) const;
+
+  /// Batch stream over the B-tree range [lo, hi]: seek once, walk the leaf
+  /// chain, fetch each entry's heap record, and re-check every pushed
+  /// predicate on the decoded row.
+  RowBatchPuller MakeIndexPuller(int64_t lo, int64_t hi, size_t batch_size,
+                                 ScanPredicateList predicates) const;
+
+  /// Decodes every record of heap pages [first, last) into `out`,
+  /// optionally keeping only predicate-passing rows.
+  calcite::Status DecodePages(size_t first_page_index, size_t last_page_index,
+                              const ScanPredicateList* predicates,
+                              std::vector<Row>* out) const;
+
+  RelDataTypePtr row_type_;
+  int key_column_;
+  DiskTableOptions options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> index_;
+
+  /// Heap page ids in chain order (rebuilt from the chain at Open). Append
+  /// only while scans are quiesced — same contract as MemTable::rows().
+  std::vector<PageId> heap_pages_;
+  size_t row_count_ = 0;
+  bool index_scan_enabled_ = true;
+  mutable std::atomic<bool> last_scan_used_index_{false};
+};
+
+}  // namespace calcite::storage
+
+#endif  // CALCITE_STORAGE_DISK_TABLE_H_

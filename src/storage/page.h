@@ -1,0 +1,147 @@
+#ifndef CALCITE_STORAGE_PAGE_H_
+#define CALCITE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+namespace calcite::storage {
+
+/// The out-of-core storage engine works in fixed-size pages: the disk
+/// manager reads and writes whole pages, the buffer pool caches frames of
+/// exactly this size, and every on-disk structure (heap pages, B-tree
+/// nodes, the table meta page) lays its bytes out inside one page.
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Discriminates the on-disk structures sharing the common page header.
+enum class PageType : uint16_t {
+  kFree = 0,
+  kMeta = 1,
+  kHeap = 2,
+  kBTreeLeaf = 3,
+  kBTreeInternal = 4,
+};
+
+/// Unaligned little-endian field access. Page bytes are packed with no
+/// padding, so every multi-byte field goes through memcpy — the portable
+/// way to read/write unaligned storage without UB.
+template <typename T>
+inline T LoadAt(const char* base, size_t offset) {
+  T v;
+  std::memcpy(&v, base + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void StoreAt(char* base, size_t offset, T v) {
+  std::memcpy(base + offset, &v, sizeof(T));
+}
+
+/// Common 12-byte page header, shared by every page type:
+///
+///   offset 0  uint16  page type (PageType)
+///   offset 2  uint16  count — slots on a heap page, entries in a B-tree node
+///   offset 4  uint16  free_end — heap pages only: start of the cell region
+///   offset 6  uint16  reserved
+///   offset 8  uint32  next — heap chain / B-tree leaf chain (kInvalidPageId
+///                     when last)
+inline constexpr size_t kPageHeaderSize = 12;
+
+inline PageType GetPageType(const char* page) {
+  return static_cast<PageType>(LoadAt<uint16_t>(page, 0));
+}
+inline void SetPageType(char* page, PageType t) {
+  StoreAt<uint16_t>(page, 0, static_cast<uint16_t>(t));
+}
+inline uint16_t GetPageCount(const char* page) {
+  return LoadAt<uint16_t>(page, 2);
+}
+inline void SetPageCount(char* page, uint16_t n) { StoreAt<uint16_t>(page, 2, n); }
+inline PageId GetNextPage(const char* page) { return LoadAt<uint32_t>(page, 8); }
+inline void SetNextPage(char* page, PageId id) { StoreAt<uint32_t>(page, 8, id); }
+
+/// A record's physical address: heap page + slot. The B-tree's leaf
+/// payload.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+/// Slotted heap page view over one page buffer (classic slotted layout):
+/// the slot directory grows forward from the header, cell bytes grow
+/// backward from the end of the page, and the space between is free.
+///
+///   [header][slot 0][slot 1]...        ...[cell 1][cell 0]
+///
+/// Each slot is {uint16 offset, uint16 length}. Records are never deleted
+/// or updated in place (the engine is insert-only for now), so there is no
+/// compaction path and slot indexes are stable — a Rid stays valid for the
+/// life of the file.
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  static constexpr size_t kSlotSize = 4;
+
+  void Init(PageType type) {
+    std::memset(data_, 0, kPageSize);
+    SetPageType(data_, type);
+    SetPageCount(data_, 0);
+    StoreAt<uint16_t>(data_, 4, static_cast<uint16_t>(kPageSize));
+    SetNextPage(data_, kInvalidPageId);
+  }
+
+  uint16_t slot_count() const { return GetPageCount(data_); }
+  uint16_t free_end() const { return LoadAt<uint16_t>(data_, 4); }
+  PageId next_page() const { return GetNextPage(data_); }
+  void set_next_page(PageId id) { SetNextPage(data_, id); }
+
+  size_t FreeSpace() const {
+    size_t used_front = kPageHeaderSize + slot_count() * kSlotSize;
+    return free_end() > used_front ? free_end() - used_front : 0;
+  }
+
+  /// True if a record of `len` bytes (plus its slot) fits.
+  bool Fits(size_t len) const { return FreeSpace() >= len + kSlotSize; }
+
+  /// Appends a record; returns its slot index, or nullopt when full.
+  std::optional<uint16_t> Insert(const char* bytes, size_t len) {
+    if (!Fits(len)) return std::nullopt;
+    uint16_t slot = slot_count();
+    uint16_t cell_start = static_cast<uint16_t>(free_end() - len);
+    std::memcpy(data_ + cell_start, bytes, len);
+    StoreAt<uint16_t>(data_, kPageHeaderSize + slot * kSlotSize, cell_start);
+    StoreAt<uint16_t>(data_, kPageHeaderSize + slot * kSlotSize + 2,
+                      static_cast<uint16_t>(len));
+    StoreAt<uint16_t>(data_, 4, cell_start);
+    SetPageCount(data_, static_cast<uint16_t>(slot + 1));
+    return slot;
+  }
+
+  /// Record bytes of `slot` (undefined for out-of-range slots; callers
+  /// validate against slot_count()).
+  const char* Get(uint16_t slot, size_t* len) const {
+    uint16_t offset = LoadAt<uint16_t>(data_, kPageHeaderSize + slot * kSlotSize);
+    *len = LoadAt<uint16_t>(data_, kPageHeaderSize + slot * kSlotSize + 2);
+    return data_ + offset;
+  }
+
+  /// Largest record a freshly-initialized heap page can hold.
+  static constexpr size_t MaxRecordSize() {
+    return kPageSize - kPageHeaderSize - kSlotSize;
+  }
+
+ private:
+  char* data_;
+};
+
+}  // namespace calcite::storage
+
+#endif  // CALCITE_STORAGE_PAGE_H_

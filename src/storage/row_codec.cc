@@ -1,0 +1,134 @@
+#include "storage/row_codec.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace calcite::storage {
+
+using calcite::Result;
+using calcite::Status;
+
+namespace {
+
+enum : uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+};
+
+template <typename T>
+void AppendRaw(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(const char* data, size_t len, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > len) return false;
+  std::memcpy(out, data + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Status EncodeRow(const Row& row, std::string* out) {
+  if (row.size() > UINT16_MAX) {
+    return Status::InvalidArgument("row too wide for the disk codec");
+  }
+  AppendRaw<uint16_t>(out, static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) {
+    if (v.IsNull()) {
+      out->push_back(static_cast<char>(kTagNull));
+    } else if (v.is_bool()) {
+      out->push_back(static_cast<char>(v.AsBool() ? kTagTrue : kTagFalse));
+    } else if (v.is_int()) {
+      out->push_back(static_cast<char>(kTagInt));
+      AppendRaw<int64_t>(out, v.AsInt());
+    } else if (v.is_double()) {
+      out->push_back(static_cast<char>(kTagDouble));
+      AppendRaw<double>(out, v.AsDouble());
+    } else if (v.is_string()) {
+      const std::string& s = v.AsString();
+      if (s.size() > UINT32_MAX) {
+        return Status::InvalidArgument("string too long for the disk codec");
+      }
+      out->push_back(static_cast<char>(kTagString));
+      AppendRaw<uint32_t>(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+    } else {
+      return Status::Unsupported(
+          "disk tables store scalar values only (NULL/BOOLEAN/BIGINT/DOUBLE/"
+          "VARCHAR); got " + v.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> DecodeRow(const char* data, size_t len) {
+  size_t pos = 0;
+  uint16_t fields;
+  if (!ReadRaw(data, len, &pos, &fields)) {
+    return Status::RuntimeError("corrupt record: truncated field count");
+  }
+  Row row;
+  row.reserve(fields);
+  for (uint16_t f = 0; f < fields; ++f) {
+    if (pos >= len) {
+      return Status::RuntimeError("corrupt record: truncated field tag");
+    }
+    uint8_t tag = static_cast<uint8_t>(data[pos++]);
+    switch (tag) {
+      case kTagNull:
+        row.push_back(Value::Null());
+        break;
+      case kTagFalse:
+        row.push_back(Value::Bool(false));
+        break;
+      case kTagTrue:
+        row.push_back(Value::Bool(true));
+        break;
+      case kTagInt: {
+        int64_t v;
+        if (!ReadRaw(data, len, &pos, &v)) {
+          return Status::RuntimeError("corrupt record: truncated BIGINT");
+        }
+        row.push_back(Value::Int(v));
+        break;
+      }
+      case kTagDouble: {
+        double v;
+        if (!ReadRaw(data, len, &pos, &v)) {
+          return Status::RuntimeError("corrupt record: truncated DOUBLE");
+        }
+        row.push_back(Value::Double(v));
+        break;
+      }
+      case kTagString: {
+        uint32_t n;
+        if (!ReadRaw(data, len, &pos, &n)) {
+          return Status::RuntimeError("corrupt record: truncated length");
+        }
+        if (pos + n > len) {
+          return Status::RuntimeError("corrupt record: truncated VARCHAR");
+        }
+        row.push_back(Value::String(std::string(data + pos, n)));
+        pos += n;
+        break;
+      }
+      default:
+        return Status::RuntimeError("corrupt record: unknown tag " +
+                                    std::to_string(tag));
+    }
+  }
+  if (pos != len) {
+    return Status::RuntimeError("corrupt record: trailing bytes");
+  }
+  return row;
+}
+
+}  // namespace calcite::storage

@@ -1,0 +1,35 @@
+#ifndef CALCITE_STORAGE_ROW_CODEC_H_
+#define CALCITE_STORAGE_ROW_CODEC_H_
+
+#include <string>
+
+#include "type/value.h"
+#include "util/status.h"
+
+namespace calcite::storage {
+
+/// Serializes the engine's runtime Row into the byte form stored in slotted
+/// heap pages, and back. The format is self-describing (a type tag per
+/// field), so decode needs no schema:
+///
+///   uint16 field_count, then per field:
+///     tag 0 = NULL                      (no payload)
+///     tag 1 = BOOLEAN false             (no payload)
+///     tag 2 = BOOLEAN true              (no payload)
+///     tag 3 = BIGINT                    (8-byte little-endian int64)
+///     tag 4 = DOUBLE                    (8-byte IEEE double)
+///     tag 5 = VARCHAR                   (uint32 length + bytes)
+///
+/// The composite types (ARRAY/MAP/GEOMETRY) are rejected at encode time —
+/// disk tables carry relational scalar data; semi-structured values stay on
+/// the in-memory adapters.
+
+/// Appends the encoded form of `row` to `out`.
+calcite::Status EncodeRow(const Row& row, std::string* out);
+
+/// Decodes one record. `len` must cover exactly one encoded row.
+calcite::Result<Row> DecodeRow(const char* data, size_t len);
+
+}  // namespace calcite::storage
+
+#endif  // CALCITE_STORAGE_ROW_CODEC_H_

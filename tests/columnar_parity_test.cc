@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "exec/column_batch.h"
 #include "rel/core.h"
 #include "rex/rex_builder.h"
+#include "storage/disk_table.h"
 #include "test_schema.h"
 #include "tools/frameworks.h"
 
@@ -391,6 +394,54 @@ TEST_F(ColumnarParityTest, PipelineScanFilterProjectAggregate) {
         EnumerableAggregate::Create(projected, {0}, calls, agg_type),
         "Pipeline n=" + std::to_string(n));
   }
+}
+
+TEST_F(ColumnarParityTest, DiskTableScansBypassColumnarCache) {
+  // A DiskTable exposes no columnar decomposition (MaterializedColumns is
+  // nullptr — decomposing would pin the whole table in RAM), so columnar
+  // execution must transparently fall back to the row path and still match
+  // it exactly, serial and 4-way parallel, with the buffer pool far smaller
+  // than the table. Exercised bare and under a filter whose primary-key
+  // conjunct routes to the B-tree on the serial path, with the index both
+  // enabled and forced off.
+  char tmpl[] = "/tmp/calcite_colpar_disk_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string dir_path = dir;
+
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1025}, size_t{4000}}) {
+    storage::DiskTableOptions dt_opts;
+    dt_opts.pool_pages = 8;
+    auto table = storage::DiskTable::Create(
+        dir_path + "/t" + std::to_string(n) + ".db", TestRowType(tf_), 0,
+        dt_opts);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    ASSERT_TRUE((*table)->InsertRows(MakeRows(n)).ok());
+    TypeFactory tf;
+    EXPECT_EQ((*table)->MaterializedColumns(tf), nullptr);
+    EXPECT_EQ((*table)->MaterializedRows(), nullptr);
+
+    RelNodePtr scan = ScanOf(*table);
+    ExpectColumnarParity(scan, "DiskScan n=" + std::to_string(n));
+
+    const RelDataTypePtr& rt = scan->row_type();
+    auto key_range = rex_.MakeCall(OpKind::kLessThan,
+                                   {Field(rt, 0), rex_.MakeIntLiteral(500)});
+    ASSERT_TRUE(key_range.ok());
+    auto residual = rex_.MakeCall(OpKind::kIsNotNull, {Field(rt, 3)});
+    ASSERT_TRUE(residual.ok());
+    RelNodePtr filtered = EnumerableFilter::Create(
+        scan, rex_.MakeAnd({key_range.value(), residual.value()}));
+    for (bool index_on : {true, false}) {
+      (*table)->set_index_scan_enabled(index_on);
+      ExpectColumnarParity(filtered, "DiskFilter n=" + std::to_string(n) +
+                                         " index=" + std::to_string(index_on));
+    }
+    (*table)->set_index_scan_enabled(true);
+    EXPECT_EQ((*table)->buffer_pool().pinned_frames(), 0u);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir_path, ec);
 }
 
 TEST_F(ColumnarParityTest, MutationInvalidatesColumnarCache) {

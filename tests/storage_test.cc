@@ -1,0 +1,643 @@
+// Unit and differential tests of the out-of-core storage engine
+// (src/storage/): disk manager page I/O, buffer pool pin/evict/write-back
+// discipline, the row codec, randomized B-tree workloads checked against a
+// std::map oracle, and the DiskTable end-to-end surface — heap scans,
+// index-range routing of pushed predicates, persistence across reopen, and
+// the paged scan-unit tiling the parallel executor consumes. Every test
+// works in its own temp directory, removed on teardown.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/disk_table.h"
+#include "storage/page.h"
+#include "storage/row_codec.h"
+#include "type/rel_data_type.h"
+
+namespace calcite::storage {
+namespace {
+
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    const ::calcite::Status _st = (expr);               \
+    ASSERT_TRUE(_st.ok()) << _st.message();             \
+  } while (0)
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/calcite_storage_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+    dir_ = dir;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Disk manager
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, DiskManagerRoundTripAndZeroFill) {
+  auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/true);
+  ASSERT_OK(disk.status());
+  DiskManager& dm = **disk;
+
+  PageId a = dm.Allocate();
+  PageId b = dm.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+
+  std::vector<char> page(kPageSize, 'x');
+  ASSERT_OK(dm.WritePage(b, page.data()));
+
+  // Page `a` was allocated but never written: reads zero-fill.
+  std::vector<char> readback(kPageSize, 'q');
+  ASSERT_OK(dm.ReadPage(a, readback.data()));
+  EXPECT_TRUE(std::all_of(readback.begin(), readback.end(),
+                          [](char c) { return c == 0; }));
+  ASSERT_OK(dm.ReadPage(b, readback.data()));
+  EXPECT_TRUE(std::all_of(readback.begin(), readback.end(),
+                          [](char c) { return c == 'x'; }));
+}
+
+TEST_F(StorageTest, DiskManagerReopenSeesPageCount) {
+  {
+    auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/true);
+    ASSERT_OK(disk.status());
+    std::vector<char> page(kPageSize, 7);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK((*disk)->WritePage((*disk)->Allocate(), page.data()));
+    }
+    ASSERT_OK((*disk)->Sync());
+  }
+  auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/false);
+  ASSERT_OK(disk.status());
+  EXPECT_EQ((*disk)->page_count(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Slotted page
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, SlottedPageInsertUntilFull) {
+  std::vector<char> buf(kPageSize);
+  SlottedPage page(buf.data());
+  page.Init(PageType::kHeap);
+
+  const std::string record(100, 'r');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto slot = page.Insert(record.data(), record.size());
+    if (!slot.has_value()) break;
+    slots.push_back(*slot);
+  }
+  // 4096 - 12 header = 4084 bytes; each record costs 100 + 4 slot = 104.
+  EXPECT_EQ(slots.size(), (kPageSize - kPageHeaderSize) / 104);
+  EXPECT_EQ(page.slot_count(), slots.size());
+  for (uint16_t s : slots) {
+    size_t len = 0;
+    const char* bytes = page.Get(s, &len);
+    EXPECT_EQ(std::string(bytes, len), record);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, BufferPoolEvictsWhenDataExceedsPool) {
+  auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/true);
+  ASSERT_OK(disk.status());
+  constexpr size_t kPoolPages = 4;
+  constexpr size_t kDataPages = 64;
+  BufferPool pool(disk->get(), kPoolPages);
+
+  for (size_t i = 0; i < kDataPages; ++i) {
+    PageId id = kInvalidPageId;
+    auto guard = pool.New(&id);
+    ASSERT_OK(guard.status());
+    StoreAt<uint64_t>(guard->data(), 0, i);
+    guard->MarkDirty();
+  }
+  // Each page is readable with its own bytes even though only 4 frames
+  // exist: eviction wrote the dirty frames back, fetch reloads them.
+  for (size_t i = 0; i < kDataPages; ++i) {
+    auto guard = pool.Fetch(static_cast<PageId>(i));
+    ASSERT_OK(guard.status());
+    EXPECT_EQ(LoadAt<uint64_t>(guard->data(), 0), i);
+  }
+  EXPECT_GE(pool.disk_reads(), kDataPages - kPoolPages);
+  EXPECT_GE(pool.disk_writes(), kDataPages - kPoolPages);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST_F(StorageTest, BufferPoolFailsWhenEveryFrameIsPinned) {
+  auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/true);
+  ASSERT_OK(disk.status());
+  BufferPool pool(disk->get(), 2);
+
+  PageId id = kInvalidPageId;
+  auto g1 = pool.New(&id);
+  ASSERT_OK(g1.status());
+  auto g2 = pool.New(&id);
+  ASSERT_OK(g2.status());
+  EXPECT_EQ(pool.pinned_frames(), 2u);
+
+  auto g3 = pool.New(&id);
+  EXPECT_FALSE(g3.ok());
+
+  // Dropping one pin frees a frame; the pool recovers.
+  g1->Release();
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+  auto g4 = pool.New(&id);
+  ASSERT_OK(g4.status());
+}
+
+TEST_F(StorageTest, BufferPoolPinCountsDropToZero) {
+  auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/true);
+  ASSERT_OK(disk.status());
+  BufferPool pool(disk->get(), 8);
+  {
+    std::vector<PageGuard> guards;
+    for (int i = 0; i < 6; ++i) {
+      PageId id = kInvalidPageId;
+      auto guard = pool.New(&id);
+      ASSERT_OK(guard.status());
+      guards.push_back(std::move(*guard));
+    }
+    // Re-fetch one page through a second guard: pin counts nest.
+    auto again = pool.Fetch(guards[0].id());
+    ASSERT_OK(again.status());
+    EXPECT_EQ(pool.pinned_frames(), 6u);
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);  // the leak assertion
+}
+
+TEST_F(StorageTest, DirtyPagesSurvivePoolTeardownAndReopen) {
+  {
+    auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/true);
+    ASSERT_OK(disk.status());
+    BufferPool pool(disk->get(), 4);
+    for (size_t i = 0; i < 16; ++i) {
+      PageId id = kInvalidPageId;
+      auto guard = pool.New(&id);
+      ASSERT_OK(guard.status());
+      StoreAt<uint64_t>(guard->data(), 8, i * 31);
+      guard->MarkDirty();
+    }
+    // No explicit FlushAll: the pool destructor must write back.
+  }
+  auto disk = DiskManager::Open(Path("t.db"), /*truncate=*/false);
+  ASSERT_OK(disk.status());
+  BufferPool pool(disk->get(), 4);
+  for (size_t i = 0; i < 16; ++i) {
+    auto guard = pool.Fetch(static_cast<PageId>(i));
+    ASSERT_OK(guard.status());
+    EXPECT_EQ(LoadAt<uint64_t>(guard->data(), 8), i * 31);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row codec
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, RowCodecRoundTrip) {
+  std::vector<Row> rows = {
+      {},
+      {Value::Null()},
+      {Value::Bool(true), Value::Bool(false)},
+      {Value::Int(0), Value::Int(-1), Value::Int(INT64_MAX),
+       Value::Int(INT64_MIN)},
+      {Value::Double(0.0), Value::Double(-2.5), Value::Double(1e300)},
+      {Value::String(""), Value::String("hello"),
+       Value::String(std::string(3000, 'z'))},
+      {Value::Int(42), Value::Null(), Value::String("mixed"),
+       Value::Double(3.25), Value::Bool(true)},
+  };
+  for (const Row& row : rows) {
+    std::string encoded;
+    ASSERT_OK(EncodeRow(row, &encoded));
+    auto decoded = DecodeRow(encoded.data(), encoded.size());
+    ASSERT_OK(decoded.status());
+    ASSERT_EQ(decoded->size(), row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      EXPECT_TRUE((*decoded)[i] == row[i])
+          << "field " << i << ": " << (*decoded)[i].ToString() << " vs "
+          << row[i].ToString();
+    }
+  }
+}
+
+TEST_F(StorageTest, RowCodecRejectsCompositesAndCorruption) {
+  std::string encoded;
+  EXPECT_FALSE(EncodeRow({Value::Array({Value::Int(1)})}, &encoded).ok());
+
+  encoded.clear();
+  ASSERT_OK(EncodeRow({Value::Int(7), Value::String("abc")}, &encoded));
+  // Truncations at every prefix length must fail, never crash.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodeRow(encoded.data(), len).ok()) << "prefix " << len;
+  }
+  // Trailing garbage is also rejected.
+  std::string padded = encoded + "!";
+  EXPECT_FALSE(DecodeRow(padded.data(), padded.size()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// B-tree vs std::map oracle
+// ---------------------------------------------------------------------------
+
+struct BTreeFixture {
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<BTree> tree;
+};
+
+BTreeFixture MakeBTree(const std::string& path, size_t pool_pages) {
+  BTreeFixture f;
+  auto disk = DiskManager::Open(path, /*truncate=*/true);
+  EXPECT_TRUE(disk.ok());
+  f.disk = std::move(*disk);
+  f.pool = std::make_unique<BufferPool>(f.disk.get(), pool_pages);
+  auto root = BTree::CreateEmpty(f.pool.get());
+  EXPECT_TRUE(root.ok());
+  f.tree = std::make_unique<BTree>(f.pool.get(), *root);
+  return f;
+}
+
+Rid RidFor(int64_t key) {
+  return Rid{static_cast<PageId>(key % 977 + 1),
+             static_cast<uint16_t>(key % 91)};
+}
+
+TEST_F(StorageTest, BTreeRandomizedInsertLookupVsMapOracle) {
+  // Several seeds, enough keys to force multi-level splits (leaf capacity
+  // is 291, internal fanout 341 — 20k keys gives a 3-level tree).
+  for (uint32_t seed : {1u, 42u, 20260807u}) {
+    BTreeFixture f = MakeBTree(Path("bt" + std::to_string(seed) + ".db"), 64);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int64_t> dist(-1000000, 1000000);
+
+    std::map<int64_t, Rid> oracle;
+    for (int i = 0; i < 20000; ++i) {
+      int64_t key = dist(rng);
+      Status st = f.tree->Insert(key, RidFor(key));
+      if (oracle.count(key)) {
+        EXPECT_FALSE(st.ok()) << "duplicate key " << key << " accepted";
+      } else {
+        ASSERT_OK(st);
+        oracle.emplace(key, RidFor(key));
+      }
+    }
+
+    // Point lookups: every oracle key hits with the right rid; probes
+    // around each sampled key miss exactly when the oracle misses.
+    size_t checked = 0;
+    for (const auto& [key, rid] : oracle) {
+      if (++checked % 7 != 0) continue;  // sample 1/7th, keep the test fast
+      auto found = f.tree->Lookup(key);
+      ASSERT_OK(found.status());
+      ASSERT_TRUE(found->has_value()) << "key " << key;
+      EXPECT_TRUE(**found == rid);
+      auto probe = f.tree->Lookup(key + 1);
+      ASSERT_OK(probe.status());
+      EXPECT_EQ(probe->has_value(), oracle.count(key + 1) > 0);
+    }
+  }
+}
+
+TEST_F(StorageTest, BTreeRandomizedRangeScansVsMapOracle) {
+  BTreeFixture f = MakeBTree(Path("bt_range.db"), 64);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> dist(0, 300000);
+
+  std::map<int64_t, Rid> oracle;
+  for (int i = 0; i < 15000; ++i) {
+    int64_t key = dist(rng);
+    if (oracle.count(key)) continue;
+    ASSERT_OK(f.tree->Insert(key, RidFor(key)));
+    oracle.emplace(key, RidFor(key));
+  }
+
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t a = dist(rng);
+    int64_t b = dist(rng);
+    int64_t lo = std::min(a, b);
+    int64_t hi = std::max(a, b);
+    auto got = f.tree->ScanRange(lo, hi);
+    ASSERT_OK(got.status());
+
+    auto it = oracle.lower_bound(lo);
+    size_t n = 0;
+    for (; it != oracle.end() && it->first <= hi; ++it, ++n) {
+      ASSERT_LT(n, got->size()) << "range [" << lo << "," << hi << "]";
+      EXPECT_EQ((*got)[n].key, it->first);
+      EXPECT_TRUE((*got)[n].rid == it->second);
+    }
+    EXPECT_EQ(n, got->size());
+  }
+
+  // Degenerate ranges.
+  auto empty = f.tree->ScanRange(10, 9);
+  ASSERT_OK(empty.status());
+  EXPECT_TRUE(empty->empty());
+  auto all = f.tree->ScanRange(INT64_MIN, INT64_MAX);
+  ASSERT_OK(all.status());
+  EXPECT_EQ(all->size(), oracle.size());
+}
+
+TEST_F(StorageTest, BTreeSequentialAndReverseInsertions) {
+  // Monotone insert orders hit the edge split paths (always-rightmost /
+  // always-leftmost descents).
+  for (bool reverse : {false, true}) {
+    BTreeFixture f =
+        MakeBTree(Path(reverse ? "bt_rev.db" : "bt_seq.db"), 64);
+    constexpr int64_t kN = 5000;
+    for (int64_t i = 0; i < kN; ++i) {
+      int64_t key = reverse ? kN - 1 - i : i;
+      ASSERT_OK(f.tree->Insert(key, RidFor(key)));
+    }
+    auto all = f.tree->ScanRange(INT64_MIN, INT64_MAX);
+    ASSERT_OK(all.status());
+    ASSERT_EQ(all->size(), static_cast<size_t>(kN));
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ((*all)[i].key, i);
+    }
+  }
+}
+
+TEST_F(StorageTest, BTreeWorksThroughTinyPool) {
+  // The whole tree (many levels of pages) cycles through 8 frames; pins
+  // must stay bounded and nothing may leak.
+  BTreeFixture f = MakeBTree(Path("bt_tiny.db"), 8);
+  std::mt19937_64 rng(13);
+  std::vector<int64_t> keys(8000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int64_t>(i);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int64_t key : keys) {
+    ASSERT_OK(f.tree->Insert(key, RidFor(key)));
+  }
+  EXPECT_EQ(f.pool->pinned_frames(), 0u);
+  EXPECT_GT(f.pool->disk_reads(), f.pool->capacity());
+
+  auto got = f.tree->ScanRange(100, 7900);
+  ASSERT_OK(got.status());
+  EXPECT_EQ(got->size(), 7801u);
+  EXPECT_EQ(f.pool->pinned_frames(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DiskTable
+// ---------------------------------------------------------------------------
+
+RelDataTypePtr DiskRowType(const TypeFactory& tf) {
+  auto int_t = tf.CreateSqlType(SqlTypeName::kInteger);
+  auto str_null = tf.CreateSqlType(SqlTypeName::kVarchar, 20, true);
+  auto dbl_null = tf.CreateSqlType(SqlTypeName::kDouble, -1, true);
+  return tf.CreateStructType({"id", "name", "score"},
+                             {int_t, str_null, dbl_null});
+}
+
+Row DiskRow(int64_t id) {
+  return {Value::Int(id),
+          id % 5 == 0 ? Value::Null()
+                      : Value::String("n" + std::to_string(id % 23)),
+          id % 4 == 0 ? Value::Null()
+                      : Value::Double(static_cast<double>(id % 17) * 0.5)};
+}
+
+std::vector<Row> DiskRows(int64_t n) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) rows.push_back(DiskRow(i));
+  return rows;
+}
+
+std::vector<Row> Drain(const RowBatchPuller& puller) {
+  std::vector<Row> out;
+  for (;;) {
+    auto batch = puller();
+    EXPECT_TRUE(batch.ok()) << batch.status().message();
+    if (!batch.ok() || batch->empty()) break;
+    for (Row& row : *batch) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void ExpectSameRows(std::vector<Row> a, std::vector<Row> b) {
+  auto key_order = [](const Row& x, const Row& y) {
+    return x[0].AsInt() < y[0].AsInt();
+  };
+  std::sort(a.begin(), a.end(), key_order);
+  std::sort(b.begin(), b.end(), key_order);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      EXPECT_TRUE(a[i][c] == b[i][c]) << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST_F(StorageTest, DiskTableScanMatchesInsertedRows) {
+  TypeFactory tf;
+  DiskTableOptions opts;
+  opts.pool_pages = 16;  // table will span far more pages than this
+  auto table = DiskTable::Create(Path("t.db"), DiskRowType(tf), 0, opts);
+  ASSERT_OK(table.status());
+  auto rows = DiskRows(5000);
+  ASSERT_OK((*table)->InsertRows(rows));
+
+  EXPECT_EQ((*table)->row_count(), 5000u);
+  EXPECT_GT((*table)->heap_page_count(), opts.pool_pages);
+
+  auto scanned = (*table)->Scan();
+  ASSERT_OK(scanned.status());
+  ExpectSameRows(*scanned, rows);
+
+  auto puller = (*table)->ScanBatched(333);
+  ASSERT_OK(puller.status());
+  ExpectSameRows(Drain(*puller), rows);
+  EXPECT_EQ((*table)->buffer_pool().pinned_frames(), 0u);
+}
+
+TEST_F(StorageTest, DiskTableRejectsBadKeys) {
+  TypeFactory tf;
+  auto table = DiskTable::Create(Path("t.db"), DiskRowType(tf), 0);
+  ASSERT_OK(table.status());
+  ASSERT_OK((*table)->InsertRows(DiskRows(10)));
+
+  EXPECT_FALSE((*table)->InsertRows({DiskRow(5)}).ok());  // duplicate
+  Row null_key = DiskRow(100);
+  null_key[0] = Value::Null();
+  EXPECT_FALSE((*table)->InsertRows({null_key}).ok());
+  Row string_key = DiskRow(101);
+  string_key[0] = Value::String("nope");
+  EXPECT_FALSE((*table)->InsertRows({string_key}).ok());
+  EXPECT_EQ((*table)->row_count(), 10u);
+}
+
+TEST_F(StorageTest, DiskTableIndexScanMatchesHeapScan) {
+  TypeFactory tf;
+  DiskTableOptions opts;
+  opts.pool_pages = 16;
+  auto table = DiskTable::Create(Path("t.db"), DiskRowType(tf), 0, opts);
+  ASSERT_OK(table.status());
+  ASSERT_OK((*table)->InsertRows(DiskRows(8000)));
+  DiskTable& t = **table;
+
+  struct Case {
+    ScanPredicate::Kind kind;
+    Value literal;
+    bool expect_index;
+  };
+  const std::vector<Case> cases = {
+      {ScanPredicate::Kind::kEquals, Value::Int(4242), true},
+      {ScanPredicate::Kind::kLessThan, Value::Int(100), true},
+      {ScanPredicate::Kind::kGreaterThanOrEqual, Value::Int(7900), true},
+      {ScanPredicate::Kind::kGreaterThan, Value::Double(7899.5), true},
+      {ScanPredicate::Kind::kLessThanOrEqual, Value::Double(99.25), true},
+      {ScanPredicate::Kind::kEquals, Value::Double(10.5), true},  // empty
+      {ScanPredicate::Kind::kEquals, Value::Null(), true},        // empty
+      {ScanPredicate::Kind::kIsNull, Value::Null(), true},        // empty
+      {ScanPredicate::Kind::kNotEquals, Value::Int(5), false},
+      {ScanPredicate::Kind::kIsNotNull, Value::Null(), false},
+  };
+  for (const Case& c : cases) {
+    ScanPredicate pred;
+    pred.kind = c.kind;
+    pred.column = 0;
+    pred.literal = c.literal;
+
+    t.set_index_scan_enabled(true);
+    auto with_index = t.ScanBatchedFiltered(512, {pred});
+    ASSERT_OK(with_index.status());
+    auto index_rows = Drain(*with_index);
+    EXPECT_EQ(t.last_scan_used_index(), c.expect_index)
+        << "kind " << static_cast<int>(c.kind);
+
+    t.set_index_scan_enabled(false);
+    auto without = t.ScanBatchedFiltered(512, {pred});
+    ASSERT_OK(without.status());
+    EXPECT_FALSE(t.last_scan_used_index());
+    ExpectSameRows(index_rows, Drain(*without));
+  }
+  t.set_index_scan_enabled(true);
+
+  // Conjunction: both bounds land on the key; a residual predicate on
+  // another column is re-applied on the index path.
+  ScanPredicate lo;
+  lo.kind = ScanPredicate::Kind::kGreaterThanOrEqual;
+  lo.column = 0;
+  lo.literal = Value::Int(1000);
+  ScanPredicate hi;
+  hi.kind = ScanPredicate::Kind::kLessThan;
+  hi.column = 0;
+  hi.literal = Value::Int(2000);
+  ScanPredicate residual;
+  residual.kind = ScanPredicate::Kind::kIsNotNull;
+  residual.column = 2;
+  auto both = t.ScanBatchedFiltered(512, {lo, hi, residual});
+  ASSERT_OK(both.status());
+  auto got = Drain(*both);
+  EXPECT_TRUE(t.last_scan_used_index());
+  size_t expected = 0;
+  for (int64_t id = 1000; id < 2000; ++id) {
+    if (id % 4 != 0) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const Row& row : got) {
+    EXPECT_GE(row[0].AsInt(), 1000);
+    EXPECT_LT(row[0].AsInt(), 2000);
+    EXPECT_FALSE(row[2].IsNull());
+  }
+  EXPECT_EQ(t.buffer_pool().pinned_frames(), 0u);
+}
+
+TEST_F(StorageTest, DiskTableScanUnitsTileTheTable) {
+  TypeFactory tf;
+  DiskTableOptions opts;
+  opts.pool_pages = 16;
+  opts.pages_per_run = 3;
+  auto table = DiskTable::Create(Path("t.db"), DiskRowType(tf), 0, opts);
+  ASSERT_OK(table.status());
+  auto rows = DiskRows(4000);
+  ASSERT_OK((*table)->InsertRows(rows));
+
+  size_t units = (*table)->ScanUnitCount();
+  ASSERT_GT(units, 1u);
+  std::vector<Row> concatenated;
+  for (size_t u = 0; u < units; ++u) {
+    auto unit_rows = (*table)->ScanUnitRows(u);
+    ASSERT_OK(unit_rows.status());
+    EXPECT_FALSE(unit_rows->empty());
+    for (Row& row : *unit_rows) concatenated.push_back(std::move(row));
+  }
+  ExpectSameRows(concatenated, rows);
+  EXPECT_FALSE((*table)->ScanUnitRows(units).ok());
+}
+
+TEST_F(StorageTest, DiskTablePersistsAcrossReopen) {
+  TypeFactory tf;
+  auto rows = DiskRows(3000);
+  {
+    DiskTableOptions opts;
+    opts.pool_pages = 8;  // tiny pool: most pages reach disk via eviction
+    auto table = DiskTable::Create(Path("t.db"), DiskRowType(tf), 0, opts);
+    ASSERT_OK(table.status());
+    ASSERT_OK((*table)->InsertRows(rows));
+    ASSERT_OK((*table)->Flush());
+  }
+  auto reopened = DiskTable::Open(Path("t.db"), DiskRowType(tf));
+  ASSERT_OK(reopened.status());
+  DiskTable& t = **reopened;
+  EXPECT_EQ(t.row_count(), 3000u);
+  EXPECT_EQ(t.key_column(), 0);
+
+  auto scanned = t.Scan();
+  ASSERT_OK(scanned.status());
+  ExpectSameRows(*scanned, rows);
+
+  // The reopened index serves lookups and rejects re-insertion.
+  ScanPredicate pred;
+  pred.kind = ScanPredicate::Kind::kEquals;
+  pred.column = 0;
+  pred.literal = Value::Int(1234);
+  auto hit = t.ScanBatchedFiltered(64, {pred});
+  ASSERT_OK(hit.status());
+  auto got = Drain(*hit);
+  EXPECT_TRUE(t.last_scan_used_index());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0][0].AsInt(), 1234);
+  EXPECT_FALSE(t.InsertRows({DiskRow(1234)}).ok());
+
+  // And accepts genuinely new keys.
+  ASSERT_OK(t.InsertRows({DiskRow(999999)}));
+  EXPECT_EQ(t.row_count(), 3001u);
+
+  auto missing = DiskTable::Open(Path("absent.db"), DiskRowType(tf));
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace calcite::storage
