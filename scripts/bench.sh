@@ -41,7 +41,7 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 BUILD_DIR="${ARGS[0]:-build}"
-FILTER="${ARGS[1]:-BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep|BM_IndexScanVsFullScan}"
+FILTER="${ARGS[1]:-BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep|BM_IndexScanVsFullScan|BM_CostBasedAccessPath}"
 if [[ "$FILTER" == "all" ]]; then FILTER='.'; fi
 
 if [[ ! -x "$BUILD_DIR/bench_architecture" ]]; then

@@ -47,13 +47,17 @@ if [[ -n "$SANITIZER" ]]; then
   # scans share frames across morsel workers (TSan), and the slotted-page /
   # record-codec byte arithmetic plus B-tree node layouts are exactly where
   # an out-of-bounds page access hides (ASan/UBSan); the parity suites
-  # additionally drive DiskTable scans end-to-end both ways. alloc_count_test
+  # additionally drive DiskTable scans end-to-end both ways. The stats suite
+  # runs under both for the same reason: ANALYZE streams every page through
+  # the pool and the stats catalog codec does raw record byte arithmetic
+  # (ASan/UBSan), while cost-based scans race the last_scan_used_index
+  # introspection (TSan). alloc_count_test
   # is excluded everywhere: it overrides global operator new, which fights
   # the sanitizer allocators.
   if [[ "$SANITIZER" == *thread* ]]; then
-    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test|columnar_parity_test|storage_test'
+    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test|columnar_parity_test|storage_test|stats_test'
   else
-    FILTER='row_batch_test|rex_kernel_fuzz_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test|storage_test'
+    FILTER='row_batch_test|rex_kernel_fuzz_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test|storage_test|stats_test'
   fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
     -R "$FILTER"
@@ -78,7 +82,7 @@ echo "=== bench smoke ==="
 # into a perf run.
 if [[ -x "$BUILD_DIR/bench_architecture" ]]; then
   "$BUILD_DIR/bench_architecture" \
-    --benchmark_filter='BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep|BM_IndexScanVsFullScan' \
+    --benchmark_filter='BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep|BM_IndexScanVsFullScan|BM_CostBasedAccessPath' \
     --benchmark_min_time=0.05
 else
   echo "bench_architecture not built (google-benchmark not found); skipping"

@@ -34,8 +34,8 @@ CassandraTable::CassandraTable(RelDataTypePtr row_type, std::vector<Row> rows,
                    });
 }
 
-Statistic CassandraTable::GetStatistic() const {
-  Statistic stat;
+TableStats CassandraTable::GetStatistic() const {
+  TableStats stat;
   stat.row_count = static_cast<double>(rows_.size());
   return stat;
 }

@@ -26,7 +26,7 @@ class CassandraTable final : public Table {
   RelDataTypePtr GetRowType(const TypeFactory&) const override {
     return row_type_;
   }
-  Statistic GetStatistic() const override;
+  TableStats GetStatistic() const override;
   Result<std::vector<Row>> Scan() const override;
   Result<RowBatchPuller> ScanBatched(size_t batch_size) const override;
   Result<RowBatchPuller> ScanBatchedFiltered(

@@ -104,8 +104,8 @@ Result<std::shared_ptr<CsvTable>> CsvTable::FromFile(const std::string& path) {
   return FromText(buffer.str());
 }
 
-Statistic CsvTable::GetStatistic() const {
-  Statistic stat;
+TableStats CsvTable::GetStatistic() const {
+  TableStats stat;
   stat.row_count = static_cast<double>(rows_.size());
   return stat;
 }

@@ -26,7 +26,7 @@ class CsvTable final : public Table {
   RelDataTypePtr GetRowType(const TypeFactory&) const override {
     return row_type_;
   }
-  Statistic GetStatistic() const override;
+  TableStats GetStatistic() const override;
   Result<std::vector<Row>> Scan() const override { return rows_; }
 
   /// Emits the parsed file a batch at a time, without re-copying the whole

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rel/core.h"
+#include "rex/rex_util.h"  // ExtractScanPredicates (moved; kept for callers)
 
 namespace calcite {
 
@@ -248,16 +249,6 @@ Row PadNullLeft(size_t left_width, const Row& right);
 /// on return the batch is dense (has_sel false) with ActiveCount() rows.
 Status ApplyProjectToSelBatch(const std::vector<RexNodePtr>& exprs,
                               SelBatch* batch);
-
-/// Splits a filter condition into conjuncts a leaf scan can evaluate
-/// before materializing rows (`$i <op> literal`, `literal <op> $i` — the
-/// operator is mirrored — and `IS [NOT] NULL($i)`, with `i` inside
-/// [0, scan_width)) and the residual conjuncts that must still run above
-/// the scan. Non-AND conditions are treated as a single conjunct. Returns
-/// true if at least one predicate was extracted.
-bool ExtractScanPredicates(const RexNodePtr& condition, int scan_width,
-                           ScanPredicateList* pushed,
-                           std::vector<RexNodePtr>* residual);
 
 /// Join runtime helpers shared by the serial joins and the parallel
 /// partitioned hash join.

@@ -44,8 +44,8 @@ RelDataTypePtr MongoTable::GetRowType(const TypeFactory& factory) const {
   return factory.CreateStructType({"_MAP"}, {map});
 }
 
-Statistic MongoTable::GetStatistic() const {
-  Statistic stat;
+TableStats MongoTable::GetStatistic() const {
+  TableStats stat;
   stat.row_count = static_cast<double>(documents_.size());
   return stat;
 }

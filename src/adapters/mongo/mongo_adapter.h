@@ -23,7 +23,7 @@ class MongoTable final : public Table {
   explicit MongoTable(std::vector<JsonValue> documents);
 
   RelDataTypePtr GetRowType(const TypeFactory& factory) const override;
-  Statistic GetStatistic() const override;
+  TableStats GetStatistic() const override;
   Result<std::vector<Row>> Scan() const override;
 
   const std::vector<JsonValue>& documents() const { return documents_; }

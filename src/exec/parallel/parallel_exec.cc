@@ -235,34 +235,40 @@ void RunPagedPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
   while (!cancel->cancelled()) {
     auto morsel = morsels->Next();
     if (!morsel.has_value()) break;
-    for (size_t unit = morsel->begin; unit < morsel->end; ++unit) {
+    // One unit-ranged OpenScan per morsel: the table streams its own pages
+    // (for a disk table, page-run at a time through the buffer pool), so
+    // the worker never materializes more than a page run.
+    ScanSpec spec;
+    spec.batch_size = batch_size;
+    spec.unit_begin = morsel->begin;
+    spec.unit_end = morsel->end;
+    auto scan = src.table->OpenScan(spec);
+    if (!scan.ok()) {
+      cancel->Cancel(scan.status());
+      queue->Cancel();
+      return;
+    }
+    RowBatchPuller pull = std::move(scan).value();
+    for (;;) {
       if (cancel->cancelled()) return;
-      auto unit_rows = src.table->ScanUnitRows(unit);
-      if (!unit_rows.ok()) {
-        cancel->Cancel(unit_rows.status());
+      auto pulled = pull();
+      if (!pulled.ok()) {
+        cancel->Cancel(pulled.status());
         queue->Cancel();
         return;
       }
-      std::vector<Row>& rows = unit_rows.value();
-      size_t pos = 0;
-      while (pos < rows.size()) {
-        if (cancel->cancelled()) return;
-        size_t n = std::min(batch_size, rows.size() - pos);
-        SelBatch batch;
-        auto first = rows.begin() + static_cast<ptrdiff_t>(pos);
-        batch.rows.assign(std::make_move_iterator(first),
-                          std::make_move_iterator(first + static_cast<ptrdiff_t>(n)));
-        pos += n;
-        Status status = ApplyStagesSel(src.stages, &batch);
-        if (!status.ok()) {
-          cancel->Cancel(std::move(status));
-          queue->Cancel();
-          return;
-        }
-        if (batch.ActiveCount() == 0) continue;
-        batch.Compact();
-        if (!queue->Push(std::move(batch.rows))) return;
+      if (pulled.value().empty()) break;
+      SelBatch batch;
+      batch.rows = std::move(pulled).value();
+      Status status = ApplyStagesSel(src.stages, &batch);
+      if (!status.ok()) {
+        cancel->Cancel(std::move(status));
+        queue->Cancel();
+        return;
       }
+      if (batch.ActiveCount() == 0) continue;
+      batch.Compact();
+      if (!queue->Push(std::move(batch.rows))) return;
     }
   }
 }

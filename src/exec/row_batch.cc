@@ -1,8 +1,86 @@
 #include "exec/row_batch.h"
 
 #include <memory>
+#include <random>
 
 namespace calcite {
+
+ScanSpec ScanSpec::Normalized() const {
+  ScanSpec out = *this;
+  if (out.batch_size == 0) out.batch_size = 1;
+  if (out.batch_size > kMaxBatchSize) out.batch_size = kMaxBatchSize;
+  if (!(out.sample_fraction >= 0.0)) out.sample_fraction = 0.0;  // NaN → 0
+  if (out.sample_fraction > 1.0) out.sample_fraction = 1.0;
+  if (out.access_path != AccessPath::kForceIndex &&
+      out.access_path != AccessPath::kForceHeap) {
+    out.access_path = AccessPath::kAuto;
+  }
+  if (out.unit_end < out.unit_begin) out.unit_end = out.unit_begin;
+  return out;
+}
+
+namespace {
+
+RowBatchPuller SampleBatches(RowBatchPuller puller, double fraction,
+                             uint64_t seed) {
+  auto rng = std::make_shared<std::mt19937_64>(seed);
+  auto dist = std::make_shared<std::uniform_real_distribution<double>>(0.0,
+                                                                       1.0);
+  return [puller = std::move(puller), fraction, rng,
+          dist]() -> Result<RowBatch> {
+    RowBatch out;
+    // Keep pulling until we have something (or the source is exhausted):
+    // a fully sampled-out chunk must not surface as a spurious
+    // end-of-stream empty batch.
+    for (;;) {
+      auto batch = puller();
+      if (!batch.ok()) return batch.status();
+      if (batch.value().empty()) return out;  // upstream exhausted
+      for (Row& row : batch.value()) {
+        if ((*dist)(*rng) < fraction) out.push_back(std::move(row));
+      }
+      if (!out.empty()) return out;
+    }
+  };
+}
+
+RowBatchPuller ProjectBatches(RowBatchPuller puller,
+                              std::vector<int> projection) {
+  auto cols = std::make_shared<std::vector<int>>(std::move(projection));
+  return [puller = std::move(puller), cols]() -> Result<RowBatch> {
+    auto batch = puller();
+    if (!batch.ok()) return batch.status();
+    RowBatch out;
+    out.reserve(batch.value().size());
+    for (Row& row : batch.value()) {
+      Row narrow;
+      narrow.reserve(cols->size());
+      for (int c : *cols) {
+        if (c >= 0 && static_cast<size_t>(c) < row.size()) {
+          narrow.push_back(std::move(row[static_cast<size_t>(c)]));
+        } else {
+          narrow.push_back(Value());  // out-of-range hint → NULL, not UB
+        }
+      }
+      out.push_back(std::move(narrow));
+    }
+    return out;
+  };
+}
+
+}  // namespace
+
+RowBatchPuller ApplyScanSpecDecorators(RowBatchPuller puller,
+                                       const ScanSpec& spec) {
+  if (spec.sample_fraction < 1.0) {
+    puller = SampleBatches(std::move(puller), spec.sample_fraction,
+                           spec.sample_seed);
+  }
+  if (!spec.projection.empty()) {
+    puller = ProjectBatches(std::move(puller), spec.projection);
+  }
+  return puller;
+}
 
 RowBatchPuller ChunkRows(std::vector<Row> rows, size_t batch_size) {
   if (batch_size == 0) batch_size = 1;

@@ -31,6 +31,20 @@ inline constexpr size_t kDefaultBatchSize = 1024;
 /// the point where larger batches stop paying.
 inline constexpr size_t kMaxBatchSize = 1u << 16;
 
+/// How a leaf scan picks its physical access path when a table offers more
+/// than one (today: DiskTable's B-tree index-range scan vs full heap scan).
+///
+///  - kAuto: cost-based — after ANALYZE the table compares the estimated
+///    selectivity of the pushed key range against the calibrated break-even
+///    and routes accordingly; without statistics it falls back to the
+///    legacy "index whenever a key range derives" rule.
+///  - kForceIndex: index-range scan whenever the pushed predicates bound
+///    the key at all (the pre-statistics behavior).
+///  - kForceHeap: always the full heap scan.
+///
+/// Tables with a single access path ignore the hint.
+enum class AccessPath { kAuto, kForceIndex, kForceHeap };
+
 /// Runtime options threaded from the Connection down to the leaf scans.
 struct ExecOptions {
   size_t batch_size = kDefaultBatchSize;
@@ -51,19 +65,31 @@ struct ExecOptions {
   /// parity suite executes every query both ways.
   bool enable_columnar = true;
 
+  /// Access-path hint handed to every leaf scan (via ScanSpec). kAuto is
+  /// the cost-based default; the forced settings exist for benchmarks,
+  /// plan-stability debugging, and the differential parity suites. This
+  /// replaces the old per-table DiskTable::set_index_scan_enabled escape
+  /// hatch, which survives only as a deprecated shim.
+  AccessPath access_path = AccessPath::kAuto;
+
   /// Both knobs clamped to their valid range: a zero batch_size would make
   /// every puller yield the empty batch that means end-of-stream (hanging
   /// or truncating pipelines), and zero worker threads could never pull
   /// anything, so both clamp to 1. batch_size additionally clamps to
   /// kMaxBatchSize: arena chunk sizing scales with the batch, so a
-  /// pathological upper bound must not become a giant allocation. Every
-  /// execution entry point normalizes its options before building
-  /// pipelines.
+  /// pathological upper bound must not become a giant allocation. An
+  /// access_path outside the enum (a config cast gone wrong) degrades to
+  /// kAuto. Every execution entry point normalizes its options before
+  /// building pipelines.
   ExecOptions Normalized() const {
     ExecOptions out = *this;
     if (out.batch_size == 0) out.batch_size = 1;
     if (out.batch_size > kMaxBatchSize) out.batch_size = kMaxBatchSize;
     if (out.num_threads == 0) out.num_threads = 1;
+    if (out.access_path != AccessPath::kForceIndex &&
+        out.access_path != AccessPath::kForceHeap) {
+      out.access_path = AccessPath::kAuto;
+    }
     return out;
   }
 };
@@ -181,6 +207,69 @@ using ScanPredicateList = std::vector<ScanPredicate>;
 
 /// True iff every predicate passes (empty list passes everything).
 bool ScanPredicatesMatch(const ScanPredicateList& predicates, const Row& row);
+
+/// Everything a leaf scan needs to know, in one struct — the single
+/// currency of Table::OpenScan. This consolidates the surface that had
+/// accreted one virtual per feature (ScanBatched, ScanBatchedFiltered,
+/// ScanUnitRows...): new per-scan knobs (sampling for ANALYZE, projection
+/// hints, access-path forcing) are fields here, not new virtuals on Table.
+struct ScanSpec {
+  /// Sentinel for unit_end: no unit restriction.
+  static constexpr size_t kAllUnits = static_cast<size_t>(-1);
+
+  /// Rows per yielded batch (clamped like ExecOptions::batch_size).
+  size_t batch_size = kDefaultBatchSize;
+
+  /// Pushed predicates, evaluated before rows are materialized. Result rows
+  /// satisfy every predicate (same contract as ScanBatchedFiltered).
+  ScanPredicateList predicates;
+
+  /// When non-empty, result rows contain exactly these input columns, in
+  /// this order. Applied after the predicates (which index the full row).
+  std::vector<int> projection;
+
+  /// Bernoulli row sampling: each predicate-passing row survives with this
+  /// probability, drawn from a deterministic RNG seeded by sample_seed —
+  /// the ANALYZE sampling path. 1.0 (the default) keeps every row.
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 0x5DEECE66Dull;
+
+  /// Physical access-path hint for tables with more than one (see
+  /// AccessPath). Threaded from ExecOptions::access_path by the scan
+  /// operators.
+  AccessPath access_path = AccessPath::kAuto;
+
+  /// Restricts the scan to units [unit_begin, unit_end) of the table's
+  /// paged scan surface (ScanUnitCount tiling) — the morsel-driven parallel
+  /// executor's per-worker slice. Only meaningful for tables that expose
+  /// scan units; unit_begin past the unit count is an error, mirroring
+  /// ScanUnitRows.
+  size_t unit_begin = 0;
+  size_t unit_end = kAllUnits;
+
+  bool has_unit_range() const {
+    return unit_begin != 0 || unit_end != kAllUnits;
+  }
+  bool IsPlainScan() const {
+    return predicates.empty() && projection.empty() &&
+           sample_fraction >= 1.0 && !has_unit_range();
+  }
+
+  /// Clamps batch_size (like ExecOptions), sample_fraction to [0, 1], and
+  /// out-of-enum access paths to kAuto.
+  ScanSpec Normalized() const;
+};
+
+/// Applies the row-level decorations of `spec` that are independent of the
+/// table's physical access path — Bernoulli sampling, then projection — on
+/// top of an already predicate-filtered batch stream. Table::OpenScan
+/// implementations route their native pullers through this so every table
+/// honours sampling/projection identically; it preserves the
+/// producers-never-yield-empty-mid-stream contract (a sampled-out chunk
+/// keeps pulling). Pass-through (no wrapper allocated) when the spec asks
+/// for neither.
+RowBatchPuller ApplyScanSpecDecorators(RowBatchPuller puller,
+                                       const ScanSpec& spec);
 
 /// Batch stream over caller-owned rows that applies `predicates` before
 /// copying a row into the output batch — the leaf-scan pushdown path: rows

@@ -233,7 +233,7 @@ Status MaterializationCatalog::Register(Connection* connection,
   if (!result.ok()) return result.status();
   auto table = std::make_shared<MemTable>(result.value().row_type,
                                           std::move(result).value().rows);
-  Statistic stat;
+  TableStats stat;
   stat.row_count = static_cast<double>(table->rows().size());
   table->set_statistic(stat);
 

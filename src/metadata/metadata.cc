@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metadata/table_stats_provider.h"
 #include "rel/core.h"
 #include "rex/rex_util.h"
 
@@ -14,6 +15,10 @@ namespace {
 constexpr double kDefaultTableRows = 100.0;
 
 }  // namespace
+
+MetadataQuery::MetadataQuery() {
+  AddProvider(std::make_shared<TableStatsProvider>());
+}
 
 void MetadataQuery::AddProvider(std::shared_ptr<MetadataProvider> provider) {
   providers_.push_back(std::move(provider));

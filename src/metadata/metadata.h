@@ -65,7 +65,11 @@ class MetadataProvider {
 /// bench_metadata_cache.
 class MetadataQuery {
  public:
-  MetadataQuery() = default;
+  /// Registers the built-in statistics-backed provider
+  /// (metadata/table_stats_provider.h), so ANALYZE results feed every
+  /// MetadataQuery automatically. Custom providers added afterwards take
+  /// precedence over it.
+  MetadataQuery();
 
   /// Registers a custom provider; later registrations take precedence.
   void AddProvider(std::shared_ptr<MetadataProvider> provider);

@@ -1,0 +1,71 @@
+#include "metadata/table_stats_provider.h"
+
+#include <algorithm>
+
+#include "rel/core.h"
+#include "rex/rex_util.h"
+#include "schema/table_stats.h"
+
+namespace calcite {
+
+namespace {
+
+/// The built-in fixed guesses (metadata.cc), keyed by pushed-predicate
+/// shape — used for a pushed conjunct whose column lacks usable stats, so
+/// a partially-analyzable conjunction still blends estimates per factor.
+double DefaultGuess(ScanPredicate::Kind kind) {
+  switch (kind) {
+    case ScanPredicate::Kind::kEquals:
+      return 0.15;
+    case ScanPredicate::Kind::kNotEquals:
+      return 0.85;
+    case ScanPredicate::Kind::kIsNull:
+      return 0.1;
+    case ScanPredicate::Kind::kIsNotNull:
+      return 0.9;
+    default:
+      return 0.5;  // range comparisons
+  }
+}
+
+}  // namespace
+
+std::optional<double> TableStatsProvider::Selectivity(
+    const RelNodePtr& node, const RexNodePtr& predicate, MetadataQuery* mq) {
+  if (predicate == nullptr) return std::nullopt;
+  const auto* scan = dynamic_cast<const TableScan*>(node.get());
+  if (scan == nullptr) return std::nullopt;
+  TableStats stats = scan->table()->GetStatistic();
+  if (!stats.analyzed()) return std::nullopt;
+
+  const int width = static_cast<int>(stats.columns.size());
+  ScanPredicateList pushed;
+  std::vector<RexNodePtr> residual;
+  ExtractScanPredicates(predicate, width, &pushed, &residual);
+  if (pushed.empty()) return std::nullopt;
+
+  // Conjunction under independence: product over the pushed factors (each
+  // scored from its column's stats) times the residual factors (scored by
+  // the MetadataQuery — this provider declines on them, so the built-in
+  // guesses apply).
+  bool any_estimated = false;
+  double selectivity = 1.0;
+  for (const ScanPredicate& pred : pushed) {
+    const ColumnStats* column = stats.column(pred.column);
+    std::optional<double> estimate =
+        column ? EstimatePredicateSelectivity(*column, pred) : std::nullopt;
+    if (estimate.has_value()) {
+      any_estimated = true;
+      selectivity *= *estimate;
+    } else {
+      selectivity *= DefaultGuess(pred.kind);
+    }
+  }
+  if (!any_estimated) return std::nullopt;
+  for (const RexNodePtr& conjunct : residual) {
+    selectivity *= mq->Selectivity(node, conjunct);
+  }
+  return std::clamp(selectivity, 0.0, 1.0);
+}
+
+}  // namespace calcite

@@ -1,0 +1,35 @@
+#ifndef CALCITE_METADATA_TABLE_STATS_PROVIDER_H_
+#define CALCITE_METADATA_TABLE_STATS_PROVIDER_H_
+
+#include "metadata/metadata.h"
+
+namespace calcite {
+
+/// The statistics-backed metadata provider (§6): turns ANALYZE results
+/// (schema/analyze.h) into selectivity estimates, replacing the fixed
+/// default guesses whenever the predicate's table has per-column stats.
+///
+/// It answers Selectivity only for predicates evaluated directly against a
+/// TableScan whose table reports analyzed() stats — exactly the situation
+/// where the filter's conjuncts reference physical columns, so the pushed
+/// shapes ExtractScanPredicates recognizes ($col <op> literal, IS [NOT]
+/// NULL, conjunctions thereof) can be scored against those columns'
+/// histograms/NDV/null fraction. Residual conjuncts (expressions the stats
+/// cannot see) recurse through the MetadataQuery, where this provider
+/// declines again — by construction a residual conjunct extracts nothing —
+/// and the built-in guesses take over for just that factor.
+///
+/// Registered by the MetadataQuery constructor itself, so every planner
+/// (VolcanoPlanner costing via PlannerContext, direct MetadataQuery users)
+/// sees stats without wiring; later AddProvider registrations still take
+/// precedence.
+class TableStatsProvider : public MetadataProvider {
+ public:
+  std::optional<double> Selectivity(const RelNodePtr& node,
+                                    const RexNodePtr& predicate,
+                                    MetadataQuery* mq) override;
+};
+
+}  // namespace calcite
+
+#endif  // CALCITE_METADATA_TABLE_STATS_PROVIDER_H_

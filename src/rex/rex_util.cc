@@ -1,6 +1,8 @@
 #include "rex/rex_util.h"
 
 #include <cassert>
+#include <optional>
+#include <utility>
 
 namespace calcite {
 
@@ -205,6 +207,104 @@ Monotonicity DeriveMonotonicity(const RexNodePtr& node,
       return Monotonicity::kConstant;
     }
   }
+}
+
+bool ExtractScanPredicates(const RexNodePtr& condition, int scan_width,
+                           ScanPredicateList* pushed,
+                           std::vector<RexNodePtr>* residual) {
+  // Flatten the top-level conjunction (nested ANDs included, mirroring the
+  // interpreter's recursive narrowing).
+  std::vector<RexNodePtr> conjuncts;
+  std::vector<RexNodePtr> stack = {condition};
+  while (!stack.empty()) {
+    RexNodePtr node = std::move(stack.back());
+    stack.pop_back();
+    const RexCall* call = AsCall(node);
+    if (call != nullptr && call->op() == OpKind::kAnd) {
+      // Preserve left-to-right conjunct order: the stack is LIFO.
+      for (auto it = call->operands().rbegin(); it != call->operands().rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+      continue;
+    }
+    conjuncts.push_back(std::move(node));
+  }
+
+  auto ref_index = [scan_width](const RexNodePtr& node) -> int {
+    const RexInputRef* ref = AsInputRef(node);
+    if (ref == nullptr || ref->index() < 0 || ref->index() >= scan_width) {
+      return -1;
+    }
+    return ref->index();
+  };
+  auto comparison_kind =
+      [](OpKind op, bool flipped) -> std::optional<ScanPredicate::Kind> {
+    switch (op) {
+      case OpKind::kEquals:
+        return ScanPredicate::Kind::kEquals;
+      case OpKind::kNotEquals:
+        return ScanPredicate::Kind::kNotEquals;
+      case OpKind::kLessThan:
+        return flipped ? ScanPredicate::Kind::kGreaterThan
+                       : ScanPredicate::Kind::kLessThan;
+      case OpKind::kLessThanOrEqual:
+        return flipped ? ScanPredicate::Kind::kGreaterThanOrEqual
+                       : ScanPredicate::Kind::kLessThanOrEqual;
+      case OpKind::kGreaterThan:
+        return flipped ? ScanPredicate::Kind::kLessThan
+                       : ScanPredicate::Kind::kGreaterThan;
+      case OpKind::kGreaterThanOrEqual:
+        return flipped ? ScanPredicate::Kind::kLessThanOrEqual
+                       : ScanPredicate::Kind::kGreaterThanOrEqual;
+      default:
+        return std::nullopt;
+    }
+  };
+
+  bool any = false;
+  for (RexNodePtr& conjunct : conjuncts) {
+    const RexCall* call = AsCall(conjunct);
+    if (call != nullptr && call->operands().size() == 1 &&
+        (call->op() == OpKind::kIsNull || call->op() == OpKind::kIsNotNull)) {
+      int col = ref_index(call->operand(0));
+      if (col >= 0) {
+        ScanPredicate pred;
+        pred.kind = call->op() == OpKind::kIsNull
+                        ? ScanPredicate::Kind::kIsNull
+                        : ScanPredicate::Kind::kIsNotNull;
+        pred.column = col;
+        pushed->push_back(std::move(pred));
+        any = true;
+        continue;
+      }
+    }
+    if (call != nullptr && call->operands().size() == 2) {
+      const RexLiteral* lhs_lit = AsLiteral(call->operand(0));
+      const RexLiteral* rhs_lit = AsLiteral(call->operand(1));
+      int lhs_col = ref_index(call->operand(0));
+      int rhs_col = ref_index(call->operand(1));
+      std::optional<ScanPredicate::Kind> kind;
+      ScanPredicate pred;
+      if (lhs_col >= 0 && rhs_lit != nullptr) {
+        kind = comparison_kind(call->op(), /*flipped=*/false);
+        pred.column = lhs_col;
+        pred.literal = rhs_lit->value();
+      } else if (lhs_lit != nullptr && rhs_col >= 0) {
+        kind = comparison_kind(call->op(), /*flipped=*/true);
+        pred.column = rhs_col;
+        pred.literal = lhs_lit->value();
+      }
+      if (kind.has_value()) {
+        pred.kind = *kind;
+        pushed->push_back(std::move(pred));
+        any = true;
+        continue;
+      }
+    }
+    residual->push_back(std::move(conjunct));
+  }
+  return any;
 }
 
 }  // namespace calcite

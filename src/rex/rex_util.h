@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "rex/rex_builder.h"
 #include "rex/rex_node.h"
 
@@ -63,6 +64,19 @@ class RexUtil {
   static bool IsIdentity(const std::vector<RexNodePtr>& exprs,
                          int input_field_count);
 };
+
+/// Splits a filter condition into leaf-pushable scan predicates and a
+/// residual. Flattens the top-level conjunction and extracts every conjunct
+/// of the shapes `$col <op> literal`, `literal <op> $col` (comparison
+/// flipped) and `$col IS [NOT] NULL` — with $col a direct input reference
+/// below scan_width — into `pushed`; everything else lands in `residual`.
+/// Returns true if anything was pushed. Shared by the batch filter pipeline
+/// (pushdown into Table scans) and the statistics-backed selectivity
+/// estimator (metadata/table_stats_provider.h), so both agree on exactly
+/// which predicate shapes the stats can see.
+bool ExtractScanPredicates(const RexNodePtr& condition, int scan_width,
+                           ScanPredicateList* pushed,
+                           std::vector<RexNodePtr>* residual);
 
 /// Monotonicity of an expression with respect to the input's sort order —
 /// needed to validate streaming window queries (§7.2: "streaming queries

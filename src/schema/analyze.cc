@@ -1,0 +1,196 @@
+#include "schema/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+
+namespace calcite {
+
+namespace {
+
+/// splitmix64 finalizer over Value::Hash. Value::Hash is
+/// equality-consistent but std::hash-based, so its low bits are not
+/// uniform enough for order statistics; the finalizer whitens it into the
+/// uniform [0, 2^64) variate the KMV estimator assumes.
+uint64_t WhitenHash(size_t h) {
+  uint64_t z = static_cast<uint64_t>(h) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Keeps the k smallest distinct hashes seen.
+void KmvInsert(std::set<uint64_t>* sketch, size_t k, uint64_t hash) {
+  if (sketch->size() < k) {
+    sketch->insert(hash);
+    return;
+  }
+  auto largest = std::prev(sketch->end());
+  if (hash >= *largest) return;
+  if (sketch->insert(hash).second) sketch->erase(std::prev(sketch->end()));
+}
+
+/// KMV estimate of the number of distinct values the sketch has seen:
+/// exact below the sketch size, (k-1)/h_(k) once saturated (h_(k) = k-th
+/// smallest hash normalized to (0, 1]).
+double KmvEstimate(const std::set<uint64_t>& sketch, size_t k) {
+  if (sketch.size() < k || sketch.empty()) {
+    return static_cast<double>(sketch.size());
+  }
+  double kth = (static_cast<double>(*std::prev(sketch.end())) + 1.0) /
+               std::pow(2.0, 64);
+  if (kth <= 0.0) return static_cast<double>(sketch.size());
+  return (static_cast<double>(k) - 1.0) / kth;
+}
+
+/// Scales a distinct count observed in a uniform sample of n values up to
+/// the full population of total values: solves d = D * (1 - (1 - 1/D)^n)
+/// for D (the expected-distinct curve under uniformity), capped at total.
+/// Exact at the endpoints — a unique column (d == n) extrapolates to
+/// total, a constant column stays at 1.
+double ScaleNdvToPopulation(double d, double n, double total) {
+  if (d <= 0.0 || n <= 0.0 || total <= n) return std::min(d, total);
+  if (d >= n) return total;  // every sampled value distinct
+  double lo = d, hi = total;
+  for (int iter = 0; iter < 64; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    double expected = mid * (1.0 - std::exp(n * std::log1p(-1.0 / mid)));
+    if (expected < d) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::min(0.5 * (lo + hi), total);
+}
+
+struct ColumnAccumulator {
+  size_t nulls = 0;
+  size_t non_null = 0;
+  Value min;  // NULL until the first non-NULL value
+  Value max;
+  std::set<uint64_t> kmv;
+  bool numeric_only = true;
+  std::vector<double> reservoir;
+  size_t numeric_seen = 0;
+};
+
+}  // namespace
+
+Result<TableStats> AnalyzeTable(const Table& table,
+                                const AnalyzeOptions& options) {
+  TableStats stats = table.GetStatistic();
+  stats.columns.clear();
+
+  const size_t kmv_k = std::max<size_t>(options.kmv_sketch_size, 16);
+  const size_t reservoir_cap = std::max<size_t>(options.reservoir_capacity, 16);
+  const int buckets = std::max(options.histogram_buckets, 1);
+  const double fraction =
+      std::clamp(options.sample_fraction, 0.0, 1.0);
+
+  ScanSpec spec;
+  spec.batch_size = options.batch_size;
+  spec.sample_fraction = fraction;
+  spec.sample_seed = options.sample_seed;
+  auto scan = table.OpenScan(spec);
+  if (!scan.ok()) return scan.status();
+  RowBatchPuller puller = std::move(scan).value();
+
+  std::vector<ColumnAccumulator> cols;
+  std::mt19937_64 reservoir_rng(options.sample_seed ^ 0xA1A1A1A1A1A1A1A1ull);
+  size_t rows_seen = 0;
+  for (;;) {
+    auto batch = puller();
+    if (!batch.ok()) return batch.status();
+    if (batch.value().empty()) break;
+    for (const Row& row : batch.value()) {
+      if (row.size() > cols.size()) cols.resize(row.size());
+      ++rows_seen;
+      for (size_t c = 0; c < row.size(); ++c) {
+        ColumnAccumulator& acc = cols[c];
+        const Value& v = row[c];
+        if (v.IsNull()) {
+          ++acc.nulls;
+          continue;
+        }
+        ++acc.non_null;
+        if (acc.min.IsNull() || v.Compare(acc.min) < 0) acc.min = v;
+        if (acc.max.IsNull() || v.Compare(acc.max) > 0) acc.max = v;
+        KmvInsert(&acc.kmv, kmv_k, WhitenHash(v.Hash()));
+        if (!v.is_numeric()) {
+          acc.numeric_only = false;
+          continue;
+        }
+        // Reservoir sampling (algorithm R) of numeric values for the
+        // histogram.
+        double d = v.AsDouble();
+        ++acc.numeric_seen;
+        if (acc.reservoir.size() < reservoir_cap) {
+          acc.reservoir.push_back(d);
+        } else {
+          std::uniform_int_distribution<size_t> pick(0, acc.numeric_seen - 1);
+          size_t j = pick(reservoir_rng);
+          if (j < reservoir_cap) acc.reservoir[j] = d;
+        }
+      }
+    }
+  }
+
+  // An empty (or fully sampled-out) table still gets per-column entries so
+  // analyzed() reports true and estimators return confident zeros.
+  if (cols.empty()) {
+    TypeFactory factory;
+    RelDataTypePtr row_type = table.GetRowType(factory);
+    if (row_type) cols.resize(static_cast<size_t>(row_type->field_count()));
+  }
+
+  const double scale = fraction > 0.0 && fraction < 1.0 ? 1.0 / fraction : 1.0;
+  const double total_rows = static_cast<double>(rows_seen) * scale;
+  stats.row_count = total_rows;
+
+  stats.columns.reserve(cols.size());
+  for (ColumnAccumulator& acc : cols) {
+    ColumnStats cs;
+    cs.analyzed = true;
+    cs.min = std::move(acc.min);
+    cs.max = std::move(acc.max);
+    if (rows_seen > 0) {
+      cs.null_fraction =
+          static_cast<double>(acc.nulls) / static_cast<double>(rows_seen);
+    }
+    double sampled_ndv = KmvEstimate(acc.kmv, kmv_k);
+    double total_non_null = static_cast<double>(acc.non_null) * scale;
+    cs.ndv = scale > 1.0
+                 ? ScaleNdvToPopulation(sampled_ndv,
+                                        static_cast<double>(acc.non_null),
+                                        total_non_null)
+                 : std::min(sampled_ndv, total_non_null);
+    if (acc.numeric_only && !acc.reservoir.empty() && cs.min.is_numeric() &&
+        cs.max.is_numeric()) {
+      Histogram h;
+      h.lo = cs.min.AsDouble();
+      h.hi = cs.max.AsDouble();
+      if (h.hi <= h.lo) {
+        // Single-valued column: one bucket holding everything.
+        h.hi = h.lo;
+        h.buckets.assign(1, 1.0);
+      } else {
+        h.buckets.assign(static_cast<size_t>(buckets), 0.0);
+        const double width = (h.hi - h.lo) / static_cast<double>(buckets);
+        const double share = 1.0 / static_cast<double>(acc.reservoir.size());
+        for (double v : acc.reservoir) {
+          auto idx = static_cast<size_t>((v - h.lo) / width);
+          if (idx >= h.buckets.size()) idx = h.buckets.size() - 1;
+          h.buckets[idx] += share;
+        }
+      }
+      cs.histogram = std::move(h);
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  stats.version = TableStats::kFormatVersion;
+  return stats;
+}
+
+}  // namespace calcite

@@ -1,0 +1,50 @@
+#ifndef CALCITE_SCHEMA_ANALYZE_H_
+#define CALCITE_SCHEMA_ANALYZE_H_
+
+#include <cstdint>
+
+#include "schema/table.h"
+#include "util/status.h"
+
+namespace calcite {
+
+/// Knobs for AnalyzeTable. The defaults scan every row and keep the
+/// auxiliary state small (one KMV sketch and one bounded reservoir per
+/// column), so ANALYZE over a disk table streams through the buffer pool
+/// with O(columns) memory regardless of table size.
+struct AnalyzeOptions {
+  /// Bernoulli row-sampling fraction, threaded into ScanSpec. 1.0 scans
+  /// everything; smaller values trade accuracy for speed on large tables.
+  /// Estimates (row count, NDV) are scaled back up to the full table.
+  double sample_fraction = 1.0;
+  /// Seed for the sampling RNG — deterministic by default so ANALYZE is
+  /// reproducible in tests.
+  uint64_t sample_seed = 0x5DEECE66Dull;
+  /// Equi-width histogram resolution per numeric column.
+  int histogram_buckets = 64;
+  /// Reservoir capacity for histogram construction: the histogram is built
+  /// from a uniform sample of this many values, bounding memory while the
+  /// scan streams.
+  size_t reservoir_capacity = 16384;
+  /// KMV (k-minimum-values) sketch size for NDV estimation; columns with
+  /// fewer distinct values than this are counted exactly.
+  size_t kmv_sketch_size = 1024;
+  /// Batch size for the streaming scan.
+  size_t batch_size = 1024;
+};
+
+/// One-pass streaming ANALYZE over any Table: pulls batches through
+/// Table::OpenScan (so disk tables stream page-at-a-time through the
+/// buffer pool and sampling rides the ScanSpec) and collects, per column,
+/// min/max, null fraction, an NDV estimate and an equi-width histogram.
+/// Declarative fields of the table's existing statistic (unique keys,
+/// collations, monotonic columns) are preserved; row_count and the column
+/// entries are (re)computed, and version is stamped with
+/// TableStats::kFormatVersion. The returned stats are not attached to the
+/// table — callers decide (MemTable::set_statistic, DiskTable::Analyze).
+Result<TableStats> AnalyzeTable(const Table& table,
+                                const AnalyzeOptions& options = {});
+
+}  // namespace calcite
+
+#endif  // CALCITE_SCHEMA_ANALYZE_H_

@@ -4,28 +4,6 @@
 
 namespace calcite {
 
-bool Statistic::IsKey(const std::vector<int>& columns) const {
-  for (const std::vector<int>& key : unique_keys) {
-    // `columns` is a key if it contains some declared unique key.
-    bool contains_all = true;
-    for (int k : key) {
-      bool found = false;
-      for (int c : columns) {
-        if (c == k) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        contains_all = false;
-        break;
-      }
-    }
-    if (contains_all && !key.empty()) return true;
-  }
-  return false;
-}
-
 TablePtr Schema::GetTable(const std::string& name) const {
   for (const auto& [key, table] : tables_) {
     if (EqualsIgnoreCase(key, name)) return table;

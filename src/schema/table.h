@@ -9,31 +9,12 @@
 #include "exec/column_batch.h"
 #include "exec/row_batch.h"
 #include "plan/traits.h"
+#include "schema/table_stats.h"
 #include "type/rel_data_type.h"
 #include "type/value.h"
 #include "util/status.h"
 
 namespace calcite {
-
-/// Statistics a table exposes to the optimizer's metadata providers (§6:
-/// "for many of them, it is sufficient to provide statistics about their
-/// input data, e.g., number of rows and size of a table, whether values for
-/// a given column are unique etc., and Calcite will do the rest").
-struct Statistic {
-  /// Estimated row count; nullopt means unknown (the default provider then
-  /// assumes a fixed guess).
-  std::optional<double> row_count;
-  /// Sets of columns that form unique keys.
-  std::vector<std::vector<int>> unique_keys;
-  /// Orderings the physical data is known to satisfy (e.g. Cassandra rows
-  /// sorted by clustering key within a partition).
-  std::vector<RelCollation> collations;
-  /// Columns known to be monotonically increasing across the scan — e.g. a
-  /// stream's rowtime. Required by streaming window validation (§7.2).
-  std::vector<int> monotonic_columns;
-
-  bool IsKey(const std::vector<int>& columns) const;
-};
 
 /// A table known to the framework. Adapters implement this to describe the
 /// data in their backend (Figure 3: "the data itself is physically accessed
@@ -47,8 +28,10 @@ class Table {
   /// The relational row type of this table.
   virtual RelDataTypePtr GetRowType(const TypeFactory& factory) const = 0;
 
-  /// Optimizer statistics. Default: everything unknown.
-  virtual Statistic GetStatistic() const { return Statistic{}; }
+  /// Optimizer statistics (schema/table_stats.h): declarative facts from
+  /// the adapter plus per-column ANALYZE results when available. Default:
+  /// everything unknown.
+  virtual TableStats GetStatistic() const { return TableStats{}; }
 
   /// Full scan of the table contents, in storage order. This is the access
   /// path the enumerable convention uses.
@@ -85,6 +68,16 @@ class Table {
     }
     return ChunkRows(std::move(kept), batch_size);
   }
+
+  /// The unified scan entry point: one ScanSpec (exec/row_batch.h) carries
+  /// predicates, projection hint, ANALYZE sample fraction, access-path hint
+  /// and scan-unit range, so per-scan features do not each grow a virtual.
+  /// The default routes through the narrower virtuals — ScanUnitRows for a
+  /// unit-restricted spec, ScanBatchedFiltered otherwise — then applies the
+  /// access-path-independent decorators (sampling, projection); tables with
+  /// several physical access paths (DiskTable) override it to resolve
+  /// spec.access_path themselves. Same lifetime contract as ScanBatched.
+  virtual Result<RowBatchPuller> OpenScan(const ScanSpec& spec) const;
 
   /// The table's rows as stable in-memory storage, or nullptr when the
   /// table does not physically hold materialized rows. This is the access
@@ -145,8 +138,8 @@ class MemTable : public Table {
     return row_type_;
   }
 
-  Statistic GetStatistic() const override {
-    Statistic stat = statistic_;
+  TableStats GetStatistic() const override {
+    TableStats stat = statistic_;
     if (!stat.row_count.has_value()) {
       stat.row_count = static_cast<double>(rows_.size());
     }
@@ -179,12 +172,12 @@ class MemTable : public Table {
     columnar_.Invalidate();
     return rows_;
   }
-  void set_statistic(Statistic statistic) { statistic_ = std::move(statistic); }
+  void set_statistic(TableStats statistic) { statistic_ = std::move(statistic); }
 
  private:
   RelDataTypePtr row_type_;
   std::vector<Row> rows_;
-  Statistic statistic_;
+  TableStats statistic_;
   ColumnarCache columnar_;
 };
 

@@ -1,0 +1,135 @@
+#include "schema/table_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace calcite {
+
+bool TableStats::IsKey(const std::vector<int>& columns) const {
+  for (const std::vector<int>& key : unique_keys) {
+    // `columns` is a key if it contains some declared unique key.
+    bool contains_all = true;
+    for (int k : key) {
+      bool found = false;
+      for (int c : columns) {
+        if (c == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (contains_all && !key.empty()) return true;
+  }
+  return false;
+}
+
+double Histogram::FractionBelow(double x) const {
+  if (buckets.empty() || std::isnan(x)) return 0.0;
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  // hi > lo here (otherwise x would have hit one of the clamps above).
+  const double width = (hi - lo) / static_cast<double>(buckets.size());
+  double below = 0.0;
+  double bucket_lo = lo;
+  for (double fraction : buckets) {
+    double bucket_hi = bucket_lo + width;
+    if (x >= bucket_hi) {
+      below += fraction;
+    } else {
+      // Probe lands inside this bucket: linear interpolation.
+      if (width > 0.0) below += fraction * (x - bucket_lo) / width;
+      break;
+    }
+    bucket_lo = bucket_hi;
+  }
+  return std::clamp(below, 0.0, 1.0);
+}
+
+namespace {
+
+std::optional<double> NumericValue(const Value& v) {
+  if (v.IsNull() || !v.is_numeric()) return std::nullopt;
+  return v.AsDouble();
+}
+
+/// Fraction of non-NULL values equal to the literal: uniformity over the
+/// distinct values, zeroed when the literal falls outside [min, max].
+std::optional<double> EqFractionOfNonNull(const ColumnStats& stats,
+                                          const Value& literal) {
+  if (!stats.min.IsNull() && literal.Compare(stats.min) < 0) return 0.0;
+  if (!stats.max.IsNull() && literal.Compare(stats.max) > 0) return 0.0;
+  if (stats.ndv <= 0.0) return std::nullopt;
+  return 1.0 / std::max(stats.ndv, 1.0);
+}
+
+/// Fraction of non-NULL values strictly below `x`: histogram when present,
+/// uniform interpolation over [min, max] otherwise.
+std::optional<double> BelowFractionOfNonNull(const ColumnStats& stats,
+                                             double x) {
+  if (!stats.histogram.empty()) return stats.histogram.FractionBelow(x);
+  auto min = NumericValue(stats.min);
+  auto max = NumericValue(stats.max);
+  if (!min || !max) return std::nullopt;
+  if (x <= *min) return 0.0;
+  if (x >= *max) return 1.0;
+  if (*max <= *min) return 0.0;
+  return (x - *min) / (*max - *min);
+}
+
+}  // namespace
+
+std::optional<double> EstimatePredicateSelectivity(const ColumnStats& stats,
+                                                   const ScanPredicate& pred) {
+  if (!stats.analyzed) return std::nullopt;
+  const double not_null = std::clamp(1.0 - stats.null_fraction, 0.0, 1.0);
+  switch (pred.kind) {
+    case ScanPredicate::Kind::kIsNull:
+      return std::clamp(stats.null_fraction, 0.0, 1.0);
+    case ScanPredicate::Kind::kIsNotNull:
+      return not_null;
+    default:
+      break;
+  }
+  // Comparisons: NULL never matches (on either side).
+  if (pred.literal.IsNull()) return 0.0;
+  if (pred.kind == ScanPredicate::Kind::kEquals ||
+      pred.kind == ScanPredicate::Kind::kNotEquals) {
+    auto eq = EqFractionOfNonNull(stats, pred.literal);
+    if (!eq) return std::nullopt;
+    double sel = pred.kind == ScanPredicate::Kind::kEquals ? *eq : 1.0 - *eq;
+    return std::clamp(sel * not_null, 0.0, 1.0);
+  }
+  // Range comparisons need a numeric probe point.
+  auto probe = NumericValue(pred.literal);
+  if (!probe) return std::nullopt;
+  auto below = BelowFractionOfNonNull(stats, *probe);
+  if (!below) return std::nullopt;
+  // Continuous interpretation: the mass exactly *at* the probe point is one
+  // distinct value's worth, which distinguishes < from <= on discrete data.
+  double at = 0.0;
+  if (auto eq = EqFractionOfNonNull(stats, pred.literal)) at = *eq;
+  double fraction = 0.0;
+  switch (pred.kind) {
+    case ScanPredicate::Kind::kLessThan:
+      fraction = *below;
+      break;
+    case ScanPredicate::Kind::kLessThanOrEqual:
+      fraction = *below + at;
+      break;
+    case ScanPredicate::Kind::kGreaterThan:
+      fraction = 1.0 - *below - at;
+      break;
+    case ScanPredicate::Kind::kGreaterThanOrEqual:
+      fraction = 1.0 - *below;
+      break;
+    default:
+      return std::nullopt;
+  }
+  return std::clamp(fraction * not_null, 0.0, 1.0);
+}
+
+}  // namespace calcite

@@ -296,7 +296,7 @@ class ConverterImpl {
         std::string alias =
             ref.alias().empty() ? ref.names().back() : ref.alias();
         // Record monotonic (rowtime) columns for streaming validation.
-        Statistic stat = resolved.value().table->GetStatistic();
+        TableStats stat = resolved.value().table->GetStatistic();
         for (int col : stat.monotonic_columns) {
           scope->monotonic_columns.insert(scope->total_fields + col);
         }

@@ -23,8 +23,13 @@ namespace {
 //   offset 28  uint32  last heap page id
 //   offset 32  uint64  row count
 //   offset 40  int32   primary-key column ordinal
+//   offset 44  uint32  first stats catalog page id (v2+; kInvalidPageId
+//                      when the table was never ANALYZEd)
 constexpr uint32_t kMetaMagic = 0x43414C54;  // "CALT"
-constexpr uint32_t kMetaVersion = 1;
+// v1 = pre-statistics layout (no offset-44 field); v2 adds the stats
+// catalog pointer. Open() accepts both — a v1 file reads as "no stats".
+constexpr uint32_t kMetaVersion = 2;
+constexpr uint32_t kMinMetaVersion = 1;
 constexpr PageId kMetaPageId = 0;
 
 // A B-tree insert pins one node per level plus the sibling pages a split
@@ -153,6 +158,28 @@ KeyRange DeriveKeyRange(const ScanPredicateList& predicates, int key_column) {
   return r;
 }
 
+/// Estimated fraction of the table's rows with key in [lo, hi], from the
+/// key column's ANALYZE stats. Histogram when present (continuous reading:
+/// F(hi+1) - F(lo), integer keys), uniform [min, max] interpolation
+/// otherwise; 1.0 when the stats cannot bound it (cost model then prefers
+/// the heap scan, the safe default).
+double EstimateKeyRangeFraction(const ColumnStats& stats, int64_t lo,
+                                int64_t hi) {
+  double lo_d = static_cast<double>(lo);
+  double hi_d = static_cast<double>(hi) + 1.0;
+  if (!stats.histogram.empty()) {
+    return std::max(0.0, stats.histogram.FractionBelow(hi_d) -
+                             stats.histogram.FractionBelow(lo_d));
+  }
+  if (!stats.min.is_numeric() || !stats.max.is_numeric()) return 1.0;
+  double min = stats.min.AsDouble();
+  double max = stats.max.AsDouble();
+  if (max <= min) return lo_d <= min && min < hi_d ? 1.0 : 0.0;
+  double below_hi = std::clamp((hi_d - min) / (max - min), 0.0, 1.0);
+  double below_lo = std::clamp((lo_d - min) / (max - min), 0.0, 1.0);
+  return below_hi - below_lo;
+}
+
 }  // namespace
 
 DiskTable::DiskTable(RelDataTypePtr row_type, int key_column,
@@ -224,6 +251,7 @@ Status DiskTable::WriteMeta() {
                     heap_pages_.empty() ? kInvalidPageId : heap_pages_.back());
   StoreAt<uint64_t>(p, 32, static_cast<uint64_t>(row_count_));
   StoreAt<int32_t>(p, 40, static_cast<int32_t>(key_column_));
+  StoreAt<uint32_t>(p, 44, stats_head_);
   meta.MarkDirty();
   return Status::OK();
 }
@@ -231,6 +259,7 @@ Status DiskTable::WriteMeta() {
 Status DiskTable::LoadMeta() {
   PageId root;
   PageId first_heap;
+  PageId stats_head = kInvalidPageId;
   {
     CALCITE_ASSIGN_OR_RETURN(PageGuard meta, pool_->Fetch(kMetaPageId));
     const char* p = meta.data();
@@ -239,13 +268,16 @@ Status DiskTable::LoadMeta() {
       return Status::InvalidArgument(disk_->path() +
                                      " is not a disk-table file");
     }
-    if (LoadAt<uint32_t>(p, 16) != kMetaVersion) {
+    uint32_t version = LoadAt<uint32_t>(p, 16);
+    if (version < kMinMetaVersion || version > kMetaVersion) {
       return Status::Unsupported("disk-table format version mismatch");
     }
     root = LoadAt<uint32_t>(p, 20);
     first_heap = LoadAt<uint32_t>(p, 24);
     row_count_ = static_cast<size_t>(LoadAt<uint64_t>(p, 32));
     key_column_ = static_cast<int>(LoadAt<int32_t>(p, 40));
+    // v1 files predate the stats catalog: they reopen as unanalyzed.
+    if (version >= 2) stats_head = LoadAt<uint32_t>(p, 44);
   }
   index_ = std::make_unique<BTree>(pool_.get(), root);
   heap_pages_.clear();
@@ -260,7 +292,7 @@ Status DiskTable::LoadMeta() {
     }
     id = GetNextPage(guard.data());
   }
-  return Status::OK();
+  return LoadStats(stats_head);
 }
 
 Status DiskTable::InsertRows(const std::vector<Row>& rows) {
@@ -338,11 +370,216 @@ Status DiskTable::Flush() {
   return disk_->Sync();
 }
 
-Statistic DiskTable::GetStatistic() const {
-  Statistic stat;
+TableStats DiskTable::GetStatistic() const {
+  TableStats stat = stats_;
   stat.row_count = static_cast<double>(row_count_);
   stat.unique_keys = {{key_column_}};
   return stat;
+}
+
+// ------------------------- statistics catalog -------------------------
+//
+// The catalog is a chain of kStats slotted pages holding self-describing
+// codec rows (row_codec.h), so it needs no schema of its own:
+//   record 0:  [version, column_count, row_count]
+//   record i:  [column_ordinal, min, max, null_fraction, ndv,
+//               histogram_lo, histogram_hi, bucket_count, bucket_0 ...]
+// Column records follow the header in ordinal order, spilling onto chained
+// pages as needed.
+
+namespace {
+
+constexpr size_t kStatsColumnFixedFields = 8;
+
+Result<std::string> EncodeColumnStatsRecord(int ordinal,
+                                            const ColumnStats& cs) {
+  Row record;
+  record.reserve(kStatsColumnFixedFields + cs.histogram.buckets.size());
+  record.push_back(Value::Int(ordinal));
+  record.push_back(cs.min);
+  record.push_back(cs.max);
+  record.push_back(Value::Double(cs.null_fraction));
+  record.push_back(Value::Double(cs.ndv));
+  record.push_back(Value::Double(cs.histogram.lo));
+  record.push_back(Value::Double(cs.histogram.hi));
+  record.push_back(
+      Value::Int(static_cast<int64_t>(cs.histogram.buckets.size())));
+  for (double b : cs.histogram.buckets) record.push_back(Value::Double(b));
+  std::string encoded;
+  Status st = EncodeRow(record, &encoded);
+  if (st.ok() && encoded.size() <= SlottedPage::MaxRecordSize()) {
+    return encoded;
+  }
+  // Degrade until the record fits one page: first drop the histogram
+  // (over-sized bucket counts), then the min/max (pathological VARCHAR
+  // extremes). The remaining scalars always fit.
+  record.resize(kStatsColumnFixedFields);
+  record[7] = Value::Int(0);
+  encoded.clear();
+  st = EncodeRow(record, &encoded);
+  if (!st.ok() || encoded.size() > SlottedPage::MaxRecordSize()) {
+    record[1] = Value::Null();
+    record[2] = Value::Null();
+    encoded.clear();
+    CALCITE_RETURN_IF_ERROR(EncodeRow(record, &encoded));
+    if (encoded.size() > SlottedPage::MaxRecordSize()) {
+      return Status::Internal("column stats record cannot fit a page");
+    }
+  }
+  return encoded;
+}
+
+}  // namespace
+
+Status DiskTable::WriteStats() {
+  std::vector<std::string> records;
+  records.reserve(1 + stats_.columns.size());
+  {
+    Row header{Value::Int(static_cast<int64_t>(stats_.version)),
+               Value::Int(static_cast<int64_t>(stats_.columns.size())),
+               Value::Double(stats_.row_count.value_or(
+                   static_cast<double>(row_count_)))};
+    std::string encoded;
+    CALCITE_RETURN_IF_ERROR(EncodeRow(header, &encoded));
+    records.push_back(std::move(encoded));
+  }
+  for (size_t i = 0; i < stats_.columns.size(); ++i) {
+    CALCITE_ASSIGN_OR_RETURN(
+        std::string encoded,
+        EncodeColumnStatsRecord(static_cast<int>(i), stats_.columns[i]));
+    records.push_back(std::move(encoded));
+  }
+
+  // Re-ANALYZE reuses the existing chain's pages before allocating fresh
+  // ones (the engine has no free list; a shrinking chain strands its tail
+  // pages, which is fine for a catalog that only ever grows by columns).
+  std::vector<PageId> reusable;
+  for (PageId id = stats_head_; id != kInvalidPageId;) {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
+    if (GetPageType(guard.data()) != PageType::kStats) {
+      return Status::RuntimeError("stats chain reaches a non-stats page");
+    }
+    reusable.push_back(id);
+    if (reusable.size() > disk_->page_count()) {
+      return Status::RuntimeError("stats chain cycle");
+    }
+    id = GetNextPage(guard.data());
+  }
+
+  PageId head = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t next_record = 0;
+  size_t reuse_index = 0;
+  while (next_record < records.size()) {
+    PageId id = kInvalidPageId;
+    PageGuard guard;
+    if (reuse_index < reusable.size()) {
+      id = reusable[reuse_index++];
+      CALCITE_ASSIGN_OR_RETURN(guard, pool_->Fetch(id));
+    } else {
+      CALCITE_ASSIGN_OR_RETURN(guard, pool_->New(&id));
+    }
+    SlottedPage page(guard.data());
+    page.Init(PageType::kStats);
+    while (next_record < records.size() &&
+           page.Insert(records[next_record].data(),
+                       records[next_record].size())
+               .has_value()) {
+      ++next_record;
+    }
+    guard.MarkDirty();
+    guard.Release();
+    if (head == kInvalidPageId) head = id;
+    if (prev != kInvalidPageId) {
+      CALCITE_ASSIGN_OR_RETURN(PageGuard prev_guard, pool_->Fetch(prev));
+      SetNextPage(prev_guard.data(), id);
+      prev_guard.MarkDirty();
+    }
+    prev = id;
+  }
+  stats_head_ = head;
+  return Status::OK();
+}
+
+Status DiskTable::LoadStats(PageId head) {
+  stats_ = TableStats{};
+  stats_head_ = head;
+  if (head == kInvalidPageId) return Status::OK();
+  std::vector<Row> records;
+  size_t chain_length = 0;
+  for (PageId id = head; id != kInvalidPageId;) {
+    CALCITE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
+    if (GetPageType(guard.data()) != PageType::kStats) {
+      return Status::RuntimeError("stats chain reaches a non-stats page");
+    }
+    if (++chain_length > disk_->page_count()) {
+      return Status::RuntimeError("stats chain cycle");
+    }
+    SlottedPage page(const_cast<char*>(guard.data()));
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      size_t len = 0;
+      const char* bytes = page.Get(s, &len);
+      CALCITE_ASSIGN_OR_RETURN(Row record, DecodeRow(bytes, len));
+      records.push_back(std::move(record));
+    }
+    id = GetNextPage(guard.data());
+  }
+  if (records.empty()) return Status::OK();
+  const Row& header = records[0];
+  if (header.size() < 3 || !header[0].is_int() || !header[1].is_int()) {
+    return Status::RuntimeError("stats catalog header is malformed");
+  }
+  auto version = static_cast<uint32_t>(header[0].AsInt());
+  if (version == 0 || version > TableStats::kFormatVersion) {
+    // Written by a newer build: ignore rather than misread (the table just
+    // reads as unanalyzed until re-ANALYZEd).
+    return Status::OK();
+  }
+  auto column_count = static_cast<size_t>(header[1].AsInt());
+  if (header[2].is_numeric()) stats_.row_count = header[2].AsDouble();
+  stats_.columns.assign(column_count, ColumnStats{});
+  for (size_t r = 1; r < records.size(); ++r) {
+    Row& record = records[r];
+    if (record.size() < kStatsColumnFixedFields || !record[0].is_int() ||
+        !record[7].is_int()) {
+      return Status::RuntimeError("stats catalog record is malformed");
+    }
+    auto ordinal = static_cast<size_t>(record[0].AsInt());
+    if (ordinal >= column_count) {
+      return Status::RuntimeError("stats catalog ordinal out of range");
+    }
+    ColumnStats& cs = stats_.columns[ordinal];
+    cs.min = std::move(record[1]);
+    cs.max = std::move(record[2]);
+    cs.null_fraction = record[3].IsNull() ? 0.0 : record[3].AsDouble();
+    cs.ndv = record[4].IsNull() ? 0.0 : record[4].AsDouble();
+    auto bucket_count = static_cast<size_t>(record[7].AsInt());
+    if (record.size() != kStatsColumnFixedFields + bucket_count) {
+      return Status::RuntimeError("stats catalog histogram is malformed");
+    }
+    if (bucket_count > 0) {
+      cs.histogram.lo = record[5].IsNull() ? 0.0 : record[5].AsDouble();
+      cs.histogram.hi = record[6].IsNull() ? 0.0 : record[6].AsDouble();
+      cs.histogram.buckets.reserve(bucket_count);
+      for (size_t b = 0; b < bucket_count; ++b) {
+        const Value& v = record[kStatsColumnFixedFields + b];
+        cs.histogram.buckets.push_back(v.IsNull() ? 0.0 : v.AsDouble());
+      }
+    }
+    cs.analyzed = true;
+  }
+  stats_.version = version;
+  return Status::OK();
+}
+
+Status DiskTable::Analyze(const AnalyzeOptions& options) {
+  CALCITE_ASSIGN_OR_RETURN(TableStats stats, AnalyzeTable(*this, options));
+  // The meta page tracks the exact count; never let a sample estimate
+  // shadow it.
+  stats.row_count = static_cast<double>(row_count_);
+  stats_ = std::move(stats);
+  CALCITE_RETURN_IF_ERROR(WriteStats());
+  return WriteMeta();
 }
 
 Status DiskTable::DecodePages(size_t first_page_index, size_t last_page_index,
@@ -389,7 +626,8 @@ Result<std::vector<Row>> DiskTable::ScanUnitRows(size_t unit) const {
   return out;
 }
 
-RowBatchPuller DiskTable::MakeHeapPuller(size_t batch_size,
+RowBatchPuller DiskTable::MakeHeapPuller(size_t first_page, size_t last_page,
+                                         size_t batch_size,
                                          ScanPredicateList predicates) const {
   struct State {
     size_t next_page = 0;
@@ -397,8 +635,10 @@ RowBatchPuller DiskTable::MakeHeapPuller(size_t batch_size,
     size_t pos = 0;
   };
   auto state = std::make_shared<State>();
+  state->next_page = first_page;
+  last_page = std::min(last_page, heap_pages_.size());
   auto preds = std::make_shared<ScanPredicateList>(std::move(predicates));
-  return [this, batch_size, state, preds]() -> Result<RowBatch> {
+  return [this, batch_size, state, preds, last_page]() -> Result<RowBatch> {
     RowBatch batch;
     // Producers never yield an empty batch mid-stream: keep pulling page
     // runs until at least one row survives or the chain ends.
@@ -406,12 +646,13 @@ RowBatchPuller DiskTable::MakeHeapPuller(size_t batch_size,
       if (state->pos == state->buffer.size()) {
         state->buffer.clear();
         state->pos = 0;
-        if (state->next_page >= heap_pages_.size()) break;
-        size_t last = state->next_page + options_.pages_per_run;
+        if (state->next_page >= last_page) break;
+        size_t last = std::min(state->next_page + options_.pages_per_run,
+                               last_page);
         CALCITE_RETURN_IF_ERROR(DecodePages(
             state->next_page, last, preds->empty() ? nullptr : preds.get(),
             &state->buffer));
-        state->next_page = std::min(last, heap_pages_.size());
+        state->next_page = last;
         continue;
       }
       size_t take = std::min(batch_size - batch.size(),
@@ -473,23 +714,76 @@ RowBatchPuller DiskTable::MakeIndexPuller(int64_t lo, int64_t hi,
 
 Result<RowBatchPuller> DiskTable::ScanBatched(size_t batch_size) const {
   if (batch_size == 0) batch_size = 1;
-  return MakeHeapPuller(batch_size, ScanPredicateList{});
+  return MakeHeapPuller(0, heap_pages_.size(), batch_size,
+                        ScanPredicateList{});
 }
 
 Result<RowBatchPuller> DiskTable::ScanBatchedFiltered(
     size_t batch_size, ScanPredicateList predicates) const {
-  if (batch_size == 0) batch_size = 1;
-  if (index_scan_enabled_ && !predicates.empty()) {
-    KeyRange range = DeriveKeyRange(predicates, key_column_);
+  ScanSpec spec;
+  spec.batch_size = batch_size;
+  spec.predicates = std::move(predicates);
+  return OpenScan(spec);
+}
+
+Result<RowBatchPuller> DiskTable::OpenScan(const ScanSpec& raw_spec) const {
+  ScanSpec spec = raw_spec.Normalized();
+
+  if (spec.has_unit_range()) {
+    // Morsel path: a contiguous run of scan units maps to a contiguous run
+    // of heap pages; the access-path machinery does not apply (the unit
+    // tiling is heap order by definition).
+    size_t units = ScanUnitCount();
+    if (spec.unit_begin > units) {
+      return Status::InvalidArgument("scan unit range out of bounds");
+    }
+    size_t first_page = spec.unit_begin * options_.pages_per_run;
+    size_t last_page = spec.unit_end >= units
+                           ? heap_pages_.size()
+                           : spec.unit_end * options_.pages_per_run;
+    return ApplyScanSpecDecorators(
+        MakeHeapPuller(first_page, last_page, spec.batch_size,
+                       std::move(spec.predicates)),
+        spec);
+  }
+
+  // kAuto in the spec defers to the table-level default (kAuto unless the
+  // deprecated set_index_scan_enabled shim pinned a path).
+  AccessPath path = spec.access_path == AccessPath::kAuto
+                        ? default_access_path_
+                        : spec.access_path;
+
+  KeyRange range;
+  bool use_index = false;
+  if (path != AccessPath::kForceHeap && !spec.predicates.empty()) {
+    range = DeriveKeyRange(spec.predicates, key_column_);
     if (range.usable) {
-      last_scan_used_index_ = true;
-      if (range.empty) return ChunkRows({}, batch_size);
-      return MakeIndexPuller(range.lo, range.hi, batch_size,
-                             std::move(predicates));
+      if (path == AccessPath::kForceIndex) {
+        use_index = true;
+      } else if (const ColumnStats* key_stats = stats_.column(key_column_)) {
+        // Cost-based choice: index only below the break-even fraction.
+        use_index = range.empty ||
+                    EstimateKeyRangeFraction(*key_stats, range.lo, range.hi) <=
+                        options_.index_scan_max_fraction;
+      } else {
+        // No statistics: legacy rule — index whenever a range derives.
+        use_index = true;
+      }
     }
   }
-  last_scan_used_index_ = false;
-  return MakeHeapPuller(batch_size, std::move(predicates));
+
+  last_scan_used_index_ = use_index;
+  RowBatchPuller puller;
+  if (use_index) {
+    puller = range.empty
+                 ? ChunkRows({}, spec.batch_size)
+                 : MakeIndexPuller(range.lo, range.hi, spec.batch_size,
+                                   std::move(spec.predicates));
+  } else {
+    puller = MakeHeapPuller(0, heap_pages_.size(), spec.batch_size,
+                            std::move(spec.predicates));
+  }
+  return ApplyScanSpecDecorators(std::move(puller), spec);
 }
 
 }  // namespace calcite::storage

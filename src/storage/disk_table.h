@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "schema/analyze.h"
 #include "schema/table.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
@@ -24,18 +25,33 @@ struct DiskTableOptions {
   /// Heap pages per scan unit ("page run") — the morsel granularity of
   /// parallel scans and the read granularity of serial ones.
   size_t pages_per_run = 8;
+  /// Cost-based access-path break-even: with AccessPath::kAuto and ANALYZE
+  /// statistics, a pushed key range estimated to select at most this
+  /// fraction of the table goes to the B-tree; anything wider scans the
+  /// heap. The index pays a random heap fetch per matching row (thrashing
+  /// a pool smaller than the table), the heap scan pays one sequential
+  /// pass regardless of selectivity — measured break-even sits between 1%
+  /// and 50% (BM_CostBasedAccessPath), and 10% is a conservative default.
+  double index_scan_max_fraction = 0.1;
 };
 
 /// An out-of-core table: rows live in slotted heap pages on disk, cached
 /// through a pin/unpin buffer pool, with a B+-tree primary index on one
 /// int64 key column. Participates in the execution stack end-to-end:
 ///
-///  - ScanBatched streams the heap page chain one page run at a time, so a
+///  - OpenScan streams the heap page chain one page run at a time, so a
 ///    table far larger than the buffer pool scans in bounded memory.
-///  - ScanBatchedFiltered routes pushed `$key <op> literal` conjuncts to an
-///    index range scan (B-tree seek + bounded leaf walk) when they bound
-///    the primary key; every pushed predicate is still re-checked on the
-///    fetched rows, so the index path is a pure access-path change.
+///  - Pushed `$key <op> literal` conjuncts that bound the primary key can
+///    route to an index range scan (B-tree seek + bounded leaf walk); every
+///    pushed predicate is still re-checked on the fetched rows, so the
+///    index path is a pure access-path change. Under AccessPath::kAuto the
+///    choice is cost-based: the ANALYZE histogram of the key column
+///    estimates the range's selectivity, and the index is taken only below
+///    DiskTableOptions::index_scan_max_fraction (without statistics the
+///    legacy rule applies — index whenever a range derives).
+///  - Analyze() collects per-column statistics (schema/analyze.h) and
+///    persists them into dedicated kStats catalog pages; Open() reloads
+///    them, so a reopened table is cost-based immediately.
 ///  - MaterializedRows()/MaterializedColumns() return nullptr: the columnar
 ///    cache is bypassed for disk tables (it would pin the whole table in
 ///    RAM), and the morsel-parallel executor uses the paged scan-unit
@@ -71,13 +87,20 @@ class DiskTable : public Table {
   /// subsequent Open() sees everything.
   calcite::Status Flush();
 
+  /// ANALYZE: streams the table through the buffer pool (optionally
+  /// sampling — see AnalyzeOptions), collects per-column statistics, and
+  /// persists them into the table's kStats catalog pages (durable after
+  /// the next Flush; Open reloads them). The exact row count replaces the
+  /// sample estimate. Same quiescence contract as InsertRows.
+  calcite::Status Analyze(const AnalyzeOptions& options = {});
+
   // ------------------------------ Table ------------------------------
 
   RelDataTypePtr GetRowType(const TypeFactory&) const override {
     return row_type_;
   }
 
-  Statistic GetStatistic() const override;
+  TableStats GetStatistic() const override;
 
   calcite::Result<std::vector<Row>> Scan() const override;
 
@@ -86,15 +109,33 @@ class DiskTable : public Table {
   calcite::Result<RowBatchPuller> ScanBatchedFiltered(
       size_t batch_size, ScanPredicateList predicates) const override;
 
+  /// The unified scan surface. Resolves spec.access_path (kAuto defers to
+  /// the deprecated per-table override, then to the cost model) and honours
+  /// the scan-unit range with a page-range heap scan, so parallel morsel
+  /// workers and ANALYZE sampling go through the same entry point.
+  calcite::Result<RowBatchPuller> OpenScan(const ScanSpec& spec) const override;
+
   size_t ScanUnitCount() const override;
   calcite::Result<std::vector<Row>> ScanUnitRows(size_t unit) const override;
 
   // --------------------------- observability --------------------------
 
-  /// Disables the B-tree routing in ScanBatchedFiltered (full heap scans
-  /// only) — the parity switch the differential tests flip.
-  void set_index_scan_enabled(bool enabled) { index_scan_enabled_ = enabled; }
-  bool index_scan_enabled() const { return index_scan_enabled_; }
+  /// Deprecated shim over the pre-ScanSpec escape hatch: `true` pins the
+  /// table to AccessPath::kForceIndex (the historical "index whenever a
+  /// range derives" behavior), `false` to kForceHeap — the parity switch
+  /// the differential tests flip. A fresh table is kAuto (cost-based);
+  /// prefer ExecOptions::access_path / ScanSpec::access_path per scan.
+  void set_index_scan_enabled(bool enabled) {
+    default_access_path_ =
+        enabled ? AccessPath::kForceIndex : AccessPath::kForceHeap;
+  }
+  bool index_scan_enabled() const {
+    return default_access_path_ != AccessPath::kForceHeap;
+  }
+
+  /// The statistics loaded from the catalog pages (empty `columns` until
+  /// the first Analyze()).
+  const TableStats& stats() const { return stats_; }
 
   int key_column() const { return key_column_; }
   size_t row_count() const { return row_count_; }
@@ -116,10 +157,19 @@ class DiskTable : public Table {
   calcite::Status WriteMeta();
   calcite::Status LoadMeta();
 
-  /// Batch stream over the heap page chain, applying `predicates` (possibly
-  /// empty) to each decoded row; reads one page run ahead, so concurrent
-  /// pins stay ~1 regardless of table size.
-  RowBatchPuller MakeHeapPuller(size_t batch_size,
+  /// Serializes stats_ into the kStats catalog chain (reusing the existing
+  /// chain's pages before allocating new ones) and points stats_head_ at
+  /// it. Persisted by the next WriteMeta/Flush.
+  calcite::Status WriteStats();
+  /// Loads the catalog chain at `head` into stats_; a chain written by an
+  /// unknown future format version is ignored (table reads as unanalyzed).
+  calcite::Status LoadStats(PageId head);
+
+  /// Batch stream over heap pages [first_page, last_page) of the chain,
+  /// applying `predicates` (possibly empty) to each decoded row; reads one
+  /// page run ahead, so concurrent pins stay ~1 regardless of table size.
+  RowBatchPuller MakeHeapPuller(size_t first_page, size_t last_page,
+                                size_t batch_size,
                                 ScanPredicateList predicates) const;
 
   /// Batch stream over the B-tree range [lo, hi]: seek once, walk the leaf
@@ -145,7 +195,13 @@ class DiskTable : public Table {
   /// only while scans are quiesced — same contract as MemTable::rows().
   std::vector<PageId> heap_pages_;
   size_t row_count_ = 0;
-  bool index_scan_enabled_ = true;
+  /// ANALYZE results (stats_head_ = first kStats catalog page, or
+  /// kInvalidPageId before the first Analyze()).
+  TableStats stats_;
+  PageId stats_head_ = kInvalidPageId;
+  /// Table-level default when a ScanSpec says kAuto; only the deprecated
+  /// set_index_scan_enabled shim moves it off kAuto.
+  AccessPath default_access_path_ = AccessPath::kAuto;
   mutable std::atomic<bool> last_scan_used_index_{false};
 };
 

@@ -23,6 +23,9 @@ enum class PageType : uint16_t {
   kHeap = 2,
   kBTreeLeaf = 3,
   kBTreeInternal = 4,
+  /// ANALYZE catalog pages: a slotted chain holding the table's persisted
+  /// statistics (disk_table.cc), pointed at by the meta page (format v2+).
+  kStats = 5,
 };
 
 /// Unaligned little-endian field access. Page bytes are packed with no

@@ -27,8 +27,8 @@ class StreamTable final : public Table {
     return row_type_;
   }
 
-  Statistic GetStatistic() const override {
-    Statistic stat;
+  TableStats GetStatistic() const override {
+    TableStats stat;
     stat.row_count = static_cast<double>(events_.size());
     stat.monotonic_columns = {rowtime_column_};
     return stat;
