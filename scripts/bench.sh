@@ -1,12 +1,31 @@
 #!/usr/bin/env bash
-# Perf-trajectory capture: runs the architecture benchmark suite and writes
-# its JSON output to BENCH_<label>.json at the repo root, so every PR can
-# check in a before/after pair measured on the same machine.
+# Perf-trajectory capture: runs a benchmark binary and writes its JSON
+# output to BENCH_<label>.json at the repo root, so every PR can check in a
+# before/after pair measured on the same machine.
 #
-# Usage: scripts/bench.sh [build-dir] [benchmark-filter] [--out LABEL]
+# Usage: scripts/bench.sh [build-dir] [benchmark-filter] [--bin NAME]
+#                         [--out LABEL]
 #   scripts/bench.sh                         # default build dir + filter
 #   scripts/bench.sh build all               # every benchmark in the binary
-#   scripts/bench.sh build all --out after   # -> BENCH_after.json
+#   scripts/bench.sh build all --out pr9-after       # -> BENCH_pr9-after.json
+#   scripts/bench.sh build all --bin bench_kernels   # kernel microbenchmarks
+#
+# Checked-in captures follow the BENCH_pr<N>-{before,after}.json naming
+# scheme: "before" measured at the PR's base commit, "after" at its head,
+# both with the same filter on the same machine.
+#
+# Capture workflow for a PR's before/after pair:
+#   1. "Before" runs from a worktree at the base commit so the working tree
+#      does not have to be rolled back:
+#        git worktree add .bench-before <base-sha>
+#        (cd .bench-before && scripts/bench.sh build all)  # then copy out
+#      When the benchmark source itself is new in the PR, copy bench/ and
+#      scripts/ into the worktree first — benchmarks are written against the
+#      base API so the same binary measures both sides.
+#   2. NEVER capture while sanitizer builds/tests (scripts/ci.sh asan/tsan)
+#      run concurrently: on a small container they inflate medians ~2x and
+#      the pair stops being comparable. Let them finish first.
+#   3. --out pr<N>-before / --out pr<N>-after names the files; git add both.
 #
 # Without --out, the label is the short git SHA plus a -dirty suffix when
 # the working tree has changes. That default collides when a PR captures
@@ -16,15 +35,32 @@
 #
 # The default filter covers the hot-path sweeps the perf acceptance criteria
 # track (BM_BatchSizeSweep, BM_FilterPushdownSweep) plus the end-to-end
-# stage and parallel sweeps for context.
+# stage and parallel sweeps for context. With --bin bench_kernels, pass
+# "all" (or a BM_Kernel* filter) — the default filter matches nothing there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+usage() { sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'; }
+
 LABEL=""
+BIN="bench_architecture"
 ARGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --help|-h)
+      usage
+      exit 0
+      ;;
+    --bin)
+      [[ $# -ge 2 ]] || { echo "error: --bin needs a target" >&2; exit 2; }
+      BIN="$2"
+      shift 2
+      ;;
+    --bin=*)
+      BIN="${1#--bin=}"
+      shift
+      ;;
     --out)
       [[ $# -ge 2 ]] || { echo "error: --out needs a label" >&2; exit 2; }
       LABEL="$2"
@@ -44,11 +80,11 @@ BUILD_DIR="${ARGS[0]:-build}"
 FILTER="${ARGS[1]:-BM_BatchSizeSweep|BM_FilterPushdownSweep|BM_Stage5_Execute|BM_ParallelSweep|BM_IndexScanVsFullScan|BM_CostBasedAccessPath}"
 if [[ "$FILTER" == "all" ]]; then FILTER='.'; fi
 
-if [[ ! -x "$BUILD_DIR/bench_architecture" ]]; then
+if [[ ! -x "$BUILD_DIR/$BIN" ]]; then
   echo "=== configure + build ($BUILD_DIR) ==="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target bench_architecture
+    --target "$BIN"
 fi
 
 if [[ -z "$LABEL" ]]; then
@@ -60,7 +96,7 @@ fi
 OUT="BENCH_${LABEL}.json"
 
 echo "=== bench -> $OUT (filter: $FILTER) ==="
-"$BUILD_DIR/bench_architecture" \
+"$BUILD_DIR/$BIN" \
   --benchmark_filter="$FILTER" \
   --benchmark_format=json \
   --benchmark_repetitions=3 \

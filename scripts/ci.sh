@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI entry point: configure -> build -> ctest -> bench smoke-run.
-# Usage: scripts/ci.sh [build-dir] [sanitizer]
+# Usage: scripts/ci.sh [build-dir] [sanitizer|scalar]
 #   scripts/ci.sh build           # regular build + full test suite + bench smoke
 #   scripts/ci.sh build-tsan thread
 #                                 # ThreadSanitizer build; runs the
@@ -13,12 +13,36 @@
 #                                 # selection-vector indexing and the fused
 #                                 # batch kernels are exactly where
 #                                 # out-of-bounds reads would hide
+#   scripts/ci.sh build-scalar scalar
+#                                 # -DCALCITE_SIMD=OFF build; proves the scalar
+#                                 # kernel path (the only one on non-x86 or
+#                                 # old-toolchain hosts) still passes the
+#                                 # differential fuzz and parity suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 SANITIZER="${2:-}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "$SANITIZER" == "scalar" ]]; then
+  echo "=== configure (CALCITE_SIMD=OFF) ==="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCALCITE_SIMD=OFF
+
+  echo "=== build ==="
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+
+  echo "=== test (kernel suites, scalar dispatch only) ==="
+  # With CALCITE_SIMD=OFF every simd:: entry point compiles to the scalar
+  # reference and ScopedDispatch(true) is a no-op, so the differential
+  # suites prove the portable path alone produces the oracle results.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+    -R 'simd_kernels_test|rex_kernel_fuzz_test|batch_parity_test|columnar_parity_test|row_batch_test'
+
+  echo "=== done (scalar) ==="
+  exit 0
+fi
 
 if [[ -n "$SANITIZER" ]]; then
   echo "=== configure ($SANITIZER sanitizer) ==="
@@ -51,13 +75,17 @@ if [[ -n "$SANITIZER" ]]; then
   # runs under both for the same reason: ANALYZE streams every page through
   # the pool and the stats catalog codec does raw record byte arithmetic
   # (ASan/UBSan), while cost-based scans race the last_scan_used_index
-  # introspection (TSan). alloc_count_test
+  # introspection (TSan). The SIMD kernels run under both too: the fuzz and
+  # parity suites force every kernel through SIMD and scalar dispatch
+  # (ASan/UBSan catch lane over-reads past the tail; TSan sees the runtime
+  # dispatch flag crossing the parallel sweeps), and simd_kernels_test
+  # diffs each intrinsic path against its scalar reference. alloc_count_test
   # is excluded everywhere: it overrides global operator new, which fights
   # the sanitizer allocators.
   if [[ "$SANITIZER" == *thread* ]]; then
     FILTER='parallel_exec_test|linq_batch_test|batch_parity_test|columnar_parity_test|storage_test|stats_test'
   else
-    FILTER='row_batch_test|rex_kernel_fuzz_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test|storage_test|stats_test'
+    FILTER='row_batch_test|rex_kernel_fuzz_test|simd_kernels_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test|storage_test|stats_test'
   fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
     -R "$FILTER"
@@ -86,6 +114,11 @@ if [[ -x "$BUILD_DIR/bench_architecture" ]]; then
     --benchmark_min_time=0.05
 else
   echo "bench_architecture not built (google-benchmark not found); skipping"
+fi
+if [[ -x "$BUILD_DIR/bench_kernels" ]]; then
+  "$BUILD_DIR/bench_kernels" --benchmark_min_time=0.05
+else
+  echo "bench_kernels not built (google-benchmark not found); skipping"
 fi
 
 echo "=== done ==="

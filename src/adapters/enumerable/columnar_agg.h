@@ -60,6 +60,22 @@ class ColumnarAggBuilder {
   /// Group id for boxed key `key`, creating the group on first sight.
   uint32_t GroupIdForValue(const Value& key);
 
+  /// Probe-miss slow path: resolves cell `key[row]` through the
+  /// authoritative boxed table, then fills the empty `slot` with
+  /// (hash, raw-bit image, gid), growing the table when past the load
+  /// factor. `raw`/`exact` are the probe loop's bit image of the cell;
+  /// exactness is withdrawn here for NaN so a stored image never
+  /// bit-matches a cell the boxed semantics would not group.
+  uint32_t InsertHashed(const ColumnVector& key, size_t row, uint64_t hash,
+                        uint64_t raw, bool exact, size_t slot);
+
+  /// True when the raw cell `key[row]` equals group `gid`'s key under Value
+  /// equality semantics (numeric cross-representation, string bytes).
+  bool CellMatchesGroup(const ColumnVector& key, size_t row,
+                        uint32_t gid) const;
+
+  void RehashSlots();
+
   /// Resolves the group id of every active row of `batch` into gids_.
   void ResolveGroups(const ColumnBatch& batch);
 
@@ -73,9 +89,28 @@ class ColumnarAggBuilder {
   // Authoritative group table, keyed by boxed key value (Value hash/equality
   // unifies numerically-equal ints and doubles, and gives NULL one group).
   std::unordered_map<Value, uint32_t, ValueHash> group_index_;
-  // Fast path for int64 key columns: raw int64 -> group id. Populated
-  // lazily from the authoritative table so both stay consistent.
-  std::unordered_map<int64_t, uint32_t> int_cache_;
+
+  // Fast path for typed key columns: a flat open-addressing table (linear
+  // probing, power-of-two capacity, gid_plus_1 == 0 marks an empty slot)
+  // probed with hashes precomputed for the whole batch by HashColumn.
+  // Populated lazily from the authoritative table so both stay consistent;
+  // HashColumn/HashValue64 agreeing on numerically-equal values is what
+  // lets a raw double probe find a group opened by an int (and vice versa).
+  // `raw`/`raw_type` carry the bit image of the cell that filled the slot:
+  // a probe whose cell has the same physical type and identical bits can
+  // accept without touching the boxed group key (the common case); any
+  // mismatch — cross-representation int/double, +0.0 vs -0.0, strings,
+  // slots marked inexact — falls back to CellMatchesGroup, so the fast
+  // accept only ever short-circuits comparisons it cannot get wrong.
+  struct HashSlot {
+    uint64_t hash = 0;
+    uint64_t raw = 0;
+    uint32_t gid_plus_1 = 0;
+    uint8_t raw_type = 0;  // PhysType of raw; kValue = no fast accept
+  };
+  std::vector<HashSlot> hash_slots_;
+  size_t hash_count_ = 0;
+  std::vector<uint64_t> hashes_;  // per-Feed scratch for HashColumn
 
   std::vector<Value> group_key_values_;         // per group, first-seen order
   std::vector<AggAccumulator> accs_;            // groups x calls, row-major

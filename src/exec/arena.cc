@@ -6,7 +6,7 @@
 namespace calcite {
 
 namespace {
-constexpr size_t kAlign = 16;
+constexpr size_t kAlign = Arena::kAlignment;
 
 size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
 }  // namespace
@@ -14,7 +14,12 @@ size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
 void Arena::AddChunk(size_t min_bytes) {
   Chunk chunk;
   chunk.size = std::max(min_bytes, chunk_bytes_);
-  chunk.data.reset(new char[chunk.size]);
+  // new char[] only guarantees max_align_t; over-allocate and round the base
+  // up so every bump offset (always a multiple of kAlign) stays aligned.
+  chunk.data.reset(new char[chunk.size + kAlign - 1]);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(chunk.data.get());
+  chunk.base = chunk.data.get() +
+               (AlignUp(raw) - raw);
   chunks_.push_back(std::move(chunk));
   active_ = chunks_.size() - 1;
   offset_ = 0;
@@ -32,7 +37,7 @@ void* Arena::Allocate(size_t bytes) {
       AddChunk(bytes);
     }
   }
-  char* ptr = chunks_[active_].data.get() + offset_;
+  char* ptr = chunks_[active_].base + offset_;
   offset_ += bytes;
   bytes_used_ += bytes;
   return ptr;

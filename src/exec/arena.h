@@ -23,15 +23,19 @@ class Arena {
  public:
   static constexpr size_t kDefaultChunkBytes = 1u << 18;  // 256 KiB
 
+  /// Every allocation starts on a 64-byte boundary: a full cache line, and
+  /// wide enough for any SIMD register the kernel layer (exec/simd.h) uses —
+  /// column storage handed out here never needs unaligned-head peeling.
+  static constexpr size_t kAlignment = 64;
+
   explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
-      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+      : chunk_bytes_(chunk_bytes < kAlignment ? kAlignment : chunk_bytes) {}
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
-  /// Returns `bytes` of storage aligned for any scalar column payload
-  /// (16-byte alignment). Never returns nullptr; bytes==0 yields a valid
-  /// unique pointer.
+  /// Returns `bytes` of storage aligned to kAlignment. Never returns
+  /// nullptr; bytes==0 yields a valid unique pointer.
   void* Allocate(size_t bytes);
 
   /// Typed convenience: uninitialized array of `n` Ts. T must be trivially
@@ -57,7 +61,8 @@ class Arena {
  private:
   struct Chunk {
     std::unique_ptr<char[]> data;
-    size_t size = 0;
+    char* base = nullptr;  // first kAlignment-aligned byte inside data
+    size_t size = 0;       // usable bytes starting at base
   };
 
   void AddChunk(size_t min_bytes);

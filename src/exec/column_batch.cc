@@ -1,7 +1,10 @@
 #include "exec/column_batch.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
+
+#include "exec/simd.h"
 
 namespace calcite {
 
@@ -279,6 +282,72 @@ int Cmp3(T a, T b) {
   return a < b ? -1 : (a > b ? 1 : 0);
 }
 
+std::optional<simd::Cmp> SimdCmpOf(ScanPredicate::Kind kind) {
+  switch (kind) {
+    case ScanPredicate::Kind::kEquals:
+      return simd::Cmp::kEq;
+    case ScanPredicate::Kind::kNotEquals:
+      return simd::Cmp::kNe;
+    case ScanPredicate::Kind::kLessThan:
+      return simd::Cmp::kLt;
+    case ScanPredicate::Kind::kLessThanOrEqual:
+      return simd::Cmp::kLe;
+    case ScanPredicate::Kind::kGreaterThan:
+      return simd::Cmp::kGt;
+    case ScanPredicate::Kind::kGreaterThanOrEqual:
+      return simd::Cmp::kGe;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Below this candidate count the refill bookkeeping costs more than the
+/// scalar loop it replaces.
+constexpr size_t kVectorNarrowMinRows = 32;
+
+/// Vectorized narrow: compare the whole candidate row range in lanes into a
+/// bytemask, then rebuild the selection from the mask. Handles the typed
+/// numeric column/literal pairings; returns false to fall back to the
+/// scalar per-row loops (sparse selections, strings, bools, mixed
+/// int-column/double-literal).
+bool NarrowVectorized(const ScanPredicate& pred, const ColumnVector& col,
+                      SelectionVector* sel) {
+  const size_t cand = sel->size();
+  if (cand < kVectorNarrowMinRows) return false;
+  const auto cmp = SimdCmpOf(pred.kind);
+  if (!cmp.has_value()) return false;
+  const bool i64_path = col.type == PhysType::kInt64 && pred.literal.is_int();
+  const bool f64_path =
+      col.type == PhysType::kDouble && pred.literal.is_numeric();
+  if (!i64_path && !f64_path) return false;
+  // The compare runs over rows [0, hi); only worth it while the candidates
+  // are reasonably dense in that range.
+  const size_t hi = static_cast<size_t>(sel->back()) + 1;
+  if (cand * 4 < hi) return false;
+
+  thread_local std::vector<uint8_t> mask;
+  if (mask.size() < hi) mask.resize(hi);
+  if (i64_path) {
+    simd::CmpI64Lit(*cmp, col.i64, pred.literal.AsInt(), hi, mask.data());
+  } else {
+    simd::CmpF64Lit(*cmp, col.f64, pred.literal.AsDouble(), hi, mask.data());
+  }
+  if (col.nulls != nullptr) {
+    simd::MaskZeroU8(mask.data(), col.nulls, hi);  // NULL never passes
+  }
+  // An ascending selection whose last entry is cand-1 is the identity, so
+  // the mask positions are the selection: table-driven refill. Otherwise
+  // filter the existing entries through the mask in place.
+  if (hi == cand) {
+    sel->resize(hi + simd::kSelSlack);
+    sel->resize(simd::MaskToSel(mask.data(), hi, sel->data()));
+  } else {
+    sel->resize(simd::FilterSelByMask(mask.data(), sel->data(), cand,
+                                      sel->data()));
+  }
+  return true;
+}
+
 }  // namespace
 
 void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
@@ -306,6 +375,8 @@ void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
     sel->clear();
     return;
   }
+
+  if (NarrowVectorized(pred, col, sel)) return;
 
   const ScanPredicate::Kind kind = pred.kind;
   if (col.type == PhysType::kInt64 && pred.literal.is_int()) {
@@ -399,6 +470,83 @@ Result<ColumnBatch> RowsToColumns(const RowBatch& rows,
     return Status::Internal("cannot decompose ragged rows into columns");
   }
   return SliceTableColumns(columns, 0, rows.size(), nullptr);
+}
+
+namespace {
+
+/// Bool cells get distinct fixed seeds so they collide with nothing numeric.
+inline uint64_t HashBool64(bool b) {
+  return simd::Mix64(b ? 0x9001u : 0x9000u);
+}
+
+}  // namespace
+
+uint64_t HashValue64(const Value& v) {
+  if (v.IsNull()) return simd::kNullHash;
+  if (v.is_int()) return simd::HashI64One(v.AsInt());
+  if (v.is_double()) return simd::HashF64One(v.AsDouble());
+  if (v.is_bool()) return HashBool64(v.AsBool());
+  if (v.is_string()) {
+    const std::string& s = v.AsString();
+    return simd::HashBytes(s.data(), s.size());
+  }
+  return v.Hash();  // composite: only ever meets other boxed cells
+}
+
+uint64_t HashRowKey64(const Row& key) {
+  if (key.size() == 1) return HashValue64(key[0]);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : key) h = (h ^ HashValue64(v)) * 0x100000001b3ULL;
+  return h;
+}
+
+void HashColumn(const ColumnVector& col, const uint32_t* sel, size_t n,
+                uint64_t* out) {
+  switch (col.type) {
+    case PhysType::kInt64:
+      if (sel == nullptr) {
+        simd::HashI64(col.i64, n, out);
+      } else {
+        thread_local std::vector<int64_t> gathered;
+        if (gathered.size() < n) gathered.resize(n);
+        for (size_t k = 0; k < n; ++k) gathered[k] = col.i64[sel[k]];
+        simd::HashI64(gathered.data(), n, out);
+      }
+      break;
+    case PhysType::kDouble:
+      if (sel == nullptr) {
+        simd::HashF64(col.f64, n, out);
+      } else {
+        thread_local std::vector<double> gathered;
+        if (gathered.size() < n) gathered.resize(n);
+        for (size_t k = 0; k < n; ++k) gathered[k] = col.f64[sel[k]];
+        simd::HashF64(gathered.data(), n, out);
+      }
+      break;
+    case PhysType::kBool:
+      for (size_t k = 0; k < n; ++k) {
+        out[k] = HashBool64(col.b8[sel != nullptr ? sel[k] : k] != 0);
+      }
+      break;
+    case PhysType::kString:
+      for (size_t k = 0; k < n; ++k) {
+        const StringRef& s = col.str[sel != nullptr ? sel[k] : k];
+        out[k] = simd::HashBytes(s.data, s.size);
+      }
+      break;
+    case PhysType::kValue:
+      for (size_t k = 0; k < n; ++k) {
+        out[k] = HashValue64(col.boxed[sel != nullptr ? sel[k] : k]);
+      }
+      return;  // boxed cells carry their own null state
+  }
+  if (col.nulls != nullptr) {
+    for (size_t k = 0; k < n; ++k) {
+      if (col.nulls[sel != nullptr ? sel[k] : k] != 0) {
+        out[k] = simd::kNullHash;
+      }
+    }
+  }
 }
 
 }  // namespace calcite

@@ -166,9 +166,32 @@ ColumnBatch SliceTableColumns(const TableColumnsPtr& columns, size_t begin,
 /// matching `pred`, with typed loops over the raw column storage — this is
 /// leaf predicate pushdown evaluated before any row materialization. Exactly
 /// mirrors ScanPredicate::Matches (NULL on either side of a comparison does
-/// not pass).
+/// not pass). Dense int64/double candidates run a vectorized compare over
+/// the whole row range followed by a table-driven bitmask -> selection
+/// refill (exec/simd.h); everything else keeps the scalar per-row loop.
 void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
                            SelectionVector* sel);
+
+/// 64-bit hash of a boxed cell, consistent with the blocked HashColumn
+/// kernel below: numerically-equal int64/double values hash identically
+/// (cross-representation equality compares as double), NULL hashes to the
+/// fixed simd::kNullHash, strings hash their bytes. Composite values fall
+/// back to Value::Hash (only ever compared against other boxed cells).
+uint64_t HashValue64(const Value& v);
+
+/// Hash of a join/group key row. A single-column key hashes exactly as
+/// HashValue64 of its one cell — the contract that lets typed column fast
+/// paths and boxed per-row paths probe the same table — and wider keys fold
+/// the per-cell hashes FNV-style.
+uint64_t HashRowKey64(const Row& key);
+
+/// Blocked column-at-a-time hashing: hashes the `n` cells of `col` named by
+/// sel[0..n) (or rows 0..n-1 when `sel` is null) into out[0..n), agreeing
+/// with HashValue64 on every cell including NULLs. int64 columns hash in
+/// SIMD lanes; the point for every type is hoisting hashing out of the
+/// per-row probe loop into one tight pass.
+void HashColumn(const ColumnVector& col, const uint32_t* sel, size_t n,
+                uint64_t* out);
 
 /// Columnar leaf scan: yields zero-copy view batches of at most `batch_size`
 /// rows over `columns`, applying `predicates` on raw column storage and

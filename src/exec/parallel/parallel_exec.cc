@@ -15,6 +15,7 @@
 #include "exec/parallel/exchange.h"
 #include "exec/parallel/morsel.h"
 #include "exec/parallel/task_scheduler.h"
+#include "exec/simd.h"
 #include "rel/core.h"
 #include "rex/rex_columnar.h"
 #include "rex/rex_interpreter.h"
@@ -637,6 +638,47 @@ Result<RowBatchPuller> ExecuteAggregateParallel(const Aggregate& agg,
 // Partitioned hash join
 // ---------------------------------------------------------------------------
 
+/// Hashes a block of extracted join keys at once (HashRowKey64 semantics).
+/// All-single-int64 blocks gather the raw keys into a scratch column and
+/// hash in SIMD lanes; everything else hashes per row. An empty Row is the
+/// "no key" sentinel (a real key is never empty) — its hash slot is written
+/// arbitrarily and must not be read.
+void HashKeyBlock(const std::vector<Row>& keys, std::vector<uint64_t>* out,
+                  std::vector<int64_t>* i64_scratch) {
+  const size_t n = keys.size();
+  out->resize(n);
+  bool single_int = n >= 8;
+  if (single_int) {
+    for (const Row& k : keys) {
+      if (k.empty()) continue;
+      if (k.size() != 1 || !k[0].is_int()) {
+        single_int = false;
+        break;
+      }
+    }
+  }
+  if (single_int) {
+    i64_scratch->resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      (*i64_scratch)[j] = keys[j].empty() ? 0 : keys[j][0].AsInt();
+    }
+    simd::HashI64(i64_scratch->data(), n, out->data());
+    return;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (!keys[j].empty()) (*out)[j] = HashRowKey64(keys[j]);
+  }
+}
+
+/// One partition of the build-side table: build entries in insertion order
+/// plus a hash index over them. The index is keyed by the full 64-bit key
+/// hash (precomputed in blocks on both build and probe side); probes verify
+/// candidates with Row equality, so the hash only routes.
+struct BuildPartition {
+  std::vector<std::pair<Row, size_t>> entries;  // (key, build row index)
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+};
+
 /// Shared read-only state of a parallel join probe: the drained build side,
 /// the per-partition hash tables (each written by exactly one build task,
 /// read by every probe worker), and the matched flags outer joins need.
@@ -651,7 +693,7 @@ struct ParallelJoinShared {
   size_t right_width = 0;
   size_t partitions = 0;
   std::vector<Row> right_data;
-  std::vector<std::unordered_map<Row, std::vector<size_t>, RowHash>> tables;
+  std::vector<BuildPartition> tables;
   /// Matched flags are racy-by-design across probe workers: only ever set
   /// to true, read after the workers have been joined.
   std::unique_ptr<std::atomic<bool>[]> right_matched;
@@ -683,7 +725,11 @@ Status BuildPartitionedTable(ParallelJoinShared* shared,
   // already-built keys instead of recomputing them. NULL keys never match
   // and are skipped — for RIGHT/FULL they surface through the unmatched
   // tail.
-  using KeyedIndex = std::pair<Row, size_t>;
+  struct KeyedIndex {
+    Row key;
+    size_t row;
+    uint64_t hash;
+  };
   std::vector<std::vector<std::vector<KeyedIndex>>> buckets(
       threads, std::vector<std::vector<KeyedIndex>>(partitions));
   {
@@ -693,29 +739,44 @@ Status BuildPartitionedTable(ParallelJoinShared* shared,
       std::vector<std::vector<KeyedIndex>>* mine = &buckets[t];
       ParallelJoinShared* sh = shared;
       scheduler->Submit([sh, mine, &morsels, partitions]() {
+        std::vector<Row> keys;
+        std::vector<size_t> rows;
+        std::vector<uint64_t> hashes;
+        std::vector<int64_t> scratch;
         while (auto morsel = morsels.Next()) {
+          // Extract the morsel's keys, then hash them in one block.
+          keys.clear();
+          rows.clear();
           for (size_t i = morsel->begin; i < morsel->end; ++i) {
             auto key = JoinSideKey(sh->right_data[i], sh->keys,
                                    /*left_side=*/false);
             if (!key.has_value()) continue;
-            size_t p = RowHash{}(*key) % partitions;
-            (*mine)[p].emplace_back(std::move(*key), i);
+            keys.push_back(std::move(*key));
+            rows.push_back(i);
+          }
+          HashKeyBlock(keys, &hashes, &scratch);
+          for (size_t j = 0; j < keys.size(); ++j) {
+            (*mine)[hashes[j] % partitions].push_back(
+                KeyedIndex{std::move(keys[j]), rows[j], hashes[j]});
           }
         }
       });
     }
     scheduler->WaitIdle();
   }
-  // Insert pass: partition p is owned by exactly one task.
+  // Insert pass: partition p is owned by exactly one task. Inserts reuse
+  // the hashes the classify pass computed.
   shared->tables.resize(partitions);
   for (size_t p = 0; p < partitions; ++p) {
     ParallelJoinShared* sh = shared;
     std::vector<std::vector<std::vector<KeyedIndex>>>* all = &buckets;
     scheduler->Submit([sh, all, p]() {
-      auto& table = sh->tables[p];
+      BuildPartition& part = sh->tables[p];
       for (auto& worker_buckets : *all) {
         for (KeyedIndex& entry : worker_buckets[p]) {
-          table[std::move(entry.first)].push_back(entry.second);
+          const uint32_t eid = static_cast<uint32_t>(part.entries.size());
+          part.index[entry.hash].push_back(eid);
+          part.entries.emplace_back(std::move(entry.key), entry.row);
         }
       }
     });
@@ -737,6 +798,9 @@ void RunProbeWorker(const ParallelJoinShared& shared, QueryCancelState* cancel,
                     size_t batch_size) {
   const std::vector<Row>& rows = *shared.probe.rows;
   RowBatch out;
+  std::vector<Row> key_scratch;
+  std::vector<uint64_t> hash_scratch;
+  std::vector<int64_t> i64_scratch;
   // Hands accumulated output to the exchange in <= batch_size chunks.
   auto flush = [&]() -> bool {
     size_t pos = 0;
@@ -771,15 +835,28 @@ void RunProbeWorker(const ParallelJoinShared& shared, QueryCancelState* cancel,
       // Probe only the live rows — the selection an upstream filter stage
       // left behind is consumed here, with no compaction in between.
       const size_t active = batch.ActiveCount();
+      // Extract and hash every live key in one block before probing (an
+      // empty Row marks a NULL-keyed row that can never match).
+      key_scratch.clear();
+      key_scratch.reserve(active);
+      for (size_t k = 0; k < active; ++k) {
+        auto key = JoinSideKey(batch.ActiveRow(k), shared.keys,
+                               /*left_side=*/true);
+        key_scratch.push_back(key.has_value() ? std::move(*key) : Row());
+      }
+      HashKeyBlock(key_scratch, &hash_scratch, &i64_scratch);
       for (size_t k = 0; k < active; ++k) {
         Row& lrow = batch.ActiveRow(k);
-        auto key = JoinSideKey(lrow, shared.keys, /*left_side=*/true);
+        const Row& key = key_scratch[k];
         bool matched = false;
-        if (key.has_value()) {
-          size_t p = RowHash{}(*key) % shared.partitions;
-          auto it = shared.tables[p].find(*key);
-          if (it != shared.tables[p].end()) {
-            for (size_t ri : it->second) {
+        if (!key.empty()) {
+          const uint64_t h = hash_scratch[k];
+          const BuildPartition& part = shared.tables[h % shared.partitions];
+          auto it = part.index.find(h);
+          if (it != part.index.end()) {
+            for (uint32_t eid : it->second) {
+              if (!(part.entries[eid].first == key)) continue;  // collision
+              const size_t ri = part.entries[eid].second;
               Row combined = ConcatRows(lrow, shared.right_data[ri]);
               bool pass = true;
               for (const RexNodePtr& pred : shared.remaining) {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "exec/simd.h"
 #include "rex/operator.h"
 #include "rex/rex_interpreter.h"
 
@@ -82,6 +83,61 @@ struct Ctx {
 };
 
 Status EvalDense(Ctx& ctx, const RexNodePtr& node, ColumnVector* res);
+
+std::optional<simd::Cmp> SimdCmp(OpKind op) {
+  switch (op) {
+    case OpKind::kEquals:
+      return simd::Cmp::kEq;
+    case OpKind::kNotEquals:
+      return simd::Cmp::kNe;
+    case OpKind::kLessThan:
+      return simd::Cmp::kLt;
+    case OpKind::kLessThanOrEqual:
+      return simd::Cmp::kLe;
+    case OpKind::kGreaterThan:
+      return simd::Cmp::kGt;
+    case OpKind::kGreaterThanOrEqual:
+      return simd::Cmp::kGe;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<simd::Arith> SimdArith(OpKind op) {
+  switch (op) {
+    case OpKind::kPlus:
+      return simd::Arith::kAdd;
+    case OpKind::kMinus:
+      return simd::Arith::kSub;
+    case OpKind::kTimes:
+      return simd::Arith::kMul;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// OR-folds the operand null maps lane-wise into a fresh result map;
+/// nullptr when neither operand can be NULL.
+uint8_t* FoldNulls(Ctx& ctx, const uint8_t* an, const uint8_t* bn) {
+  if (an == nullptr && bn == nullptr) return nullptr;
+  uint8_t* rn = ctx.arena().AllocateArray<uint8_t>(ctx.n);
+  if (an != nullptr && bn != nullptr) {
+    simd::OrMasks(an, bn, ctx.n, rn);
+  } else {
+    std::memcpy(rn, an != nullptr ? an : bn, ctx.n);
+  }
+  return rn;
+}
+
+/// Dense double view of a numeric column: the column itself for kDouble,
+/// an arena-widened copy for kInt64 (NULL slots are zero and widen to 0.0,
+/// staying canonical).
+const double* AsF64Dense(Ctx& ctx, const ColumnVector& col) {
+  if (col.type == PhysType::kDouble) return col.f64;
+  double* d = ctx.arena().AllocateArray<double>(ctx.n);
+  simd::I64ToF64(col.i64, ctx.n, d);
+  return d;
+}
 
 /// Materializes an input-ref column densely over the active rows: a
 /// zero-copy alias when the batch has no selection, a typed gather when it
@@ -213,91 +269,50 @@ Status LiteralDense(Ctx& ctx, const RexLiteral& lit, ColumnVector* res) {
 Status ArithDense(Ctx& ctx, OpKind op, const ColumnVector& a,
                   const ColumnVector& b, ColumnVector* res) {
   const size_t n = ctx.n;
-  const uint8_t* an = a.nulls;
-  const uint8_t* bn = b.nulls;
-  uint8_t* rn = nullptr;
-  if (an != nullptr || bn != nullptr) {
-    rn = ctx.AllocZeroed<uint8_t>();
-    for (size_t i = 0; i < n; ++i) {
-      rn[i] = static_cast<uint8_t>((an != nullptr && an[i]) ||
-                                   (bn != nullptr && bn[i]));
-    }
-    res->nulls = rn;
-  }
+  uint8_t* rn = FoldNulls(ctx, a.nulls, b.nulls);
+  res->nulls = rn;
+  const auto va = SimdArith(op);
   const bool integral = a.type == PhysType::kInt64 && b.type == PhysType::kInt64;
   if (integral) {
     const int64_t* x = a.i64;
     const int64_t* y = b.i64;
-    int64_t* d = ctx.AllocZeroed<int64_t>();
     res->type = PhysType::kInt64;
-    res->i64 = d;
-    switch (op) {
-      case OpKind::kPlus:
-        for (size_t i = 0; i < n; ++i) d[i] = x[i] + y[i];
-        break;
-      case OpKind::kMinus:
-        for (size_t i = 0; i < n; ++i) d[i] = x[i] - y[i];
-        break;
-      case OpKind::kTimes:
-        for (size_t i = 0; i < n; ++i) d[i] = x[i] * y[i];
-        break;
-      case OpKind::kDivide:
-      case OpKind::kMod:
-        for (size_t i = 0; i < n; ++i) {
-          if (rn != nullptr && rn[i]) continue;
-          if (y[i] == 0) return Status::RuntimeError("division by zero");
-          d[i] = op == OpKind::kDivide ? x[i] / y[i] : x[i] % y[i];
-        }
-        break;
-      default:
-        return Status::Internal("unexpected arithmetic operator");
+    if (va.has_value()) {
+      // Blind +-* over every slot (NULL slots are zero, so lanes stay
+      // defined), then re-zero NULL rows so their data slots stay canonical.
+      int64_t* d = ctx.arena().AllocateArray<int64_t>(n);
+      simd::ArithI64(*va, x, y, n, d);
+      if (rn != nullptr) simd::MaskZeroI64(d, rn, n);
+      res->i64 = d;
+      return Status::OK();
     }
-    // Blind +-* computed on NULL rows used zeroed slots; re-zero so every
-    // NULL row's data slot stays canonical.
-    if (rn != nullptr && op != OpKind::kDivide && op != OpKind::kMod) {
-      for (size_t i = 0; i < n; ++i) {
-        if (rn[i]) d[i] = 0;
-      }
+    // Division/modulus stay scalar: they raise per-row errors and must skip
+    // NULL rows (the NULL check comes strictly before the zero check).
+    int64_t* d = ctx.AllocZeroed<int64_t>();
+    res->i64 = d;
+    for (size_t i = 0; i < n; ++i) {
+      if (rn != nullptr && rn[i]) continue;
+      if (y[i] == 0) return Status::RuntimeError("division by zero");
+      d[i] = op == OpKind::kDivide ? x[i] / y[i] : x[i] % y[i];
     }
     return Status::OK();
   }
-  const auto xv = [&](size_t i) {
-    return a.type == PhysType::kInt64 ? static_cast<double>(a.i64[i])
-                                      : a.f64[i];
-  };
-  const auto yv = [&](size_t i) {
-    return b.type == PhysType::kInt64 ? static_cast<double>(b.i64[i])
-                                      : b.f64[i];
-  };
-  double* d = ctx.AllocZeroed<double>();
+  const double* x = AsF64Dense(ctx, a);
+  const double* y = AsF64Dense(ctx, b);
   res->type = PhysType::kDouble;
-  res->f64 = d;
-  switch (op) {
-    case OpKind::kPlus:
-      for (size_t i = 0; i < n; ++i) d[i] = xv(i) + yv(i);
-      break;
-    case OpKind::kMinus:
-      for (size_t i = 0; i < n; ++i) d[i] = xv(i) - yv(i);
-      break;
-    case OpKind::kTimes:
-      for (size_t i = 0; i < n; ++i) d[i] = xv(i) * yv(i);
-      break;
-    case OpKind::kDivide:
-    case OpKind::kMod:
-      for (size_t i = 0; i < n; ++i) {
-        if (rn != nullptr && rn[i]) continue;
-        double y = yv(i);
-        if (y == 0) return Status::RuntimeError("division by zero");
-        d[i] = op == OpKind::kDivide ? xv(i) / y : std::fmod(xv(i), y);
-      }
-      break;
-    default:
-      return Status::Internal("unexpected arithmetic operator");
+  if (va.has_value()) {
+    double* d = ctx.arena().AllocateArray<double>(n);
+    simd::ArithF64(*va, x, y, n, d);
+    if (rn != nullptr) simd::MaskZeroF64(d, rn, n);
+    res->f64 = d;
+    return Status::OK();
   }
-  if (rn != nullptr && op != OpKind::kDivide && op != OpKind::kMod) {
-    for (size_t i = 0; i < n; ++i) {
-      if (rn[i]) d[i] = 0;
-    }
+  double* d = ctx.AllocZeroed<double>();
+  res->f64 = d;
+  for (size_t i = 0; i < n; ++i) {
+    if (rn != nullptr && rn[i]) continue;
+    if (y[i] == 0) return Status::RuntimeError("division by zero");
+    d[i] = op == OpKind::kDivide ? x[i] / y[i] : std::fmod(x[i], y[i]);
   }
   return Status::OK();
 }
@@ -307,40 +322,30 @@ Status ArithDense(Ctx& ctx, OpKind op, const ColumnVector& a,
 Status CompareDense(Ctx& ctx, OpKind op, const ColumnVector& a,
                     const ColumnVector& b, ColumnVector* res) {
   const size_t n = ctx.n;
-  const uint8_t* an = a.nulls;
-  const uint8_t* bn = b.nulls;
-  uint8_t* rn = nullptr;
-  if (an != nullptr || bn != nullptr) {
-    rn = ctx.AllocZeroed<uint8_t>();
-    for (size_t i = 0; i < n; ++i) {
-      rn[i] = static_cast<uint8_t>((an != nullptr && an[i]) ||
-                                   (bn != nullptr && bn[i]));
-    }
-    res->nulls = rn;
+  uint8_t* rn = FoldNulls(ctx, a.nulls, b.nulls);
+  res->nulls = rn;
+  res->type = PhysType::kBool;
+  const auto vc = SimdCmp(op);
+  if (!vc.has_value()) return Status::Internal("unexpected comparison operator");
+  if (a.type == PhysType::kInt64 && b.type == PhysType::kInt64) {
+    uint8_t* d = ctx.arena().AllocateArray<uint8_t>(n);
+    simd::CmpI64(*vc, a.i64, b.i64, n, d);
+    if (rn != nullptr) simd::MaskZeroU8(d, rn, n);
+    res->b8 = d;
+    return Status::OK();
+  }
+  if (IsNumericPhys(a.type) && IsNumericPhys(b.type)) {
+    const double* x = AsF64Dense(ctx, a);
+    const double* y = AsF64Dense(ctx, b);
+    uint8_t* d = ctx.arena().AllocateArray<uint8_t>(n);
+    simd::CmpF64(*vc, x, y, n, d);
+    if (rn != nullptr) simd::MaskZeroU8(d, rn, n);
+    res->b8 = d;
+    return Status::OK();
   }
   uint8_t* d = ctx.AllocZeroed<uint8_t>();
-  res->type = PhysType::kBool;
   res->b8 = d;
-  if (a.type == PhysType::kInt64 && b.type == PhysType::kInt64) {
-    const int64_t* x = a.i64;
-    const int64_t* y = b.i64;
-    for (size_t i = 0; i < n; ++i) {
-      d[i] = CmpPasses(op, x[i] < y[i] ? -1 : (x[i] > y[i] ? 1 : 0));
-    }
-  } else if (IsNumericPhys(a.type) && IsNumericPhys(b.type)) {
-    const auto xv = [&](size_t i) {
-      return a.type == PhysType::kInt64 ? static_cast<double>(a.i64[i])
-                                        : a.f64[i];
-    };
-    const auto yv = [&](size_t i) {
-      return b.type == PhysType::kInt64 ? static_cast<double>(b.i64[i])
-                                        : b.f64[i];
-    };
-    for (size_t i = 0; i < n; ++i) {
-      double x = xv(i), y = yv(i);
-      d[i] = CmpPasses(op, x < y ? -1 : (x > y ? 1 : 0));
-    }
-  } else if (a.type == PhysType::kString && b.type == PhysType::kString) {
+  if (a.type == PhysType::kString && b.type == PhysType::kString) {
     for (size_t i = 0; i < n; ++i) {
       if (rn != nullptr && rn[i]) continue;
       d[i] = CmpPasses(op, a.str[i].view().compare(b.str[i].view()));
@@ -350,13 +355,33 @@ Status CompareDense(Ctx& ctx, OpKind op, const ColumnVector& a,
       d[i] = CmpPasses(op, static_cast<int>(a.b8[i]) -
                                static_cast<int>(b.b8[i]));
     }
+    if (rn != nullptr) simd::MaskZeroU8(d, rn, n);
   } else {
     return Status::Internal("incomparable columnar operand classes");
   }
-  if (rn != nullptr) {
-    for (size_t i = 0; i < n; ++i) {
-      if (rn[i]) d[i] = 0;
-    }
+  return Status::OK();
+}
+
+/// Comparison of a dense numeric column against a non-NULL numeric constant:
+/// skips the literal broadcast entirely and runs the fused column-vs-scalar
+/// kernel. The literal side is never NULL, so the result nulls are exactly
+/// the operand's bytemap (aliased, not copied).
+Status CompareLitDense(Ctx& ctx, OpKind op, const ColumnVector& a,
+                       const Value& lit, ColumnVector* res) {
+  const size_t n = ctx.n;
+  const auto vc = SimdCmp(op);
+  if (!vc.has_value()) return Status::Internal("unexpected comparison operator");
+  uint8_t* d = ctx.arena().AllocateArray<uint8_t>(n);
+  if (a.type == PhysType::kInt64 && lit.is_int()) {
+    simd::CmpI64Lit(*vc, a.i64, lit.AsInt(), n, d);
+  } else {
+    simd::CmpF64Lit(*vc, AsF64Dense(ctx, a), lit.AsDouble(), n, d);
+  }
+  res->type = PhysType::kBool;
+  res->b8 = d;
+  if (a.nulls != nullptr) {
+    res->nulls = a.nulls;
+    simd::MaskZeroU8(d, a.nulls, n);
   }
   return Status::OK();
 }
@@ -375,6 +400,27 @@ Status CallDense(Ctx& ctx, const RexCall& call, const RelDataTypePtr& type,
     return ArithDense(ctx, op, a, b, res);
   }
   if (IsComparison(op)) {
+    // Expression-vs-literal peephole: exactly one side a non-NULL numeric
+    // constant folds into the column-vs-scalar kernel (literal-on-left
+    // flips the operator instead of broadcasting).
+    const RexLiteral* lita = AsLiteral(call.operand(0));
+    const RexLiteral* litb = AsLiteral(call.operand(1));
+    const RexLiteral* lit = litb != nullptr ? litb : lita;
+    if (lit != nullptr && (lita == nullptr || litb == nullptr) &&
+        !lit->value().IsNull() && lit->value().is_numeric()) {
+      ColumnVector a;
+      Status s = EvalDense(ctx, call.operand(lit == litb ? 0 : 1), &a);
+      if (!s.ok()) return s;
+      if (IsNumericPhys(a.type)) {
+        const OpKind eff = lit == litb ? op : ReverseComparison(op);
+        return CompareLitDense(ctx, eff, a, lit->value(), res);
+      }
+      ColumnVector b;
+      s = LiteralDense(ctx, *lit, &b);
+      if (!s.ok()) return s;
+      return lit == litb ? CompareDense(ctx, op, a, b, res)
+                         : CompareDense(ctx, op, b, a, res);
+    }
     ColumnVector a, b;
     Status s = EvalDense(ctx, call.operand(0), &a);
     if (!s.ok()) return s;
@@ -709,12 +755,22 @@ Status RexColumnar::NarrowSelection(const RexNodePtr& node,
     ColumnVector res;
     Status s = EvalDense(ctx, node, &res);
     if (!s.ok()) return s;
-    size_t out = 0;
-    for (size_t k = 0; k < sel->size(); ++k) {
-      const bool is_null = res.nulls != nullptr && res.nulls[k];
-      if (!is_null && res.b8[k]) (*sel)[out++] = (*sel)[k];
+    // res is a positional bytemask over the candidates (TRUE and not NULL
+    // passes). Identity selections refill via the table-driven expansion;
+    // narrowed ones compact in place.
+    const size_t n = sel->size();
+    const uint8_t* pass = res.b8;
+    if (res.nulls != nullptr) {
+      uint8_t* m = tmp.arena->AllocateArray<uint8_t>(n);
+      simd::AndNotMask(res.b8, res.nulls, n, m);
+      pass = m;
     }
-    sel->resize(out);
+    if (sel->back() + 1 == n) {
+      sel->resize(n + simd::kSelSlack);
+      sel->resize(simd::MaskToSel(pass, n, sel->data()));
+    } else {
+      sel->resize(simd::CompactSel(pass, sel->data(), n, sel->data()));
+    }
     return Status::OK();
   }
 

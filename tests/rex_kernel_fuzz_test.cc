@@ -26,6 +26,7 @@
 
 #include "exec/arena.h"
 #include "exec/column_batch.h"
+#include "exec/simd.h"
 #include "rex/rex_builder.h"
 #include "rex/rex_columnar.h"
 #include "rex/rex_interpreter.h"
@@ -55,7 +56,7 @@ class RexKernelFuzzTest : public ::testing::Test {
         {int_t_, int_null_, int_null_, dbl_null_, str_null_, bool_null_});
   }
 
-  RowBatch MakeBatch(size_t n, std::mt19937* rng) {
+  RowBatch MakeBatch(size_t n, std::mt19937* rng, int null_pct = 20) {
     std::uniform_int_distribution<int> pct(0, 99);
     std::uniform_int_distribution<int64_t> small(-9, 20);
     std::uniform_real_distribution<double> real(-4.0, 8.0);
@@ -66,14 +67,16 @@ class RexKernelFuzzTest : public ::testing::Test {
     for (size_t i = 0; i < n; ++i) {
       Row row;
       row.push_back(Value::Int(static_cast<int64_t>(i)));
-      row.push_back(pct(*rng) < 20 ? Value::Null() : Value::Int(small(*rng)));
-      row.push_back(pct(*rng) < 20 ? Value::Null() : Value::Int(small(*rng)));
-      row.push_back(pct(*rng) < 20 ? Value::Null()
-                                   : Value::Double(real(*rng)));
-      row.push_back(pct(*rng) < 20 ? Value::Null()
-                                   : Value::String(kWords[word(*rng)]));
-      row.push_back(pct(*rng) < 20 ? Value::Null()
-                                   : Value::Bool(pct(*rng) < 50));
+      row.push_back(pct(*rng) < null_pct ? Value::Null()
+                                         : Value::Int(small(*rng)));
+      row.push_back(pct(*rng) < null_pct ? Value::Null()
+                                         : Value::Int(small(*rng)));
+      row.push_back(pct(*rng) < null_pct ? Value::Null()
+                                         : Value::Double(real(*rng)));
+      row.push_back(pct(*rng) < null_pct ? Value::Null()
+                                         : Value::String(kWords[word(*rng)]));
+      row.push_back(pct(*rng) < null_pct ? Value::Null()
+                                         : Value::Bool(pct(*rng) < 50));
       batch.push_back(std::move(row));
     }
     return batch;
@@ -295,6 +298,10 @@ class RexKernelFuzzTest : public ::testing::Test {
   }
 
   /// RexColumnar::AppendEvalColumn vs per-row Eval over the active rows.
+  /// Every expression runs under both kernel dispatch modes: the scalar
+  /// result is diffed against the per-row oracle and the SIMD result must
+  /// match the scalar one cell-for-cell (on a scalar-only build both runs
+  /// take the reference path).
   void CheckColumnarEval(const RexNodePtr& expr, const ColumnBatch& base,
                          const RowBatch& rows, const SelectionVector* sel,
                          const std::string& label) {
@@ -303,42 +310,57 @@ class RexKernelFuzzTest : public ::testing::Test {
       in.sel = *sel;
       in.has_sel = true;
     }
-    ColumnBatch out;
-    out.arena = std::make_shared<Arena>();
-    out.ShareStorage(in);
-    out.num_rows = in.ActiveCount();
-    Status status = RexColumnar::AppendEvalColumn(expr, in, &out);
-    ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
-    ASSERT_EQ(out.cols.size(), 1u) << label;
+    ColumnBatch out_scalar, out_simd;
+    for (bool enable_simd : {false, true}) {
+      simd::ScopedDispatch dispatch(enable_simd);
+      ColumnBatch& out = enable_simd ? out_simd : out_scalar;
+      out.arena = std::make_shared<Arena>();
+      out.ShareStorage(in);
+      out.num_rows = in.ActiveCount();
+      Status status = RexColumnar::AppendEvalColumn(expr, in, &out);
+      ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+      ASSERT_EQ(out.cols.size(), 1u) << label;
+    }
     const size_t n = in.ActiveCount();
     for (size_t k = 0; k < n; ++k) {
       const Row& row = rows[in.ActiveIndex(k)];
       auto want = RexInterpreter::Eval(expr, row);
       ASSERT_TRUE(want.ok()) << label << ": " << want.status().ToString();
-      ASSERT_EQ(out.cols[0].GetValue(k).ToString(),
+      ASSERT_EQ(out_scalar.cols[0].GetValue(k).ToString(),
                 want.value().ToString())
           << label << " row " << k << " expr " << expr->ToString();
+      ASSERT_EQ(out_simd.cols[0].GetValue(k).ToString(),
+                out_scalar.cols[0].GetValue(k).ToString())
+          << label << " simd-vs-scalar row " << k << " expr "
+          << expr->ToString();
     }
   }
 
   /// RexColumnar::NarrowSelection vs per-row EvalPredicate over the same
-  /// candidates.
+  /// candidates, under both kernel dispatch modes (which must agree).
   void CheckColumnarNarrow(const RexNodePtr& pred, const ColumnBatch& base,
                            const RowBatch& rows,
                            const SelectionVector& candidates,
                            const std::string& label) {
-    SelectionVector got = candidates;
-    ArenaPtr scratch = std::make_shared<Arena>();
-    Status status =
-        RexColumnar::NarrowSelection(pred, base, scratch, &got);
-    ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+    SelectionVector got_scalar, got_simd;
+    for (bool enable_simd : {false, true}) {
+      simd::ScopedDispatch dispatch(enable_simd);
+      SelectionVector& got = enable_simd ? got_simd : got_scalar;
+      got = candidates;
+      ArenaPtr scratch = std::make_shared<Arena>();
+      Status status =
+          RexColumnar::NarrowSelection(pred, base, scratch, &got);
+      ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+    }
     SelectionVector want;
     for (uint32_t idx : candidates) {
       auto pass = RexInterpreter::EvalPredicate(pred, rows[idx]);
       ASSERT_TRUE(pass.ok()) << label << ": " << pass.status().ToString();
       if (pass.value()) want.push_back(idx);
     }
-    ASSERT_EQ(got, want) << label << " pred " << pred->ToString();
+    ASSERT_EQ(got_scalar, want) << label << " pred " << pred->ToString();
+    ASSERT_EQ(got_simd, want)
+        << label << " simd-vs-scalar pred " << pred->ToString();
   }
 
   TypeFactory tf_;
@@ -426,6 +448,44 @@ TEST_F(RexKernelFuzzTest, ColumnarNarrowSelectionMatchesPerRowOracle) {
                             "n=" + std::to_string(n) + " iter=" +
                                 std::to_string(iter) + " sel=" +
                                 std::to_string(s));
+      }
+    }
+  }
+}
+
+// Directed tail/alignment sweep for the SIMD dispatch: batch sizes chosen to
+// straddle every vector-block boundary (4-lane groups, 8-entry refill bytes,
+// 32-byte mask blocks) crossed with null densities 0% (columns carry no
+// bytemap at all), 20%, and 100% (all-null bytemaps). Each expression runs
+// under both dispatch modes via the Check helpers.
+TEST_F(RexKernelFuzzTest, SimdTailAndAlignmentShapes) {
+  std::mt19937 rng(424242);
+  const size_t sizes[] = {1, 7, 15, 16, 17, 1023, 1024, 1025};
+  for (size_t n : sizes) {
+    for (int null_pct : {0, 20, 100}) {
+      RowBatch batch = MakeBatch(n, &rng, null_pct);
+      ColumnBatch cols = ToColumns(batch);
+      auto shapes = SelectionShapes(n);
+      const int iters = n >= 1023 ? 6 : 12;
+      for (int iter = 0; iter < iters; ++iter) {
+        RexNodePtr expr = GenAny(&rng, 3);
+        RexNodePtr pred = GenBool(&rng, 3);
+        for (size_t s = 0; s < shapes.size(); ++s) {
+          const std::string label = "n=" + std::to_string(n) + " nulls=" +
+                                    std::to_string(null_pct) + " iter=" +
+                                    std::to_string(iter) + " sel=" +
+                                    std::to_string(s);
+          const SelectionVector* sel =
+              shapes[s].has_value() ? &*shapes[s] : nullptr;
+          CheckColumnarEval(expr, cols, batch, sel, label);
+          SelectionVector candidates;
+          if (shapes[s].has_value()) {
+            candidates = *shapes[s];
+          } else {
+            for (uint32_t i = 0; i < n; ++i) candidates.push_back(i);
+          }
+          CheckColumnarNarrow(pred, cols, batch, candidates, label);
+        }
       }
     }
   }
