@@ -38,7 +38,7 @@ if [[ "$SANITIZER" == "scalar" ]]; then
   # reference and ScopedDispatch(true) is a no-op, so the differential
   # suites prove the portable path alone produces the oracle results.
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
-    -R 'simd_kernels_test|rex_kernel_fuzz_test|batch_parity_test|columnar_parity_test|row_batch_test'
+    -R 'simd_kernels_test|rex_kernel_fuzz_test|rex_fuse_test|batch_parity_test|columnar_parity_test|row_batch_test'
 
   echo "=== done (scalar) ==="
   exit 0
@@ -79,16 +79,35 @@ if [[ -n "$SANITIZER" ]]; then
   # parity suites force every kernel through SIMD and scalar dispatch
   # (ASan/UBSan catch lane over-reads past the tail; TSan sees the runtime
   # dispatch flag crossing the parallel sweeps), and simd_kernels_test
-  # diffs each intrinsic path against its scalar reference. alloc_count_test
-  # is excluded everywhere: it overrides global operator new, which fights
-  # the sanitizer allocators.
+  # diffs each intrinsic path against its scalar reference. The fused
+  # bytecode interpreter (rex_fuse_test plus the three-way fuzz
+  # differential) runs under both: its register scratch aliases input
+  # batch storage block-by-block (ASan catches a stale alias or a
+  # CompactSel write-ahead overrun), and the morsel-parallel sweeps build
+  # per-worker FusedExpr state that must never share mutable scratch
+  # (TSan). The fuzz differential itself runs under TSan as well — it is
+  # single-threaded, but flipping the runtime dispatch flag while fused
+  # programs cache compiled state is exactly where an unsynchronized
+  # shared-program mutation would surface. alloc_count_test is excluded
+  # everywhere: it overrides global
+  # operator new, which fights the sanitizer allocators.
   if [[ "$SANITIZER" == *thread* ]]; then
-    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test|columnar_parity_test|storage_test|stats_test'
+    FILTER='parallel_exec_test|linq_batch_test|batch_parity_test|columnar_parity_test|rex_fuse_test|rex_kernel_fuzz_test|storage_test|stats_test'
   else
-    FILTER='row_batch_test|rex_kernel_fuzz_test|simd_kernels_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test|storage_test|stats_test'
+    FILTER='row_batch_test|rex_kernel_fuzz_test|rex_fuse_test|simd_kernels_test|batch_parity_test|linq_batch_test|parallel_exec_test|columnar_parity_test|storage_test|stats_test'
   fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
     -R "$FILTER"
+
+  if [[ "$SANITIZER" != *thread* ]]; then
+    echo "=== fuzz (raised iterations under $SANITIZER) ==="
+    # The three-way fused-vs-per-node-vs-per-row differential gets a
+    # dedicated deep run: 5x the default iteration budget, under the
+    # sanitizer that would catch the out-of-bounds reads a lowering bug
+    # produces.
+    REX_FUZZ_ITERS=5 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      --no-tests=error -R 'rex_kernel_fuzz_test'
+  fi
 
   echo "=== done ($SANITIZER) ==="
   exit 0
@@ -102,6 +121,12 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "=== test ==="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "=== fuzz (raised iterations) ==="
+# Dedicated deep run of the fused-vs-per-node-vs-per-row differential:
+# 5x the default per-test iteration budget on the fast non-sanitized build.
+REX_FUZZ_ITERS=5 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  --no-tests=error -R 'rex_kernel_fuzz_test'
 
 echo "=== bench smoke ==="
 # Quick benchmarks exercise the batched execution engine end-to-end

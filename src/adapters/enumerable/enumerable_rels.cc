@@ -13,6 +13,7 @@
 #include "exec/parallel/parallel_exec.h"
 #include "metadata/metadata.h"
 #include "rex/rex_columnar.h"
+#include "rex/rex_fuse.h"
 #include "rex/rex_interpreter.h"
 #include "rex/rex_util.h"
 
@@ -200,7 +201,8 @@ EnumerableTableScan::TryExecuteColumnar(const ExecOptions& opts) const {
   // long as the pipeline is pulled.
   return Result<ColumnBatchPuller>(
       ScanTableColumns(std::move(columns), NormalizedBatchSize(opts),
-                       ScanPredicateList{}, shared_from_this()));
+                       ScanPredicateList{}, shared_from_this(),
+                       opts.enable_fusion));
 }
 
 // --------------------------------- Filter ---------------------------------
@@ -328,7 +330,7 @@ std::optional<Result<ColumnBatchPuller>> EnumerableFilter::TryExecuteColumnar(
         &pushed, &residual);
     if (pushed.empty()) residual.assign(1, condition_);
     pull = ScanTableColumns(std::move(columns), batch_size, std::move(pushed),
-                            self);
+                            self, opts.enable_fusion);
   } else {
     auto in = input(0)->TryExecuteColumnar(opts);
     if (!in.has_value()) return std::nullopt;
@@ -337,8 +339,15 @@ std::optional<Result<ColumnBatchPuller>> EnumerableFilter::TryExecuteColumnar(
     pull = std::move(*in).value();
   }
 
-  auto conjuncts =
-      std::make_shared<std::vector<RexNodePtr>>(std::move(residual));
+  // Residual conjuncts narrow through FusedExpr: whole-tree bytecode
+  // programs where the predicate lowers (rex/rex_fuse.h), the per-node
+  // kernels otherwise. The puller is single-consumer, matching FusedExpr's
+  // one-producer-thread contract.
+  auto conjuncts = std::make_shared<std::vector<FusedExpr>>();
+  conjuncts->reserve(residual.size());
+  for (RexNodePtr& pred : residual) {
+    conjuncts->emplace_back(std::move(pred), opts.enable_fusion);
+  }
   // Scratch arenas for residual predicate evaluation; recycled batch to
   // batch (nothing the predicate allocates outlives the narrowing).
   auto pool = std::make_shared<ArenaPool>();
@@ -358,10 +367,10 @@ std::optional<Result<ColumnBatchPuller>> EnumerableFilter::TryExecuteColumnar(
               cols.has_sel = true;
             }
             ArenaPtr scratch = pool->Acquire();
-            for (const RexNodePtr& pred : *conjuncts) {
+            for (FusedExpr& pred : *conjuncts) {
               if (cols.sel.empty()) break;
               CALCITE_RETURN_IF_ERROR(
-                  RexColumnar::NarrowSelection(pred, cols, scratch, &cols.sel));
+                  pred.NarrowSelection(cols, scratch, &cols.sel));
             }
           }
           if (cols.ActiveCount() == 0) continue;
@@ -427,13 +436,20 @@ std::optional<Result<ColumnBatchPuller>> EnumerableProject::TryExecuteColumnar(
   if (!in.has_value()) return std::nullopt;
   if (!in->ok()) return in;
   RelNodePtr self = shared_from_this();  // pins exprs_ for the pipeline
-  const EnumerableProject* node = this;
   ColumnBatchPuller pull = std::move(*in).value();
+  // Projection exprs evaluate through FusedExpr: whole-tree bytecode where
+  // the expression lowers, per-node kernels otherwise (single-consumer
+  // puller, so one FusedExpr per expression is safe).
+  auto fused = std::make_shared<std::vector<FusedExpr>>();
+  fused->reserve(exprs_.size());
+  for (const RexNodePtr& expr : exprs_) {
+    fused->emplace_back(expr, opts.enable_fusion);
+  }
   // Output columns are bump-allocated; each batch's arena is recycled once
   // the consumer drops the batch.
   auto pool = std::make_shared<ArenaPool>();
   return Result<ColumnBatchPuller>(ColumnBatchPuller(
-      [self, node, pull, pool]() -> Result<ColumnBatch> {
+      [self, fused, pull, pool]() -> Result<ColumnBatch> {
         auto batch = pull();
         if (!batch.ok()) return batch;
         ColumnBatch in_cols = std::move(batch).value();
@@ -444,9 +460,8 @@ std::optional<Result<ColumnBatchPuller>> EnumerableProject::TryExecuteColumnar(
         out.arena = pool->Acquire();
         out.num_rows = in_cols.ActiveCount();
         out.ShareStorage(in_cols);
-        for (const RexNodePtr& expr : node->exprs_) {
-          CALCITE_RETURN_IF_ERROR(
-              RexColumnar::AppendEvalColumn(expr, in_cols, &out));
+        for (FusedExpr& expr : *fused) {
+          CALCITE_RETURN_IF_ERROR(expr.AppendEvalColumn(in_cols, &out));
         }
         return out;
       }));

@@ -348,7 +348,110 @@ bool NarrowVectorized(const ScanPredicate& pred, const ColumnVector& col,
   return true;
 }
 
+/// Vectorized fused-interval narrow, the two-bound analogue of
+/// NarrowVectorized (same density gates, same refill). Returns false to
+/// fall back to applying the two bounds separately.
+bool NarrowRangeVectorized(const FusedScanRange& range,
+                           const ColumnVector& col, SelectionVector* sel) {
+  const size_t cand = sel->size();
+  if (cand < kVectorNarrowMinRows) return false;
+  const Value& lo = range.lower.literal;
+  const Value& hi = range.upper.literal;
+  const bool i64_path =
+      col.type == PhysType::kInt64 && lo.is_int() && hi.is_int();
+  const bool f64_path =
+      col.type == PhysType::kDouble && lo.is_numeric() && hi.is_numeric();
+  if (!i64_path && !f64_path) return false;
+  const size_t hi_row = static_cast<size_t>(sel->back()) + 1;
+  if (cand * 4 < hi_row) return false;
+
+  const bool lo_strict = range.lower.kind == ScanPredicate::Kind::kGreaterThan;
+  const bool hi_strict = range.upper.kind == ScanPredicate::Kind::kLessThan;
+  thread_local std::vector<uint8_t> mask;
+  if (mask.size() < hi_row) mask.resize(hi_row);
+  if (i64_path) {
+    simd::InRangeI64(col.i64, lo.AsInt(), lo_strict, hi.AsInt(), hi_strict,
+                     hi_row, mask.data());
+  } else {
+    simd::InRangeF64(col.f64, lo.AsDouble(), lo_strict, hi.AsDouble(),
+                     hi_strict, hi_row, mask.data());
+  }
+  if (col.nulls != nullptr) {
+    simd::MaskZeroU8(mask.data(), col.nulls, hi_row);  // NULL never passes
+  }
+  if (hi_row == cand) {
+    sel->resize(hi_row + simd::kSelSlack);
+    sel->resize(simd::MaskToSel(mask.data(), hi_row, sel->data()));
+  } else {
+    sel->resize(simd::FilterSelByMask(mask.data(), sel->data(), cand,
+                                      sel->data()));
+  }
+  return true;
+}
+
+/// True for a comparison predicate usable as one side of a fused range:
+/// a strict or inclusive bound with a non-NULL numeric literal.
+bool IsRangeBound(const ScanPredicate& pred, bool* is_lower) {
+  switch (pred.kind) {
+    case ScanPredicate::Kind::kGreaterThan:
+    case ScanPredicate::Kind::kGreaterThanOrEqual:
+      *is_lower = true;
+      break;
+    case ScanPredicate::Kind::kLessThan:
+    case ScanPredicate::Kind::kLessThanOrEqual:
+      *is_lower = false;
+      break;
+    default:
+      return false;
+  }
+  return !pred.literal.IsNull() && pred.literal.is_numeric();
+}
+
 }  // namespace
+
+void FuseScanRanges(ScanPredicateList preds,
+                    std::vector<FusedScanRange>* ranges,
+                    ScanPredicateList* rest) {
+  std::vector<bool> consumed(preds.size(), false);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (consumed[i]) continue;
+    bool i_lower = false;
+    if (!IsRangeBound(preds[i], &i_lower)) {
+      rest->push_back(std::move(preds[i]));
+      continue;
+    }
+    size_t partner = preds.size();
+    for (size_t j = i + 1; j < preds.size(); ++j) {
+      if (consumed[j] || preds[j].column != preds[i].column) continue;
+      bool j_lower = false;
+      if (IsRangeBound(preds[j], &j_lower) && j_lower != i_lower) {
+        partner = j;
+        break;
+      }
+    }
+    if (partner == preds.size()) {
+      rest->push_back(std::move(preds[i]));
+      continue;
+    }
+    consumed[partner] = true;
+    FusedScanRange range;
+    range.lower = std::move(i_lower ? preds[i] : preds[partner]);
+    range.upper = std::move(i_lower ? preds[partner] : preds[i]);
+    ranges->push_back(std::move(range));
+  }
+}
+
+void NarrowByFusedRange(const FusedScanRange& range, const ColumnBatch& batch,
+                        SelectionVector* sel) {
+  const int column = range.lower.column;
+  if (column >= 0 && static_cast<size_t>(column) < batch.cols.size() &&
+      NarrowRangeVectorized(range, batch.cols[static_cast<size_t>(column)],
+                            sel)) {
+    return;
+  }
+  NarrowByScanPredicate(range.lower, batch, sel);
+  if (!sel->empty()) NarrowByScanPredicate(range.upper, batch, sel);
+}
 
 void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
                            SelectionVector* sel) {
@@ -426,21 +529,34 @@ void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
 
 ColumnBatchPuller ScanTableColumns(TableColumnsPtr columns, size_t batch_size,
                                    ScanPredicateList predicates,
-                                   std::shared_ptr<const void> pin) {
+                                   std::shared_ptr<const void> pin,
+                                   bool fuse_ranges) {
   if (batch_size == 0) batch_size = 1;
-  auto preds = std::make_shared<ScanPredicateList>(std::move(predicates));
+  // Bound pairs fuse once at puller construction, not per batch.
+  auto ranges = std::make_shared<std::vector<FusedScanRange>>();
+  auto preds = std::make_shared<ScanPredicateList>();
+  if (fuse_ranges) {
+    FuseScanRanges(std::move(predicates), ranges.get(), preds.get());
+  } else {
+    *preds = std::move(predicates);
+  }
   size_t pos = 0;
-  return [columns, batch_size, preds, pin, pos]() mutable -> Result<ColumnBatch> {
+  return [columns, batch_size, ranges, preds, pin,
+          pos]() mutable -> Result<ColumnBatch> {
     while (pos < columns->num_rows) {
       const size_t count = std::min(batch_size, columns->num_rows - pos);
       ColumnBatch batch = SliceTableColumns(columns, pos, count, pin);
       pos += count;
-      if (!preds->empty()) {
+      if (!ranges->empty() || !preds->empty()) {
         SelectionVector sel(count);
         for (size_t i = 0; i < count; ++i) sel[i] = static_cast<uint32_t>(i);
-        for (const ScanPredicate& pred : *preds) {
-          NarrowByScanPredicate(pred, batch, &sel);
+        for (const FusedScanRange& range : *ranges) {
+          NarrowByFusedRange(range, batch, &sel);
           if (sel.empty()) break;
+        }
+        for (const ScanPredicate& pred : *preds) {
+          if (sel.empty()) break;
+          NarrowByScanPredicate(pred, batch, &sel);
         }
         if (sel.empty()) continue;  // never yield an empty batch mid-stream
         if (sel.size() < count) {

@@ -172,6 +172,35 @@ ColumnBatch SliceTableColumns(const TableColumnsPtr& columns, size_t begin,
 void NarrowByScanPredicate(const ScanPredicate& pred, const ColumnBatch& batch,
                            SelectionVector* sel);
 
+/// A lower and an upper pushed bound on the same column, fused into one
+/// interval test: the row range `lower.lit (<|<=) col (<|<=) upper.lit`
+/// narrows with a single simd::InRange pass per batch instead of two
+/// compare+refill rounds. `lower.kind` is kGreaterThan[OrEqual],
+/// `upper.kind` is kLessThan[OrEqual], both on `lower.column`, both with
+/// non-NULL numeric literals (FuseScanRanges guarantees all of this).
+struct FusedScanRange {
+  ScanPredicate lower;
+  ScanPredicate upper;
+};
+
+/// Splits `preds` into fused range pairs and the remainder: each
+/// lower-bound comparison pairs greedily with the first later upper-bound
+/// comparison on the same column (non-NULL numeric literals only), and
+/// every unpaired predicate lands in `rest` in its original order. Legal
+/// because pushed predicates form a conjunction of error-free per-row
+/// tests, so evaluation order is unobservable.
+void FuseScanRanges(ScanPredicateList preds,
+                    std::vector<FusedScanRange>* ranges,
+                    ScanPredicateList* rest);
+
+/// NarrowByScanPredicate's fused-interval analogue: narrows `sel` to the
+/// rows inside the range with one vectorized interval test when the
+/// column/literal pairing supports it, falling back to applying the two
+/// original bound predicates. Bit-identical to narrowing by `range.lower`
+/// then `range.upper` separately.
+void NarrowByFusedRange(const FusedScanRange& range, const ColumnBatch& batch,
+                        SelectionVector* sel);
+
 /// 64-bit hash of a boxed cell, consistent with the blocked HashColumn
 /// kernel below: numerically-equal int64/double values hash identically
 /// (cross-representation equality compares as double), NULL hashes to the
@@ -197,10 +226,14 @@ void HashColumn(const ColumnVector& col, const uint32_t* sel, size_t n,
 /// rows over `columns`, applying `predicates` on raw column storage and
 /// attaching the surviving selection to each batch (batches where nothing
 /// survives are skipped, never yielded empty). `pin` keeps the owning table
-/// alive while pulling.
+/// alive while pulling. When `fuse_ranges` is set (ExecOptions::
+/// enable_fusion at the call sites), bound pairs among the predicates are
+/// fused once up front via FuseScanRanges and applied as single interval
+/// tests.
 ColumnBatchPuller ScanTableColumns(TableColumnsPtr columns, size_t batch_size,
                                    ScanPredicateList predicates,
-                                   std::shared_ptr<const void> pin);
+                                   std::shared_ptr<const void> pin,
+                                   bool fuse_ranges = true);
 
 /// Boxes the *active* rows of `batch` into a compact RowBatch (the
 /// column-to-row conversion boundary used by unconverted consumers).

@@ -18,6 +18,7 @@
 #include "exec/simd.h"
 #include "rel/core.h"
 #include "rex/rex_columnar.h"
+#include "rex/rex_fuse.h"
 #include "rex/rex_interpreter.h"
 
 namespace calcite {
@@ -142,17 +143,48 @@ Status ApplyStagesSel(const std::vector<PipelineStage>& stages,
   return Status::OK();
 }
 
+/// Worker-local fused view of one pipeline stage: a FusedExpr per filter
+/// predicate / projection expression. FusedExpr caches a compiled bytecode
+/// program and register scratch and is not thread-safe (same contract as
+/// ArenaPool), so every worker builds its own list next to its scratch
+/// pool instead of sharing the RexNode-level stages directly.
+struct FusedStage {
+  std::unique_ptr<FusedExpr> filter;
+  std::vector<FusedExpr> project;
+};
+
+std::vector<FusedStage> BuildFusedStages(
+    const std::vector<PipelineStage>& stages, bool enable_fusion) {
+  std::vector<FusedStage> out;
+  out.reserve(stages.size());
+  for (const PipelineStage& stage : stages) {
+    FusedStage fused;
+    if (stage.filter != nullptr) {
+      fused.filter = std::make_unique<FusedExpr>(stage.filter, enable_fusion);
+    } else {
+      fused.project.reserve(stage.project->size());
+      for (const RexNodePtr& expr : *stage.project) {
+        fused.project.emplace_back(expr, enable_fusion);
+      }
+    }
+    out.push_back(std::move(fused));
+  }
+  return out;
+}
+
 /// Columnar counterpart of ApplyStagesSel, one implementation of stage
 /// semantics on raw columns whichever worker thread runs it: filter stages
-/// narrow the batch's selection via the columnar kernels, project stages
-/// rebuild the batch densely (selection consumed on write). `scratch_pool`
-/// recycles filter-scratch arenas; it is worker-local, so acquire/release
-/// stays on one thread. Project outputs get a *fresh* arena each time:
-/// those batches cross the exchange to the consumer thread, and an arena
-/// must never be recycled by one thread while another still reads it.
-Status ApplyStagesColumnar(const std::vector<PipelineStage>& stages,
+/// narrow the batch's selection via the columnar kernels (fused bytecode
+/// where the predicate lowers), project stages rebuild the batch densely
+/// (selection consumed on write). `scratch_pool` recycles filter-scratch
+/// arenas; it and `stages` are worker-local, so acquire/release and the
+/// fused interpreter state stay on one thread. Project outputs get a
+/// *fresh* arena each time: those batches cross the exchange to the
+/// consumer thread, and an arena must never be recycled by one thread
+/// while another still reads it.
+Status ApplyStagesColumnar(std::vector<FusedStage>* stages,
                            ArenaPool* scratch_pool, ColumnBatch* batch) {
-  for (const PipelineStage& stage : stages) {
+  for (FusedStage& stage : *stages) {
     if (batch->ActiveCount() == 0) return Status::OK();
     if (stage.filter != nullptr) {
       if (!batch->has_sel) {
@@ -163,16 +195,15 @@ Status ApplyStagesColumnar(const std::vector<PipelineStage>& stages,
         batch->has_sel = true;
       }
       ArenaPtr scratch = scratch_pool->Acquire();
-      CALCITE_RETURN_IF_ERROR(RexColumnar::NarrowSelection(
-          stage.filter, *batch, scratch, &batch->sel));
+      CALCITE_RETURN_IF_ERROR(
+          stage.filter->NarrowSelection(*batch, scratch, &batch->sel));
     } else {
       ColumnBatch out;
       out.arena = std::make_shared<Arena>();
       out.num_rows = batch->ActiveCount();
       out.ShareStorage(*batch);
-      for (const RexNodePtr& expr : *stage.project) {
-        CALCITE_RETURN_IF_ERROR(
-            RexColumnar::AppendEvalColumn(expr, *batch, &out));
+      for (FusedExpr& expr : stage.project) {
+        CALCITE_RETURN_IF_ERROR(expr.AppendEvalColumn(*batch, &out));
       }
       *batch = std::move(out);
     }
@@ -281,8 +312,10 @@ void RunPagedPipelineWorker(const FragmentSource& src, QueryCancelState* cancel,
 void RunColumnarPipelineWorker(const std::shared_ptr<FragmentSource>& src,
                                QueryCancelState* cancel,
                                ColumnExchangeQueue* queue,
-                               MorselSource* morsels, size_t batch_size) {
+                               MorselSource* morsels, size_t batch_size,
+                               bool enable_fusion) {
   ArenaPool scratch_pool;
+  std::vector<FusedStage> stages = BuildFusedStages(src->stages, enable_fusion);
   while (!cancel->cancelled()) {
     auto morsel = morsels->Next();
     if (!morsel.has_value()) break;
@@ -292,7 +325,7 @@ void RunColumnarPipelineWorker(const std::shared_ptr<FragmentSource>& src,
       size_t n = std::min(batch_size, morsel->end - pos);
       ColumnBatch batch = SliceTableColumns(src->columns, pos, n, src);
       pos += n;
-      Status status = ApplyStagesColumnar(src->stages, &scratch_pool, &batch);
+      Status status = ApplyStagesColumnar(&stages, &scratch_pool, &batch);
       if (!status.ok()) {
         cancel->Cancel(std::move(status));
         queue->Cancel();
@@ -313,19 +346,22 @@ Result<RowBatchPuller> ExecutePipelineParallel(FragmentSource fragment,
 
   src->PrepareColumnar(opts);
   if (src->columns != nullptr) {
+    const bool enable_fusion = opts.enable_fusion;
     auto queue = std::make_shared<ColumnExchangeQueue>(threads * 2, threads);
-    auto start = [src, cancel, queue, threads,
-                  batch_size]() -> std::shared_ptr<TaskScheduler> {
+    auto start = [src, cancel, queue, threads, batch_size,
+                  enable_fusion]() -> std::shared_ptr<TaskScheduler> {
       auto morsels = std::make_shared<MorselSource>(
           src->columns->num_rows,
           PickMorselSize(src->columns->num_rows, threads));
       auto scheduler = std::make_shared<TaskScheduler>(threads);
       for (size_t t = 0; t < threads; ++t) {
-        scheduler->Submit([src, cancel, queue, morsels, batch_size]() {
-          RunColumnarPipelineWorker(src, cancel.get(), queue.get(),
-                                    morsels.get(), batch_size);
-          queue->ProducerDone();
-        });
+        scheduler->Submit(
+            [src, cancel, queue, morsels, batch_size, enable_fusion]() {
+              RunColumnarPipelineWorker(src, cancel.get(), queue.get(),
+                                        morsels.get(), batch_size,
+                                        enable_fusion);
+              queue->ProducerDone();
+            });
       }
       return scheduler;
     };
@@ -479,8 +515,10 @@ void RunAggWorker(const FragmentSource& src,
 /// unless it opens a new group.
 void RunColumnarAggWorker(const std::shared_ptr<FragmentSource>& src,
                           QueryCancelState* cancel, MorselSource* morsels,
-                          size_t batch_size, ColumnarAggBuilder* local) {
+                          size_t batch_size, bool enable_fusion,
+                          ColumnarAggBuilder* local) {
   ArenaPool scratch_pool;
+  std::vector<FusedStage> stages = BuildFusedStages(src->stages, enable_fusion);
   while (!cancel->cancelled()) {
     auto morsel = morsels->Next();
     if (!morsel.has_value()) break;
@@ -490,7 +528,7 @@ void RunColumnarAggWorker(const std::shared_ptr<FragmentSource>& src,
       size_t n = std::min(batch_size, morsel->end - pos);
       ColumnBatch batch = SliceTableColumns(src->columns, pos, n, src);
       pos += n;
-      Status status = ApplyStagesColumnar(src->stages, &scratch_pool, &batch);
+      Status status = ApplyStagesColumnar(&stages, &scratch_pool, &batch);
       if (status.ok() && batch.ActiveCount() > 0) {
         status = local->Feed(batch);
       }
@@ -541,11 +579,13 @@ Result<RowBatchPuller> ExecuteAggregateParallel(const Aggregate& agg,
                 src->columns->num_rows,
                 PickMorselSize(src->columns->num_rows, threads));
             TaskScheduler scheduler(threads);
+            const bool enable_fusion = opts_copy.enable_fusion;
             for (size_t t = 0; t < threads; ++t) {
               ColumnarAggBuilder* local = locals[t].get();
-              scheduler.Submit([src, cancel, &morsels, batch_size, local]() {
+              scheduler.Submit([src, cancel, &morsels, batch_size,
+                                enable_fusion, local]() {
                 RunColumnarAggWorker(src, cancel.get(), &morsels, batch_size,
-                                     local);
+                                     enable_fusion, local);
               });
             }
             scheduler.WaitIdle();

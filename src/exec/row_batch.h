@@ -65,6 +65,17 @@ struct ExecOptions {
   /// parity suite executes every query both ways.
   bool enable_columnar = true;
 
+  /// When true (the default), columnar expression evaluation lowers whole
+  /// RexNode trees into flat register-allocated bytecode programs
+  /// (rex/rex_fuse.h) executed block-at-a-time against the SIMD kernels,
+  /// instead of materializing one arena temporary per operator node. Trees
+  /// the fuser cannot lower (strings, non-literal divisors, unsupported
+  /// operators) silently fall back to the per-node path, so this flag never
+  /// changes results — the differential fuzz and parity suites run both
+  /// ways to prove it. It also gates range-fusion of pushed scan
+  /// predicates ($0 >= a AND $0 < b -> one interval test).
+  bool enable_fusion = true;
+
   /// Access-path hint handed to every leaf scan (via ScanSpec). kAuto is
   /// the cost-based default; the forced settings exist for benchmarks,
   /// plan-stability debugging, and the differential parity suites. This

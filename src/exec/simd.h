@@ -93,9 +93,26 @@ void ArithI64(Arith op, const int64_t* a, const int64_t* b, size_t n,
               int64_t* out);
 void ArithF64(Arith op, const double* a, const double* b, size_t n,
               double* out);
+/// Column-vs-literal forms (the broadcast is folded into the kernel; kSub
+/// computes a[i] - lit, so a literal-on-the-left subtraction does not fold).
+void ArithI64Lit(Arith op, const int64_t* a, int64_t lit, size_t n,
+                 int64_t* out);
+void ArithF64Lit(Arith op, const double* a, double lit, size_t n,
+                 double* out);
 
 /// out[i] = double(v[i]) — the widening used by mixed int/double operands.
 void I64ToF64(const int64_t* v, size_t n, double* out);
+
+/// Fused interval test: out[i] = 1 iff v[i] is above `lo` and below `hi`,
+/// each bound strict or inclusive — one pass where `v >= lo AND v < hi`
+/// would take two compare kernels and a mask AND. Inclusive bounds are
+/// evaluated as NOT(strictly outside), so under the three-way double
+/// semantics above a NaN lane passes both inclusive bounds and fails both
+/// strict ones, exactly like the corresponding kGe/kLe vs kGt/kLt kernels.
+void InRangeI64(const int64_t* v, int64_t lo, bool lo_strict, int64_t hi,
+                bool hi_strict, size_t n, uint8_t* out);
+void InRangeF64(const double* v, double lo, bool lo_strict, double hi,
+                bool hi_strict, size_t n, uint8_t* out);
 
 // ---------------------------------------------------------------------------
 // Mask folding
@@ -103,6 +120,8 @@ void I64ToF64(const int64_t* v, size_t n, double* out);
 
 /// out[i] = (a[i] || b[i]) ? 1 : 0 — the NULL-strict null-map fold.
 void OrMasks(const uint8_t* a, const uint8_t* b, size_t n, uint8_t* out);
+/// out[i] = (a[i] && b[i]) ? 1 : 0 — conjunction of two predicate masks.
+void AndMasks(const uint8_t* a, const uint8_t* b, size_t n, uint8_t* out);
 /// out[i] = (value[i] && !off[i]) ? 1 : 0 — boolean result minus its nulls.
 void AndNotMask(const uint8_t* value, const uint8_t* off, size_t n,
                 uint8_t* out);

@@ -8,7 +8,9 @@
 // differential runs whole optimized plans both ways, and unit packs cover
 // the arena allocator, the table column decomposition, leaf predicate
 // pushdown on raw columns, the row/column conversion boundary, and the
-// ExecOptions normalization clamps.
+// ExecOptions normalization clamps. A fusion axis runs SQL plans and leaf
+// scans with `enable_fusion` (the tree-fusing bytecode interpreter plus
+// scan range fusion, rex/rex_fuse.h) on and off, which must be invisible.
 
 #include <gtest/gtest.h>
 
@@ -669,6 +671,66 @@ TEST(ExecOptionsTest, NormalizedClampsBothKnobs) {
 // fully ordered (ORDER BY over a unique prefix, or a single aggregate
 // row), so even parallel grids compare byte-identically.
 
+TEST_F(ColumnBatchTest, ScanRangeFusionMatchesUnfused) {
+  auto row_type = TestRowType(tf_);
+  std::vector<Row> rows = MakeRows(2050);
+  auto cols = TableColumns::Build(rows, *row_type);
+  ASSERT_NE(cols, nullptr);
+
+  // A fusable pair on $0, a fusable double pair on $3 split around an
+  // unrelated equality, and a partnerless bound — FuseScanRanges pairs the
+  // first two and leaves the rest.
+  ScanPredicateList preds;
+  {
+    ScanPredicate p;
+    p.kind = ScanPredicate::Kind::kGreaterThanOrEqual;
+    p.column = 0;
+    p.literal = Value::Int(100);
+    preds.push_back(p);
+    p.kind = ScanPredicate::Kind::kLessThan;
+    p.column = 0;
+    p.literal = Value::Int(1800);
+    preds.push_back(p);
+    p.kind = ScanPredicate::Kind::kGreaterThan;
+    p.column = 3;
+    p.literal = Value::Double(0.5);
+    preds.push_back(p);
+    p.kind = ScanPredicate::Kind::kLessThanOrEqual;
+    p.column = 3;
+    p.literal = Value::Double(5.0);
+    preds.push_back(p);
+    p.kind = ScanPredicate::Kind::kGreaterThan;
+    p.column = 1;
+    p.literal = Value::Int(1);
+    preds.push_back(p);
+  }
+  std::vector<Row> want;
+  for (const Row& row : rows) {
+    if (ScanPredicatesMatch(preds, row)) want.push_back(row);
+  }
+  ASSERT_FALSE(want.empty());
+
+  for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+    for (bool fuse : {true, false}) {
+      auto pull = ScanTableColumns(cols, bs, preds, cols, fuse);
+      std::vector<Row> got;
+      for (;;) {
+        auto batch = pull();
+        ASSERT_TRUE(batch.ok());
+        if (batch.value().AtEnd()) break;
+        RowBatch boxed;
+        ColumnsToRows(batch.value(), &boxed);
+        for (Row& row : boxed) got.push_back(std::move(row));
+      }
+      ASSERT_EQ(got.size(), want.size()) << "bs=" << bs << " fuse=" << fuse;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(RowToString(got[i]), RowToString(want[i]))
+            << "bs=" << bs << " fuse=" << fuse << " row " << i;
+      }
+    }
+  }
+}
+
 TEST(ColumnarSqlTest, QueriesMatchWithColumnarOnAndOff) {
   const std::vector<std::string> queries = {
       "SELECT * FROM sales ORDER BY saleid",
@@ -762,6 +824,64 @@ TEST(ColumnarSqlTest, QueriesMatchWithSimdOnAndOff) {
           << queries[q] << ": " << result.status().ToString();
       EXPECT_EQ(result.value().ToTable(), baseline[q])
           << queries[q] << " simd=" << cfg.simd << " threads=" << cfg.threads;
+    }
+  }
+}
+
+// The tree-fusing bytecode interpreter (rex/rex_fuse.h) must likewise be
+// invisible at the SQL level: whole optimized plans — serial and
+// morsel-parallel — produce identical grids with `enable_fusion` on (the
+// default: fused expression pipelines plus scan range fusion) and off (the
+// per-node kernel path everywhere). The queries mix fusible arithmetic
+// chains, range-pair WHERE clauses that exercise scan range fusion, NULL
+// three-valued logic, literal division, and operators outside the fused set
+// so the whole-tree fallback runs inside real plans.
+TEST(ColumnarSqlTest, QueriesMatchWithFusionOnAndOff) {
+  const std::vector<std::string> queries = {
+      "SELECT saleid, (units + saleid) * 2 AS m FROM sales "
+      "WHERE (units + saleid) * 2 > 8 ORDER BY saleid",
+      "SELECT saleid FROM sales WHERE saleid >= 2 AND saleid < 5 "
+      "ORDER BY saleid",
+      "SELECT saleid, units FROM sales "
+      "WHERE units > 1 AND discount < 0.3 AND discount IS NOT NULL "
+      "ORDER BY saleid",
+      "SELECT saleid, units / 2 AS h, units * 1.5 AS w FROM sales "
+      "ORDER BY saleid",
+      "SELECT empid, salary FROM emps "
+      "WHERE salary >= 7000.0 AND salary < 11500.0 ORDER BY empid",
+      "SELECT deptno, COUNT(*) AS c, SUM(salary + 1) AS s FROM emps "
+      "WHERE empid >= 100 AND empid < 240 GROUP BY deptno ORDER BY deptno",
+      "SELECT name FROM products WHERE UPPER(name) LIKE 'P%' ORDER BY name",
+  };
+  std::vector<std::string> baseline;
+  {
+    Connection::Config config;
+    config.schema = testing::MakeTestSchema();
+    config.exec_options.enable_fusion = false;
+    Connection conn(std::move(config));
+    for (const std::string& sql : queries) {
+      auto result = conn.Query(sql);
+      ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+      baseline.push_back(result.value().ToTable());
+    }
+  }
+  struct Config {
+    bool fusion;
+    size_t threads;
+  };
+  for (Config cfg : {Config{true, 1}, Config{true, 4}, Config{false, 4}}) {
+    Connection::Config config;
+    config.schema = testing::MakeTestSchema();
+    config.exec_options.enable_fusion = cfg.fusion;
+    config.exec_options.num_threads = cfg.threads;
+    Connection conn(std::move(config));
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = conn.Query(queries[q]);
+      ASSERT_TRUE(result.ok())
+          << queries[q] << ": " << result.status().ToString();
+      EXPECT_EQ(result.value().ToTable(), baseline[q])
+          << queries[q] << " fusion=" << cfg.fusion
+          << " threads=" << cfg.threads;
     }
   }
 }

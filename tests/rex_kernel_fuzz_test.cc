@@ -8,17 +8,27 @@
 // selection vectors of every shape (absent, empty, singleton, dense,
 // sparse). The columnar checks run the same trees over the typed column
 // decomposition of the same rows, so typed fast paths and the boxed
-// fallback are both diffed against row semantics. A directed
+// fallback are both diffed against row semantics — and every columnar
+// check additionally runs the tree-fusing bytecode interpreter
+// (rex/rex_fuse.h), making each tree a three-way differential:
+// fused-vs-per-node-vs-per-row, under both SIMD dispatch modes. A directed
 // ternary-NULL-semantics regression pack locks in the three-valued-logic
 // corners the kernels must preserve.
 //
 // The generator is error-free by construction (division and modulo only
 // ever take a non-zero literal divisor, casts never parse arbitrary
-// strings), so a Status failure from either engine is itself a bug.
+// strings), so a Status failure from either engine is itself a bug. It
+// also deliberately mixes fusible and unfusible operators (ABS, UPPER,
+// string compares) so the fused path's whole-tree fallback is fuzzed as
+// hard as its bytecode programs.
+//
+// REX_FUZZ_ITERS=<k> multiplies every iteration count by k — the dedicated
+// CI fuzz step runs with a raised count; the default keeps local runs fast.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <random>
 #include <string>
@@ -29,6 +39,7 @@
 #include "exec/simd.h"
 #include "rex/rex_builder.h"
 #include "rex/rex_columnar.h"
+#include "rex/rex_fuse.h"
 #include "rex/rex_interpreter.h"
 #include "type/rel_data_type.h"
 #include "type/value.h"
@@ -45,6 +56,14 @@ namespace {
 //   $5 f  BOOLEAN?       (~20% NULL)
 class RexKernelFuzzTest : public ::testing::Test {
  protected:
+  /// Iteration scale factor: the dedicated CI fuzz step raises it via
+  /// REX_FUZZ_ITERS=<k>; anything unset or non-positive means 1.
+  static int FuzzScale() {
+    const char* env = std::getenv("REX_FUZZ_ITERS");
+    const int k = env != nullptr ? std::atoi(env) : 1;
+    return k > 0 ? k : 1;
+  }
+
   RexKernelFuzzTest() {
     int_t_ = tf_.CreateSqlType(SqlTypeName::kInteger);
     int_null_ = tf_.CreateSqlType(SqlTypeName::kInteger, -1, true);
@@ -321,6 +340,21 @@ class RexKernelFuzzTest : public ::testing::Test {
       ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
       ASSERT_EQ(out.cols.size(), 1u) << label;
     }
+    // Third engine: the tree-fusing bytecode interpreter (which falls back
+    // to the per-node path for unfusible trees — the differential holds
+    // either way), again under both dispatch modes.
+    ColumnBatch fused_scalar, fused_simd;
+    for (bool enable_simd : {false, true}) {
+      simd::ScopedDispatch dispatch(enable_simd);
+      ColumnBatch& out = enable_simd ? fused_simd : fused_scalar;
+      out.arena = std::make_shared<Arena>();
+      out.ShareStorage(in);
+      out.num_rows = in.ActiveCount();
+      FusedExpr fused(expr);
+      Status status = fused.AppendEvalColumn(in, &out);
+      ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+      ASSERT_EQ(out.cols.size(), 1u) << label;
+    }
     const size_t n = in.ActiveCount();
     for (size_t k = 0; k < n; ++k) {
       const Row& row = rows[in.ActiveIndex(k)];
@@ -332,6 +366,14 @@ class RexKernelFuzzTest : public ::testing::Test {
       ASSERT_EQ(out_simd.cols[0].GetValue(k).ToString(),
                 out_scalar.cols[0].GetValue(k).ToString())
           << label << " simd-vs-scalar row " << k << " expr "
+          << expr->ToString();
+      ASSERT_EQ(fused_scalar.cols[0].GetValue(k).ToString(),
+                out_scalar.cols[0].GetValue(k).ToString())
+          << label << " fused-vs-per-node row " << k << " expr "
+          << expr->ToString();
+      ASSERT_EQ(fused_simd.cols[0].GetValue(k).ToString(),
+                out_scalar.cols[0].GetValue(k).ToString())
+          << label << " fused-simd-vs-per-node row " << k << " expr "
           << expr->ToString();
     }
   }
@@ -352,6 +394,17 @@ class RexKernelFuzzTest : public ::testing::Test {
           RexColumnar::NarrowSelection(pred, base, scratch, &got);
       ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
     }
+    // Fused leg of the differential (falls back per the whole-tree rule).
+    SelectionVector fused_scalar, fused_simd;
+    for (bool enable_simd : {false, true}) {
+      simd::ScopedDispatch dispatch(enable_simd);
+      SelectionVector& got = enable_simd ? fused_simd : fused_scalar;
+      got = candidates;
+      ArenaPtr scratch = std::make_shared<Arena>();
+      FusedExpr fused(pred);
+      Status status = fused.NarrowSelection(base, scratch, &got);
+      ASSERT_TRUE(status.ok()) << label << ": " << status.ToString();
+    }
     SelectionVector want;
     for (uint32_t idx : candidates) {
       auto pass = RexInterpreter::EvalPredicate(pred, rows[idx]);
@@ -361,6 +414,10 @@ class RexKernelFuzzTest : public ::testing::Test {
     ASSERT_EQ(got_scalar, want) << label << " pred " << pred->ToString();
     ASSERT_EQ(got_simd, want)
         << label << " simd-vs-scalar pred " << pred->ToString();
+    ASSERT_EQ(fused_scalar, want)
+        << label << " fused pred " << pred->ToString();
+    ASSERT_EQ(fused_simd, want)
+        << label << " fused-simd pred " << pred->ToString();
   }
 
   TypeFactory tf_;
@@ -374,7 +431,7 @@ TEST_F(RexKernelFuzzTest, EvalBatchMatchesPerRowOracle) {
   for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}}) {
     RowBatch batch = MakeBatch(n, &rng);
     auto shapes = SelectionShapes(n);
-    for (int iter = 0; iter < 60; ++iter) {
+    for (int iter = 0; iter < 60 * FuzzScale(); ++iter) {
       RexNodePtr expr = GenAny(&rng, 3);
       for (size_t s = 0; s < shapes.size(); ++s) {
         const SelectionVector* sel =
@@ -392,7 +449,7 @@ TEST_F(RexKernelFuzzTest, NarrowSelectionMatchesPerRowOracle) {
   for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}}) {
     RowBatch batch = MakeBatch(n, &rng);
     auto shapes = SelectionShapes(n);
-    for (int iter = 0; iter < 60; ++iter) {
+    for (int iter = 0; iter < 60 * FuzzScale(); ++iter) {
       RexNodePtr pred = GenBool(&rng, 3);
       for (size_t s = 0; s < shapes.size(); ++s) {
         SelectionVector candidates;
@@ -411,11 +468,13 @@ TEST_F(RexKernelFuzzTest, NarrowSelectionMatchesPerRowOracle) {
 
 TEST_F(RexKernelFuzzTest, ColumnarEvalMatchesPerRowOracle) {
   std::mt19937 rng(20260807);
-  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}}) {
+  // 1025 straddles the fused interpreter's block size (kFuseBlockRows =
+  // 1024): a full block plus a 1-row tail.
+  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}, size_t{1025}}) {
     RowBatch batch = MakeBatch(n, &rng);
     ColumnBatch cols = ToColumns(batch);
     auto shapes = SelectionShapes(n);
-    for (int iter = 0; iter < 60; ++iter) {
+    for (int iter = 0; iter < 60 * FuzzScale(); ++iter) {
       RexNodePtr expr = GenAny(&rng, 3);
       for (size_t s = 0; s < shapes.size(); ++s) {
         const SelectionVector* sel =
@@ -431,11 +490,11 @@ TEST_F(RexKernelFuzzTest, ColumnarEvalMatchesPerRowOracle) {
 
 TEST_F(RexKernelFuzzTest, ColumnarNarrowSelectionMatchesPerRowOracle) {
   std::mt19937 rng(135792468);
-  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}}) {
+  for (size_t n : {size_t{1}, size_t{1023}, size_t{1024}, size_t{1025}}) {
     RowBatch batch = MakeBatch(n, &rng);
     ColumnBatch cols = ToColumns(batch);
     auto shapes = SelectionShapes(n);
-    for (int iter = 0; iter < 60; ++iter) {
+    for (int iter = 0; iter < 60 * FuzzScale(); ++iter) {
       RexNodePtr pred = GenBool(&rng, 3);
       for (size_t s = 0; s < shapes.size(); ++s) {
         SelectionVector candidates;
@@ -466,7 +525,7 @@ TEST_F(RexKernelFuzzTest, SimdTailAndAlignmentShapes) {
       RowBatch batch = MakeBatch(n, &rng, null_pct);
       ColumnBatch cols = ToColumns(batch);
       auto shapes = SelectionShapes(n);
-      const int iters = n >= 1023 ? 6 : 12;
+      const int iters = (n >= 1023 ? 6 : 12) * FuzzScale();
       for (int iter = 0; iter < iters; ++iter) {
         RexNodePtr expr = GenAny(&rng, 3);
         RexNodePtr pred = GenBool(&rng, 3);

@@ -206,6 +206,144 @@ TEST(SimdKernelDiffTest, ArithmeticMatchesScalar) {
   }
 }
 
+TEST(SimdKernelDiffTest, ArithLitMatchesScalarAndBroadcast) {
+  for (size_t n : kSizes) {
+    auto ai = RandomSmallI64(n, 21);
+    auto af = RandomF64(n, 22);
+    for (Arith op : kAriths) {
+      for (int64_t lit : {int64_t{-7}, int64_t{0}, int64_t{3}}) {
+        std::vector<int64_t> so(n), co(n), bc(n);
+        {
+          ScopedDispatch on(true);
+          ArithI64Lit(op, ai.data(), lit, n, so.data());
+        }
+        {
+          ScopedDispatch off(false);
+          ArithI64Lit(op, ai.data(), lit, n, co.data());
+        }
+        ASSERT_EQ(so, co) << "n=" << n << " op=" << int(op) << " lit=" << lit;
+        // The literal is always the RIGHT operand (kSub is a[i] - lit):
+        // must equal the two-vector kernel against a broadcast array.
+        std::vector<int64_t> rhs(n, lit);
+        ScopedDispatch off(false);
+        ArithI64(op, ai.data(), rhs.data(), n, bc.data());
+        ASSERT_EQ(so, bc) << "n=" << n << " op=" << int(op) << " lit=" << lit;
+      }
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      for (double lit : {-0.5, 0.0, nan}) {
+        std::vector<double> so(n), co(n);
+        {
+          ScopedDispatch on(true);
+          ArithF64Lit(op, af.data(), lit, n, so.data());
+        }
+        {
+          ScopedDispatch off(false);
+          ArithF64Lit(op, af.data(), lit, n, co.data());
+        }
+        if (n != 0) {
+          ASSERT_EQ(0, std::memcmp(so.data(), co.data(), n * sizeof(double)))
+              << "n=" << n << " op=" << int(op) << " lit=" << lit;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelDiffTest, AndMasksMatchesScalar) {
+  for (size_t n : kSizes) {
+    for (uint32_t density : {0u, 20u, 50u, 100u}) {
+      // Non-canonical set bytes on both inputs: only zero/nonzero matters.
+      auto a = RandomMask(n, 23 + density, density);
+      auto b = RandomMask(n, 24 + density, 100 - density);
+      std::vector<uint8_t> so(n, 0xee), co(n, 0xdd);
+      {
+        ScopedDispatch on(true);
+        AndMasks(a.data(), b.data(), n, so.data());
+      }
+      {
+        ScopedDispatch off(false);
+        AndMasks(a.data(), b.data(), n, co.data());
+      }
+      ASSERT_EQ(so, co) << "n=" << n << " density=" << density;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(so[i], (a[i] != 0 && b[i] != 0) ? 1 : 0) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelDiffTest, InRangeI64MatchesScalarAndComposedCompares) {
+  for (size_t n : kSizes) {
+    auto v = RandomI64(n, 25);
+    for (bool lo_strict : {false, true}) {
+      for (bool hi_strict : {false, true}) {
+        const int64_t lo = -2, hi = 2;
+        std::vector<uint8_t> so(n, 0xee), co(n, 0xdd);
+        {
+          ScopedDispatch on(true);
+          InRangeI64(v.data(), lo, lo_strict, hi, hi_strict, n, so.data());
+        }
+        {
+          ScopedDispatch off(false);
+          InRangeI64(v.data(), lo, lo_strict, hi, hi_strict, n, co.data());
+        }
+        ASSERT_EQ(so, co) << "n=" << n << " strict=" << lo_strict << ","
+                          << hi_strict;
+        // Equivalent to AND of the two separate literal compares.
+        std::vector<uint8_t> lom(n), him(n), both(n);
+        ScopedDispatch off(false);
+        CmpI64Lit(lo_strict ? Cmp::kGt : Cmp::kGe, v.data(), lo, n,
+                  lom.data());
+        CmpI64Lit(hi_strict ? Cmp::kLt : Cmp::kLe, v.data(), hi, n,
+                  him.data());
+        AndMasks(lom.data(), him.data(), n, both.data());
+        ASSERT_EQ(so, both) << "n=" << n << " strict=" << lo_strict << ","
+                            << hi_strict;
+        for (uint8_t x : so) ASSERT_LE(x, 1);
+      }
+    }
+  }
+}
+
+// The interval test inherits the engine's NaN-compares-equal ordering: a
+// NaN lane passes each inclusive bound (as kGe/kLe do) and fails each
+// strict one (as kGt/kLt do) — under both dispatch modes.
+TEST(SimdKernelDiffTest, InRangeF64MatchesScalarIncludingNaN) {
+  for (size_t n : kSizes) {
+    auto v = RandomF64(n, 26);  // salts in NaN and -0.0 lanes
+    for (bool lo_strict : {false, true}) {
+      for (bool hi_strict : {false, true}) {
+        const double lo = -1.5, hi = 1.5;
+        std::vector<uint8_t> so(n, 0xee), co(n, 0xdd);
+        {
+          ScopedDispatch on(true);
+          InRangeF64(v.data(), lo, lo_strict, hi, hi_strict, n, so.data());
+        }
+        {
+          ScopedDispatch off(false);
+          InRangeF64(v.data(), lo, lo_strict, hi, hi_strict, n, co.data());
+        }
+        ASSERT_EQ(so, co) << "n=" << n << " strict=" << lo_strict << ","
+                          << hi_strict;
+        std::vector<uint8_t> lom(n), him(n), both(n);
+        ScopedDispatch off(false);
+        CmpF64Lit(lo_strict ? Cmp::kGt : Cmp::kGe, v.data(), lo, n,
+                  lom.data());
+        CmpF64Lit(hi_strict ? Cmp::kLt : Cmp::kLe, v.data(), hi, n,
+                  him.data());
+        AndMasks(lom.data(), him.data(), n, both.data());
+        ASSERT_EQ(so, both) << "n=" << n << " strict=" << lo_strict << ","
+                            << hi_strict;
+        for (size_t i = 0; i < n; ++i) {
+          if (std::isnan(v[i])) {
+            ASSERT_EQ(so[i], (!lo_strict && !hi_strict) ? 1 : 0) << "i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdKernelDiffTest, MaskFoldingMatchesScalar) {
   for (size_t n : kSizes) {
     for (uint32_t density : {0u, 20u, 50u, 100u}) {
